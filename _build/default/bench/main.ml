@@ -1,0 +1,304 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md's experiment index).
+
+   Two kinds of measurement:
+   - Bechamel micro-benchmarks (linear-regression per-op estimates)
+     for the single-threaded Table 2 kernels under each scheme and for
+     the Fig. 6 variants — one Test.make per (kernel, scheme) cell;
+   - wall-clock harness runs (Tl_workload.Report) for the trace-driven
+     tables (Table 1, Fig. 3, Fig. 5, the ablations) and the sweeps
+     that need threads or large object populations (Fig. 4).
+
+   Run with: dune exec bench/main.exe            (full run)
+             dune exec bench/main.exe -- quick   (reduced sizes) *)
+
+open Bechamel
+open Toolkit
+module Runtime = Tl_runtime.Runtime
+module Scheme = Tl_core.Scheme_intf
+module Registry = Tl_baselines.Registry
+
+let quick = Array.exists (String.equal "quick") Sys.argv
+
+let t_start = Unix.gettimeofday ()
+
+let section title =
+  let bar = String.make (String.length title) '=' in
+  Printf.printf "\n[t=%.0fs] %s\n%s\n\n%!" (Unix.gettimeofday () -. t_start) title bar
+
+(* --- Bechamel plumbing --- *)
+
+let run_group group =
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if quick then 0.1 else 0.4))
+      ~kde:None ()
+  in
+  (* Bechamel flips Gc.max_overhead to 1e6 (disabling compaction) and
+     never restores it, which penalises every later allocation-heavy
+     section; save and restore around the run. *)
+  let saved_gc = Gc.get () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] group in
+  Gc.set saved_gc;
+  Gc.compact ();
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> Float.nan
+        in
+        (name, estimate) :: acc)
+      results []
+  in
+  List.sort compare rows
+
+let print_rows rows =
+  List.iter (fun (name, ns) -> Printf.printf "  %-40s %8.1f ns/op\n" name ns) rows;
+  print_newline ();
+  flush stdout
+
+(* One lock/unlock pair per measured run, through the packed scheme. *)
+let pair_test ~scheme_name kernel_name =
+  let runtime = Runtime.create () in
+  let scheme = Registry.find_exn scheme_name runtime in
+  let env = Runtime.main_env runtime in
+  let heap = Tl_heap.Heap.create () in
+  let obj = Tl_heap.Heap.alloc heap in
+  let fn =
+    match kernel_name with
+    | "sync" ->
+        Staged.stage (fun () ->
+            scheme.Scheme.acquire env obj;
+            scheme.Scheme.release env obj)
+    | "nestedsync" ->
+        scheme.Scheme.acquire env obj;
+        Staged.stage (fun () ->
+            scheme.Scheme.acquire env obj;
+            scheme.Scheme.release env obj)
+    | "mixedsync" ->
+        Staged.stage (fun () ->
+            scheme.Scheme.acquire env obj;
+            scheme.Scheme.acquire env obj;
+            scheme.Scheme.acquire env obj;
+            scheme.Scheme.release env obj;
+            scheme.Scheme.release env obj;
+            scheme.Scheme.release env obj)
+    | _ -> invalid_arg "pair_test"
+  in
+  Test.make ~name:(Printf.sprintf "%s/%s" kernel_name scheme_name) fn
+
+(* The Fig. 6 "Inline" flavour: direct module calls on Thin, no
+   closure indirection. *)
+let inline_test kernel_name =
+  let runtime = Runtime.create () in
+  let ctx =
+    Tl_core.Thin.create_with
+      ~config:{ Tl_core.Thin.default_config with record_stats = false }
+      runtime
+  in
+  let env = Runtime.main_env runtime in
+  let heap = Tl_heap.Heap.create () in
+  let obj = Tl_heap.Heap.alloc heap in
+  let fn =
+    match kernel_name with
+    | "sync" ->
+        Staged.stage (fun () ->
+            Tl_core.Thin.acquire ctx env obj;
+            Tl_core.Thin.release ctx env obj)
+    | "mixedsync" ->
+        Staged.stage (fun () ->
+            Tl_core.Thin.acquire ctx env obj;
+            Tl_core.Thin.acquire ctx env obj;
+            Tl_core.Thin.acquire ctx env obj;
+            Tl_core.Thin.release ctx env obj;
+            Tl_core.Thin.release ctx env obj;
+            Tl_core.Thin.release ctx env obj)
+    | _ -> invalid_arg "inline_test"
+  in
+  Test.make ~name:(Printf.sprintf "%s/thin-inline" kernel_name) fn
+
+let bench_fig4_cells () =
+  section "Bechamel: Table 2 kernels x schemes (Fig. 4 cells, ns per op)";
+  let schemes = Registry.paper_trio @ [ "fat"; "mcs" ] in
+  let tests =
+    List.concat_map
+      (fun kernel ->
+        List.map (fun scheme_name -> pair_test ~scheme_name kernel) schemes)
+      [ "sync"; "nestedsync" ]
+  in
+  print_rows (run_group (Test.make_grouped ~name:"fig4" tests))
+
+let bench_fig6_cells () =
+  section "Bechamel: Fig. 6 variants (ns per op)";
+  let variants = [ "nosync"; "thin"; "thin-mpsync"; "thin-unlkcas" ] in
+  let tests =
+    List.concat_map
+      (fun kernel ->
+        inline_test kernel
+        :: List.map (fun scheme_name -> pair_test ~scheme_name kernel) variants)
+      [ "sync"; "mixedsync" ]
+  in
+  print_rows (run_group (Test.make_grouped ~name:"fig6" tests))
+
+let bench_ablation_cells () =
+  section "Bechamel: design ablations (ns per op)";
+  let tests =
+    [
+      pair_test ~scheme_name:"thin" "sync";
+      pair_test ~scheme_name:"thin-unlkcas" "sync";
+      pair_test ~scheme_name:"thin-count2" "nestedsync";
+      pair_test ~scheme_name:"thin-count4" "nestedsync";
+      pair_test ~scheme_name:"thin" "nestedsync";
+      pair_test ~scheme_name:"thin-nostats" "sync";
+    ]
+  in
+  print_rows (run_group (Test.make_grouped ~name:"ablation" tests))
+
+(* Deflation extension: an inflated lock pays the fat path forever;
+   deflating at a quiescence point restores the thin fast path. *)
+let bench_deflation () =
+  section "Bechamel: deflation extension (ns per lock+unlock)";
+  let make_ctx () =
+    let runtime = Runtime.create () in
+    let ctx =
+      Tl_core.Thin.create_with
+        ~config:{ Tl_core.Thin.default_config with record_stats = false }
+        runtime
+    in
+    (ctx, Runtime.main_env runtime)
+  in
+  let inflate ctx env obj =
+    Tl_core.Thin.acquire ctx env obj;
+    Tl_core.Thin.wait ~timeout:0.001 ctx env obj;
+    Tl_core.Thin.release ctx env obj
+  in
+  let test_thin_path =
+    let ctx, env = make_ctx () in
+    let obj = Tl_heap.Heap.alloc (Tl_heap.Heap.create ()) in
+    Test.make ~name:"never-inflated"
+      (Staged.stage (fun () ->
+           Tl_core.Thin.acquire ctx env obj;
+           Tl_core.Thin.release ctx env obj))
+  in
+  let test_inflated =
+    let ctx, env = make_ctx () in
+    let obj = Tl_heap.Heap.alloc (Tl_heap.Heap.create ()) in
+    inflate ctx env obj;
+    Test.make ~name:"inflated (paper: permanent)"
+      (Staged.stage (fun () ->
+           Tl_core.Thin.acquire ctx env obj;
+           Tl_core.Thin.release ctx env obj))
+  in
+  let test_deflated =
+    let ctx, env = make_ctx () in
+    let obj = Tl_heap.Heap.alloc (Tl_heap.Heap.create ()) in
+    inflate ctx env obj;
+    assert (Tl_core.Thin.deflate_idle ctx obj);
+    Test.make ~name:"deflated at quiescence (extension)"
+      (Staged.stage (fun () ->
+           Tl_core.Thin.acquire ctx env obj;
+           Tl_core.Thin.release ctx env obj))
+  in
+  print_rows
+    (run_group
+       (Test.make_grouped ~name:"deflation" [ test_thin_path; test_inflated; test_deflated ]))
+
+(* Contention-handling ablation: backoff policy under competing
+   threads (wall-clock: needs real threads). *)
+let bench_backoff () =
+  section "Backoff-policy ablation under contention (Threads 4, ns/iteration)";
+  List.iter
+    (fun scheme_name ->
+      let runtime = Runtime.create () in
+      let scheme = Registry.find_exn scheme_name runtime in
+      let m =
+        Tl_workload.Micro.run ~runs:3 ~iterations:20_000 ~scheme ~runtime
+          (Tl_workload.Micro.Threads 4)
+      in
+      Printf.printf "  %-12s %8.1f ns/op\n" scheme_name m.Tl_workload.Micro.ns_per_iteration)
+    [ "thin"; "thin-yield"; "thin-busy" ];
+  print_newline ()
+
+(* Mini-JVM macro benchmarks: the paper's actual methodology — real
+   (mini-Java) programs with synchronized library calls, timed under
+   each scheme.  Programs ship in examples/programs (declared as dune
+   deps of this executable). *)
+let bench_vm_macros () =
+  section "Mini-JVM macro benchmarks: program wall time per scheme";
+  let dir = "examples/programs" in
+  let programs =
+    [ "javalex_like.mj"; "jax_like.mj"; "compilerish.mj"; "hashjava_like.mj" ]
+  in
+  Printf.printf "%-18s %10s %10s %10s %10s %8s\n" "program" "jdk111" "ibm112" "thin"
+    "speedup" "syncs";
+  List.iter
+    (fun file ->
+      let path = Filename.concat dir file in
+      if Sys.file_exists path then begin
+        let source = In_channel.with_open_bin path In_channel.input_all in
+        let timed scheme_name =
+          let t0 = Unix.gettimeofday () in
+          let vm = Tl_lang.Driver.run_source ~scheme_name source in
+          (Unix.gettimeofday () -. t0, Tl_jvm.Vm.sync_op_count vm)
+        in
+        (* median of 3 like the paper's methodology (median of samples) *)
+        let median scheme_name =
+          let samples = Array.init 3 (fun _ -> timed scheme_name) in
+          let times = Array.map fst samples in
+          Array.sort Float.compare times;
+          (times.(1), snd samples.(0))
+        in
+        let t_jdk, syncs = median "jdk111" in
+        let t_ibm, _ = median "ibm112" in
+        let t_thin, _ = median "thin" in
+        Printf.printf "%-18s %9.3fs %9.3fs %9.3fs %9.2fx %8d\n%!" file t_jdk t_ibm t_thin
+          (t_jdk /. t_thin) syncs
+      end
+      else Printf.printf "%-18s (source not found, skipped)\n" file)
+    programs;
+  print_newline ()
+
+let () =
+  let max_syncs = if quick then 20_000 else 100_000 in
+  let iterations = if quick then 20_000 else 100_000 in
+
+  section "Thin Locks reproduction - benchmark harness";
+  Printf.printf "mode: %s (pass 'quick' for reduced sizes)\n%!"
+    (if quick then "quick" else "full");
+
+  bench_fig4_cells ();
+  bench_fig6_cells ();
+  bench_ablation_cells ();
+  bench_deflation ();
+  bench_backoff ();
+  bench_vm_macros ();
+
+  section "Table 1: macro-benchmark characterization";
+  print_string (Tl_workload.Report.table1 ~max_syncs ());
+  flush stdout;
+
+  section "Figure 3: lock nesting depth";
+  print_string (Tl_workload.Report.fig3 ~max_syncs ());
+  flush stdout;
+
+  section "Figure 4: micro-benchmarks (wall-clock, incl. sweeps and threads)";
+  print_string (Tl_workload.Report.fig4 ~iterations ());
+  flush stdout;
+
+  section "Figure 5: macro-benchmark speedups";
+  print_string (Tl_workload.Report.fig5 ~max_syncs:(max_syncs / 2) ());
+  flush stdout;
+
+  section "Figure 6: implementation variants (wall-clock)";
+  print_string (Tl_workload.Report.fig6 ~iterations ());
+  flush stdout;
+
+  section "Scenario census and per-path operation counts";
+  print_string (Tl_workload.Report.characterize ~max_syncs ());
+
+  section "Ablation: count width (par.3.2)";
+  print_string (Tl_workload.Report.count_width_ablation ~max_syncs ());
+
+  Printf.printf "\ndone.\n"

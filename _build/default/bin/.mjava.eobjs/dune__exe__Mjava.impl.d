@@ -1,0 +1,1 @@
+bin/mjava.ml: Arg Cmd Cmdliner Format In_channel Printf String Term Tl_baselines Tl_core Tl_heap Tl_jvm Tl_lang Unix

@@ -1,0 +1,1 @@
+bin/thinlocks.ml: Arg Array Atomic Cmd Cmdliner Format List Option Printf String Term Tl_baselines Tl_core Tl_heap Tl_runtime Tl_sim Tl_util Tl_workload Unix

@@ -1,0 +1,307 @@
+(* thinlocks: command-line front end for the reproduction.
+
+   Each subcommand regenerates one of the paper's tables or figures
+   (see DESIGN.md's experiment index), runs micro-benchmarks ad hoc, or
+   dumps protocol-level diagnostics. *)
+
+open Cmdliner
+
+let max_syncs_arg =
+  let doc = "Cap on replayed lock operations per benchmark (traces are scaled)." in
+  Arg.(value & opt int 100_000 & info [ "max-syncs" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed for trace generation." in
+  Arg.(value & opt int 1998 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let iterations_arg default =
+  let doc = "Iterations per micro-benchmark kernel." in
+  Arg.(value & opt int default & info [ "iterations"; "n" ] ~docv:"N" ~doc)
+
+let print s =
+  print_string s;
+  if String.length s = 0 || s.[String.length s - 1] <> '\n' then print_newline ()
+
+let table1_cmd =
+  let run max_syncs seed = print (Tl_workload.Report.table1 ~max_syncs ~seed ()) in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Macro-benchmark characterization (paper Table 1)")
+    Term.(const run $ max_syncs_arg $ seed_arg)
+
+let fig3_cmd =
+  let run max_syncs seed = print (Tl_workload.Report.fig3 ~max_syncs ~seed ()) in
+  Cmd.v
+    (Cmd.info "fig3" ~doc:"Lock nesting-depth distribution (paper Figure 3)")
+    Term.(const run $ max_syncs_arg $ seed_arg)
+
+let schemes_arg =
+  let doc = "Schemes to compare (comma-separated registry names)." in
+  Arg.(
+    value
+    & opt (list string) Tl_baselines.Registry.paper_trio
+    & info [ "schemes" ] ~docv:"NAMES" ~doc)
+
+let fig4_cmd =
+  let run iterations schemes =
+    print (Tl_workload.Report.fig4 ~iterations ~schemes ())
+  in
+  Cmd.v
+    (Cmd.info "fig4" ~doc:"Micro-benchmark comparison (paper Figure 4)")
+    Term.(const run $ iterations_arg 100_000 $ schemes_arg)
+
+let benchmarks_arg =
+  let doc = "Benchmarks to replay (default: all 18)." in
+  Arg.(value & opt (some (list string)) None & info [ "benchmarks" ] ~docv:"NAMES" ~doc)
+
+let fig5_cmd =
+  let run max_syncs seed benchmarks =
+    print (Tl_workload.Report.fig5 ~max_syncs ~seed ?benchmarks ())
+  in
+  Cmd.v
+    (Cmd.info "fig5" ~doc:"Macro-benchmark speedups (paper Figure 5)")
+    Term.(const run $ max_syncs_arg $ seed_arg $ benchmarks_arg)
+
+let fig6_cmd =
+  let run iterations = print (Tl_workload.Report.fig6 ~iterations ()) in
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"Implementation-variant tradeoffs (paper Figure 6)")
+    Term.(const run $ iterations_arg 100_000)
+
+let characterize_cmd =
+  let run max_syncs seed = print (Tl_workload.Report.characterize ~max_syncs ~seed ()) in
+  Cmd.v
+    (Cmd.info "characterize"
+       ~doc:"Scenario-frequency census (paper par.2) and per-path operation counts")
+    Term.(const run $ max_syncs_arg $ seed_arg)
+
+let ablation_cmd =
+  let run max_syncs seed =
+    print (Tl_workload.Report.count_width_ablation ~max_syncs ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "count-width" ~doc:"Count-width ablation (paper par.3.2 conjecture)")
+    Term.(const run $ max_syncs_arg $ seed_arg)
+
+let micro_cmd =
+  let kernel_arg =
+    let doc = "Kernel: nosync, sync, nestedsync, mixedsync, multisync:N, call, \
+               callsync, nestedcallsync, threads:N." in
+    Arg.(value & opt string "sync" & info [ "kernel"; "k" ] ~docv:"KERNEL" ~doc)
+  in
+  let scheme_arg =
+    let doc = "Locking scheme (registry name)." in
+    Arg.(value & opt string "thin" & info [ "scheme"; "s" ] ~docv:"SCHEME" ~doc)
+  in
+  let list_arg =
+    let doc = "List available kernels and schemes, then exit." in
+    Arg.(value & flag & info [ "list" ] ~doc)
+  in
+  let run iterations kernel_name scheme_name list =
+    if list then begin
+      print_endline "kernels:";
+      List.iter
+        (fun k -> Printf.printf "  %s\n" (Tl_workload.Micro.kernel_name k))
+        Tl_workload.Micro.all_kernels;
+      print_endline "schemes:";
+      List.iter
+        (fun n ->
+          Printf.printf "  %-14s %s\n" n
+            (Option.value ~default:"" (Tl_baselines.Registry.describe n)))
+        (Tl_baselines.Registry.names ())
+    end
+    else
+      match Tl_workload.Micro.parse_kernel kernel_name with
+      | None -> Printf.eprintf "unknown kernel %S (try --list)\n" kernel_name
+      | Some kernel ->
+          let runtime = Tl_runtime.Runtime.create () in
+          let scheme = Tl_baselines.Registry.find_exn scheme_name runtime in
+          let m = Tl_workload.Micro.run ~iterations ~scheme ~runtime kernel in
+          Printf.printf "%s on %s: %s total, %.1f ns/iteration (%d iterations)\n"
+            (Tl_workload.Micro.kernel_name kernel)
+            scheme_name
+            (Tl_util.Timer.seconds_to_string m.Tl_workload.Micro.seconds)
+            m.Tl_workload.Micro.ns_per_iteration iterations
+  in
+  Cmd.v
+    (Cmd.info "micro" ~doc:"Run one micro-benchmark kernel under one scheme")
+    Term.(const run $ iterations_arg 200_000 $ kernel_arg $ scheme_arg $ list_arg)
+
+let trace_cmd =
+  let benchmark_arg =
+    let doc = "Benchmark profile to generate a trace for." in
+    Arg.(value & opt string "javalex" & info [ "benchmark"; "b" ] ~docv:"NAME" ~doc)
+  in
+  let output_arg =
+    let doc = "Output file (stdout if omitted)." in
+    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let run benchmark output max_syncs seed =
+    match Tl_workload.Profiles.find benchmark with
+    | None -> Printf.eprintf "unknown benchmark %S\n" benchmark
+    | Some profile ->
+        let trace = Tl_workload.Tracegen.generate ~seed ~max_syncs profile in
+        (match output with
+        | Some path ->
+            Tl_workload.Trace_io.save path trace;
+            Printf.printf "wrote %d ops over %d objects to %s\n"
+              (Array.length trace.Tl_workload.Tracegen.ops)
+              trace.Tl_workload.Tracegen.pool_size path
+        | None -> print_string (Tl_workload.Trace_io.to_string trace))
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Generate a lock trace and serialize it")
+    Term.(const run $ benchmark_arg $ output_arg $ max_syncs_arg $ seed_arg)
+
+let replay_cmd =
+  let file_arg =
+    let doc = "Trace file produced by 'thinlocks trace'." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let scheme_arg =
+    let doc = "Locking scheme." in
+    Arg.(value & opt string "thin" & info [ "scheme"; "s" ] ~docv:"SCHEME" ~doc)
+  in
+  let run file scheme_name =
+    let trace = Tl_workload.Trace_io.load file in
+    let runtime = Tl_runtime.Runtime.create () in
+    let scheme = Tl_baselines.Registry.find_exn scheme_name runtime in
+    let env = Tl_runtime.Runtime.main_env runtime in
+    let result = Tl_workload.Replay.run ~scheme ~env trace in
+    Printf.printf "%d acquires in %s under %s (%.1f ns/op)\n"
+      result.Tl_workload.Replay.acquires
+      (Tl_util.Timer.seconds_to_string result.Tl_workload.Replay.elapsed)
+      scheme_name
+      (result.Tl_workload.Replay.elapsed *. 1e9
+      /. float_of_int (max 1 (2 * result.Tl_workload.Replay.acquires)));
+    Format.printf "%a@." Tl_core.Lock_stats.pp result.Tl_workload.Replay.stats
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay a serialized trace under a scheme")
+    Term.(const run $ file_arg $ scheme_arg)
+
+let stress_cmd =
+  let scheme_arg =
+    let doc = "Scheme to stress." in
+    Arg.(value & opt string "thin" & info [ "scheme"; "s" ] ~docv:"SCHEME" ~doc)
+  in
+  let seconds_arg =
+    let doc = "How long to run." in
+    Arg.(value & opt float 5.0 & info [ "seconds" ] ~docv:"S" ~doc)
+  in
+  let threads_arg =
+    let doc = "Worker threads." in
+    Arg.(value & opt int 6 & info [ "threads"; "t" ] ~docv:"N" ~doc)
+  in
+  let run scheme_name seconds threads =
+    let runtime = Tl_runtime.Runtime.create () in
+    let scheme =
+      Tl_core.Validate.with_validation
+        (Tl_core.Validate.with_chaos (Tl_baselines.Registry.find_exn scheme_name runtime))
+    in
+    let heap = Tl_heap.Heap.create () in
+    let objs = Tl_heap.Heap.alloc_many heap 32 in
+    let deadline = Unix.gettimeofday () +. seconds in
+    let ops = Atomic.make 0 in
+    Printf.printf "stressing %s with %d threads for %.1fs (chaos + validation)...\n%!"
+      scheme_name threads seconds;
+    (try
+       Tl_runtime.Runtime.run_parallel runtime threads (fun t env ->
+           let prng = Tl_util.Prng.create (t lxor 0x5735) in
+           while Unix.gettimeofday () < deadline do
+             let obj = objs.(Tl_util.Prng.int prng 32) in
+             (match Tl_util.Prng.int prng 8 with
+             | 0 ->
+                 scheme.Tl_core.Scheme_intf.acquire env obj;
+                 scheme.Tl_core.Scheme_intf.acquire env obj;
+                 scheme.Tl_core.Scheme_intf.release env obj;
+                 scheme.Tl_core.Scheme_intf.release env obj
+             | 1 ->
+                 scheme.Tl_core.Scheme_intf.acquire env obj;
+                 scheme.Tl_core.Scheme_intf.wait ?timeout:(Some 0.001) env obj;
+                 scheme.Tl_core.Scheme_intf.release env obj
+             | 2 ->
+                 scheme.Tl_core.Scheme_intf.acquire env obj;
+                 scheme.Tl_core.Scheme_intf.notify_all env obj;
+                 scheme.Tl_core.Scheme_intf.release env obj
+             | _ ->
+                 scheme.Tl_core.Scheme_intf.acquire env obj;
+                 scheme.Tl_core.Scheme_intf.release env obj);
+             ignore (Atomic.fetch_and_add ops 1)
+           done);
+       Printf.printf "OK: %d operations, no semantic violation detected.\n" (Atomic.get ops)
+     with Tl_core.Validate.Violation msg ->
+       Printf.printf "VIOLATION after %d operations: %s\n" (Atomic.get ops) msg;
+       exit 1);
+    Format.printf "%a@." Tl_core.Lock_stats.pp (scheme.Tl_core.Scheme_intf.stats ())
+  in
+  Cmd.v
+    (Cmd.info "stress"
+       ~doc:"Chaos-stress a scheme under an independent semantics validator")
+    Term.(const run $ scheme_arg $ seconds_arg $ threads_arg)
+
+let sim_cmd =
+  let run () =
+    print_endline "Exhaustive interleaving check (2 threads x 1 iteration, spin budget 2):";
+    let programs =
+      Array.init 2 (fun i ->
+          Tl_sim.Thinmodel.worker ~tid:(i + 1) ~iterations:1 ~spin_budget:2 ())
+    in
+    let outcome =
+      Tl_sim.Machine.explore ~max_depth:400 ~mem_size:Tl_sim.Thinmodel.Addr.mem_size
+        ~invariant:(Tl_sim.Thinmodel.mutual_exclusion_invariant ~threads:2)
+        ~final:(Tl_sim.Thinmodel.completion_check ~threads:2 ~iterations:1)
+        programs
+    in
+    Printf.printf "  paths=%d completed=%d truncated=%d violation=%s\n"
+      outcome.Tl_sim.Machine.explored_paths outcome.Tl_sim.Machine.completed_paths
+      outcome.Tl_sim.Machine.truncated_paths
+      (match outcome.Tl_sim.Machine.violation with
+      | None -> "none"
+      | Some v -> v.Tl_sim.Machine.message);
+    print_endline "\nPer-path operation counts:";
+    let show name counts =
+      Printf.printf "  %-28s %s\n" name
+        (Format.asprintf "%a" Tl_sim.Machine.pp_op_counts counts)
+    in
+    show "acquire (unlocked)" (Tl_sim.Thinmodel.acquire_solo_counts ());
+    show "release (count 0)" (Tl_sim.Thinmodel.release_solo_counts ());
+    show "acquire (nested)" (Tl_sim.Thinmodel.nested_acquire_solo_counts ());
+    show "release (nested)" (Tl_sim.Thinmodel.nested_release_solo_counts ());
+    show "lock+unlock via fat monitor" (Tl_sim.Thinmodel.fat_solo_counts ())
+  in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Model-check the protocol and count per-path operations")
+    Term.(const run $ const ())
+
+let all_cmd =
+  let run max_syncs seed iterations =
+    print (Tl_workload.Report.table1 ~max_syncs ~seed ());
+    print_newline ();
+    print (Tl_workload.Report.fig3 ~max_syncs ~seed ());
+    print_newline ();
+    print (Tl_workload.Report.fig4 ~iterations ());
+    print_newline ();
+    print (Tl_workload.Report.fig5 ~max_syncs:(max_syncs / 2) ~seed ());
+    print_newline ();
+    print (Tl_workload.Report.fig6 ~iterations ());
+    print_newline ();
+    print (Tl_workload.Report.characterize ~max_syncs ~seed ());
+    print_newline ();
+    print (Tl_workload.Report.count_width_ablation ~max_syncs ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Regenerate every table and figure")
+    Term.(const run $ max_syncs_arg $ seed_arg $ iterations_arg 100_000)
+
+let () =
+  let info =
+    Cmd.info "thinlocks" ~version:"1.0.0"
+      ~doc:"Thin Locks (Bacon et al., PLDI 1998) reproduction harness"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            table1_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig6_cmd; characterize_cmd;
+            ablation_cmd; micro_cmd; sim_cmd; stress_cmd; trace_cmd; replay_cmd; all_cmd;
+          ]))

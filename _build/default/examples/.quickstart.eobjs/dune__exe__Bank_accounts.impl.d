@@ -1,0 +1,1 @@
+examples/bank_accounts.ml: Array Atomic Printf Thread Tl_baselines Tl_core Tl_heap Tl_runtime Tl_util Unix

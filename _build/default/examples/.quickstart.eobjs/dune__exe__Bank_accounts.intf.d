@@ -1,0 +1,1 @@
+examples/bank_accounts.mli:

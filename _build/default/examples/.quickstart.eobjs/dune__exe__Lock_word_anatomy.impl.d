@@ -1,0 +1,1 @@
+examples/lock_word_anatomy.ml: Printf Tl_core Tl_heap Tl_monitor Tl_runtime Tl_util

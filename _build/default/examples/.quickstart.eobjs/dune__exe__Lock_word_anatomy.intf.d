@@ -1,0 +1,1 @@
+examples/lock_word_anatomy.mli:

@@ -1,0 +1,1 @@
+examples/minijava_demo.ml: List Printf String Tl_core Tl_jvm Tl_lang Unix

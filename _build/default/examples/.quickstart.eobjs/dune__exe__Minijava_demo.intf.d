@@ -1,0 +1,1 @@
+examples/minijava_demo.mli:

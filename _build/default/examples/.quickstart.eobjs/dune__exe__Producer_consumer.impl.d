@@ -1,0 +1,1 @@
+examples/producer_consumer.ml: Atomic Fun List Printf Queue Tl_baselines Tl_core Tl_heap Tl_runtime Unix

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Option Printf Tl_core Tl_heap Tl_runtime Unix

@@ -1,0 +1,1 @@
+lib/baselines/fat_only.ml: Atomic Lock_stats Tl_core Tl_heap Tl_monitor Tl_runtime

@@ -1,0 +1,1 @@
+lib/baselines/fat_only.mli: Tl_core

@@ -1,0 +1,1 @@
+lib/baselines/ibm112.ml: Array Atomic Hashtbl Lock_stats Mutex Tl_core Tl_heap Tl_monitor Tl_runtime

@@ -1,0 +1,1 @@
+lib/baselines/ibm112.mli: Tl_core Tl_runtime

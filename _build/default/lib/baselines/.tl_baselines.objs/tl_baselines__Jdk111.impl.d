@@ -1,0 +1,1 @@
+lib/baselines/jdk111.ml: Hashtbl Lock_stats Mutex Tl_core Tl_heap Tl_monitor Tl_runtime

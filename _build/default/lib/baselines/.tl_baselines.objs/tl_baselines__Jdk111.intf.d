@@ -1,0 +1,1 @@
+lib/baselines/jdk111.mli: Tl_core Tl_runtime

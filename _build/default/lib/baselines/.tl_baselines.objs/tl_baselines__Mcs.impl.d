@@ -1,0 +1,1 @@
+lib/baselines/mcs.ml: Atomic Lock_stats Printf Queue Tl_core Tl_heap Tl_monitor Tl_runtime

@@ -1,0 +1,1 @@
+lib/baselines/mcs.mli: Tl_core

@@ -1,0 +1,1 @@
+lib/baselines/nosync.ml: Lock_stats Sys Tl_core

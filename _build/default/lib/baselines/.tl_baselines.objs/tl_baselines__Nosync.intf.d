@@ -1,0 +1,1 @@
+lib/baselines/nosync.mli: Tl_core

@@ -1,0 +1,1 @@
+lib/baselines/registry.ml: Fat_only Ibm112 Jdk111 List Mcs Nosync Printf Scheme_intf String Thin Tl_core Tl_runtime

@@ -1,0 +1,1 @@
+lib/baselines/registry.mli: Tl_core Tl_runtime

@@ -1,0 +1,59 @@
+open Tl_core
+module Fatlock = Tl_monitor.Fatlock
+module Montable = Tl_monitor.Montable
+module Obj_model = Tl_heap.Obj_model
+module Header = Tl_heap.Header
+
+type ctx = {
+  runtime : Tl_runtime.Runtime.t;
+  montable : Montable.t;
+  stats : Lock_stats.t;
+}
+
+let name = "fat"
+
+let create runtime = { runtime; montable = Montable.create (); stats = Lock_stats.create () }
+let stats ctx = ctx.stats
+
+(* Find the object's monitor, installing one on first use.  Losing the
+   installation race just means an unused table slot. *)
+let rec monitor_of ctx obj =
+  let lw = Obj_model.lockword obj in
+  let word = Atomic.get lw in
+  if Header.is_inflated word then Montable.get ctx.montable (Header.monitor_index word)
+  else begin
+    let fat = Fatlock.create () in
+    let monitor_index = Montable.allocate ctx.montable fat in
+    let inflated = Header.inflated_word ~hdr:(Header.hdr_bits word) ~monitor_index in
+    if Atomic.compare_and_set lw word inflated then fat else monitor_of ctx obj
+  end
+
+let acquire ctx env obj =
+  let fat = monitor_of ctx obj in
+  let queued = not (Fatlock.try_acquire env fat) in
+  if queued then Fatlock.acquire env fat;
+  let depth = Fatlock.count fat in
+  if depth = 1 && not queued then Lock_stats.record_acquire_unlocked ctx.stats obj
+  else if depth > 1 then Lock_stats.record_acquire_nested ctx.stats ~depth
+  else Lock_stats.record_acquire_fat ctx.stats obj ~queued ~depth
+
+let release ctx env obj =
+  Fatlock.release env (monitor_of ctx obj);
+  Lock_stats.record_release ctx.stats `Fat
+
+let wait ?timeout ctx env obj =
+  Lock_stats.record_wait ctx.stats;
+  Fatlock.wait ?timeout env (monitor_of ctx obj)
+
+let notify ctx env obj =
+  Lock_stats.record_notify ctx.stats;
+  Fatlock.notify env (monitor_of ctx obj)
+
+let notify_all ctx env obj =
+  Lock_stats.record_notify_all ctx.stats;
+  Fatlock.notify_all env (monitor_of ctx obj)
+
+let holds ctx env obj =
+  let word = Atomic.get (Obj_model.lockword obj) in
+  Header.is_inflated word
+  && Fatlock.holds env (Montable.get ctx.montable (Header.monitor_index word))

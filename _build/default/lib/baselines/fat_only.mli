@@ -1,0 +1,9 @@
+(** Always-inflated control scheme.
+
+    Every object gets a dedicated fat monitor on first use, installed
+    in its header word with the inflated encoding.  No monitor cache,
+    no thin state: this isolates the cost of the fat-lock machinery
+    itself, and is the natural control for measuring what thin locks
+    save on the uncontended paths. *)
+
+include Tl_core.Scheme_intf.S

@@ -1,0 +1,203 @@
+open Tl_core
+module Obj_model = Tl_heap.Obj_model
+module Header = Tl_heap.Header
+module Backoff = Tl_runtime.Backoff
+module Parker = Tl_runtime.Parker
+module Index_table = Tl_monitor.Index_table
+
+(* One queue node per acquisition episode.  [must_wait] is the flag
+   the waiter spins on; [next] is filled in by the successor.
+
+   [tail] holds nodes directly, with a sentinel [nil] node for
+   "empty": [Atomic.compare_and_set] uses physical equality, and a
+   freshly-boxed [Some node] would never compare equal to the cell's
+   contents — the release CAS must compare the physically-stable node
+   itself.  [next] is only ever read and written (never CASed), so an
+   option is fine there. *)
+type node = { must_wait : bool Atomic.t; next : node option Atomic.t }
+
+let nil = { must_wait = Atomic.make false; next = Atomic.make None }
+
+let fresh_node () = { must_wait = Atomic.make false; next = Atomic.make None }
+
+type waiter = { parker : Parker.t; mutable notified : bool }
+
+type mon = {
+  tail : node Atomic.t;
+  (* The fields below are written only while holding the queue lock. *)
+  mutable owner : int;
+  mutable count : int;
+  mutable holder_node : node;
+  wait_set : waiter Queue.t;
+}
+
+let fresh_mon () =
+  { tail = Atomic.make nil; owner = 0; count = 0; holder_node = nil; wait_set = Queue.create () }
+
+type ctx = {
+  runtime : Tl_runtime.Runtime.t;
+  table : mon Index_table.t;
+  stats : Lock_stats.t;
+}
+
+let name = "mcs"
+
+let create runtime = { runtime; table = Index_table.create (); stats = Lock_stats.create () }
+let stats ctx = ctx.stats
+
+let rec monitor_of ctx obj =
+  let lw = Obj_model.lockword obj in
+  let word = Atomic.get lw in
+  if Header.is_inflated word then Index_table.get ctx.table (Header.monitor_index word)
+  else begin
+    let monitor_index = Index_table.allocate ctx.table (fresh_mon ()) in
+    let inflated = Header.inflated_word ~hdr:(Header.hdr_bits word) ~monitor_index in
+    if Atomic.compare_and_set lw word inflated then Index_table.get ctx.table monitor_index
+    else monitor_of ctx obj
+  end
+
+let my_index (env : Tl_runtime.Runtime.env) = env.Tl_runtime.Runtime.descriptor.Tl_runtime.Tid.index
+
+(* Classic MCS acquire: one atomic exchange; spin on our own node. *)
+let mcs_lock mon node =
+  Atomic.set node.next None;
+  let pred = Atomic.exchange mon.tail node in
+  if pred == nil then false (* uncontended *)
+  else begin
+    Atomic.set node.must_wait true;
+    Atomic.set pred.next (Some node);
+    let backoff = Backoff.create () in
+    while Atomic.get node.must_wait do
+      Backoff.once backoff
+    done;
+    true
+  end
+
+(* Classic MCS release: one compare-and-swap in the common case — the
+   atomic operation the paper contrasts with thin locks' plain
+   store. *)
+let mcs_unlock mon node =
+  match Atomic.get node.next with
+  | Some successor -> Atomic.set successor.must_wait false
+  | None ->
+      if Atomic.compare_and_set mon.tail node nil then ()
+      else begin
+        (* A successor is linking itself in; wait for the link. *)
+        let backoff = Backoff.create () in
+        let rec await () =
+          match Atomic.get node.next with
+          | Some successor -> Atomic.set successor.must_wait false
+          | None ->
+              Backoff.once backoff;
+              await ()
+        in
+        await ()
+      end
+
+let lock_mon env mon =
+  let me = my_index env in
+  if mon.owner = me then begin
+    mon.count <- mon.count + 1;
+    `Nested mon.count
+  end
+  else begin
+    let node = fresh_node () in
+    let contended = mcs_lock mon node in
+    mon.owner <- me;
+    mon.count <- 1;
+    mon.holder_node <- node;
+    if contended then `Contended else `Fast
+  end
+
+let unlock_mon env mon =
+  let me = my_index env in
+  if mon.owner <> me then
+    raise
+      (Tl_monitor.Fatlock.Illegal_monitor_state
+         (Printf.sprintf "mcs release: thread %d is not the owner (%d)" me mon.owner));
+  if mon.count > 1 then mon.count <- mon.count - 1
+  else begin
+    let node = mon.holder_node in
+    assert (node != nil);
+    mon.owner <- 0;
+    mon.count <- 0;
+    mon.holder_node <- nil;
+    mcs_unlock mon node
+  end
+
+let acquire ctx env obj =
+  let mon = monitor_of ctx obj in
+  match lock_mon env mon with
+  | `Fast -> Lock_stats.record_acquire_unlocked ctx.stats obj
+  | `Nested depth -> Lock_stats.record_acquire_nested ctx.stats ~depth
+  | `Contended -> Lock_stats.record_acquire_fat ctx.stats obj ~queued:true ~depth:1
+
+let release ctx env obj =
+  unlock_mon env (monitor_of ctx obj);
+  Lock_stats.record_release ctx.stats `Fat
+
+let full_unlock env mon =
+  ignore env;
+  let node = mon.holder_node in
+  assert (node != nil);
+  mon.owner <- 0;
+  mon.count <- 0;
+  mon.holder_node <- nil;
+  mcs_unlock mon node
+
+let remove_waiter q w =
+  let keep = Queue.create () in
+  Queue.iter (fun x -> if x != w then Queue.push x keep) q;
+  Queue.clear q;
+  Queue.transfer keep q
+
+let wait ?timeout ctx env obj =
+  let mon = monitor_of ctx obj in
+  let me = my_index env in
+  if mon.owner <> me then
+    raise (Tl_monitor.Fatlock.Illegal_monitor_state "mcs wait: not owner");
+  Lock_stats.record_wait ctx.stats;
+  let saved = mon.count in
+  let w = { parker = env.Tl_runtime.Runtime.parker; notified = false } in
+  Queue.push w mon.wait_set;
+  full_unlock env mon;
+  (* Park until notified; filter out stale permits.  On timeout we may
+     still be in the wait set — removal happens after re-acquiring,
+     when touching the queue is safe again. *)
+  let rec block () =
+    match timeout with
+    | None ->
+        Parker.park w.parker;
+        if not w.notified then block ()
+    | Some seconds ->
+        let consumed = Parker.park_timeout w.parker ~seconds in
+        if consumed && not w.notified then block ()
+  in
+  block ();
+  ignore (lock_mon env mon);
+  if not w.notified then remove_waiter mon.wait_set w;
+  mon.count <- saved
+
+let notify ctx env obj =
+  let mon = monitor_of ctx obj in
+  if mon.owner <> my_index env then
+    raise (Tl_monitor.Fatlock.Illegal_monitor_state "mcs notify: not owner");
+  Lock_stats.record_notify ctx.stats;
+  if not (Queue.is_empty mon.wait_set) then begin
+    let w = Queue.pop mon.wait_set in
+    w.notified <- true;
+    Parker.unpark w.parker
+  end
+
+let notify_all ctx env obj =
+  let mon = monitor_of ctx obj in
+  if mon.owner <> my_index env then
+    raise (Tl_monitor.Fatlock.Illegal_monitor_state "mcs notifyAll: not owner");
+  Lock_stats.record_notify_all ctx.stats;
+  while not (Queue.is_empty mon.wait_set) do
+    let w = Queue.pop mon.wait_set in
+    w.notified <- true;
+    Parker.unpark w.parker
+  done
+
+let holds ctx env obj = (monitor_of ctx obj).owner = my_index env

@@ -1,0 +1,13 @@
+open Tl_core
+
+type ctx = Lock_stats.t
+
+let name = "nosync"
+let create _runtime = Lock_stats.create ()
+let stats ctx = ctx
+let acquire _ctx _env obj = ignore (Sys.opaque_identity obj)
+let release _ctx _env obj = ignore (Sys.opaque_identity obj)
+let wait ?timeout _ctx _env _obj = ignore timeout
+let notify _ctx _env _obj = ()
+let notify_all _ctx _env _obj = ()
+let holds _ctx _env _obj = true

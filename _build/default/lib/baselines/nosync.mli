@@ -1,0 +1,8 @@
+(** The NOP scheme: no synchronization at all.
+
+    Used for the Fig. 6 "NOP" speed-of-light measurement (all locking
+    work removed, only the surrounding benchmark structure remains).
+    It performs no mutual exclusion whatsoever — never use it where
+    correctness depends on locking. *)
+
+include Tl_core.Scheme_intf.S

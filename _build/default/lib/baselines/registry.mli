@@ -1,0 +1,23 @@
+(** Name → scheme constructors for the harness and the CLI.
+
+    Includes the three implementations the paper measures against each
+    other ([thin], [jdk111], [ibm112]), the Fig. 6 thin-lock variants,
+    and the extra baselines. *)
+
+val names : unit -> string list
+(** All registered scheme names. *)
+
+val find : string -> (Tl_runtime.Runtime.t -> Tl_core.Scheme_intf.packed) option
+
+val find_exn : string -> Tl_runtime.Runtime.t -> Tl_core.Scheme_intf.packed
+(** @raise Invalid_argument on an unknown name (message lists the
+    known ones). *)
+
+val describe : string -> string option
+(** One-line description of a scheme. *)
+
+val paper_trio : string list
+(** [["jdk111"; "ibm112"; "thin"]] — the three systems of §3. *)
+
+val fig6_variants : string list
+(** Scheme names for the Fig. 6 tradeoff study. *)

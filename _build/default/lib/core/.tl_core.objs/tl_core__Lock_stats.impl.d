@@ -1,0 +1,1 @@
+lib/core/lock_stats.ml: Array Atomic Format List Mutex Tl_heap

@@ -1,0 +1,1 @@
+lib/core/lock_stats.mli: Format Tl_heap

@@ -1,0 +1,1 @@
+lib/core/scheme_intf.ml: Fun Lock_stats Tl_heap Tl_runtime

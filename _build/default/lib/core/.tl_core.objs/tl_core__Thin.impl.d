@@ -1,0 +1,1 @@
+lib/core/thin.ml: Atomic Backoff Header Lock_stats Obj_model Printf Runtime Tid Tl_heap Tl_monitor Tl_runtime

@@ -1,0 +1,1 @@
+lib/core/thin.mli: Scheme_intf Tl_heap Tl_monitor Tl_runtime

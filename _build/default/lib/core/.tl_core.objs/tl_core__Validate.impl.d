@@ -1,0 +1,1 @@
+lib/core/validate.ml: Atomic Fun Hashtbl Mutex Option Printf Scheme_intf Thread Tl_heap Tl_runtime

@@ -1,0 +1,217 @@
+let depth_buckets = 64 (* depths >= 63 share the last bucket *)
+
+type t = {
+  acquires_unlocked : int Atomic.t;
+  acquires_nested : int Atomic.t;
+  acquires_fat_fast : int Atomic.t;
+  acquires_fat_queued : int Atomic.t;
+  contended_spins : int Atomic.t;
+  contended_episodes : int Atomic.t;
+  releases_fast : int Atomic.t;
+  releases_nested : int Atomic.t;
+  releases_fat : int Atomic.t;
+  inflations_contention : int Atomic.t;
+  inflations_wait : int Atomic.t;
+  inflations_overflow : int Atomic.t;
+  wait_ops : int Atomic.t;
+  notify_ops : int Atomic.t;
+  notify_all_ops : int Atomic.t;
+  objects_synchronized : int Atomic.t;
+  depths : int Atomic.t array; (* index = min depth (depth_buckets-1) *)
+  extra_mutex : Mutex.t;
+  mutable extra : (string * int Atomic.t) list;
+}
+
+let create () =
+  {
+    acquires_unlocked = Atomic.make 0;
+    acquires_nested = Atomic.make 0;
+    acquires_fat_fast = Atomic.make 0;
+    acquires_fat_queued = Atomic.make 0;
+    contended_spins = Atomic.make 0;
+    contended_episodes = Atomic.make 0;
+    releases_fast = Atomic.make 0;
+    releases_nested = Atomic.make 0;
+    releases_fat = Atomic.make 0;
+    inflations_contention = Atomic.make 0;
+    inflations_wait = Atomic.make 0;
+    inflations_overflow = Atomic.make 0;
+    wait_ops = Atomic.make 0;
+    notify_ops = Atomic.make 0;
+    notify_all_ops = Atomic.make 0;
+    objects_synchronized = Atomic.make 0;
+    depths = Array.init depth_buckets (fun _ -> Atomic.make 0);
+    extra_mutex = Mutex.create ();
+    extra = [];
+  }
+
+let reset t =
+  let z a = Atomic.set a 0 in
+  z t.acquires_unlocked;
+  z t.acquires_nested;
+  z t.acquires_fat_fast;
+  z t.acquires_fat_queued;
+  z t.contended_spins;
+  z t.contended_episodes;
+  z t.releases_fast;
+  z t.releases_nested;
+  z t.releases_fat;
+  z t.inflations_contention;
+  z t.inflations_wait;
+  z t.inflations_overflow;
+  z t.wait_ops;
+  z t.notify_ops;
+  z t.notify_all_ops;
+  z t.objects_synchronized;
+  Array.iter z t.depths;
+  Mutex.lock t.extra_mutex;
+  List.iter (fun (_, a) -> z a) t.extra;
+  Mutex.unlock t.extra_mutex
+
+let bump a = ignore (Atomic.fetch_and_add a 1)
+
+let record_depth t depth = bump t.depths.(min depth (depth_buckets - 1))
+
+let record_first_sync t obj =
+  if Tl_heap.Obj_model.mark_synced obj then bump t.objects_synchronized
+
+let record_acquire_unlocked t obj =
+  bump t.acquires_unlocked;
+  record_depth t 1;
+  record_first_sync t obj
+
+let record_acquire_nested t ~depth =
+  bump t.acquires_nested;
+  record_depth t depth
+
+let record_acquire_fat t obj ~queued ~depth =
+  bump (if queued then t.acquires_fat_queued else t.acquires_fat_fast);
+  record_depth t depth;
+  record_first_sync t obj
+
+let record_contended_spin t ~spins =
+  bump t.contended_episodes;
+  ignore (Atomic.fetch_and_add t.contended_spins spins)
+
+let record_release t = function
+  | `Fast -> bump t.releases_fast
+  | `Nested -> bump t.releases_nested
+  | `Fat -> bump t.releases_fat
+
+let record_inflation t = function
+  | `Contention -> bump t.inflations_contention
+  | `Wait -> bump t.inflations_wait
+  | `Overflow -> bump t.inflations_overflow
+
+let record_wait t = bump t.wait_ops
+let record_notify t = bump t.notify_ops
+let record_notify_all t = bump t.notify_all_ops
+
+let add_extra t key n =
+  let counter =
+    match List.assoc_opt key t.extra with
+    | Some a -> a
+    | None ->
+        Mutex.lock t.extra_mutex;
+        let a =
+          match List.assoc_opt key t.extra with
+          | Some a -> a
+          | None ->
+              let a = Atomic.make 0 in
+              t.extra <- (key, a) :: t.extra;
+              a
+        in
+        Mutex.unlock t.extra_mutex;
+        a
+  in
+  ignore (Atomic.fetch_and_add counter n)
+
+type snapshot = {
+  acquires_unlocked : int;
+  acquires_nested : int;
+  acquires_fat_fast : int;
+  acquires_fat_queued : int;
+  contended_spins : int;
+  contended_episodes : int;
+  releases_fast : int;
+  releases_nested : int;
+  releases_fat : int;
+  inflations_contention : int;
+  inflations_wait : int;
+  inflations_overflow : int;
+  wait_ops : int;
+  notify_ops : int;
+  notify_all_ops : int;
+  objects_synchronized : int;
+  depth_hist : (int * int) list;
+  extra : (string * int) list;
+}
+
+let snapshot t =
+  let depth_hist = ref [] in
+  for i = depth_buckets - 1 downto 0 do
+    let c = Atomic.get t.depths.(i) in
+    if c > 0 then depth_hist := (i, c) :: !depth_hist
+  done;
+  Mutex.lock t.extra_mutex;
+  let extra = List.rev_map (fun (k, a) -> (k, Atomic.get a)) t.extra in
+  Mutex.unlock t.extra_mutex;
+  {
+    acquires_unlocked = Atomic.get t.acquires_unlocked;
+    acquires_nested = Atomic.get t.acquires_nested;
+    acquires_fat_fast = Atomic.get t.acquires_fat_fast;
+    acquires_fat_queued = Atomic.get t.acquires_fat_queued;
+    contended_spins = Atomic.get t.contended_spins;
+    contended_episodes = Atomic.get t.contended_episodes;
+    releases_fast = Atomic.get t.releases_fast;
+    releases_nested = Atomic.get t.releases_nested;
+    releases_fat = Atomic.get t.releases_fat;
+    inflations_contention = Atomic.get t.inflations_contention;
+    inflations_wait = Atomic.get t.inflations_wait;
+    inflations_overflow = Atomic.get t.inflations_overflow;
+    wait_ops = Atomic.get t.wait_ops;
+    notify_ops = Atomic.get t.notify_ops;
+    notify_all_ops = Atomic.get t.notify_all_ops;
+    objects_synchronized = Atomic.get t.objects_synchronized;
+    depth_hist = !depth_hist;
+    extra;
+  }
+
+let total_acquires s =
+  s.acquires_unlocked + s.acquires_nested + s.acquires_fat_fast + s.acquires_fat_queued
+
+let total_inflations s = s.inflations_contention + s.inflations_wait + s.inflations_overflow
+
+let depth_count s d =
+  match List.assoc_opt d s.depth_hist with Some c -> c | None -> 0
+
+let depth_fraction s d =
+  let total = total_acquires s in
+  if total = 0 then 0.0 else float_of_int (depth_count s d) /. float_of_int total
+
+let depth_fraction_at_least s d =
+  let total = total_acquires s in
+  if total = 0 then 0.0
+  else
+    let n = List.fold_left (fun acc (depth, c) -> if depth >= d then acc + c else acc) 0 s.depth_hist in
+    float_of_int n /. float_of_int total
+
+let syncs_per_object s =
+  if s.objects_synchronized = 0 then 0.0
+  else float_of_int (total_acquires s) /. float_of_int s.objects_synchronized
+
+let pp ppf s =
+  let f fmt = Format.fprintf ppf fmt in
+  f "acquires: unlocked=%d nested=%d fat_fast=%d fat_queued=%d (total %d)@\n"
+    s.acquires_unlocked s.acquires_nested s.acquires_fat_fast s.acquires_fat_queued
+    (total_acquires s);
+  f "releases: fast=%d nested=%d fat=%d@\n" s.releases_fast s.releases_nested s.releases_fat;
+  f "inflations: contention=%d wait=%d overflow=%d@\n" s.inflations_contention
+    s.inflations_wait s.inflations_overflow;
+  f "contention: episodes=%d spins=%d@\n" s.contended_episodes s.contended_spins;
+  f "wait/notify/notifyAll: %d/%d/%d@\n" s.wait_ops s.notify_ops s.notify_all_ops;
+  f "objects synchronized: %d (%.1f syncs/object)@\n" s.objects_synchronized
+    (syncs_per_object s);
+  f "depth histogram:";
+  List.iter (fun (d, c) -> f " %d:%d" d c) s.depth_hist;
+  List.iter (fun (k, v) -> f "@\n%s=%d" k v) s.extra

@@ -1,0 +1,244 @@
+open Tl_runtime
+open Tl_heap
+module Fatlock = Tl_monitor.Fatlock
+module Montable = Tl_monitor.Montable
+
+type config = {
+  count_width : int;
+  backoff_policy : Backoff.policy;
+  unlock_with_cas : bool;
+  extra_fence : bool;
+  record_stats : bool;
+}
+
+let default_config =
+  {
+    count_width = Header.count_width;
+    backoff_policy = Backoff.Yield_sleep;
+    unlock_with_cas = false;
+    extra_fence = false;
+    record_stats = true;
+  }
+
+type ctx = {
+  runtime : Runtime.t;
+  montable : Montable.t;
+  stats : Lock_stats.t;
+  nested_limit : int;
+  config : config;
+  fence_pad : int Atomic.t; (* target of the MP Sync variant's extra atomic op *)
+  deflation_count : int Atomic.t;
+}
+
+let name = "thin"
+
+let create_with ?(config = default_config) runtime =
+  if config.count_width < 1 || config.count_width > Header.count_width then
+    invalid_arg "Thin.create_with: count_width";
+  {
+    runtime;
+    montable = Montable.create ();
+    stats = Lock_stats.create ();
+    nested_limit = Header.nested_limit_for ~count_width:config.count_width;
+    config;
+    fence_pad = Atomic.make 0;
+    deflation_count = Atomic.make 0;
+  }
+
+let create runtime = create_with runtime
+
+let stats ctx = ctx.stats
+let config_of ctx = ctx.config
+let montable ctx = ctx.montable
+let lock_word obj = Atomic.get (Obj_model.lockword obj)
+
+(* Stand-in for the PowerPC isync/sync pair of the MP Sync variant: a
+   real atomic read-modify-write, the closest full-barrier operation
+   OCaml exposes. *)
+let fence ctx = if ctx.config.extra_fence then ignore (Atomic.fetch_and_add ctx.fence_pad 1)
+
+let my_index (env : Runtime.env) = env.descriptor.Tid.index
+
+(* The owner transfers its thin lock into a fresh fat lock.  Only the
+   owner may write the lock word, so plain stores suffice; the monitor
+   table publishes the fat lock before the inflated word becomes
+   visible (both are seq-cst atomics). *)
+let inflate_owned ctx env obj ~locks ~cause =
+  let fat = Fatlock.create_locked ~owner:(my_index env) ~count:locks in
+  let monitor_index = Montable.allocate ctx.montable fat in
+  let lw = Obj_model.lockword obj in
+  let hdr = Header.hdr_bits (Atomic.get lw) in
+  Atomic.set lw (Header.inflated_word ~hdr ~monitor_index);
+  if ctx.config.record_stats then Lock_stats.record_inflation ctx.stats cause;
+  fat
+
+let fat_acquire ctx env obj monitor_index =
+  let fat = Montable.get ctx.montable monitor_index in
+  let queued = not (Fatlock.try_acquire env fat) in
+  if queued then Fatlock.acquire env fat;
+  if ctx.config.record_stats then
+    Lock_stats.record_acquire_fat ctx.stats obj ~queued ~depth:(Fatlock.count fat)
+
+(* Contended thin lock: spin with backoff until either some other
+   contender inflates the lock, or we seize the thin lock ourselves and
+   force the thin→fat transition (§2.3.4). *)
+let rec contended ctx env obj backoff =
+  let lw = Obj_model.lockword obj in
+  let word = Atomic.get lw in
+  if Header.is_inflated word then begin
+    if ctx.config.record_stats then
+      Lock_stats.record_contended_spin ctx.stats ~spins:(Backoff.steps backoff);
+    fat_acquire ctx env obj (Header.monitor_index word)
+  end
+  else
+    let hdr = Header.hdr_bits word in
+    if
+      Header.is_unlocked word
+      && Atomic.compare_and_set lw hdr (hdr lor env.Runtime.shifted_index)
+    then begin
+      (* We own the thin lock now; complete the transition. *)
+      if ctx.config.record_stats then
+        Lock_stats.record_contended_spin ctx.stats ~spins:(Backoff.steps backoff);
+      ignore (inflate_owned ctx env obj ~locks:1 ~cause:`Contention);
+      if ctx.config.record_stats then
+        Lock_stats.record_acquire_fat ctx.stats obj ~queued:false ~depth:1
+    end
+    else begin
+      Backoff.once backoff;
+      contended ctx env obj backoff
+    end
+
+let rec acquire ctx env obj =
+  fence ctx;
+  let lw = Obj_model.lockword obj in
+  let word = Atomic.get lw in
+  (* "old value": the lock word with the high 24 bits masked out *)
+  let unlocked_pattern = Header.hdr_bits word in
+  if Atomic.compare_and_set lw unlocked_pattern (unlocked_pattern lor env.Runtime.shifted_index)
+  then begin
+    (* Scenario 1: locking an unlocked object. *)
+    if ctx.config.record_stats then Lock_stats.record_acquire_unlocked ctx.stats obj
+  end
+  else
+    let word = Atomic.get lw in
+    let x = word lxor env.Runtime.shifted_index in
+    if x < ctx.nested_limit then begin
+      (* Scenarios 2-3: nested locking by the owner.  The single
+         comparison above checked shape = thin, owner = me and
+         count < limit all at once; bump the count with a plain
+         store. *)
+      Atomic.set lw (word + Header.count_increment);
+      if ctx.config.record_stats then
+        Lock_stats.record_acquire_nested ctx.stats ~depth:(Header.thin_count word + 2)
+    end
+    else if Header.is_inflated word then fat_acquire ctx env obj (Header.monitor_index word)
+    else if Header.is_unlocked word then
+      (* The owner released between our CAS and the re-read; retry. *)
+      acquire ctx env obj
+    else if Header.thin_owner word = my_index env then begin
+      (* Ours, but the count is saturated: "excessive" nesting
+         overflows into a fat lock (§2.3). *)
+      let locks = Header.thin_count word + 2 in
+      ignore (inflate_owned ctx env obj ~locks ~cause:`Overflow);
+      if ctx.config.record_stats then Lock_stats.record_acquire_nested ctx.stats ~depth:locks
+    end
+    else
+      (* Scenario 4/5: held by another thread. *)
+      contended ctx env obj (Backoff.create ~policy:ctx.config.backoff_policy ())
+
+let owner_store ctx lw ~old_word ~new_word =
+  if ctx.config.unlock_with_cas then begin
+    (* UnlkC&S variant: pay for an atomic op the discipline makes
+       unnecessary. *)
+    if not (Atomic.compare_and_set lw old_word new_word) then
+      (* Only the owner writes a thin-held word, so this cannot fail. *)
+      assert false
+  end
+  else Atomic.set lw new_word
+
+let not_owner op env word =
+  raise
+    (Fatlock.Illegal_monitor_state
+       (Printf.sprintf "%s: thread %d does not hold the lock (%s)" op (my_index env)
+          (Header.describe word)))
+
+let release ctx env obj =
+  fence ctx;
+  let lw = Obj_model.lockword obj in
+  let word = Atomic.get lw in
+  let held_once_pattern = Header.hdr_bits word lor env.Runtime.shifted_index in
+  if word = held_once_pattern then begin
+    (* Most common: owned once by me — store the unlocked pattern. *)
+    owner_store ctx lw ~old_word:word ~new_word:(Header.hdr_bits word);
+    if ctx.config.record_stats then Lock_stats.record_release ctx.stats `Fast
+  end
+  else if word lxor env.Runtime.shifted_index < 1 lsl Header.tid_offset then begin
+    (* Thin, mine, count >= 1: decrement with a plain store. *)
+    owner_store ctx lw ~old_word:word ~new_word:(word - Header.count_increment);
+    if ctx.config.record_stats then Lock_stats.record_release ctx.stats `Nested
+  end
+  else if Header.is_inflated word then begin
+    Fatlock.release env (Montable.get ctx.montable (Header.monitor_index word));
+    if ctx.config.record_stats then Lock_stats.record_release ctx.stats `Fat
+  end
+  else not_owner "release" env word
+
+let wait ?timeout ctx env obj =
+  let lw = Obj_model.lockword obj in
+  let word = Atomic.get lw in
+  let fat =
+    if Header.is_inflated word then Montable.get ctx.montable (Header.monitor_index word)
+    else if word lxor env.Runtime.shifted_index < 1 lsl Header.tid_offset then
+      (* wait() on a thin lock: the owner inflates first (§2.3). *)
+      inflate_owned ctx env obj ~locks:(Header.thin_count word + 1) ~cause:`Wait
+    else not_owner "wait" env word
+  in
+  if ctx.config.record_stats then Lock_stats.record_wait ctx.stats;
+  Fatlock.wait ?timeout env fat
+
+let notify ctx env obj =
+  let word = lock_word obj in
+  if Header.is_inflated word then
+    Fatlock.notify env (Montable.get ctx.montable (Header.monitor_index word))
+  else if word lxor env.Runtime.shifted_index < 1 lsl Header.tid_offset then
+    (* Thin lock held by me: no thread can possibly be waiting. *)
+    ()
+  else not_owner "notify" env word;
+  if ctx.config.record_stats then Lock_stats.record_notify ctx.stats
+
+let notify_all ctx env obj =
+  let word = lock_word obj in
+  if Header.is_inflated word then
+    Fatlock.notify_all env (Montable.get ctx.montable (Header.monitor_index word))
+  else if word lxor env.Runtime.shifted_index < 1 lsl Header.tid_offset then ()
+  else not_owner "notifyAll" env word;
+  if ctx.config.record_stats then Lock_stats.record_notify_all ctx.stats
+
+let holds ctx env obj =
+  let word = lock_word obj in
+  if Header.is_inflated word then
+    Fatlock.holds env (Montable.get ctx.montable (Header.monitor_index word))
+  else Header.thin_owner word = my_index env
+
+(* Quiescence-point deflation (extension; see the interface for the
+   safety contract).  The write back to the thin-unlocked pattern is a
+   plain store: under quiescence nobody races us. *)
+let deflate_idle ctx obj =
+  let lw = Obj_model.lockword obj in
+  let word = Atomic.get lw in
+  if not (Header.is_inflated word) then false
+  else begin
+    let fat = Montable.get ctx.montable (Header.monitor_index word) in
+    if
+      Fatlock.owner fat = 0
+      && Fatlock.entry_queue_length fat = 0
+      && Fatlock.wait_set_length fat = 0
+    then begin
+      Atomic.set lw (Header.hdr_bits word);
+      ignore (Atomic.fetch_and_add ctx.deflation_count 1);
+      true
+    end
+    else false
+  end
+
+let deflations ctx = Atomic.get ctx.deflation_count

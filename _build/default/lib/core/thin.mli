@@ -1,0 +1,73 @@
+(** Thin locks — the paper's algorithm (§2.3).
+
+    The lock word layout and bit tricks live in [Tl_heap.Header]; this
+    module implements the protocol on top of them:
+
+    - {b acquire, unlocked object}: one compare-and-swap of
+      [hdr-bits] → [hdr-bits | my-pre-shifted-index] (§2.3.1);
+    - {b acquire, nested}: the one-comparison XOR test, then
+      [word + 256] written with a plain store (§2.3.3);
+    - {b release}: equality test against the count-0 pattern, then a
+      plain store — never an atomic operation, by the discipline that
+      only the owner writes a thin-held lock word (§2.3.2);
+    - {b contention}: spin with backoff; on seizing the thin lock,
+      inflate to a fat monitor, permanently (§2.3.4);
+    - {b wait / count overflow}: the owner inflates directly,
+      transferring its recursion count.
+
+    The {!config} knobs correspond to the paper's Fig. 6 variants and
+    §3.2's count-width conjecture; defaults reproduce the paper's
+    final "ThinLock" configuration. *)
+
+type config = {
+  count_width : int;
+      (** Bits of nest count, 1–8 (default 8).  The paper conjectures
+          2–3 suffice (§3.2); narrower counts inflate sooner. *)
+  backoff_policy : Tl_runtime.Backoff.policy;
+  unlock_with_cas : bool;
+      (** The [UnlkC&S] variant (Fig. 6): release with a
+          compare-and-swap instead of a plain store. *)
+  extra_fence : bool;
+      (** The [MP Sync] variant (Fig. 6): an extra atomic round-trip
+          per lock and unlock, standing in for PowerPC
+          [isync]/[sync]. *)
+  record_stats : bool;
+      (** Maintain {!Lock_stats} counters (default true).  Turn off
+          for pure time measurements. *)
+}
+
+val default_config : config
+
+include Scheme_intf.S
+
+val create_with : ?config:config -> Tl_runtime.Runtime.t -> ctx
+
+val config_of : ctx -> config
+val montable : ctx -> Tl_monitor.Montable.t
+(** Exposed for tests and for the deflation extension. *)
+
+val lock_word : Tl_heap.Obj_model.t -> int
+(** Current raw lock word (for examples and tests). *)
+
+(** {1 Deflation (extension)}
+
+    The paper makes inflation permanent ("prevents thrashing between
+    the thin and fat states", §2.3) and later work (Onodera &
+    Kawachiya's Tasuki locks) showed how to undo it.  This extension
+    takes the approach production JVMs use: deflate at {e quiescence
+    points} (e.g. when a garbage collector has stopped the world),
+    where no thread can be concurrently entering the monitor. *)
+
+val deflate_idle : ctx -> Tl_heap.Obj_model.t -> bool
+(** [deflate_idle ctx obj] returns the object to the thin-unlocked
+    state if its fat monitor is completely idle (unowned, empty entry
+    queue, empty wait set); returns [true] on deflation, [false] if
+    the lock was not inflated or not idle.
+
+    {b Safety:} the caller must guarantee that no thread is
+    concurrently performing a monitor operation on [obj] (quiescence) —
+    a concurrent entrant may have already fetched the stale monitor
+    index.  The monitor-table slot is not recycled. *)
+
+val deflations : ctx -> int
+(** How many locks {!deflate_idle} has deflated. *)

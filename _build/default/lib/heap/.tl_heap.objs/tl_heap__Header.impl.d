@@ -1,0 +1,1 @@
+lib/heap/header.ml: Printf Tl_util

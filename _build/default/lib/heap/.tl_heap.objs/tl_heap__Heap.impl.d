@@ -1,0 +1,1 @@
+lib/heap/heap.ml: Array Atomic Obj_model

@@ -1,0 +1,1 @@
+lib/heap/heap.mli: Obj_model

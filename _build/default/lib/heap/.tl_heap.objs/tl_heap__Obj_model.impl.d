@@ -1,0 +1,1 @@
+lib/heap/obj_model.ml: Atomic Format Header

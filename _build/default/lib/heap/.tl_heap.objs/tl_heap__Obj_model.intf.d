@@ -1,0 +1,1 @@
+lib/heap/obj_model.mli: Atomic Format

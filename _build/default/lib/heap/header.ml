@@ -1,0 +1,46 @@
+let hdr_width = 8
+let count_offset = 8
+let count_width = 8
+let tid_offset = 16
+let tid_width = 15
+let shape_bit = 31
+let shape_mask = 1 lsl shape_bit
+let lock_field_mask = Tl_util.Bits.field_mask ~offset:hdr_width ~width:24
+let monitor_index_width = 23
+let max_thin_count = (1 lsl count_width) - 1
+let max_monitor_index = (1 lsl monitor_index_width) - 1
+
+let hdr_mask = Tl_util.Bits.mask hdr_width
+let hdr_bits word = word land hdr_mask
+
+let thin_word ~hdr ~shifted_tid ~count =
+  hdr land hdr_mask lor shifted_tid lor (count lsl count_offset)
+
+let inflated_word ~hdr ~monitor_index =
+  hdr land hdr_mask lor shape_mask lor (monitor_index lsl count_offset)
+
+let is_inflated word = word land shape_mask <> 0
+let is_thin_locked word = (not (is_inflated word)) && word land lock_field_mask <> 0
+let is_unlocked word = word land lock_field_mask = 0
+
+let thin_owner word = Tl_util.Bits.extract ~offset:tid_offset ~width:tid_width word
+let thin_count word = Tl_util.Bits.extract ~offset:count_offset ~width:count_width word
+
+let monitor_index word =
+  Tl_util.Bits.extract ~offset:count_offset ~width:monitor_index_width word
+
+let nested_limit = max_thin_count lsl count_offset
+
+let nested_limit_for ~count_width =
+  if count_width < 1 || count_width > 8 then invalid_arg "Header.nested_limit_for";
+  ((1 lsl count_width) - 1) lsl count_offset
+
+let can_lock_nested ~word ~shifted_tid = word lxor shifted_tid < nested_limit
+
+let count_increment = 1 lsl count_offset
+
+let describe word =
+  if is_inflated word then Printf.sprintf "inflated(monitor=%d)" (monitor_index word)
+  else if is_unlocked word then "unlocked"
+  else
+    Printf.sprintf "thin(owner=%d, locks=%d)" (thin_owner word) (thin_count word + 1)

@@ -1,0 +1,13 @@
+type t = { next_id : int Atomic.t; allocated : int Atomic.t }
+
+let create () = { next_id = Atomic.make 1; allocated = Atomic.make 0 }
+
+let alloc ?(class_id = 0) t =
+  let id = Atomic.fetch_and_add t.next_id 1 in
+  ignore (Atomic.fetch_and_add t.allocated 1);
+  Obj_model.unsafe_create ~id ~class_id
+
+let alloc_many ?class_id t n = Array.init n (fun _ -> alloc ?class_id t)
+
+let objects_allocated t = Atomic.get t.allocated
+let reset_counters t = Atomic.set t.allocated 0

@@ -1,0 +1,17 @@
+(** Object allocation with census counters.
+
+    Table 1 of the paper characterises benchmarks by objects created
+    versus objects synchronized; the heap keeps the first counter (the
+    second is kept by the locking schemes' statistics). *)
+
+type t
+
+val create : unit -> t
+
+val alloc : ?class_id:int -> t -> Obj_model.t
+(** Allocate a fresh object.  Thread-safe. *)
+
+val alloc_many : ?class_id:int -> t -> int -> Obj_model.t array
+
+val objects_allocated : t -> int
+val reset_counters : t -> unit

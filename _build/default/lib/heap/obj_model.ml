@@ -1,0 +1,33 @@
+type t = {
+  id : int;
+  lockword : int Atomic.t;
+  class_id : int;
+  mutable hash : int;
+  mutable ever_synced : bool;
+}
+
+let mark_synced t =
+  if t.ever_synced then false
+  else begin
+    t.ever_synced <- true;
+    true
+  end
+
+let lockword t = t.lockword
+let id t = t.id
+let class_id t = t.class_id
+let hdr_bits t = Header.hdr_bits (Atomic.get t.lockword)
+let equal a b = a == b
+
+let pp ppf t =
+  Format.fprintf ppf "obj#%d[class=%d, %s]" t.id t.class_id
+    (Header.describe (Atomic.get t.lockword))
+
+let unsafe_create ~id ~class_id =
+  {
+    id;
+    lockword = Atomic.make (Header.hdr_bits class_id);
+    class_id;
+    hash = id * 0x9E3779B1;
+    ever_synced = false;
+  }

@@ -1,0 +1,42 @@
+(** Heap objects.
+
+    Every synchronizable object is a three-word-header object as in the
+    paper's JVM: we materialise the header word that carries the lock
+    field (as an [int Atomic.t]), an identity (used by the external
+    monitor-table baselines, which key their caches on the object), and
+    a class id whose low byte doubles as the constant 8 header bits
+    sharing the lock word. *)
+
+type t = private {
+  id : int;  (** unique within the owning heap *)
+  lockword : int Atomic.t;
+  class_id : int;
+  mutable hash : int;  (** mutable non-header payload word *)
+  mutable ever_synced : bool;
+      (** set by locking schemes on first acquire; drives the Table 1
+          "synchronized objects" census.  Benign race: concurrent first
+          locks may double-count, which is impossible in the
+          single-threaded characterization runs where the census is
+          reported. *)
+}
+
+val mark_synced : t -> bool
+(** Set {!field-ever_synced}; returns [true] iff this was the first
+    time. *)
+
+val lockword : t -> int Atomic.t
+val id : t -> int
+val class_id : t -> int
+
+val hdr_bits : t -> int
+(** The constant low 8 bits of this object's lock word. *)
+
+val equal : t -> t -> bool
+(** Physical identity. *)
+
+val pp : Format.formatter -> t -> unit
+
+(**/**)
+
+val unsafe_create : id:int -> class_id:int -> t
+(** Used by {!Heap.alloc}; the heap assigns ids. *)

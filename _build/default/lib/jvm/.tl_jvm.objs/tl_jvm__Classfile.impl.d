@@ -1,0 +1,1 @@
+lib/jvm/classfile.ml: Array Format Instr List Printf String Value

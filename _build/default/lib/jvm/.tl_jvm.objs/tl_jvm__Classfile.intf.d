@@ -1,0 +1,1 @@
+lib/jvm/classfile.mli: Format Instr Value

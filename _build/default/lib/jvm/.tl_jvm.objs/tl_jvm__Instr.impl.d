@@ -1,0 +1,1 @@
+lib/jvm/instr.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/jvm/instr.mli: Format

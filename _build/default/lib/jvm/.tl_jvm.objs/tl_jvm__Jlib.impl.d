@@ -1,0 +1,1 @@
+lib/jvm/jlib.ml: Array Bool Buffer Bytes Char Classfile Fun Hashtbl Option Printf String Thread Tl_core Tl_heap Tl_util Unix Value Vm

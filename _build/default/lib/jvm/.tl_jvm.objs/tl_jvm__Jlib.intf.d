@@ -1,0 +1,1 @@
+lib/jvm/jlib.mli: Classfile Value Vm

@@ -1,0 +1,1 @@
+lib/jvm/value.ml: Buffer Bytes Hashtbl Printf String Tl_heap Tl_util

@@ -1,0 +1,1 @@
+lib/jvm/value.mli: Buffer Bytes Hashtbl Tl_heap Tl_util

@@ -1,0 +1,1 @@
+lib/jvm/vm.ml: Array Buffer Classfile Fun Hashtbl Instr List Mutex Printf Tl_core Tl_heap Tl_runtime Value

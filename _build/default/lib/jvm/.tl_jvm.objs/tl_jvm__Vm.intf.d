@@ -1,0 +1,1 @@
+lib/jvm/vm.mli: Classfile Tl_core Tl_heap Tl_runtime Value

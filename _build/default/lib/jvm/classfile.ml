@@ -1,0 +1,84 @@
+type body = Bytecode of Instr.t array | Native of string
+
+type jmethod = {
+  m_name : string;
+  m_argc : int;
+  m_locals : int;
+  m_static : bool;
+  m_synchronized : bool;
+  m_body : body;
+}
+
+type jclass = {
+  c_name : string;
+  c_id : int;
+  c_super : int option;
+  c_fields : string array;
+  c_field_defaults : Value.t array;
+  c_methods : jmethod list;
+  c_native_kind : string option;
+}
+
+type program = { classes : jclass array; main_class : int }
+
+let class_by_name p name = Array.find_opt (fun c -> String.equal c.c_name name) p.classes
+
+let class_of_id p id =
+  if id < 0 || id >= Array.length p.classes then
+    invalid_arg (Printf.sprintf "class id %d out of range" id);
+  p.classes.(id)
+
+let field_slot c name =
+  let rec loop i =
+    if i >= Array.length c.c_fields then None
+    else if String.equal c.c_fields.(i) name then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let rec find_method p class_id name argc =
+  let c = class_of_id p class_id in
+  match
+    List.find_opt (fun m -> String.equal m.m_name name && m.m_argc = argc) c.c_methods
+  with
+  | Some m -> Some (c, m)
+  | None -> (
+      match c.c_super with
+      | Some super -> find_method p super name argc
+      | None -> None)
+
+let method_count p =
+  Array.fold_left (fun acc c -> acc + List.length c.c_methods) 0 p.classes
+
+let bytecode_size p =
+  Array.fold_left
+    (fun acc c ->
+      List.fold_left
+        (fun acc m ->
+          match m.m_body with Bytecode code -> acc + Array.length code | Native _ -> acc)
+        acc c.c_methods)
+    0 p.classes
+
+let pp_disassembly ppf p =
+  Array.iter
+    (fun c ->
+      Format.fprintf ppf "class %s (id %d%s)@\n" c.c_name c.c_id
+        (match c.c_super with
+        | Some s -> ", extends " ^ (class_of_id p s).c_name
+        | None -> "");
+      if Array.length c.c_fields > 0 then
+        Format.fprintf ppf "  fields: %s@\n" (String.concat ", " (Array.to_list c.c_fields));
+      List.iter
+        (fun m ->
+          Format.fprintf ppf "  %s%s%s/%d (%d locals)@\n"
+            (if m.m_static then "static " else "")
+            (if m.m_synchronized then "synchronized " else "")
+            m.m_name m.m_argc m.m_locals;
+          match m.m_body with
+          | Native key -> Format.fprintf ppf "    <native %s>@\n" key
+          | Bytecode code ->
+              Array.iteri
+                (fun i instr -> Format.fprintf ppf "    %3d: %s@\n" i (Instr.to_string instr))
+                code)
+        c.c_methods)
+    p.classes

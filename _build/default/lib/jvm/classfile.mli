@@ -1,0 +1,56 @@
+(** Classes, methods and linked programs.
+
+    A {!program} is the unit the interpreter executes: a dense class
+    table (built-in library classes first, user classes after), with
+    single inheritance, per-class field layouts, and name/arity method
+    dispatch.  Native method bodies are referenced by string key and
+    resolved against the VM's implementation registry at run time, so
+    class files stay pure data. *)
+
+type body =
+  | Bytecode of Instr.t array
+  | Native of string  (** key into the VM's native registry *)
+
+type jmethod = {
+  m_name : string;
+  m_argc : int;  (** parameters, receiver excluded *)
+  m_locals : int;  (** local slots, receiver and parameters included *)
+  m_static : bool;
+  m_synchronized : bool;
+  m_body : body;
+}
+
+type jclass = {
+  c_name : string;
+  c_id : int;
+  c_super : int option;
+  c_fields : string array;  (** slot layout, inherited fields first *)
+  c_field_defaults : Value.t array;
+      (** initial field values by slot — Java zero-values per declared
+          type ([0], [false], [null]) *)
+  c_methods : jmethod list;  (** own methods only; dispatch walks supers *)
+  c_native_kind : string option;
+      (** key naming the native state a [new] of this class must carry
+          (e.g. ["Vector"]); [None] for plain classes *)
+}
+
+type program = {
+  classes : jclass array;  (** index = class id *)
+  main_class : int;
+}
+
+val class_by_name : program -> string -> jclass option
+val class_of_id : program -> int -> jclass
+
+val field_slot : jclass -> string -> int option
+(** Slot index of a field in the class's layout. *)
+
+val find_method : program -> int -> string -> int -> (jclass * jmethod) option
+(** [find_method p class_id name argc] walks the superclass chain. *)
+
+val method_count : program -> int
+val bytecode_size : program -> int
+(** Total instructions across all methods — program-size metric for
+    the Table 1 census. *)
+
+val pp_disassembly : Format.formatter -> program -> unit

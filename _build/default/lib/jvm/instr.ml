@@ -1,0 +1,75 @@
+type cmp = Lt | Le | Gt | Ge | Eq | Ne
+
+type t =
+  | Const_int of int
+  | Const_str of string
+  | Const_bool of bool
+  | Const_null
+  | Load of int
+  | Store of int
+  | Dup
+  | Pop
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Neg
+  | Not
+  | Concat
+  | Cmp of cmp
+  | Goto of int
+  | If_false of int
+  | If_true of int
+  | New of int
+  | Get_field of int
+  | Put_field of int
+  | Invoke of string * int
+  | Invoke_static of int * string * int
+  | Return
+  | Return_value
+  | Monitor_enter
+  | Monitor_exit
+  | Spawn
+
+let cmp_to_string = function
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+  | Eq -> "eq"
+  | Ne -> "ne"
+
+let to_string = function
+  | Const_int n -> Printf.sprintf "const_int %d" n
+  | Const_str s -> Printf.sprintf "const_str %S" s
+  | Const_bool b -> Printf.sprintf "const_bool %b" b
+  | Const_null -> "const_null"
+  | Load n -> Printf.sprintf "load %d" n
+  | Store n -> Printf.sprintf "store %d" n
+  | Dup -> "dup"
+  | Pop -> "pop"
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Mod -> "mod"
+  | Neg -> "neg"
+  | Not -> "not"
+  | Concat -> "concat"
+  | Cmp c -> Printf.sprintf "cmp.%s" (cmp_to_string c)
+  | Goto t -> Printf.sprintf "goto %d" t
+  | If_false t -> Printf.sprintf "if_false %d" t
+  | If_true t -> Printf.sprintf "if_true %d" t
+  | New c -> Printf.sprintf "new class#%d" c
+  | Get_field i -> Printf.sprintf "get_field %d" i
+  | Put_field i -> Printf.sprintf "put_field %d" i
+  | Invoke (name, argc) -> Printf.sprintf "invoke %s/%d" name argc
+  | Invoke_static (c, name, argc) -> Printf.sprintf "invoke_static class#%d.%s/%d" c name argc
+  | Return -> "return"
+  | Return_value -> "return_value"
+  | Monitor_enter -> "monitorenter"
+  | Monitor_exit -> "monitorexit"
+  | Spawn -> "spawn"
+
+let pp ppf i = Format.pp_print_string ppf (to_string i)

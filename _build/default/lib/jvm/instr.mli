@@ -1,0 +1,46 @@
+(** The mini-JVM stack bytecode.
+
+    A small Java-flavoured instruction set; the two instructions the
+    whole repository exists for are [Monitor_enter] and [Monitor_exit],
+    which the interpreter routes to the pluggable locking scheme —
+    exactly how `synchronized` blocks compile in the JVM the paper
+    instruments. *)
+
+type cmp = Lt | Le | Gt | Ge | Eq | Ne
+
+type t =
+  | Const_int of int
+  | Const_str of string
+  | Const_bool of bool
+  | Const_null
+  | Load of int  (** push local slot *)
+  | Store of int  (** pop into local slot *)
+  | Dup
+  | Pop
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Neg
+  | Not
+  | Concat  (** string concatenation (the [+] on strings) *)
+  | Cmp of cmp
+  | Goto of int  (** absolute target *)
+  | If_false of int  (** pop; branch when false *)
+  | If_true of int
+  | New of int  (** class id; pushes the fresh object *)
+  | Get_field of int  (** pop object; push field slot *)
+  | Put_field of int  (** pop value, pop object *)
+  | Invoke of string * int
+      (** virtual call: pop [argc] args then the receiver; dynamic
+          dispatch on the receiver's class *)
+  | Invoke_static of int * string * int  (** class id, name, argc *)
+  | Return  (** return void (pushes Null to the caller) *)
+  | Return_value  (** pop and return it *)
+  | Monitor_enter  (** pop object; lock it *)
+  | Monitor_exit  (** pop object; unlock it *)
+  | Spawn  (** pop object; start a thread running its [run] method *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,28 @@
+(** The built-in library: mini versions of the JDK 1.1 classes whose
+    thread-safety the paper blames for single-threaded slowdowns (§1).
+
+    [Vector], [Hashtable] and [StringBuffer] have synchronized public
+    methods, exactly like their JDK counterparts, so every call from
+    interpreted code pays a monitor acquire/release under whatever
+    locking scheme the VM was created with.  [BitSet.get] is {e not}
+    synchronized but executes an internal synchronized block — the
+    jax anecdote of §3.4.
+
+    Class ids 0..{!count}-1 are reserved for these classes; the linker
+    places user classes after them. *)
+
+val classes : Classfile.jclass array
+(** Built-in classes, densely numbered from 0. *)
+
+val count : int
+
+val object_class_id : int
+(** Class id of the root class [Object]. *)
+
+val class_id : string -> int option
+(** Look a built-in class id up by name. *)
+
+val natives : (string * Vm.native_impl) list
+(** Implementation registry for {!Vm.create}. *)
+
+val native_states : (string * (unit -> Value.native_state)) list

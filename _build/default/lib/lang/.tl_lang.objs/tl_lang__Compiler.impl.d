@@ -1,0 +1,1 @@
+lib/lang/compiler.ml: Array Ast Classfile Hashtbl Instr Jlib List Option Printf String Tl_jvm

@@ -1,0 +1,1 @@
+lib/lang/compiler.mli: Ast Tl_jvm

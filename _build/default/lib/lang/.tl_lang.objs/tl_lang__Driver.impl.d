@@ -1,0 +1,1 @@
+lib/lang/driver.ml: Compiler Fun Parser Tl_baselines Tl_jvm

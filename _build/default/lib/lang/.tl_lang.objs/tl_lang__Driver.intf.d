@@ -1,0 +1,1 @@
+lib/lang/driver.mli: Tl_core Tl_jvm Tl_runtime

@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Buffer List Printf String Token

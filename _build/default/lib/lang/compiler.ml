@@ -1,0 +1,586 @@
+open Tl_jvm
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* --- growable instruction emitter with backpatching --- *)
+
+type emitter = { mutable code : Instr.t array; mutable len : int }
+
+let new_emitter () = { code = Array.make 32 Instr.Return; len = 0 }
+
+let emit em instr =
+  if em.len >= Array.length em.code then begin
+    let bigger = Array.make (2 * Array.length em.code) Instr.Return in
+    Array.blit em.code 0 bigger 0 em.len;
+    em.code <- bigger
+  end;
+  em.code.(em.len) <- instr;
+  em.len <- em.len + 1
+
+let here em = em.len
+
+let emit_jump em make =
+  let at = here em in
+  emit em (make (-1));
+  fun target -> em.code.(at) <- make target
+
+let finish em = Array.sub em.code 0 em.len
+
+(* --- compile-time class info --- *)
+
+type class_info = {
+  ci_id : int;
+  ci_name : string;
+  ci_super : int option;
+  ci_decl : Ast.class_decl option; (* None for built-ins *)
+  ci_field_names : string array; (* layout: inherited first *)
+  ci_field_types : Ast.typ array;
+}
+
+type global_env = {
+  by_name : (string, class_info) Hashtbl.t;
+  by_id : class_info array;
+}
+
+(* Static return types of built-in native methods, used when the
+   receiver's static type is known. *)
+let builtin_return_types =
+  [
+    (("Object", "toString", 0), Ast.Tstring);
+    (("Object", "hashCode", 0), Ast.Tint);
+    (("Vector", "elementAt", 1), Ast.Tclass "Object");
+    (("Vector", "size", 0), Ast.Tint);
+    (("Vector", "isEmpty", 0), Ast.Tbool);
+    (("Vector", "contains", 1), Ast.Tbool);
+    (("Hashtable", "get", 1), Ast.Tclass "Object");
+    (("Hashtable", "put", 2), Ast.Tclass "Object");
+    (("Hashtable", "containsKey", 1), Ast.Tbool);
+    (("Hashtable", "remove", 1), Ast.Tclass "Object");
+    (("Hashtable", "size", 0), Ast.Tint);
+    (("BitSet", "get", 1), Ast.Tbool);
+    (("StringBuffer", "append", 1), Ast.Tclass "StringBuffer");
+    (("StringBuffer", "length", 0), Ast.Tint);
+    (("StringBuffer", "toString", 0), Ast.Tstring);
+    (("Random", "next", 1), Ast.Tint);
+    (("Math", "abs", 1), Ast.Tint);
+    (("Math", "min", 2), Ast.Tint);
+    (("Math", "max", 2), Ast.Tint);
+    (("System", "currentTimeMillis", 0), Ast.Tint);
+  ]
+
+let build_global_env (decls : Ast.program) =
+  let by_name = Hashtbl.create 32 in
+  let infos = ref [] in
+  (* built-ins *)
+  Array.iter
+    (fun (c : Classfile.jclass) ->
+      let info =
+        {
+          ci_id = c.Classfile.c_id;
+          ci_name = c.Classfile.c_name;
+          ci_super = c.Classfile.c_super;
+          ci_decl = None;
+          ci_field_names = c.Classfile.c_fields;
+          ci_field_types = Array.map (fun _ -> Ast.Tclass "Object") c.Classfile.c_fields;
+        }
+      in
+      Hashtbl.replace by_name c.Classfile.c_name info;
+      infos := info :: !infos)
+    Jlib.classes;
+  (* user class ids *)
+  List.iteri
+    (fun i (d : Ast.class_decl) ->
+      if Hashtbl.mem by_name d.Ast.cd_name then error "duplicate class %s" d.Ast.cd_name;
+      Hashtbl.replace by_name d.Ast.cd_name
+        {
+          ci_id = Jlib.count + i;
+          ci_name = d.Ast.cd_name;
+          ci_super = None (* fixed below *);
+          ci_decl = Some d;
+          ci_field_names = [||];
+          ci_field_types = [||];
+        })
+    decls;
+  (* resolve supers and field layouts (user classes, in dependency order) *)
+  let resolving = Hashtbl.create 8 in
+  let rec resolve name =
+    match Hashtbl.find_opt by_name name with
+    | None -> error "unknown class %s" name
+    | Some info -> (
+        match info.ci_decl with
+        | None -> info (* built-in: already complete *)
+        | Some d ->
+            if Array.length info.ci_field_names > 0 || d.Ast.cd_fields = [] then ();
+            if Hashtbl.mem resolving name then error "inheritance cycle through %s" name;
+            if info.ci_super <> None then info
+            else begin
+              Hashtbl.replace resolving name ();
+              let super_info =
+                match d.Ast.cd_super with
+                | None -> resolve "Object"
+                | Some s ->
+                    let si = resolve s in
+                    if si.ci_decl = None && not (String.equal s "Object") then
+                      error "class %s cannot extend built-in class %s" name s;
+                    si
+              in
+              Hashtbl.remove resolving name;
+              let inherited_names = super_info.ci_field_names in
+              let inherited_types = super_info.ci_field_types in
+              let own_names = List.map snd d.Ast.cd_fields in
+              List.iter
+                (fun f ->
+                  if Array.exists (String.equal f) inherited_names then
+                    error "class %s redeclares inherited field %s" name f;
+                  if List.length (List.filter (String.equal f) own_names) > 1 then
+                    error "class %s declares field %s twice" name f)
+                own_names;
+              let info' =
+                {
+                  info with
+                  ci_super = Some super_info.ci_id;
+                  ci_field_names =
+                    Array.append inherited_names (Array.of_list own_names);
+                  ci_field_types =
+                    Array.append inherited_types
+                      (Array.of_list (List.map fst d.Ast.cd_fields));
+                }
+              in
+              Hashtbl.replace by_name name info';
+              info'
+            end)
+  in
+  List.iter (fun (d : Ast.class_decl) -> ignore (resolve d.Ast.cd_name)) decls;
+  let all = Hashtbl.fold (fun _ info acc -> info :: acc) by_name [] in
+  let by_id = Array.make (Jlib.count + List.length decls) (List.hd all) in
+  List.iter (fun info -> by_id.(info.ci_id) <- info) all;
+  ignore !infos;
+  { by_name; by_id }
+
+let field_slot_of info name =
+  let rec loop i =
+    if i >= Array.length info.ci_field_names then None
+    else if String.equal info.ci_field_names.(i) name then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+(* --- per-method compile state --- *)
+
+type local_info = { slot : int; typ : Ast.typ }
+
+type method_env = {
+  genv : global_env;
+  cls : class_info;
+  is_static : bool;
+  locals : (string, local_info) Hashtbl.t;
+  mutable next_slot : int;
+  mutable max_slot : int;
+  em : emitter;
+  mutable monitor_tmps : int list; (* slots holding enclosing synchronized objects *)
+  ret : Ast.typ;
+}
+
+let alloc_slot menv =
+  let s = menv.next_slot in
+  menv.next_slot <- s + 1;
+  if menv.next_slot > menv.max_slot then menv.max_slot <- menv.next_slot;
+  s
+
+let find_local menv name = Hashtbl.find_opt menv.locals name
+
+let find_field menv name =
+  match field_slot_of menv.cls name with
+  | Some slot -> Some (slot, menv.cls.ci_field_types.(slot))
+  | None -> None
+
+let class_named menv name = Hashtbl.find_opt menv.genv.by_name name
+
+(* static type of an expression; Tclass "?" is unknown *)
+let unknown = Ast.Tclass "?"
+
+let rec static_type menv (e : Ast.expr) : Ast.typ =
+  match e with
+  | Ast.Int_lit _ -> Ast.Tint
+  | Ast.Bool_lit _ -> Ast.Tbool
+  | Ast.Str_lit _ -> Ast.Tstring
+  | Ast.Null_lit -> unknown
+  | Ast.This -> Ast.Tclass menv.cls.ci_name
+  | Ast.Var name -> (
+      match find_local menv name with
+      | Some l -> l.typ
+      | None -> (
+          match find_field menv name with Some (_, t) -> t | None -> unknown))
+  | Ast.New (c, _) -> Ast.Tclass c
+  | Ast.Field (obj, f) -> (
+      match static_type menv obj with
+      | Ast.Tclass c when c <> "?" -> (
+          match class_named menv c with
+          | Some info -> (
+              match field_slot_of info f with
+              | Some slot -> info.ci_field_types.(slot)
+              | None -> unknown)
+          | None -> unknown)
+      | _ -> unknown)
+  | Ast.Call (recv, m, args) -> (
+      let argc = List.length args in
+      match recv with
+      | Ast.Var c
+        when find_local menv c = None && find_field menv c = None
+             && class_named menv c <> None -> (
+          (* static call *)
+          match List.assoc_opt (c, m, argc) builtin_return_types with
+          | Some t -> t
+          | None -> user_method_return menv c m argc)
+      | _ -> (
+          match static_type menv recv with
+          | Ast.Tclass c when c <> "?" -> (
+              match List.assoc_opt (c, m, argc) builtin_return_types with
+              | Some t -> t
+              | None -> user_method_return menv c m argc)
+          | _ -> unknown))
+  | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod), a, b) -> (
+      match (static_type menv a, static_type menv b) with
+      | Ast.Tstring, _ | _, Ast.Tstring -> Ast.Tstring
+      | _ -> Ast.Tint)
+  | Ast.Binop ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne | Ast.And | Ast.Or), _, _)
+    -> Ast.Tbool
+  | Ast.Unop (Ast.Not, _) -> Ast.Tbool
+  | Ast.Unop (Ast.Neg, _) -> Ast.Tint
+
+and user_method_return menv c m argc =
+  match class_named menv c with
+  | Some { ci_decl = Some d; ci_super; _ } -> (
+      match
+        List.find_opt
+          (fun (md : Ast.method_decl) ->
+            String.equal md.Ast.md_name m && List.length md.Ast.md_params = argc)
+          d.Ast.cd_methods
+      with
+      | Some md -> md.Ast.md_ret
+      | None -> (
+          match ci_super with
+          | Some sid -> user_method_return menv menv.genv.by_id.(sid).ci_name m argc
+          | None -> unknown))
+  | _ -> unknown
+
+(* --- expression compilation --- *)
+
+let rec compile_expr menv (e : Ast.expr) =
+  let em = menv.em in
+  match e with
+  | Ast.Int_lit n -> emit em (Instr.Const_int n)
+  | Ast.Bool_lit b -> emit em (Instr.Const_bool b)
+  | Ast.Str_lit s -> emit em (Instr.Const_str s)
+  | Ast.Null_lit -> emit em Instr.Const_null
+  | Ast.This ->
+      if menv.is_static then error "'this' in static method of %s" menv.cls.ci_name;
+      emit em (Instr.Load 0)
+  | Ast.Var name -> (
+      match find_local menv name with
+      | Some l -> emit em (Instr.Load l.slot)
+      | None -> (
+          match find_field menv name with
+          | Some (slot, _) ->
+              if menv.is_static then
+                error "field %s read in static method of %s" name menv.cls.ci_name;
+              emit em (Instr.Load 0);
+              emit em (Instr.Get_field slot)
+          | None ->
+              if class_named menv name <> None then
+                error "class %s used as a value (did you mean a static call?)" name
+              else error "unknown variable %s" name))
+  | Ast.Field (obj, f) -> (
+      match static_type menv obj with
+      | Ast.Tclass c when c <> "?" -> (
+          match class_named menv c with
+          | Some info -> (
+              match field_slot_of info f with
+              | Some slot ->
+                  compile_expr menv obj;
+                  emit em (Instr.Get_field slot)
+              | None -> error "class %s has no field %s" c f)
+          | None -> error "unknown class %s" c)
+      | _ -> error "cannot determine the class of the receiver of field %s" f)
+  | Ast.New (c, args) -> compile_new menv c args
+  | Ast.Call (recv, m, args) -> compile_call menv recv m args
+  | Ast.Binop (Ast.And, a, b) ->
+      compile_expr menv a;
+      let patch_false = emit_jump em (fun t -> Instr.If_false t) in
+      compile_expr menv b;
+      let patch_end = emit_jump em (fun t -> Instr.Goto t) in
+      patch_false (here em);
+      emit em (Instr.Const_bool false);
+      patch_end (here em)
+  | Ast.Binop (Ast.Or, a, b) ->
+      compile_expr menv a;
+      let patch_true = emit_jump em (fun t -> Instr.If_true t) in
+      compile_expr menv b;
+      let patch_end = emit_jump em (fun t -> Instr.Goto t) in
+      patch_true (here em);
+      emit em (Instr.Const_bool true);
+      patch_end (here em)
+  | Ast.Binop (op, a, b) ->
+      compile_expr menv a;
+      compile_expr menv b;
+      emit em
+        (match op with
+        | Ast.Add -> Instr.Add
+        | Ast.Sub -> Instr.Sub
+        | Ast.Mul -> Instr.Mul
+        | Ast.Div -> Instr.Div
+        | Ast.Mod -> Instr.Mod
+        | Ast.Lt -> Instr.Cmp Instr.Lt
+        | Ast.Le -> Instr.Cmp Instr.Le
+        | Ast.Gt -> Instr.Cmp Instr.Gt
+        | Ast.Ge -> Instr.Cmp Instr.Ge
+        | Ast.Eq -> Instr.Cmp Instr.Eq
+        | Ast.Ne -> Instr.Cmp Instr.Ne
+        | Ast.And | Ast.Or -> assert false)
+  | Ast.Unop (Ast.Not, a) ->
+      compile_expr menv a;
+      emit em Instr.Not
+  | Ast.Unop (Ast.Neg, a) ->
+      compile_expr menv a;
+      emit em Instr.Neg
+
+and compile_new menv c args =
+  let em = menv.em in
+  let info =
+    match class_named menv c with Some i -> i | None -> error "unknown class %s" c
+  in
+  emit em (Instr.New info.ci_id);
+  let argc = List.length args in
+  let has_ctor =
+    match info.ci_decl with
+    | Some d ->
+        List.exists
+          (fun (md : Ast.method_decl) ->
+            String.equal md.Ast.md_name "<init>" && List.length md.Ast.md_params = argc)
+          d.Ast.cd_methods
+    | None -> false
+  in
+  if has_ctor then begin
+    emit em Instr.Dup;
+    List.iter (compile_expr menv) args;
+    emit em (Instr.Invoke ("<init>", argc));
+    emit em Instr.Pop
+  end
+  else if argc > 0 then error "class %s has no %d-argument constructor" c argc
+
+and compile_call menv recv m args =
+  let em = menv.em in
+  let argc = List.length args in
+  match recv with
+  | Ast.Var c
+    when find_local menv c = None && find_field menv c = None && class_named menv c <> None
+    ->
+      let info = Option.get (class_named menv c) in
+      List.iter (compile_expr menv) args;
+      emit em (Instr.Invoke_static (info.ci_id, m, argc))
+  | _ ->
+      compile_expr menv recv;
+      List.iter (compile_expr menv) args;
+      emit em (Instr.Invoke (m, argc))
+
+(* --- statement compilation --- *)
+
+let default_value_instr = function
+  | Ast.Tint -> Instr.Const_int 0
+  | Ast.Tbool -> Instr.Const_bool false
+  | Ast.Tstring | Ast.Tclass _ -> Instr.Const_null
+  | Ast.Tvoid -> error "variable of type void"
+
+let rec compile_stmt menv (s : Ast.stmt) =
+  let em = menv.em in
+  match s with
+  | Ast.Local (t, name, init) ->
+      if find_local menv name <> None then error "duplicate local %s" name;
+      let slot = alloc_slot menv in
+      Hashtbl.replace menv.locals name { slot; typ = t };
+      (match init with
+      | Some e -> compile_expr menv e
+      | None -> emit em (default_value_instr t));
+      emit em (Instr.Store slot)
+  | Ast.Assign (name, e) -> (
+      match find_local menv name with
+      | Some l ->
+          compile_expr menv e;
+          emit em (Instr.Store l.slot)
+      | None -> (
+          match find_field menv name with
+          | Some (slot, _) ->
+              if menv.is_static then
+                error "field %s assigned in static method of %s" name menv.cls.ci_name;
+              emit em (Instr.Load 0);
+              compile_expr menv e;
+              emit em (Instr.Put_field slot)
+          | None -> error "unknown variable %s" name))
+  | Ast.Field_assign (obj, f, e) -> (
+      match static_type menv obj with
+      | Ast.Tclass c when c <> "?" -> (
+          match class_named menv c with
+          | Some info -> (
+              match field_slot_of info f with
+              | Some slot ->
+                  compile_expr menv obj;
+                  compile_expr menv e;
+                  emit em (Instr.Put_field slot)
+              | None -> error "class %s has no field %s" c f)
+          | None -> error "unknown class %s" c)
+      | _ -> error "cannot determine the class of the receiver of field %s" f)
+  | Ast.Expr e ->
+      compile_expr menv e;
+      emit em Instr.Pop
+  | Ast.If (cond, then_branch, else_branch) ->
+      compile_expr menv cond;
+      let patch_else = emit_jump em (fun t -> Instr.If_false t) in
+      List.iter (compile_stmt menv) then_branch;
+      if else_branch = [] then patch_else (here em)
+      else begin
+        let patch_end = emit_jump em (fun t -> Instr.Goto t) in
+        patch_else (here em);
+        List.iter (compile_stmt menv) else_branch;
+        patch_end (here em)
+      end
+  | Ast.While (cond, body) ->
+      let top = here em in
+      compile_expr menv cond;
+      let patch_exit = emit_jump em (fun t -> Instr.If_false t) in
+      List.iter (compile_stmt menv) body;
+      emit em (Instr.Goto top);
+      patch_exit (here em)
+  | Ast.For (init, cond, update, body) ->
+      compile_stmt menv init;
+      let top = here em in
+      compile_expr menv cond;
+      let patch_exit = emit_jump em (fun t -> Instr.If_false t) in
+      List.iter (compile_stmt menv) body;
+      compile_stmt menv update;
+      emit em (Instr.Goto top);
+      patch_exit (here em)
+  | Ast.Return e ->
+      (* unlock enclosing synchronized blocks, innermost first *)
+      List.iter
+        (fun tmp ->
+          emit em (Instr.Load tmp);
+          emit em Instr.Monitor_exit)
+        menv.monitor_tmps;
+      (match (e, menv.ret) with
+      | None, Ast.Tvoid -> emit em Instr.Return
+      | Some _, Ast.Tvoid -> error "returning a value from a void method"
+      | None, _ -> error "missing return value"
+      | Some e, _ ->
+          compile_expr menv e;
+          emit em Instr.Return_value)
+  | Ast.Synchronized (obj, body) ->
+      compile_expr menv obj;
+      let tmp = alloc_slot menv in
+      emit em (Instr.Store tmp);
+      emit em (Instr.Load tmp);
+      emit em Instr.Monitor_enter;
+      menv.monitor_tmps <- tmp :: menv.monitor_tmps;
+      List.iter (compile_stmt menv) body;
+      menv.monitor_tmps <- List.tl menv.monitor_tmps;
+      emit em (Instr.Load tmp);
+      emit em Instr.Monitor_exit
+  | Ast.Spawn e ->
+      compile_expr menv e;
+      emit em Instr.Spawn
+
+(* --- methods and classes --- *)
+
+let compile_method genv cls (md : Ast.method_decl) : Classfile.jmethod =
+  let menv =
+    {
+      genv;
+      cls;
+      is_static = md.Ast.md_static;
+      locals = Hashtbl.create 16;
+      next_slot = (if md.Ast.md_static then 0 else 1);
+      max_slot = (if md.Ast.md_static then 0 else 1);
+      em = new_emitter ();
+      monitor_tmps = [];
+      ret = md.Ast.md_ret;
+    }
+  in
+  List.iter
+    (fun (t, name) ->
+      if Hashtbl.mem menv.locals name then error "duplicate parameter %s" name;
+      let slot = alloc_slot menv in
+      Hashtbl.replace menv.locals name { slot; typ = t })
+    md.Ast.md_params;
+  List.iter (compile_stmt menv) md.Ast.md_body;
+  (* implicit return for void methods (harmless if unreachable) *)
+  emit menv.em Instr.Return;
+  {
+    Classfile.m_name = md.Ast.md_name;
+    m_argc = List.length md.Ast.md_params;
+    m_locals = menv.max_slot;
+    m_static = md.Ast.md_static;
+    m_synchronized = md.Ast.md_synchronized;
+    m_body = Classfile.Bytecode (finish menv.em);
+  }
+
+let compile ?main_class (decls : Ast.program) : Classfile.program =
+  let genv = build_global_env decls in
+  let user_classes =
+    List.map
+      (fun (d : Ast.class_decl) ->
+        let info = Hashtbl.find genv.by_name d.Ast.cd_name in
+        let methods = List.map (compile_method genv info) d.Ast.cd_methods in
+        (* duplicate method check *)
+        let seen = Hashtbl.create 8 in
+        List.iter
+          (fun (m : Classfile.jmethod) ->
+            let key = (m.Classfile.m_name, m.Classfile.m_argc) in
+            if Hashtbl.mem seen key then
+              error "class %s defines %s/%d twice" d.Ast.cd_name m.Classfile.m_name
+                m.Classfile.m_argc;
+            Hashtbl.replace seen key ())
+          methods;
+        {
+          Classfile.c_name = d.Ast.cd_name;
+          c_id = info.ci_id;
+          c_super = info.ci_super;
+          c_fields = info.ci_field_names;
+          c_field_defaults =
+            Array.map
+              (fun t ->
+                match t with
+                | Ast.Tint -> Tl_jvm.Value.Int 0
+                | Ast.Tbool -> Tl_jvm.Value.Bool false
+                | Ast.Tstring | Ast.Tclass _ -> Tl_jvm.Value.Null
+                | Ast.Tvoid -> error "field of type void")
+              info.ci_field_types;
+          c_methods = methods;
+          c_native_kind = None;
+        })
+      decls
+  in
+  let classes = Array.append Jlib.classes (Array.of_list user_classes) in
+  let main_id =
+    match main_class with
+    | Some name -> (
+        match Hashtbl.find_opt genv.by_name name with
+        | Some info -> info.ci_id
+        | None -> error "main class %s not found" name)
+    | None -> (
+        let mains =
+          List.filter
+            (fun (c : Classfile.jclass) ->
+              List.exists
+                (fun (m : Classfile.jmethod) ->
+                  String.equal m.Classfile.m_name "main" && m.Classfile.m_argc = 0
+                  && m.Classfile.m_static)
+                c.Classfile.c_methods)
+            user_classes
+        in
+        match mains with
+        | [ c ] -> c.Classfile.c_id
+        | [] -> error "no class declares 'static void main()'"
+        | _ :: _ -> error "multiple classes declare 'static void main()'")
+  in
+  { Classfile.classes; main_class = main_id }

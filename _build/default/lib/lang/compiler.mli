@@ -1,0 +1,21 @@
+(** Bytecode compiler for mini-Java.
+
+    Performs light static checking along the way: duplicate
+    classes/fields/locals, unknown names, arity mismatches where the
+    receiver's static type is known, field access on expressions whose
+    class cannot be determined statically, and [return] arity.  Method
+    dispatch itself stays dynamic (by name and arity on the receiver's
+    runtime class), as in the VM.
+
+    [synchronized] blocks compile to [monitorenter]/[monitorexit]
+    around the body with the monitor object saved in a temporary;
+    [return] inside such a block emits the pending [monitorexit]s
+    first. *)
+
+exception Error of string
+
+val compile : ?main_class:string -> Ast.program -> Tl_jvm.Classfile.program
+(** Link the user classes against the built-in library ({!Tl_jvm.Jlib})
+    and compile every method body.  The main class defaults to the
+    (unique) class declaring [static void main()].
+    @raise Error on any static error. *)

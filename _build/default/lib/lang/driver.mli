@@ -1,0 +1,22 @@
+(** One-call front door: source text → running VM. *)
+
+val compile_source : ?main_class:string -> string -> Tl_jvm.Classfile.program
+(** Parse and compile.
+    @raise Lexer.Error, Parser.Error or Compiler.Error. *)
+
+val make_vm :
+  ?scheme_of:(Tl_runtime.Runtime.t -> Tl_core.Scheme_intf.packed) ->
+  ?echo:bool ->
+  Tl_jvm.Classfile.program ->
+  Tl_jvm.Vm.t
+(** A VM wired to the built-in library. *)
+
+val run_source :
+  ?scheme_name:string -> ?echo:bool -> ?main_class:string -> string -> Tl_jvm.Vm.t
+(** Compile and execute [main]; returns the finished VM (inspect
+    {!Tl_jvm.Vm.output} and the scheme statistics).  [scheme_name] is
+    looked up in [Tl_baselines.Registry] (default ["thin"]). *)
+
+val run_file :
+  ?scheme_name:string -> ?echo:bool -> ?main_class:string -> string -> Tl_jvm.Vm.t
+(** Like {!run_source}, reading the program from a path. *)

@@ -1,0 +1,210 @@
+exception Error of string
+
+let keyword_table =
+  [
+    ("class", Token.Kclass);
+    ("extends", Token.Kextends);
+    ("static", Token.Kstatic);
+    ("synchronized", Token.Ksynchronized);
+    ("void", Token.Kvoid);
+    ("int", Token.Kint);
+    ("boolean", Token.Kboolean);
+    ("String", Token.Kstring);
+    ("new", Token.Knew);
+    ("if", Token.Kif);
+    ("else", Token.Kelse);
+    ("while", Token.Kwhile);
+    ("for", Token.Kfor);
+    ("return", Token.Kreturn);
+    ("true", Token.Ktrue);
+    ("false", Token.Kfalse);
+    ("null", Token.Knull);
+    ("this", Token.Kthis);
+    ("spawn", Token.Kspawn);
+  ]
+
+type state = { src : string; mutable pos : int; mutable line : int; mutable col : int }
+
+let fail st fmt =
+  Printf.ksprintf (fun s -> raise (Error (Printf.sprintf "%d:%d: %s" st.line st.col s))) fmt
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_trivia st =
+  match (peek st, peek2 st) with
+  | Some (' ' | '\t' | '\r' | '\n'), _ ->
+      advance st;
+      skip_trivia st
+  | Some '/', Some '/' ->
+      while peek st <> None && peek st <> Some '\n' do
+        advance st
+      done;
+      skip_trivia st
+  | Some '/', Some '*' ->
+      advance st;
+      advance st;
+      let rec inside () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | Some _, _ ->
+            advance st;
+            inside ()
+        | None, _ -> fail st "unterminated block comment"
+      in
+      inside ();
+      skip_trivia st
+  | _ -> ()
+
+let lex_ident st =
+  let start = st.pos in
+  while match peek st with Some c when is_ident_char c -> true | _ -> false do
+    advance st
+  done;
+  let name = String.sub st.src start (st.pos - start) in
+  match List.assoc_opt name keyword_table with
+  | Some kw -> kw
+  | None -> Token.Ident name
+
+let lex_int st =
+  let start = st.pos in
+  while match peek st with Some c when is_digit c -> true | _ -> false do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  match int_of_string_opt text with
+  | Some n -> Token.Int_lit n
+  | None -> fail st "integer literal %s out of range" text
+
+let lex_string st =
+  advance st (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st "unterminated string literal"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some 'n' ->
+            Buffer.add_char buf '\n';
+            advance st;
+            loop ()
+        | Some 't' ->
+            Buffer.add_char buf '\t';
+            advance st;
+            loop ()
+        | Some '\\' ->
+            Buffer.add_char buf '\\';
+            advance st;
+            loop ()
+        | Some '"' ->
+            Buffer.add_char buf '"';
+            advance st;
+            loop ()
+        | Some c -> fail st "unknown escape '\\%c'" c
+        | None -> fail st "unterminated string literal")
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        loop ()
+  in
+  loop ();
+  Token.Str_lit (Buffer.contents buf)
+
+let next_token st =
+  skip_trivia st;
+  let line = st.line and col = st.col in
+  let mk token = { Token.token; line; col } in
+  match peek st with
+  | None -> mk Token.Eof
+  | Some c when is_ident_start c -> mk (lex_ident st)
+  | Some c when is_digit c -> mk (lex_int st)
+  | Some '"' -> mk (lex_string st)
+  | Some c ->
+      let two target result =
+        advance st;
+        if peek st = Some target then begin
+          advance st;
+          result
+        end
+        else fail st "expected '%c%c'" c target
+      in
+      let one_or_two target with_two without =
+        advance st;
+        if peek st = Some target then begin
+          advance st;
+          with_two
+        end
+        else without
+      in
+      mk
+        (match c with
+        | '(' ->
+            advance st;
+            Token.Lparen
+        | ')' ->
+            advance st;
+            Token.Rparen
+        | '{' ->
+            advance st;
+            Token.Lbrace
+        | '}' ->
+            advance st;
+            Token.Rbrace
+        | ';' ->
+            advance st;
+            Token.Semi
+        | ',' ->
+            advance st;
+            Token.Comma
+        | '.' ->
+            advance st;
+            Token.Dot
+        | '+' ->
+            advance st;
+            Token.Plus
+        | '-' ->
+            advance st;
+            Token.Minus
+        | '*' ->
+            advance st;
+            Token.Star
+        | '/' ->
+            advance st;
+            Token.Slash
+        | '%' ->
+            advance st;
+            Token.Percent
+        | '=' -> one_or_two '=' Token.Eq Token.Assign
+        | '!' -> one_or_two '=' Token.Ne Token.Bang
+        | '<' -> one_or_two '=' Token.Le Token.Lt
+        | '>' -> one_or_two '=' Token.Ge Token.Gt
+        | '&' -> two '&' Token.And_and
+        | '|' -> two '|' Token.Or_or
+        | c -> fail st "unexpected character '%c'" c)
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let rec loop acc =
+    let tok = next_token st in
+    if tok.Token.token = Token.Eof then List.rev (tok :: acc) else loop (tok :: acc)
+  in
+  loop []

@@ -1,0 +1,11 @@
+(** Hand-written lexer for mini-Java.
+
+    Supports [//] line comments, [/* ... */] block comments, decimal
+    integer literals, double-quoted strings with backslash escapes (n, t, quote, backslash)
+    escapes, and the keywords and operators of {!Token}. *)
+
+exception Error of string
+(** Message includes line and column. *)
+
+val tokenize : string -> Token.located list
+(** The returned list always ends with an [Eof] token. *)

@@ -1,0 +1,456 @@
+exception Error of string
+
+type state = { mutable tokens : Token.located list }
+
+let fail (tok : Token.located) fmt =
+  Printf.ksprintf
+    (fun s -> raise (Error (Printf.sprintf "%d:%d: %s" tok.Token.line tok.Token.col s)))
+    fmt
+
+let current st =
+  match st.tokens with
+  | tok :: _ -> tok
+  | [] -> raise (Error "internal: ran past end of token stream")
+
+let peek st = (current st).Token.token
+
+let peek2 st =
+  match st.tokens with _ :: tok :: _ -> Some tok.Token.token | _ -> None
+
+let advance st =
+  match st.tokens with
+  | _ :: rest when rest <> [] -> st.tokens <- rest
+  | _ -> () (* stay on Eof *)
+
+let expect st expected =
+  let tok = current st in
+  if tok.Token.token = expected then advance st
+  else fail tok "expected %s, found %s" (Token.to_string expected) (Token.to_string tok.Token.token)
+
+let expect_ident st what =
+  let tok = current st in
+  match tok.Token.token with
+  | Token.Ident name ->
+      advance st;
+      name
+  | other -> fail tok "expected %s, found %s" what (Token.to_string other)
+
+(* --- types --- *)
+
+let parse_type st : Ast.typ =
+  let tok = current st in
+  match tok.Token.token with
+  | Token.Kint ->
+      advance st;
+      Ast.Tint
+  | Token.Kboolean ->
+      advance st;
+      Ast.Tbool
+  | Token.Kstring ->
+      advance st;
+      Ast.Tstring
+  | Token.Kvoid ->
+      advance st;
+      Ast.Tvoid
+  | Token.Ident name ->
+      advance st;
+      Ast.Tclass name
+  | other -> fail tok "expected a type, found %s" (Token.to_string other)
+
+(* --- expressions --- *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let rec loop lhs =
+    if peek st = Token.Or_or then begin
+      advance st;
+      loop (Ast.Binop (Ast.Or, lhs, parse_and st))
+    end
+    else lhs
+  in
+  loop (parse_and st)
+
+and parse_and st =
+  let rec loop lhs =
+    if peek st = Token.And_and then begin
+      advance st;
+      loop (Ast.Binop (Ast.And, lhs, parse_equality st))
+    end
+    else lhs
+  in
+  loop (parse_equality st)
+
+and parse_equality st =
+  let rec loop lhs =
+    match peek st with
+    | Token.Eq ->
+        advance st;
+        loop (Ast.Binop (Ast.Eq, lhs, parse_relational st))
+    | Token.Ne ->
+        advance st;
+        loop (Ast.Binop (Ast.Ne, lhs, parse_relational st))
+    | _ -> lhs
+  in
+  loop (parse_relational st)
+
+and parse_relational st =
+  let rec loop lhs =
+    match peek st with
+    | Token.Lt ->
+        advance st;
+        loop (Ast.Binop (Ast.Lt, lhs, parse_additive st))
+    | Token.Le ->
+        advance st;
+        loop (Ast.Binop (Ast.Le, lhs, parse_additive st))
+    | Token.Gt ->
+        advance st;
+        loop (Ast.Binop (Ast.Gt, lhs, parse_additive st))
+    | Token.Ge ->
+        advance st;
+        loop (Ast.Binop (Ast.Ge, lhs, parse_additive st))
+    | _ -> lhs
+  in
+  loop (parse_additive st)
+
+and parse_additive st =
+  let rec loop lhs =
+    match peek st with
+    | Token.Plus ->
+        advance st;
+        loop (Ast.Binop (Ast.Add, lhs, parse_multiplicative st))
+    | Token.Minus ->
+        advance st;
+        loop (Ast.Binop (Ast.Sub, lhs, parse_multiplicative st))
+    | _ -> lhs
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop lhs =
+    match peek st with
+    | Token.Star ->
+        advance st;
+        loop (Ast.Binop (Ast.Mul, lhs, parse_unary st))
+    | Token.Slash ->
+        advance st;
+        loop (Ast.Binop (Ast.Div, lhs, parse_unary st))
+    | Token.Percent ->
+        advance st;
+        loop (Ast.Binop (Ast.Mod, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Token.Bang ->
+      advance st;
+      Ast.Unop (Ast.Not, parse_unary st)
+  | Token.Minus ->
+      advance st;
+      Ast.Unop (Ast.Neg, parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec loop expr =
+    if peek st = Token.Dot then begin
+      advance st;
+      let name = expect_ident st "a member name" in
+      if peek st = Token.Lparen then begin
+        let args = parse_args st in
+        loop (Ast.Call (expr, name, args))
+      end
+      else loop (Ast.Field (expr, name))
+    end
+    else expr
+  in
+  loop (parse_primary st)
+
+and parse_args st =
+  expect st Token.Lparen;
+  if peek st = Token.Rparen then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec loop acc =
+      let arg = parse_expr st in
+      if peek st = Token.Comma then begin
+        advance st;
+        loop (arg :: acc)
+      end
+      else begin
+        expect st Token.Rparen;
+        List.rev (arg :: acc)
+      end
+    in
+    loop []
+  end
+
+and parse_primary st =
+  let tok = current st in
+  match tok.Token.token with
+  | Token.Int_lit n ->
+      advance st;
+      Ast.Int_lit n
+  | Token.Str_lit s ->
+      advance st;
+      Ast.Str_lit s
+  | Token.Ktrue ->
+      advance st;
+      Ast.Bool_lit true
+  | Token.Kfalse ->
+      advance st;
+      Ast.Bool_lit false
+  | Token.Knull ->
+      advance st;
+      Ast.Null_lit
+  | Token.Kthis ->
+      advance st;
+      Ast.This
+  | Token.Knew ->
+      advance st;
+      let cls = expect_ident st "a class name" in
+      let args = parse_args st in
+      Ast.New (cls, args)
+  | Token.Lparen ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.Rparen;
+      e
+  | Token.Ident name ->
+      advance st;
+      Ast.Var name
+  | other -> fail tok "expected an expression, found %s" (Token.to_string other)
+
+(* --- statements --- *)
+
+let starts_local st =
+  match peek st with
+  | Token.Kint | Token.Kboolean | Token.Kstring -> true
+  | Token.Ident _ -> ( match peek2 st with Some (Token.Ident _) -> true | _ -> false)
+  | _ -> false
+
+let rec parse_stmt st : Ast.stmt =
+  let tok = current st in
+  match peek st with
+  | Token.Kif ->
+      advance st;
+      expect st Token.Lparen;
+      let cond = parse_expr st in
+      expect st Token.Rparen;
+      let then_branch = parse_block_or_stmt st in
+      let else_branch =
+        if peek st = Token.Kelse then begin
+          advance st;
+          parse_block_or_stmt st
+        end
+        else []
+      in
+      Ast.If (cond, then_branch, else_branch)
+  | Token.Kwhile ->
+      advance st;
+      expect st Token.Lparen;
+      let cond = parse_expr st in
+      expect st Token.Rparen;
+      Ast.While (cond, parse_block_or_stmt st)
+  | Token.Kfor ->
+      advance st;
+      expect st Token.Lparen;
+      let init = parse_simple_stmt st in
+      expect st Token.Semi;
+      let cond = parse_expr st in
+      expect st Token.Semi;
+      let update = parse_simple_stmt st in
+      expect st Token.Rparen;
+      Ast.For (init, cond, update, parse_block_or_stmt st)
+  | Token.Kreturn ->
+      advance st;
+      if peek st = Token.Semi then begin
+        advance st;
+        Ast.Return None
+      end
+      else begin
+        let e = parse_expr st in
+        expect st Token.Semi;
+        Ast.Return (Some e)
+      end
+  | Token.Ksynchronized ->
+      advance st;
+      expect st Token.Lparen;
+      let obj = parse_expr st in
+      expect st Token.Rparen;
+      Ast.Synchronized (obj, parse_block st)
+  | Token.Kspawn ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.Semi;
+      Ast.Spawn e
+  | Token.Lbrace ->
+      (* anonymous block: flatten by wrapping in If(true, ...) would be
+         silly — just parse and splice via a synthetic While?  Keep it
+         simple: blocks introduce no scope in this language, so inline
+         them as an If with constant condition. *)
+      fail tok "free-standing blocks are not supported; use the statement directly"
+  | _ ->
+      let s = parse_simple_stmt st in
+      expect st Token.Semi;
+      s
+
+and parse_simple_stmt st : Ast.stmt =
+  if starts_local st then begin
+    let t = parse_type st in
+    let name = expect_ident st "a variable name" in
+    let init =
+      if peek st = Token.Assign then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else None
+    in
+    Ast.Local (t, name, init)
+  end
+  else begin
+    let e = parse_expr st in
+    if peek st = Token.Assign then begin
+      advance st;
+      let rhs = parse_expr st in
+      match e with
+      | Ast.Var name -> Ast.Assign (name, rhs)
+      | Ast.Field (obj, field) -> Ast.Field_assign (obj, field, rhs)
+      | _ -> fail (current st) "left-hand side of '=' must be a variable or field"
+    end
+    else Ast.Expr e
+  end
+
+and parse_block st : Ast.stmt list =
+  expect st Token.Lbrace;
+  let rec loop acc =
+    if peek st = Token.Rbrace then begin
+      advance st;
+      List.rev acc
+    end
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+and parse_block_or_stmt st =
+  if peek st = Token.Lbrace then parse_block st else [ parse_stmt st ]
+
+(* --- declarations --- *)
+
+let parse_params st =
+  expect st Token.Lparen;
+  if peek st = Token.Rparen then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec loop acc =
+      let t = parse_type st in
+      let name = expect_ident st "a parameter name" in
+      if peek st = Token.Comma then begin
+        advance st;
+        loop ((t, name) :: acc)
+      end
+      else begin
+        expect st Token.Rparen;
+        List.rev ((t, name) :: acc)
+      end
+    in
+    loop []
+  end
+
+let parse_member st ~class_name =
+  let static = ref false in
+  let synchronized = ref false in
+  let rec modifiers () =
+    match peek st with
+    | Token.Kstatic ->
+        advance st;
+        static := true;
+        modifiers ()
+    | Token.Ksynchronized ->
+        advance st;
+        synchronized := true;
+        modifiers ()
+    | _ -> ()
+  in
+  modifiers ();
+  (* constructor: ClassName ( ... ) *)
+  match (peek st, peek2 st) with
+  | Token.Ident name, Some Token.Lparen when String.equal name class_name ->
+      advance st;
+      let params = parse_params st in
+      let body = parse_block st in
+      `Method
+        {
+          Ast.md_name = "<init>";
+          md_params = params;
+          md_ret = Ast.Tvoid;
+          md_static = false;
+          md_synchronized = !synchronized;
+          md_body = body;
+        }
+  | _ ->
+      let t = parse_type st in
+      let name = expect_ident st "a member name" in
+      if peek st = Token.Lparen then begin
+        let params = parse_params st in
+        let body = parse_block st in
+        `Method
+          {
+            Ast.md_name = name;
+            md_params = params;
+            md_ret = t;
+            md_static = !static;
+            md_synchronized = !synchronized;
+            md_body = body;
+          }
+      end
+      else begin
+        expect st Token.Semi;
+        if !static || !synchronized then
+          fail (current st) "fields cannot be static or synchronized in this language";
+        `Field (t, name)
+      end
+
+let parse_class st =
+  expect st Token.Kclass;
+  let name = expect_ident st "a class name" in
+  let super =
+    if peek st = Token.Kextends then begin
+      advance st;
+      Some (expect_ident st "a superclass name")
+    end
+    else None
+  in
+  expect st Token.Lbrace;
+  let rec loop fields methods =
+    if peek st = Token.Rbrace then begin
+      advance st;
+      { Ast.cd_name = name; cd_super = super; cd_fields = List.rev fields;
+        cd_methods = List.rev methods }
+    end
+    else
+      match parse_member st ~class_name:name with
+      | `Field f -> loop (f :: fields) methods
+      | `Method m -> loop fields (m :: methods)
+  in
+  loop [] []
+
+let parse source =
+  let st = { tokens = Lexer.tokenize source } in
+  let rec loop acc =
+    if peek st = Token.Eof then List.rev acc else loop (parse_class st :: acc)
+  in
+  loop []
+
+let parse_expression source =
+  let st = { tokens = Lexer.tokenize source } in
+  let e = parse_expr st in
+  (match peek st with
+  | Token.Eof -> ()
+  | other -> fail (current st) "trailing input after expression: %s" (Token.to_string other));
+  e

@@ -1,0 +1,20 @@
+(** Recursive-descent parser for mini-Java.
+
+    Grammar (informally): a program is a list of class declarations;
+    classes contain typed fields, methods with [static]/[synchronized]
+    modifiers, and constructors (methods named like the class, compiled
+    as [<init>]).  Statements: locals, assignments, [if]/[else],
+    [while], [for], [return], [synchronized (e) { ... }], [spawn e;]
+    and expression statements.  Expressions have Java precedence for
+    [||], [&&], comparisons, additive, multiplicative and unary
+    operators, with [.] field access / method call postfixes. *)
+
+exception Error of string
+(** Message includes line and column. *)
+
+val parse : string -> Ast.program
+(** Lex and parse a source string.
+    @raise Error or {!Lexer.Error} on malformed input. *)
+
+val parse_expression : string -> Ast.expr
+(** Parse a single expression (for tests). *)

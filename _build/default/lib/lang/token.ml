@@ -1,0 +1,95 @@
+type t =
+  | Ident of string
+  | Int_lit of int
+  | Str_lit of string
+  | Kclass
+  | Kextends
+  | Kstatic
+  | Ksynchronized
+  | Kvoid
+  | Kint
+  | Kboolean
+  | Kstring
+  | Knew
+  | Kif
+  | Kelse
+  | Kwhile
+  | Kfor
+  | Kreturn
+  | Ktrue
+  | Kfalse
+  | Knull
+  | Kthis
+  | Kspawn
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Semi
+  | Comma
+  | Dot
+  | Assign
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Bang
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And_and
+  | Or_or
+  | Eof
+
+let to_string = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int_lit n -> Printf.sprintf "integer %d" n
+  | Str_lit s -> Printf.sprintf "string %S" s
+  | Kclass -> "'class'"
+  | Kextends -> "'extends'"
+  | Kstatic -> "'static'"
+  | Ksynchronized -> "'synchronized'"
+  | Kvoid -> "'void'"
+  | Kint -> "'int'"
+  | Kboolean -> "'boolean'"
+  | Kstring -> "'String'"
+  | Knew -> "'new'"
+  | Kif -> "'if'"
+  | Kelse -> "'else'"
+  | Kwhile -> "'while'"
+  | Kfor -> "'for'"
+  | Kreturn -> "'return'"
+  | Ktrue -> "'true'"
+  | Kfalse -> "'false'"
+  | Knull -> "'null'"
+  | Kthis -> "'this'"
+  | Kspawn -> "'spawn'"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Semi -> "';'"
+  | Comma -> "','"
+  | Dot -> "'.'"
+  | Assign -> "'='"
+  | Plus -> "'+'"
+  | Minus -> "'-'"
+  | Star -> "'*'"
+  | Slash -> "'/'"
+  | Percent -> "'%'"
+  | Bang -> "'!'"
+  | Lt -> "'<'"
+  | Le -> "'<='"
+  | Gt -> "'>'"
+  | Ge -> "'>='"
+  | Eq -> "'=='"
+  | Ne -> "'!='"
+  | And_and -> "'&&'"
+  | Or_or -> "'||'"
+  | Eof -> "end of input"
+
+type located = { token : t; line : int; col : int }

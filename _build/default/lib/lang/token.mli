@@ -1,0 +1,54 @@
+(** Tokens of the mini-Java language. *)
+
+type t =
+  | Ident of string
+  | Int_lit of int
+  | Str_lit of string
+  (* keywords *)
+  | Kclass
+  | Kextends
+  | Kstatic
+  | Ksynchronized
+  | Kvoid
+  | Kint
+  | Kboolean
+  | Kstring  (** the type keyword [String] *)
+  | Knew
+  | Kif
+  | Kelse
+  | Kwhile
+  | Kfor
+  | Kreturn
+  | Ktrue
+  | Kfalse
+  | Knull
+  | Kthis
+  | Kspawn
+  (* punctuation and operators *)
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Semi
+  | Comma
+  | Dot
+  | Assign
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Bang
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And_and
+  | Or_or
+  | Eof
+
+val to_string : t -> string
+
+type located = { token : t; line : int; col : int }

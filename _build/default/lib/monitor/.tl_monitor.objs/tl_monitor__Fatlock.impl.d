@@ -1,0 +1,1 @@
+lib/monitor/fatlock.ml: List Parker Printf Queue Runtime Spinlock Tid Tl_runtime

@@ -1,0 +1,1 @@
+lib/monitor/fatlock.mli: Tl_runtime

@@ -1,0 +1,1 @@
+lib/monitor/index_table.ml: Array Atomic Mutex

@@ -1,0 +1,1 @@
+lib/monitor/index_table.mli:

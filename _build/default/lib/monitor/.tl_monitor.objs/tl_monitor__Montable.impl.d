@@ -1,0 +1,1 @@
+lib/monitor/montable.ml: Fatlock Index_table

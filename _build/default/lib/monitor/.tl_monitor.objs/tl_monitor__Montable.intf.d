@@ -1,0 +1,1 @@
+lib/monitor/montable.mli: Fatlock

@@ -1,0 +1,209 @@
+open Tl_runtime
+
+exception Illegal_monitor_state of string
+
+(* A waiter record travels from the wait set (or entry queue) to its
+   thread.  [notified] tells a timed waiter whether it lost the race
+   between timing out and being notified.  [in_queue] tracks entry-
+   queue membership under the latch: because a thread's parker permit
+   is shared across monitors, a park can return on a stale permit, and
+   the waiter must know whether its record is still queued before
+   re-queuing — otherwise a phantom record would absorb a future
+   wakeup and strand another entrant. *)
+type waiter = { env : Runtime.env; mutable notified : bool; mutable in_queue : bool }
+
+type t = {
+  latch : Spinlock.t; (* protects every mutable field below *)
+  mutable owner : int; (* thread index, 0 = unowned *)
+  mutable count : int; (* number of locks held by [owner] *)
+  entry_queue : waiter Queue.t;
+  wait_set : waiter Queue.t;
+}
+
+let create () =
+  {
+    latch = Spinlock.create ();
+    owner = 0;
+    count = 0;
+    entry_queue = Queue.create ();
+    wait_set = Queue.create ();
+  }
+
+let create_locked ~owner ~count =
+  if owner <= 0 || count < 1 then invalid_arg "Fatlock.create_locked";
+  let t = create () in
+  t.owner <- owner;
+  t.count <- count;
+  t
+
+let my_index (env : Runtime.env) = env.descriptor.Tid.index
+
+let not_owner_error t op me =
+  Illegal_monitor_state
+    (Printf.sprintf "%s: thread %d does not own monitor (owner=%d)" op me t.owner)
+
+let remove_from_queue q w =
+  (* Queue has no removal; rebuild without [w].  Queues here are short
+     (bounded by thread count). *)
+  let keep = Queue.create () in
+  Queue.iter (fun x -> if x != w then Queue.push x keep) q;
+  Queue.clear q;
+  Queue.transfer keep q
+
+(* Entry protocol, Mesa-style with barging: a released monitor may be
+   grabbed by any arriving thread; a woken entrant that loses the race
+   re-queues (at the back). *)
+let acquire env t =
+  let me = my_index env in
+  Spinlock.acquire t.latch;
+  if t.owner = 0 then begin
+    t.owner <- me;
+    t.count <- 1;
+    Spinlock.release t.latch
+  end
+  else if t.owner = me then begin
+    t.count <- t.count + 1;
+    Spinlock.release t.latch
+  end
+  else begin
+    let w = { env; notified = false; in_queue = true } in
+    Queue.push w t.entry_queue;
+    Spinlock.release t.latch;
+    let rec wait_turn () =
+      Parker.park env.parker;
+      Spinlock.acquire t.latch;
+      if t.owner = 0 then begin
+        t.owner <- me;
+        t.count <- 1;
+        if w.in_queue then begin
+          (* woken by a stale permit while still queued *)
+          remove_from_queue t.entry_queue w;
+          w.in_queue <- false
+        end;
+        Spinlock.release t.latch
+      end
+      else begin
+        if not w.in_queue then begin
+          Queue.push w t.entry_queue;
+          w.in_queue <- true
+        end;
+        Spinlock.release t.latch;
+        wait_turn ()
+      end
+    in
+    wait_turn ()
+  end
+
+let try_acquire env t =
+  let me = my_index env in
+  Spinlock.acquire t.latch;
+  let ok =
+    if t.owner = 0 then begin
+      t.owner <- me;
+      t.count <- 1;
+      true
+    end
+    else if t.owner = me then begin
+      t.count <- t.count + 1;
+      true
+    end
+    else false
+  in
+  Spinlock.release t.latch;
+  ok
+
+(* Fully release an owned monitor (count already saved by the caller)
+   and wake the next entrant, if any.  Must be called with the latch
+   held; releases it. *)
+let release_ownership_locked t =
+  t.owner <- 0;
+  t.count <- 0;
+  let next = if Queue.is_empty t.entry_queue then None else Some (Queue.pop t.entry_queue) in
+  (match next with Some w -> w.in_queue <- false | None -> ());
+  Spinlock.release t.latch;
+  match next with None -> () | Some w -> Parker.unpark w.env.parker
+
+let release env t =
+  let me = my_index env in
+  Spinlock.acquire t.latch;
+  if t.owner <> me then begin
+    Spinlock.release t.latch;
+    raise (not_owner_error t "release" me)
+  end;
+  if t.count > 1 then begin
+    t.count <- t.count - 1;
+    Spinlock.release t.latch
+  end
+  else release_ownership_locked t
+
+let wait ?timeout env t =
+  let me = my_index env in
+  Spinlock.acquire t.latch;
+  if t.owner <> me then begin
+    Spinlock.release t.latch;
+    raise (not_owner_error t "wait" me)
+  end;
+  let saved_count = t.count in
+  let w = { env; notified = false; in_queue = false } in
+  Queue.push w t.wait_set;
+  release_ownership_locked t;
+  (* Park until notified (or timed out).  A stale permit from an
+     earlier episode makes park return early; the [notified] flag
+     filters that out. *)
+  let rec block () =
+    match timeout with
+    | None ->
+        Parker.park env.parker;
+        if not w.notified then block ()
+    | Some seconds ->
+        let deadline_hit = not (Parker.park_timeout env.parker ~seconds) in
+        if (not w.notified) && not deadline_hit then block ()
+        else if deadline_hit then begin
+          (* Timed out — but a notify may have happened between the
+             timeout and this line; removing ourselves under the latch
+             resolves the race. *)
+          Spinlock.acquire t.latch;
+          if not w.notified then remove_from_queue t.wait_set w;
+          Spinlock.release t.latch
+        end
+  in
+  block ();
+  acquire env t;
+  (* Restore the saved recursion count. *)
+  Spinlock.acquire t.latch;
+  t.count <- saved_count;
+  Spinlock.release t.latch
+
+let notify env t =
+  let me = my_index env in
+  Spinlock.acquire t.latch;
+  if t.owner <> me then begin
+    Spinlock.release t.latch;
+    raise (not_owner_error t "notify" me)
+  end;
+  let woken = if Queue.is_empty t.wait_set then None else Some (Queue.pop t.wait_set) in
+  (match woken with Some w -> w.notified <- true | None -> ());
+  Spinlock.release t.latch;
+  match woken with None -> () | Some w -> Parker.unpark w.env.parker
+
+let notify_all env t =
+  let me = my_index env in
+  Spinlock.acquire t.latch;
+  if t.owner <> me then begin
+    Spinlock.release t.latch;
+    raise (not_owner_error t "notifyAll" me)
+  end;
+  let woken = Queue.fold (fun acc w -> w :: acc) [] t.wait_set in
+  Queue.clear t.wait_set;
+  List.iter (fun w -> w.notified <- true) woken;
+  Spinlock.release t.latch;
+  List.iter (fun w -> Parker.unpark w.env.parker) woken
+
+let owner t = t.owner
+let count t = t.count
+
+let entry_queue_length t =
+  Spinlock.with_lock t.latch (fun () -> Queue.length t.entry_queue)
+
+let wait_set_length t = Spinlock.with_lock t.latch (fun () -> Queue.length t.wait_set)
+let holds env t = t.owner = my_index env

@@ -1,0 +1,60 @@
+(** Fat locks: the heavyweight monitor subsystem.
+
+    The paper assumes "a pre-existing heavy-weight system ... including
+    queuing of unsatisfied lock requests, and the wait, notify, and
+    notifyAll operations" (§2.1) and represents it as a multi-word
+    structure with an owner, a lock count (not count-minus-one, Fig. 2)
+    and the necessary queues.  This module is that subsystem, built
+    from scratch on an internal spin latch and per-thread parkers.
+
+    Semantics are Mesa-style, as in Java (the paper notes Java derives
+    its monitor semantics from Mesa): a notified thread re-competes for
+    the monitor, and callers of {!wait} must re-check their condition
+    in a loop. *)
+
+type t
+
+exception Illegal_monitor_state of string
+(** Raised on release/wait/notify by a non-owner. *)
+
+val create : unit -> t
+
+val create_locked : owner:int -> count:int -> t
+(** A monitor born already owned — used when inflating a held thin
+    lock, which transfers the thin count (§2.3.4).  [count] is the
+    number of locks (≥ 1). *)
+
+val acquire : Tl_runtime.Runtime.env -> t -> unit
+(** Lock the monitor, blocking in the entry queue if necessary.
+    Re-entrant: the owner's count is incremented. *)
+
+val try_acquire : Tl_runtime.Runtime.env -> t -> bool
+(** Non-blocking acquire; never queues. *)
+
+val release : Tl_runtime.Runtime.env -> t -> unit
+(** Unlock once; on the last release wakes one queued entrant.
+    @raise Illegal_monitor_state if the caller is not the owner. *)
+
+val wait : ?timeout:float -> Tl_runtime.Runtime.env -> t -> unit
+(** Release the monitor fully (saving the count), join the wait set,
+    block until notified or [timeout] seconds elapse, then re-acquire
+    and restore the count.
+    @raise Illegal_monitor_state if the caller is not the owner. *)
+
+val notify : Tl_runtime.Runtime.env -> t -> unit
+(** Wake one waiter (if any).
+    @raise Illegal_monitor_state if the caller is not the owner. *)
+
+val notify_all : Tl_runtime.Runtime.env -> t -> unit
+
+val owner : t -> int
+(** Current owner's thread index, 0 if unowned (racy observation). *)
+
+val count : t -> int
+(** Current lock count (racy observation). *)
+
+val entry_queue_length : t -> int
+val wait_set_length : t -> int
+
+val holds : Tl_runtime.Runtime.env -> t -> bool
+(** Does the calling thread own the monitor? *)

@@ -1,0 +1,49 @@
+type 'a t = {
+  vector : 'a option array Atomic.t; (* slot 0 unused *)
+  grow_mutex : Mutex.t;
+  next : int Atomic.t;
+  max_index : int;
+}
+
+let default_max_index = (1 lsl 23) - 1
+
+let create ?(max_index = default_max_index) () =
+  {
+    vector = Atomic.make (Array.make 64 None);
+    grow_mutex = Mutex.create ();
+    next = Atomic.make 1;
+    max_index;
+  }
+
+let allocate t value =
+  Mutex.lock t.grow_mutex;
+  let index = Atomic.get t.next in
+  if index > t.max_index then begin
+    Mutex.unlock t.grow_mutex;
+    failwith "Index_table.allocate: indices exhausted"
+  end;
+  let v = Atomic.get t.vector in
+  let v =
+    if index < Array.length v then v
+    else begin
+      let bigger = Array.make (min (t.max_index + 1) (2 * Array.length v)) None in
+      Array.blit v 0 bigger 0 (Array.length v);
+      bigger
+    end
+  in
+  v.(index) <- Some value;
+  (* Publish the (possibly new) vector before the caller can leak
+     [index] into shared state: both stores are seq-cst atomics. *)
+  Atomic.set t.vector v;
+  Atomic.set t.next (index + 1);
+  Mutex.unlock t.grow_mutex;
+  index
+
+let get t index =
+  let v = Atomic.get t.vector in
+  if index <= 0 || index >= Array.length v then invalid_arg "Index_table.get: bad index";
+  match v.(index) with
+  | Some value -> value
+  | None -> invalid_arg "Index_table.get: unallocated index"
+
+let allocated t = Atomic.get t.next - 1

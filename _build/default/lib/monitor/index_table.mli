@@ -1,0 +1,22 @@
+(** Grow-only index table with lock-free reads.
+
+    The generic mechanism behind {!Montable}: allocation registers a
+    value and returns a small dense index (≥ 1); lookup is an atomic
+    array fetch plus an index.  Indices are never recycled, which is
+    what makes unsynchronized readers safe. *)
+
+type 'a t
+
+val create : ?max_index:int -> unit -> 'a t
+(** [max_index] defaults to [2^23 - 1] — the widest index an inflated
+    lock word can carry. *)
+
+val allocate : 'a t -> 'a -> int
+(** Register a value; returns its index (≥ 1).  Thread-safe.
+    @raise Failure when indices are exhausted. *)
+
+val get : 'a t -> int -> 'a
+(** O(1), lock-free.
+    @raise Invalid_argument on an unallocated index. *)
+
+val allocated : 'a t -> int

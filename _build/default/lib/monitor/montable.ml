@@ -1,0 +1,6 @@
+type t = Fatlock.t Index_table.t
+
+let create () = Index_table.create ()
+let allocate t fat = Index_table.allocate t fat
+let get t index = Index_table.get t index
+let allocated t = Index_table.allocated t

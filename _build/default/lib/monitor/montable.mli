@@ -1,0 +1,26 @@
+(** Monitor-index table.
+
+    An inflated lock word stores a 23-bit monitor index; this table is
+    the vector mapping indices to fat locks (paper Fig. 2).  Lookup is
+    the fast operation — "the fat lock pointer is simply obtained by
+    shifting the monitor index to the right and indexing into the
+    vector" (§3.3) — so reads are a single atomic array fetch plus an
+    index; allocation (rare: once per inflated object) takes a mutex.
+
+    Indices are never recycled: inflation is permanent for the lifetime
+    of the object (§2.3), which is what makes lock-free reads safe. *)
+
+type t
+
+val create : unit -> t
+
+val allocate : t -> Fatlock.t -> int
+(** Register a fat lock, returning its index (≥ 1).
+    @raise Failure if all 2^23 - 1 indices are in use. *)
+
+val get : t -> int -> Fatlock.t
+(** [get t index] is the fat lock at [index]; O(1), lock-free.
+    @raise Invalid_argument on an unallocated index. *)
+
+val allocated : t -> int
+(** Number of monitors ever created — the inflation census. *)

@@ -1,0 +1,1 @@
+lib/runtime/backoff.ml: Domain Float Thread Unix

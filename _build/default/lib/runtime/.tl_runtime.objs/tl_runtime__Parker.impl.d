@@ -1,0 +1,1 @@
+lib/runtime/parker.ml: Condition Float Mutex Unix

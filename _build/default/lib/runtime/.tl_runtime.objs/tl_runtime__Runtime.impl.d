@@ -1,0 +1,1 @@
+lib/runtime/runtime.ml: Domain Fun List Mutex Parker Printf Thread Tid

@@ -1,0 +1,1 @@
+lib/runtime/spinlock.ml: Atomic Backoff Fun

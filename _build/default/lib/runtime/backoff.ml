@@ -1,0 +1,34 @@
+type policy = Busy | Yield | Yield_sleep
+
+type t = { policy : policy; mutable step : int }
+
+let create ?(policy = Yield_sleep) () = { policy; step = 0 }
+
+let spin_batch = 32
+let yield_steps = 8
+let max_sleep = 1e-3
+
+let relax () = Domain.cpu_relax ()
+
+let busy_spin () =
+  for _ = 1 to spin_batch do
+    relax ()
+  done
+
+let once t =
+  let step = t.step in
+  t.step <- step + 1;
+  match t.policy with
+  | Busy -> busy_spin ()
+  | Yield -> if step < 2 then busy_spin () else Thread.yield ()
+  | Yield_sleep ->
+      if step < 2 then busy_spin ()
+      else if step < 2 + yield_steps then Thread.yield ()
+      else begin
+        let exponent = min (step - 2 - yield_steps) 10 in
+        let d = Float.min max_sleep (1e-6 *. float_of_int (1 lsl exponent)) in
+        Unix.sleepf d
+      end
+
+let reset t = t.step <- 0
+let steps t = t.step

@@ -1,0 +1,28 @@
+(** Exponential backoff for spin loops.
+
+    The paper (§2.3.4) accepts spin-locking during inflation and points
+    at "standard back-off techniques" (Anderson 1990) for the
+    pathological long-hold case.  On this single-core testbed a pure
+    spin would burn a whole scheduler quantum, so the default policy
+    escalates: busy spins, then thread yields, then exponentially
+    growing sleeps capped at ~1 ms. *)
+
+type policy =
+  | Busy  (** pure [cpu_relax] spinning (never sleeps) *)
+  | Yield  (** spin then yield to other threads *)
+  | Yield_sleep  (** spin, yield, then exponential sleep — the default *)
+
+type t
+
+val create : ?policy:policy -> unit -> t
+(** Fresh backoff state for one waiting episode. *)
+
+val once : t -> unit
+(** Wait a little, escalating on each call. *)
+
+val reset : t -> unit
+(** Forget the escalation (call after a successful acquisition). *)
+
+val steps : t -> int
+(** Number of [once] calls since creation/reset — exported so tests and
+    statistics can observe how hard a waiter had to try. *)

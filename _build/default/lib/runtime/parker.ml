@@ -1,0 +1,48 @@
+type t = { mutex : Mutex.t; cond : Condition.t; mutable permit : bool }
+
+let create () = { mutex = Mutex.create (); cond = Condition.create (); permit = false }
+
+let park t =
+  Mutex.lock t.mutex;
+  while not t.permit do
+    Condition.wait t.cond t.mutex
+  done;
+  t.permit <- false;
+  Mutex.unlock t.mutex
+
+let poll_interval = 1e-4
+
+let park_timeout t ~seconds =
+  let deadline = Unix.gettimeofday () +. seconds in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    if t.permit then begin
+      t.permit <- false;
+      Mutex.unlock t.mutex;
+      true
+    end
+    else begin
+      Mutex.unlock t.mutex;
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0.0 then false
+      else begin
+        Unix.sleepf (Float.min poll_interval remaining);
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let unpark t =
+  Mutex.lock t.mutex;
+  if not t.permit then begin
+    t.permit <- true;
+    Condition.signal t.cond
+  end;
+  Mutex.unlock t.mutex
+
+let has_permit t =
+  Mutex.lock t.mutex;
+  let p = t.permit in
+  Mutex.unlock t.mutex;
+  p

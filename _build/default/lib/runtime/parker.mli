@@ -1,0 +1,28 @@
+(** Per-thread park/unpark.
+
+    This is the kernel-blocking substitute (the JVM would use a futex
+    or an OS event; see DESIGN.md §1): each thread owns a permit.
+    {!park} consumes the permit, blocking until one is available;
+    {!unpark} deposits one.  Permits do not accumulate — unparking an
+    already-permitted thread is a no-op — which is exactly the
+    semantics monitor queues need: a wakeup delivered before the park
+    is not lost, and double wakeups are harmless. *)
+
+type t
+
+val create : unit -> t
+
+val park : t -> unit
+(** Block until a permit is available, then consume it. *)
+
+val park_timeout : t -> seconds:float -> bool
+(** Like {!park} but gives up after [seconds]; returns [true] if a
+    permit was consumed, [false] on timeout.  (The OCaml stdlib
+    [Condition] has no timed wait, so this polls the permit with an
+    adaptive sleep; resolution is ~0.1 ms.) *)
+
+val unpark : t -> unit
+(** Deposit a permit, waking the parked thread if any. *)
+
+val has_permit : t -> bool
+(** Observation for tests; racy by nature. *)

@@ -1,0 +1,91 @@
+type t = { tids : Tid.table; mutable main : env option; main_mutex : Mutex.t }
+
+and env = {
+  descriptor : Tid.descriptor;
+  shifted_index : int;
+  parker : Parker.t;
+  runtime : t;
+}
+
+let lock_word_shift = 16
+
+let create () = { tids = Tid.create_table (); main = None; main_mutex = Mutex.create () }
+
+let tid_table t = t.tids
+
+let register_current t ~name =
+  let descriptor = Tid.allocate t.tids ~name in
+  {
+    descriptor;
+    shifted_index = descriptor.Tid.index lsl lock_word_shift;
+    parker = Parker.create ();
+    runtime = t;
+  }
+
+let unregister env = Tid.release env.runtime.tids env.descriptor
+
+let main_env t =
+  Mutex.lock t.main_mutex;
+  let env =
+    match t.main with
+    | Some env -> env
+    | None ->
+        let env = register_current t ~name:"main" in
+        t.main <- Some env;
+        env
+  in
+  Mutex.unlock t.main_mutex;
+  env
+
+type backend = Thread_backend | Domain_backend
+
+type completion = { mutable outcome : (unit, exn) result option }
+
+type handle =
+  | Thread_handle of Thread.t * completion
+  | Domain_handle of unit Domain.t
+
+let body_in_env t ~name f () =
+  let env = register_current t ~name in
+  Fun.protect ~finally:(fun () -> unregister env) (fun () -> f env)
+
+let spawn ?(name = "worker") ?(backend = Thread_backend) t f =
+  match backend with
+  | Thread_backend ->
+      let completion = { outcome = None } in
+      let thread =
+        Thread.create
+          (fun () ->
+            let outcome =
+              try
+                body_in_env t ~name f ();
+                Ok ()
+              with e -> Error e
+            in
+            completion.outcome <- Some outcome)
+          ()
+      in
+      Thread_handle (thread, completion)
+  | Domain_backend -> Domain_handle (Domain.spawn (body_in_env t ~name f))
+
+let join = function
+  | Thread_handle (thread, completion) -> (
+      Thread.join thread;
+      match completion.outcome with
+      | Some (Ok ()) -> ()
+      | Some (Error e) -> raise e
+      | None -> failwith "Runtime.join: thread finished without outcome")
+  | Domain_handle d -> Domain.join d
+
+let run_parallel ?(name_prefix = "worker") ?backend t n body =
+  let handles =
+    List.init n (fun i ->
+        spawn ~name:(Printf.sprintf "%s-%d" name_prefix i) ?backend t (body i))
+  in
+  let first_error = ref None in
+  List.iter
+    (fun h ->
+      try join h
+      with e -> if !first_error = None then first_error := Some e)
+    handles;
+  match !first_error with None -> () | Some e -> raise e

@@ -1,0 +1,56 @@
+(** Thread runtime: execution environments, spawn and join.
+
+    Each running thread holds an {!env} — the paper's "execution
+    environment" (§2.3.1) — carrying its thread index both plain and
+    pre-shifted into lock-word position, plus its parker.  Lock
+    operations take the env explicitly, so finding "my index" is one
+    field load, exactly as in the paper. *)
+
+type t
+(** A runtime instance: thread-index table plus bookkeeping.  Distinct
+    instances are fully independent, which keeps tests isolated. *)
+
+type env = {
+  descriptor : Tid.descriptor;
+  shifted_index : int;  (** [descriptor.index lsl lock_word_shift] *)
+  parker : Parker.t;
+  runtime : t;
+}
+
+val lock_word_shift : int
+(** Bit position of the thread index within the lock word: 16.  The
+    header layout in [Tl_heap.Header] must agree (checked by tests). *)
+
+val create : unit -> t
+
+val tid_table : t -> Tid.table
+
+val register_current : t -> name:string -> env
+(** Allocate an index and environment for the calling thread.  The
+    caller is responsible for {!unregister} when the thread is done
+    using the runtime. *)
+
+val unregister : env -> unit
+
+val main_env : t -> env
+(** The lazily-created environment of the runtime's founding thread.
+    Call it from that thread only. *)
+
+type backend = Thread_backend | Domain_backend
+
+type handle
+
+val spawn : ?name:string -> ?backend:backend -> t -> (env -> unit) -> handle
+(** Start a thread running the body with a fresh environment (released
+    when the body returns or raises).  The default backend is
+    [Thread_backend]: OCaml systhreads — appropriate on this one-core
+    testbed; [Domain_backend] uses [Domain.spawn] for real
+    parallelism. *)
+
+val join : handle -> unit
+(** Wait for completion; re-raises the body's exception, if any. *)
+
+val run_parallel :
+  ?name_prefix:string -> ?backend:backend -> t -> int -> (int -> env -> unit) -> unit
+(** [run_parallel t n body] spawns [n] threads running [body i env] and
+    joins them all, re-raising the first failure after all complete. *)

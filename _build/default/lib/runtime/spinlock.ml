@@ -1,0 +1,17 @@
+type t = bool Atomic.t
+
+let create () = Atomic.make false
+
+let acquire t =
+  let backoff = Backoff.create () in
+  (* test-and-test-and-set: read before attempting the expensive CAS *)
+  while Atomic.get t || not (Atomic.compare_and_set t false true) do
+    Backoff.once backoff
+  done
+
+let release t = Atomic.set t false
+let try_acquire t = (not (Atomic.get t)) && Atomic.compare_and_set t false true
+
+let with_lock t f =
+  acquire t;
+  Fun.protect ~finally:(fun () -> release t) f

@@ -1,0 +1,63 @@
+type descriptor = { index : int; name : string }
+
+type table = {
+  mutex : Mutex.t;
+  mutable live : descriptor option array; (* slot i holds index i; slot 0 unused *)
+  mutable free : int list; (* recycled indices, smallest first *)
+  mutable next_fresh : int; (* never-used indices start here *)
+  mutable live_count : int;
+}
+
+exception Exhausted
+
+let bits = 15
+let max_index = (1 lsl bits) - 1
+
+let create_table () =
+  { mutex = Mutex.create (); live = Array.make 64 None; free = []; next_fresh = 1; live_count = 0 }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let ensure_capacity t index =
+  let n = Array.length t.live in
+  if index >= n then begin
+    let bigger = Array.make (min (max_index + 1) (max (index + 1) (2 * n))) None in
+    Array.blit t.live 0 bigger 0 n;
+    t.live <- bigger
+  end
+
+let allocate t ~name =
+  with_lock t (fun () ->
+      let index =
+        match t.free with
+        | i :: rest ->
+            t.free <- rest;
+            i
+        | [] ->
+            if t.next_fresh > max_index then raise Exhausted;
+            let i = t.next_fresh in
+            t.next_fresh <- i + 1;
+            i
+      in
+      let d = { index; name } in
+      ensure_capacity t index;
+      t.live.(index) <- Some d;
+      t.live_count <- t.live_count + 1;
+      d)
+
+let release t d =
+  with_lock t (fun () ->
+      match t.live.(d.index) with
+      | Some live when live == d ->
+          t.live.(d.index) <- None;
+          t.free <- List.merge compare [ d.index ] t.free;
+          t.live_count <- t.live_count - 1
+      | Some _ | None -> invalid_arg "Tid.release: descriptor not live")
+
+let lookup t index =
+  with_lock t (fun () ->
+      if index <= 0 || index >= Array.length t.live then None else t.live.(index))
+
+let live_count t = with_lock t (fun () -> t.live_count)

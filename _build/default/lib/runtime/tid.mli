@@ -1,0 +1,34 @@
+(** Thread-index table.
+
+    The thin-lock word stores a 15-bit thread index, not a pointer
+    (paper §2.3): index 0 means "unlocked", so live indices are
+    1..32767.  The table maps indices back to thread descriptors and
+    recycles indices of exited threads through a free list. *)
+
+type table
+
+type descriptor = { index : int; name : string }
+
+exception Exhausted
+(** Raised when all 32767 indices are live. *)
+
+val bits : int
+(** Width of an index: 15. *)
+
+val max_index : int
+(** Largest allocatable index: [2^bits - 1]. *)
+
+val create_table : unit -> table
+
+val allocate : table -> name:string -> descriptor
+(** Allocates the smallest free index.  Thread-safe.
+    @raise Exhausted if no index is free. *)
+
+val release : table -> descriptor -> unit
+(** Returns the index to the free list.  Releasing an index that is not
+    live raises [Invalid_argument]. *)
+
+val lookup : table -> int -> descriptor option
+(** [lookup table index] is the live descriptor at [index], if any. *)
+
+val live_count : table -> int

@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Array Format List Tl_util

@@ -1,0 +1,1 @@
+lib/sim/thinmodel.ml: Array Machine Printf Tl_heap

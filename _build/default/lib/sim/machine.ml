@@ -1,0 +1,199 @@
+type step =
+  | Done
+  | Load of int * (int -> step)
+  | Store of int * int * (unit -> step)
+  | Cas of int * int * int * (bool -> step)
+  | Exchange of int * int * (int -> step)
+  | Alu of int * (unit -> step)
+  | Label of string * (unit -> step)
+
+type program = unit -> step
+
+type op_counts = { loads : int; stores : int; cas : int; exchanges : int; alu : int }
+
+let zero_counts = { loads = 0; stores = 0; cas = 0; exchanges = 0; alu = 0 }
+let total_ops c = c.loads + c.stores + c.cas + c.exchanges + c.alu
+
+let pp_op_counts ppf c =
+  Format.fprintf ppf "%d ops (loads=%d stores=%d cas=%d xchg=%d alu=%d)" (total_ops c)
+    c.loads c.stores c.cas c.exchanges c.alu
+
+(* Apply one step to memory, returning the next step.  Shared by the
+   solo runner and the explorer. *)
+let apply mem counts = function
+  | Done -> (Done, !counts)
+  | Load (a, k) ->
+      counts := { !counts with loads = !counts.loads + 1 };
+      (k mem.(a), !counts)
+  | Store (a, v, k) ->
+      counts := { !counts with stores = !counts.stores + 1 };
+      mem.(a) <- v;
+      (k (), !counts)
+  | Cas (a, expected, replacement, k) ->
+      counts := { !counts with cas = !counts.cas + 1 };
+      if mem.(a) = expected then begin
+        mem.(a) <- replacement;
+        (k true, !counts)
+      end
+      else (k false, !counts)
+  | Exchange (a, v, k) ->
+      counts := { !counts with exchanges = !counts.exchanges + 1 };
+      let old = mem.(a) in
+      mem.(a) <- v;
+      (k old, !counts)
+  | Alu (n, k) ->
+      counts := { !counts with alu = !counts.alu + n };
+      (k (), !counts)
+  | Label (_, k) -> (k (), !counts)
+
+let run_seeded mem program =
+  let counts = ref zero_counts in
+  let rec loop steps s =
+    if steps > 1_000_000 then failwith "Machine.run_seeded: step budget exceeded";
+    match s with
+    | Done -> ()
+    | s ->
+        let next, _ = apply mem counts s in
+        loop (steps + 1) next
+  in
+  loop 0 (program ());
+  !counts
+
+let run_solo ~mem_size program =
+  let mem = Array.make mem_size 0 in
+  let counts = run_seeded mem program in
+  (mem, counts)
+
+type violation = { message : string; schedule : int list }
+
+type outcome = {
+  explored_paths : int;
+  completed_paths : int;
+  truncated_paths : int;
+  violation : violation option;
+}
+
+exception Found of violation
+
+(* Advance thread [i] past any non-scheduling steps (Alu, Label) so
+   that the branching factor counts only memory operations. *)
+let rec skim mem counts s =
+  match s with
+  | Alu (_, _) | Label (_, _) ->
+      let next, _ = apply mem counts s in
+      skim mem counts next
+  | s -> s
+
+let explore ?(max_depth = 10_000) ?(final = fun _ -> None) ~mem_size ~invariant programs =
+  let explored = ref 0 in
+  let completed = ref 0 in
+  let truncated = ref 0 in
+  let scratch_counts = ref zero_counts in
+  let rec go mem states depth schedule =
+    let enabled =
+      Array.to_list states
+      |> List.mapi (fun i s -> (i, s))
+      |> List.filter (fun (_, s) -> s <> Done)
+    in
+    if enabled = [] then begin
+      incr explored;
+      incr completed;
+      match final mem with
+      | Some message -> raise (Found { message; schedule = List.rev schedule })
+      | None -> ()
+    end
+    else if depth >= max_depth then begin
+      incr explored;
+      incr truncated
+    end
+    else
+      List.iter
+        (fun (i, s) ->
+          let mem' = Array.copy mem in
+          let next, _ = apply mem' scratch_counts s in
+          let next = skim mem' scratch_counts next in
+          (match invariant mem' with
+          | Some message -> raise (Found { message; schedule = List.rev (i :: schedule) })
+          | None -> ());
+          let states' = Array.copy states in
+          states'.(i) <- next;
+          go mem' states' (depth + 1) (i :: schedule))
+        enabled
+  in
+  let mem = Array.make mem_size 0 in
+  let counts = ref zero_counts in
+  let states = Array.map (fun p -> skim mem counts (p ())) programs in
+  match go mem states 0 [] with
+  | () ->
+      {
+        explored_paths = !explored;
+        completed_paths = !completed;
+        truncated_paths = !truncated;
+        violation = None;
+      }
+  | exception Found v ->
+      {
+        explored_paths = !explored;
+        completed_paths = !completed;
+        truncated_paths = !truncated;
+        violation = Some v;
+      }
+
+let sample ?(max_depth = 100_000) ?(final = fun _ -> None) ~schedules ~seed ~mem_size
+    ~invariant programs =
+  let prng = Tl_util.Prng.create seed in
+  let explored = ref 0 in
+  let completed = ref 0 in
+  let truncated = ref 0 in
+  let counts = ref zero_counts in
+  let run_one () =
+    let mem = Array.make mem_size 0 in
+    let states = Array.map (fun p -> skim mem counts (p ())) programs in
+    let schedule = ref [] in
+    let rec step depth =
+      let enabled =
+        Array.to_list states
+        |> List.mapi (fun i s -> (i, s))
+        |> List.filter (fun (_, s) -> s <> Done)
+      in
+      match enabled with
+      | [] -> begin
+          incr completed;
+          match final mem with
+          | Some message -> raise (Found { message; schedule = List.rev !schedule })
+          | None -> ()
+        end
+      | _ :: _ when depth >= max_depth -> incr truncated
+      | enabled ->
+          let i, s = List.nth enabled (Tl_util.Prng.int prng (List.length enabled)) in
+          schedule := i :: !schedule;
+          let next, _ = apply mem counts s in
+          states.(i) <- skim mem counts next;
+          (match invariant mem with
+          | Some message -> raise (Found { message; schedule = List.rev !schedule })
+          | None -> ());
+          step (depth + 1)
+    in
+    incr explored;
+    step 0
+  in
+  let rec loop n =
+    if n = 0 then
+      {
+        explored_paths = !explored;
+        completed_paths = !completed;
+        truncated_paths = !truncated;
+        violation = None;
+      }
+    else
+      match run_one () with
+      | () -> loop (n - 1)
+      | exception Found v ->
+          {
+            explored_paths = !explored;
+            completed_paths = !completed;
+            truncated_paths = !truncated;
+            violation = Some v;
+          }
+  in
+  loop schedules

@@ -1,0 +1,280 @@
+open Machine
+module Header = Tl_heap.Header
+
+module Addr = struct
+  let lockword = 0
+  let fat_owner = 2
+  let fat_count = 3
+  let cs_flag ~tid = 4 + tid (* tids are 1-based, at most 8 *)
+  let done_flag ~tid = 12 + tid
+  let gave_up_flag ~tid = 20 + tid
+  let mem_size = 20 + 9
+end
+
+let shifted tid = tid lsl Header.tid_offset
+
+(* --- model fat monitor: CAS-guarded owner/count pair --- *)
+
+let rec fat_acquire ~tid ~budget k =
+  Cas
+    ( Addr.fat_owner,
+      0,
+      tid,
+      fun ok ->
+        if ok then Store (Addr.fat_count, 1, k)
+        else
+          Load
+            ( Addr.fat_owner,
+              fun owner ->
+                if owner = tid then
+                  Load (Addr.fat_count, fun c -> Store (Addr.fat_count, c + 1, k))
+                else if budget <= 0 then give_up ~tid
+                else Alu (1, fun () -> fat_acquire ~tid ~budget:(budget - 1) k) ) )
+
+and give_up ~tid =
+  Store (Addr.gave_up_flag ~tid, 1, fun () -> Done)
+
+let fat_release ~tid k =
+  ignore tid;
+  Load
+    ( Addr.fat_count,
+      fun c -> if c > 1 then Store (Addr.fat_count, c - 1, k) else Store (Addr.fat_owner, 0, k)
+    )
+
+(* Inflate a thin lock we own: install the model fat monitor
+   (owner/count) and publish the inflated word.  [locks] is the total
+   lock count to transfer. *)
+let inflate_owned ~tid ~locks k =
+  Store
+    ( Addr.fat_owner,
+      tid,
+      fun () ->
+        Store
+          ( Addr.fat_count,
+            locks,
+            fun () ->
+              Load
+                ( Addr.lockword,
+                  fun word ->
+                    Store
+                      ( Addr.lockword,
+                        Header.inflated_word ~hdr:(Header.hdr_bits word) ~monitor_index:1,
+                        k ) ) ) )
+
+(* --- the thin-lock protocol, mirroring Tl_core.Thin.acquire --- *)
+
+let rec acquire ~tid ~budget k =
+  Load
+    ( Addr.lockword,
+      fun word ->
+        let unlocked = Header.hdr_bits word in
+        Alu
+          ( 2,
+            fun () ->
+              Cas
+                ( Addr.lockword,
+                  unlocked,
+                  unlocked lor shifted tid,
+                  fun ok -> if ok then k () else acquire_slow ~tid ~budget word k ) ) )
+
+and acquire_slow ~tid ~budget stale k =
+  ignore stale;
+  Load
+    ( Addr.lockword,
+      fun word ->
+        let x = word lxor shifted tid in
+        if x < Header.nested_limit then
+          Alu (2, fun () -> Store (Addr.lockword, word + Header.count_increment, k))
+        else if Header.is_inflated word then fat_acquire ~tid ~budget k
+        else if Header.is_unlocked word then
+          if budget <= 0 then give_up ~tid else acquire ~tid ~budget:(budget - 1) k
+        else if Header.thin_owner word = tid then
+          (* count overflow *)
+          inflate_owned ~tid ~locks:(Header.thin_count word + 2) k
+        else contended ~tid ~budget k )
+
+and contended ~tid ~budget k =
+  Load
+    ( Addr.lockword,
+      fun word ->
+        if Header.is_inflated word then fat_acquire ~tid ~budget k
+        else
+          let unlocked = Header.hdr_bits word in
+          if Header.is_unlocked word then
+            Cas
+              ( Addr.lockword,
+                unlocked,
+                unlocked lor shifted tid,
+                fun ok ->
+                  if ok then inflate_owned ~tid ~locks:1 k
+                  else if budget <= 0 then give_up ~tid
+                  else contended ~tid ~budget:(budget - 1) k )
+          else if budget <= 0 then give_up ~tid
+          else Alu (1, fun () -> contended ~tid ~budget:(budget - 1) k) )
+
+let release ?(lenient = false) ~tid k =
+  Load
+    ( Addr.lockword,
+      fun word ->
+        let held_once = Header.hdr_bits word lor shifted tid in
+        if word = held_once then Alu (1, fun () -> Store (Addr.lockword, Header.hdr_bits word, k))
+        else if word lxor shifted tid < 1 lsl Header.tid_offset then
+          Alu (1, fun () -> Store (Addr.lockword, word - Header.count_increment, k))
+        else if Header.is_inflated word then fat_release ~tid k
+        else if lenient then k ()
+          (* buggy-variant worlds reach states where the "owner" was
+             already dispossessed; exploration must go on *)
+        else failwith "model release: not owner" )
+
+(* --- critical section: flag up, flag down ---
+   Two plain stores keep exploration tractable; any overlap of two
+   critical sections makes both flags 1 simultaneously, which the
+   per-step invariant observes no matter how the stores interleave. *)
+
+let critical_section ~tid k =
+  Store (Addr.cs_flag ~tid, 1, fun () -> Store (Addr.cs_flag ~tid, 0, k))
+
+let rec lock_n ~tid ~budget n k =
+  if n = 0 then k () else acquire ~tid ~budget (fun () -> lock_n ~tid ~budget (n - 1) k)
+
+let rec release_n ~tid n k =
+  if n = 0 then k () else release ~tid (fun () -> release_n ~tid (n - 1) k)
+
+let worker ~tid ~iterations ?(nesting = 1) ~spin_budget () : program =
+ fun () ->
+  let rec iter i =
+    if i = 0 then Store (Addr.done_flag ~tid, 1, fun () -> Done)
+    else
+      lock_n ~tid ~budget:spin_budget nesting (fun () ->
+          critical_section ~tid (fun () -> release_n ~tid nesting (fun () -> iter (i - 1))))
+  in
+  iter iterations
+
+(* --- broken variants --- *)
+
+let blind_release k =
+  Load (Addr.lockword, fun word -> Store (Addr.lockword, Header.hdr_bits word, k))
+
+(* Double release: a correct release followed by a blind store of the
+   unlocked pattern — i.e. releasing a lock we no longer hold, which
+   can unlock the other thread's fresh acquisition out from under
+   it. *)
+let buggy_blind_release_worker ~tid ~iterations ~spin_budget () : program =
+ fun () ->
+  let rec iter i =
+    if i = 0 then Done
+    else
+      acquire ~tid ~budget:spin_budget (fun () ->
+          critical_section ~tid (fun () ->
+              release ~lenient:true ~tid (fun () -> blind_release (fun () -> iter (i - 1)))))
+  in
+  iter iterations
+
+(* On contention, inflate in place without owning the thin lock — the
+   discipline violation §2.3.4 exists to prevent. *)
+let rec buggy_acquire ~tid ~budget k =
+  Load
+    ( Addr.lockword,
+      fun word ->
+        let unlocked = Header.hdr_bits word in
+        Cas
+          ( Addr.lockword,
+            unlocked,
+            unlocked lor shifted tid,
+            fun ok ->
+              if ok then k ()
+              else
+                Load
+                  ( Addr.lockword,
+                    fun word ->
+                      let x = word lxor shifted tid in
+                      if x < Header.nested_limit then
+                        Store (Addr.lockword, word + Header.count_increment, k)
+                      else if Header.is_inflated word then fat_acquire ~tid ~budget k
+                      else if Header.is_unlocked word then
+                        if budget <= 0 then give_up ~tid
+                        else buggy_acquire ~tid ~budget:(budget - 1) k
+                      else
+                        (* BUG: not ours, but write the inflated word anyway
+                           and grab the fat monitor. *)
+                        Store
+                          ( Addr.lockword,
+                            Header.inflated_word ~hdr:(Header.hdr_bits word)
+                              ~monitor_index:1,
+                            fun () -> fat_acquire ~tid ~budget k ) ) ) )
+
+let buggy_nonowner_inflate_worker ~tid ~iterations ~spin_budget () : program =
+ fun () ->
+  let rec iter i =
+    if i = 0 then Done
+    else
+      buggy_acquire ~tid ~budget:spin_budget (fun () ->
+          critical_section ~tid (fun () -> release ~lenient:true ~tid (fun () -> iter (i - 1))))
+  in
+  iter iterations
+
+(* --- invariants --- *)
+
+let mutual_exclusion_invariant ~threads mem =
+  let inside = ref 0 in
+  for tid = 1 to threads do
+    inside := !inside + mem.(Addr.cs_flag ~tid)
+  done;
+  if !inside > 1 then Some (Printf.sprintf "%d threads in the critical section" !inside)
+  else None
+
+let completion_check ~threads ~iterations mem =
+  ignore iterations;
+  let gave_up = ref 0 in
+  let finished = ref 0 in
+  for tid = 1 to threads do
+    gave_up := !gave_up + mem.(Addr.gave_up_flag ~tid);
+    finished := !finished + mem.(Addr.done_flag ~tid)
+  done;
+  let gave_up = !gave_up in
+  if !finished + gave_up < threads then
+    Some (Printf.sprintf "threads unaccounted for: finished=%d gave_up=%d" !finished gave_up)
+  else if gave_up = 0 && Header.is_thin_locked mem.(Addr.lockword) then
+    Some "lock word left locked after all threads completed"
+  else if gave_up = 0 && mem.(Addr.fat_owner) <> 0 then
+    Some "fat monitor left owned after all threads completed"
+  else None
+
+(* --- op counting --- *)
+
+let solo_counts path =
+  let program =
+    match path with
+    | `Initial -> worker ~tid:1 ~iterations:1 ~spin_budget:0 ()
+    | `Nested -> worker ~tid:1 ~iterations:1 ~nesting:2 ~spin_budget:0 ()
+    | `Deep n -> worker ~tid:1 ~iterations:1 ~nesting:n ~spin_budget:0 ()
+  in
+  let _, counts = run_solo ~mem_size:Addr.mem_size program in
+  counts
+
+let acquire_solo_counts () =
+  let mem = Array.make Addr.mem_size 0 in
+  run_seeded mem (fun () -> acquire ~tid:1 ~budget:0 (fun () -> Done))
+
+let release_solo_counts () =
+  let mem = Array.make Addr.mem_size 0 in
+  mem.(Addr.lockword) <- Header.thin_word ~hdr:0 ~shifted_tid:(shifted 1) ~count:0;
+  run_seeded mem (fun () -> release ~tid:1 (fun () -> Done))
+
+let nested_acquire_solo_counts () =
+  let mem = Array.make Addr.mem_size 0 in
+  mem.(Addr.lockword) <- Header.thin_word ~hdr:0 ~shifted_tid:(shifted 1) ~count:0;
+  run_seeded mem (fun () -> acquire ~tid:1 ~budget:0 (fun () -> Done))
+
+let nested_release_solo_counts () =
+  let mem = Array.make Addr.mem_size 0 in
+  mem.(Addr.lockword) <- Header.thin_word ~hdr:0 ~shifted_tid:(shifted 1) ~count:1;
+  run_seeded mem (fun () -> release ~tid:1 (fun () -> Done))
+
+let fat_solo_counts () =
+  (* Seed memory as an already-inflated, unowned monitor and measure
+     one lock/unlock pair through the fat path. *)
+  let mem = Array.make Addr.mem_size 0 in
+  mem.(Addr.lockword) <- Header.inflated_word ~hdr:0 ~monitor_index:1;
+  let program () = acquire ~tid:1 ~budget:0 (fun () -> release ~tid:1 (fun () -> Done)) in
+  run_seeded mem program

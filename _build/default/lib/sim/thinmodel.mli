@@ -1,0 +1,83 @@
+(** The thin-lock protocol as step-machine model programs.
+
+    These programs mirror [Tl_core.Thin] operation-for-operation and
+    reuse the real [Tl_heap.Header] bit manipulations, so the model
+    checks the very word-level protocol the library executes.  The fat
+    monitor is modelled as a CAS-guarded owner/count pair (queuing
+    becomes bounded spinning) — enough to verify the thin↔fat
+    transition safety that §2.3.4 argues informally.
+
+    Memory layout (see {!addr}): the lock word, per-thread
+    critical-section flags, a completed-sections counter (doubling as
+    a lost-update detector), the model fat monitor, and a give-up
+    counter for threads that exhaust their bounded spin budget. *)
+
+module Addr : sig
+  val lockword : int
+  val fat_owner : int
+  val fat_count : int
+
+  val cs_flag : tid:int -> int
+  (** Per-thread in-critical-section flag; [tid] in 1..8. *)
+
+  val done_flag : tid:int -> int
+  (** Set once a thread completes all its iterations. *)
+
+  val gave_up_flag : tid:int -> int
+  (** Set when a thread exhausts its spin budget and abandons. *)
+
+  val mem_size : int
+end
+
+val worker :
+  tid:int -> iterations:int -> ?nesting:int -> spin_budget:int -> unit -> Machine.program
+(** A thread that [iterations] times: acquires the lock ([nesting]
+    times, default 1), runs the critical section (its flag up, then
+    down), releases; finally sets its [done_flag].  When a spin budget
+    runs out the thread bumps [gave_up] and stops — exploration stays
+    finite. *)
+
+(** Deliberately broken variants, used to demonstrate that the checker
+    has teeth: each must yield a mutual-exclusion violation. *)
+
+val buggy_blind_release_worker :
+  tid:int -> iterations:int -> spin_budget:int -> unit -> Machine.program
+(** Releases by storing the unlocked pattern without checking
+    ownership. *)
+
+val buggy_nonowner_inflate_worker :
+  tid:int -> iterations:int -> spin_budget:int -> unit -> Machine.program
+(** On contention, inflates somebody else's thin lock in place —
+    violating the owner-only-writes discipline — and then enters
+    through the fat monitor. *)
+
+val mutual_exclusion_invariant : threads:int -> int array -> string option
+(** At most one [cs_flag] set. *)
+
+val completion_check : threads:int -> iterations:int -> int array -> string option
+(** On completed paths: every thread either finished or gave up, and —
+    when none gave up — the lock ends fully released (thin-unlocked or
+    fat with no owner).  Catches lost unlocks. *)
+
+(** {1 Operation counting (§3.3)} *)
+
+val solo_counts : [ `Initial | `Nested | `Deep of int ] -> Machine.op_counts
+(** Operation census of a single-threaded lock+unlock through the
+    given path (no contention): the model's analogue of the paper's
+    "only 17 instructions". *)
+
+val fat_solo_counts : unit -> Machine.op_counts
+(** Census of lock+unlock through an already-inflated monitor. *)
+
+val acquire_solo_counts : unit -> Machine.op_counts
+(** Just the uncontended acquire: 1 load + 1 CAS + setup ALU. *)
+
+val release_solo_counts : unit -> Machine.op_counts
+(** Just the count-0 release: 1 load + 1 plain store, {e zero} atomic
+    operations — the discipline's payoff (§2.3.2). *)
+
+val nested_acquire_solo_counts : unit -> Machine.op_counts
+(** Re-lock by the owner: the CAS fails, the XOR test passes, the
+    count is bumped with a plain store. *)
+
+val nested_release_solo_counts : unit -> Machine.op_counts

@@ -1,0 +1,1 @@
+lib/util/tablefmt.ml: Array Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/util/timer.ml: Array Float Format Printf Stats Unix

@@ -1,0 +1,27 @@
+let mask width =
+  if width < 0 || width > 62 then invalid_arg "Bits.mask";
+  (1 lsl width) - 1
+
+let field_mask ~offset ~width = mask width lsl offset
+
+let extract ~offset ~width word = (word lsr offset) land mask width
+
+let insert ~offset ~width word value =
+  let m = mask width in
+  word land lnot (m lsl offset) lor ((value land m) lsl offset)
+
+let set_bit pos word = word lor (1 lsl pos)
+let clear_bit pos word = word land lnot (1 lsl pos)
+let test_bit pos word = word land (1 lsl pos) <> 0
+
+let popcount word =
+  let rec loop acc w = if w = 0 then acc else loop (acc + (w land 1)) (w lsr 1) in
+  loop 0 (word land mask 62)
+
+let to_binary_string ?(width = 32) word =
+  let buf = Buffer.create (width + (width / 8)) in
+  for i = width - 1 downto 0 do
+    Buffer.add_char buf (if test_bit i word then '1' else '0');
+    if i > 0 && i mod 8 = 0 then Buffer.add_char buf '_'
+  done;
+  Buffer.contents buf

@@ -1,0 +1,37 @@
+(** Bit-field manipulation helpers.
+
+    All values are OCaml native [int]s treated as unsigned words of at
+    least 32 meaningful bits.  A field is described by its offset (bit
+    position of its least significant bit) and width in bits. *)
+
+val mask : int -> int
+(** [mask width] is an integer with the [width] low bits set.
+    [width] must be in [0, 62]. *)
+
+val field_mask : offset:int -> width:int -> int
+(** [field_mask ~offset ~width] is [mask width] shifted left by
+    [offset]. *)
+
+val extract : offset:int -> width:int -> int -> int
+(** [extract ~offset ~width word] reads the field as an unsigned
+    value. *)
+
+val insert : offset:int -> width:int -> int -> int -> int
+(** [insert ~offset ~width word value] returns [word] with the field
+    replaced by the low [width] bits of [value]. *)
+
+val set_bit : int -> int -> int
+(** [set_bit pos word] sets bit [pos]. *)
+
+val clear_bit : int -> int -> int
+(** [clear_bit pos word] clears bit [pos]. *)
+
+val test_bit : int -> int -> bool
+(** [test_bit pos word] is [true] iff bit [pos] of [word] is set. *)
+
+val popcount : int -> int
+(** [popcount word] is the number of set bits among the low 62 bits. *)
+
+val to_binary_string : ?width:int -> int -> string
+(** [to_binary_string ?width word] renders the low [width] (default 32)
+    bits, most significant first, in groups of 8 separated by [_]. *)

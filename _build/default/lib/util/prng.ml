@@ -1,0 +1,66 @@
+(* SplitMix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators" (OOPSLA 2014).  Chosen for statistical quality, trivial
+   state, and cheap splitting. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = next_int64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int";
+  (* 62 unbiased-enough bits; modulo bias is negligible for workload
+     bounds (far below 2^31). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  bits mod bound
+
+let float t bound =
+  let bits = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bound *. (bits /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.pick";
+  arr.(int t (Array.length arr))
+
+let geometric t ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Prng.geometric";
+  if p = 1.0 then 0
+  else
+    let u = float t 1.0 in
+    let u = if u <= 0.0 then epsilon_float else u in
+    int_of_float (Float.trunc (log u /. log (1.0 -. p)))
+
+let categorical t weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Prng.categorical";
+  let target = float t total in
+  let n = Array.length weights in
+  let rec loop i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc +. weights.(i) in
+      if target < acc then i else loop (i + 1) acc
+  in
+  loop 0 0.0
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,41 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    Workload generation must be reproducible across runs and must not
+    share state between threads, so we use explicit generator values
+    rather than the global [Random] state. *)
+
+type t
+(** A generator.  Mutable; not thread-safe — give each thread its own
+    (see {!split}). *)
+
+val create : int -> t
+(** [create seed] makes a generator from a seed. *)
+
+val split : t -> t
+(** [split t] derives an independent generator, advancing [t]. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).  [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val geometric : t -> p:float -> int
+(** [geometric t ~p] samples the number of failures before the first
+    success of a Bernoulli([p]) trial; [p] must be in (0, 1]. *)
+
+val categorical : t -> float array -> int
+(** [categorical t weights] samples an index with probability
+    proportional to its (non-negative) weight.  The weights must not
+    all be zero. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,125 @@
+type summary = {
+  count : int;
+  mean : float;
+  median : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p90 : float;
+}
+
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg ("Stats." ^ name ^ ": empty sample")
+
+let mean xs =
+  check_nonempty "mean" xs;
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let sorted_copy xs =
+  let ys = Array.copy xs in
+  Array.sort Float.compare ys;
+  ys
+
+let percentile_sorted ys p =
+  let n = Array.length ys in
+  if n = 1 then ys.(0)
+  else
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.trunc rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    ys.(lo) +. (frac *. (ys.(hi) -. ys.(lo)))
+
+let percentile xs p =
+  check_nonempty "percentile" xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  percentile_sorted (sorted_copy xs) p
+
+let median xs = percentile xs 50.0
+
+let stddev xs =
+  check_nonempty "stddev" xs;
+  let n = Array.length xs in
+  if n = 1 then 0.0
+  else
+    let m = mean xs in
+    let sq = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (sq /. float_of_int (n - 1))
+
+let summary xs =
+  check_nonempty "summary" xs;
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  {
+    count = n;
+    mean = mean xs;
+    median = percentile_sorted ys 50.0;
+    stddev = stddev xs;
+    min = ys.(0);
+    max = ys.(n - 1);
+    p90 = percentile_sorted ys 90.0;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d median=%.4g mean=%.4g sd=%.3g min=%.4g max=%.4g"
+    s.count s.median s.mean s.stddev s.min s.max
+
+module Histogram = struct
+  type t = { mutable buckets : int array; mutable total : int }
+
+  let create ?(initial_buckets = 16) () =
+    { buckets = Array.make (max 1 initial_buckets) 0; total = 0 }
+
+  let ensure t v =
+    let n = Array.length t.buckets in
+    if v >= n then begin
+      let n' = max (v + 1) (2 * n) in
+      let bigger = Array.make n' 0 in
+      Array.blit t.buckets 0 bigger 0 n;
+      t.buckets <- bigger
+    end
+
+  let add t v =
+    if v < 0 then invalid_arg "Histogram.add: negative value";
+    ensure t v;
+    t.buckets.(v) <- t.buckets.(v) + 1;
+    t.total <- t.total + 1
+
+  let count t v = if v < 0 || v >= Array.length t.buckets then 0 else t.buckets.(v)
+  let total t = t.total
+
+  let max_value t =
+    let rec loop i = if i < 0 then -1 else if t.buckets.(i) > 0 then i else loop (i - 1) in
+    loop (Array.length t.buckets - 1)
+
+  let fraction t v =
+    if t.total = 0 then 0.0 else float_of_int (count t v) /. float_of_int t.total
+
+  let fraction_at_least t v =
+    if t.total = 0 then 0.0
+    else begin
+      let acc = ref 0 in
+      for i = max 0 v to Array.length t.buckets - 1 do
+        acc := !acc + t.buckets.(i)
+      done;
+      float_of_int !acc /. float_of_int t.total
+    end
+
+  let merge_into ~src ~dst =
+    Array.iteri (fun v c -> if c > 0 then begin
+      ensure dst v;
+      dst.buckets.(v) <- dst.buckets.(v) + c;
+      dst.total <- dst.total + c
+    end) src.buckets
+
+  let reset t =
+    Array.fill t.buckets 0 (Array.length t.buckets) 0;
+    t.total <- 0
+
+  let to_assoc t =
+    let acc = ref [] in
+    for i = Array.length t.buckets - 1 downto 0 do
+      if t.buckets.(i) > 0 then acc := (i, t.buckets.(i)) :: !acc
+    done;
+    !acc
+end

@@ -1,0 +1,112 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?title ~header ~align rows =
+  let ncols = List.length header in
+  if List.length align <> ncols then invalid_arg "Tablefmt.render: align length";
+  let normalize row =
+    let n = List.length row in
+    if n > ncols then invalid_arg "Tablefmt.render: row too wide"
+    else row @ List.init (ncols - n) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths = Array.make ncols 0 in
+  let note row = List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row in
+  note header;
+  List.iter note rows;
+  let buf = Buffer.create 1024 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad (List.nth align i) widths.(i) cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  let rule = String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths)) in
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let fnum v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else
+    let s = Printf.sprintf "%.4g" v in
+    s
+
+let bar_of ~width ~scale v =
+  let v = Float.max 0.0 v in
+  let cells = if scale <= 0.0 then 0 else int_of_float (Float.round (v /. scale *. float_of_int width)) in
+  String.make (min width cells) '#'
+
+let bar_chart ?title ?(width = 50) ?unit_label items =
+  let scale = List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 items in
+  let label_w = List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 items in
+  let buf = Buffer.create 1024 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  List.iter
+    (fun (label, v) ->
+      Buffer.add_string buf (pad Left label_w label);
+      Buffer.add_string buf " |";
+      Buffer.add_string buf (pad Left width (bar_of ~width ~scale v));
+      Buffer.add_string buf "| ";
+      Buffer.add_string buf (fnum v);
+      (match unit_label with
+      | Some u ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf u
+      | None -> ());
+      Buffer.add_char buf '\n')
+    items;
+  Buffer.contents buf
+
+let grouped_bar_chart ?title ?(width = 50) ?unit_label ~series rows =
+  let scale =
+    List.fold_left (fun acc (_, vs) -> List.fold_left Float.max acc vs) 0.0 rows
+  in
+  let series_w = List.fold_left (fun acc s -> max acc (String.length s)) 0 series in
+  let buf = Buffer.create 2048 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  List.iter
+    (fun (row_label, values) ->
+      Buffer.add_string buf row_label;
+      Buffer.add_char buf '\n';
+      List.iteri
+        (fun i v ->
+          let name = try List.nth series i with Failure _ -> "?" in
+          Buffer.add_string buf "  ";
+          Buffer.add_string buf (pad Left series_w name);
+          Buffer.add_string buf " |";
+          Buffer.add_string buf (pad Left width (bar_of ~width ~scale v));
+          Buffer.add_string buf "| ";
+          Buffer.add_string buf (fnum v);
+          (match unit_label with
+          | Some u ->
+              Buffer.add_char buf ' ';
+              Buffer.add_string buf u
+          | None -> ());
+          Buffer.add_char buf '\n')
+        values)
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/workload/micro.ml: Array Option Printf Scheme_intf String Sys Tl_core Tl_heap Tl_runtime Tl_util

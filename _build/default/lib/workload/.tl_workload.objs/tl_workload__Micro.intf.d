@@ -1,0 +1,1 @@
+lib/workload/micro.mli: Tl_core Tl_runtime

@@ -1,0 +1,1 @@
+lib/workload/profiles.ml: Array List String Tl_util

@@ -1,0 +1,1 @@
+lib/workload/replay.ml: Array Float Lazy Lock_stats Scheme_intf Sys Tl_core Tl_heap Tl_util Tracegen

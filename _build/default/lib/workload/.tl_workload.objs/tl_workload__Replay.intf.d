@@ -1,0 +1,1 @@
+lib/workload/replay.mli: Tl_core Tl_runtime Tracegen

@@ -1,0 +1,1 @@
+lib/workload/report.ml: Array Buffer Float Format List Lock_stats Micro Printf Profiles Replay Scheme_intf Thin Tl_baselines Tl_core Tl_runtime Tl_sim Tl_util Tracegen

@@ -1,0 +1,1 @@
+lib/workload/trace_io.ml: Array Buffer Hashtbl In_channel List Option Out_channel Printf Profiles String Tracegen

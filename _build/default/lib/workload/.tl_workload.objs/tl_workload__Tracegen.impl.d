@@ -1,0 +1,1 @@
+lib/workload/tracegen.ml: Array Float Hashtbl List Option Profiles Tl_util

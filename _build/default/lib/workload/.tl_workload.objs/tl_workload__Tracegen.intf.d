@@ -1,0 +1,1 @@
+lib/workload/tracegen.mli: Profiles

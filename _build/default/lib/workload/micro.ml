@@ -1,0 +1,237 @@
+open Tl_core
+module Runtime = Tl_runtime.Runtime
+
+type kernel =
+  | No_sync
+  | Sync
+  | Nested_sync
+  | Mixed_sync
+  | Multi_sync of int
+  | Call
+  | Call_sync
+  | Nested_call_sync
+  | Threads of int
+
+let kernel_name = function
+  | No_sync -> "nosync"
+  | Sync -> "sync"
+  | Nested_sync -> "nestedsync"
+  | Mixed_sync -> "mixedsync"
+  | Multi_sync n -> Printf.sprintf "multisync:%d" n
+  | Call -> "call"
+  | Call_sync -> "callsync"
+  | Nested_call_sync -> "nestedcallsync"
+  | Threads n -> Printf.sprintf "threads:%d" n
+
+let all_kernels =
+  [
+    No_sync; Sync; Nested_sync; Mixed_sync; Multi_sync 8; Call; Call_sync;
+    Nested_call_sync; Threads 4;
+  ]
+
+let parse_kernel s =
+  match String.lowercase_ascii s with
+  | "nosync" -> Some No_sync
+  | "sync" -> Some Sync
+  | "nestedsync" -> Some Nested_sync
+  | "mixedsync" -> Some Mixed_sync
+  | "call" -> Some Call
+  | "callsync" -> Some Call_sync
+  | "nestedcallsync" -> Some Nested_call_sync
+  | s -> (
+      match String.split_on_char ':' s with
+      | [ "multisync"; n ] -> Option.map (fun n -> Multi_sync n) (int_of_string_opt n)
+      | [ "threads"; n ] -> Option.map (fun n -> Threads n) (int_of_string_opt n)
+      | _ -> None)
+
+type measurement = {
+  kernel : kernel;
+  scheme_name : string;
+  iterations : int;
+  seconds : float;
+  ns_per_iteration : float;
+}
+
+(* The shared loop body: an integer update the optimiser cannot remove
+   (Table 2: "inside the loop an integer variable is incremented"). *)
+let counter = ref 0
+
+let bump () = counter := !counter + Sys.opaque_identity 1
+
+(* An opaque call target for the Call benchmarks. *)
+let opaque_callee = Sys.opaque_identity (fun () -> bump ())
+
+let measurement ~kernel ~scheme_name ~iterations ~seconds =
+  { kernel; scheme_name; iterations; seconds;
+    ns_per_iteration = seconds *. 1e9 /. float_of_int (max 1 iterations) }
+
+let run ?(runs = 3) ~iterations ~(scheme : Scheme_intf.packed) ~runtime kernel =
+  let env = Runtime.main_env runtime in
+  let heap = Tl_heap.Heap.create () in
+  let body =
+    match kernel with
+    | No_sync -> fun () -> for _ = 1 to iterations do bump () done
+    | Sync ->
+        let obj = Tl_heap.Heap.alloc heap in
+        fun () ->
+          for _ = 1 to iterations do
+            scheme.Scheme_intf.acquire env obj;
+            bump ();
+            scheme.Scheme_intf.release env obj
+          done
+    | Nested_sync ->
+        let obj = Tl_heap.Heap.alloc heap in
+        fun () ->
+          scheme.Scheme_intf.acquire env obj;
+          for _ = 1 to iterations do
+            scheme.Scheme_intf.acquire env obj;
+            bump ();
+            scheme.Scheme_intf.release env obj
+          done;
+          scheme.Scheme_intf.release env obj
+    | Mixed_sync ->
+        (* three nested locks of the same object per iteration (§3.5) *)
+        let obj = Tl_heap.Heap.alloc heap in
+        fun () ->
+          for _ = 1 to iterations do
+            scheme.Scheme_intf.acquire env obj;
+            scheme.Scheme_intf.acquire env obj;
+            scheme.Scheme_intf.acquire env obj;
+            bump ();
+            scheme.Scheme_intf.release env obj;
+            scheme.Scheme_intf.release env obj;
+            scheme.Scheme_intf.release env obj
+          done
+    | Multi_sync n ->
+        let objs = Tl_heap.Heap.alloc_many heap n in
+        fun () ->
+          let per_object = max 1 (iterations / n) in
+          for _ = 1 to per_object do
+            Array.iter
+              (fun obj ->
+                scheme.Scheme_intf.acquire env obj;
+                bump ();
+                scheme.Scheme_intf.release env obj)
+              objs
+          done
+    | Call ->
+        fun () ->
+          for _ = 1 to iterations do
+            (Sys.opaque_identity opaque_callee) ()
+          done
+    | Call_sync ->
+        let obj = Tl_heap.Heap.alloc heap in
+        fun () ->
+          let synchronized_method =
+            Sys.opaque_identity (fun () ->
+                scheme.Scheme_intf.acquire env obj;
+                bump ();
+                scheme.Scheme_intf.release env obj)
+          in
+          for _ = 1 to iterations do
+            (Sys.opaque_identity synchronized_method) ()
+          done
+    | Nested_call_sync ->
+        let obj = Tl_heap.Heap.alloc heap in
+        fun () ->
+          let synchronized_method =
+            Sys.opaque_identity (fun () ->
+                scheme.Scheme_intf.acquire env obj;
+                bump ();
+                scheme.Scheme_intf.release env obj)
+          in
+          scheme.Scheme_intf.acquire env obj;
+          for _ = 1 to iterations do
+            (Sys.opaque_identity synchronized_method) ()
+          done;
+          scheme.Scheme_intf.release env obj
+    | Threads n ->
+        let obj = Tl_heap.Heap.alloc heap in
+        fun () ->
+          let per_thread = max 1 (iterations / n) in
+          Runtime.run_parallel runtime n (fun _ env' ->
+              for _ = 1 to per_thread do
+                scheme.Scheme_intf.acquire env' obj;
+                bump ();
+                scheme.Scheme_intf.release env' obj
+              done)
+  in
+  let seconds = Tl_util.Timer.median_of_runs ~runs body in
+  measurement ~kernel ~scheme_name:scheme.Scheme_intf.name ~iterations ~seconds
+
+module Direct (S : Scheme_intf.S) = struct
+  let run ?(runs = 3) ~iterations ~(ctx : S.ctx) ~env kernel =
+    let heap = Tl_heap.Heap.create () in
+    let body =
+      match kernel with
+      | No_sync -> fun () -> for _ = 1 to iterations do bump () done
+      | Sync ->
+          let obj = Tl_heap.Heap.alloc heap in
+          fun () ->
+            for _ = 1 to iterations do
+              S.acquire ctx env obj;
+              bump ();
+              S.release ctx env obj
+            done
+      | Nested_sync ->
+          let obj = Tl_heap.Heap.alloc heap in
+          fun () ->
+            S.acquire ctx env obj;
+            for _ = 1 to iterations do
+              S.acquire ctx env obj;
+              bump ();
+              S.release ctx env obj
+            done;
+            S.release ctx env obj
+      | Mixed_sync ->
+          let obj = Tl_heap.Heap.alloc heap in
+          fun () ->
+            for _ = 1 to iterations do
+              S.acquire ctx env obj;
+              S.acquire ctx env obj;
+              S.acquire ctx env obj;
+              bump ();
+              S.release ctx env obj;
+              S.release ctx env obj;
+              S.release ctx env obj
+            done
+      | Multi_sync n ->
+          let objs = Tl_heap.Heap.alloc_many heap n in
+          fun () ->
+            let per_object = max 1 (iterations / n) in
+            for _ = 1 to per_object do
+              Array.iter
+                (fun obj ->
+                  S.acquire ctx env obj;
+                  bump ();
+                  S.release ctx env obj)
+                objs
+            done
+      | Call ->
+          fun () ->
+            for _ = 1 to iterations do
+              (Sys.opaque_identity opaque_callee) ()
+            done
+      | Call_sync ->
+          let obj = Tl_heap.Heap.alloc heap in
+          fun () ->
+            for _ = 1 to iterations do
+              S.acquire ctx env obj;
+              bump ();
+              S.release ctx env obj
+            done
+      | Nested_call_sync ->
+          let obj = Tl_heap.Heap.alloc heap in
+          fun () ->
+            S.acquire ctx env obj;
+            for _ = 1 to iterations do
+              S.acquire ctx env obj;
+              bump ();
+              S.release ctx env obj
+            done;
+            S.release ctx env obj
+      | Threads _ -> invalid_arg "Micro.Direct: Threads kernel needs the packed runner"
+    in
+    let seconds = Tl_util.Timer.median_of_runs ~runs body in
+    measurement ~kernel ~scheme_name:(S.name ^ "(direct)") ~iterations ~seconds
+end

@@ -1,0 +1,82 @@
+(** The eight micro-benchmarks of Table 2.
+
+    Each kernel runs a tight loop that increments an opaque integer;
+    they differ in what locking happens around the increment:
+
+    - [NoSync]: nothing — the loop-cost reference;
+    - [Sync]: a synchronized block on an unlocked object (initial
+      locking cost);
+    - [NestedSync]: the object is locked outside the loop (nested
+      locking cost);
+    - [MultiSync n]: synchronizes [n] distinct objects per iteration
+      (lock working-set sweep — the monitor-cache and hot-lock
+      killers);
+    - [Call]: calls an opaque non-synchronized function (call-cost
+      reference);
+    - [CallSync]: calls a synchronized method (lock via method
+      bracket);
+    - [NestedCallSync]: synchronized method call with the lock already
+      held;
+    - [Threads n]: [n] competing threads, each a tight loop of
+      synchronized blocks on the {e same} object (contention —
+      inflates thin locks).
+
+    Kernels come in two flavours, matching the paper's Fig. 6
+    "FnCall"/"Inline" distinction: {!run} calls through a
+    {!Tl_core.Scheme_intf.packed} record of closures, while the
+    functor {!Direct} is instantiated per scheme module so the
+    compiler sees (and may inline) direct calls. *)
+
+type kernel =
+  | No_sync
+  | Sync
+  | Nested_sync
+  | Mixed_sync
+      (** three nested locks of the same object per iteration — the
+          Fig. 6 [MixedSync] cross between [Sync] and [NestedSync] *)
+  | Multi_sync of int
+  | Call
+  | Call_sync
+  | Nested_call_sync
+  | Threads of int
+
+val kernel_name : kernel -> string
+val all_kernels : kernel list
+(** One representative of each family ([Multi_sync 8], [Threads 4]). *)
+
+val parse_kernel : string -> kernel option
+(** Inverse of {!kernel_name}, accepting e.g. ["multisync:32"] and
+    ["threads:8"]. *)
+
+type measurement = {
+  kernel : kernel;
+  scheme_name : string;
+  iterations : int;
+  seconds : float;
+  ns_per_iteration : float;
+}
+
+val run :
+  ?runs:int ->
+  iterations:int ->
+  scheme:Tl_core.Scheme_intf.packed ->
+  runtime:Tl_runtime.Runtime.t ->
+  kernel ->
+  measurement
+(** Median-of-[runs] (default 3) wall time.  [Threads n] spawns
+    threads on [runtime]; all other kernels run on the calling
+    thread's environment. *)
+
+(** Direct-call kernels over a scheme module (the "Inline" flavour).
+    Only the single-threaded kernels are provided — that is where call
+    overhead matters. *)
+module Direct (S : Tl_core.Scheme_intf.S) : sig
+  val run :
+    ?runs:int ->
+    iterations:int ->
+    ctx:S.ctx ->
+    env:Tl_runtime.Runtime.env ->
+    kernel ->
+    measurement
+  (** @raise Invalid_argument on [Threads _]. *)
+end

@@ -1,0 +1,81 @@
+type t = {
+  name : string;
+  app_bytes : int;
+  lib_bytes : int;
+  objects : int;
+  sync_objects : int;
+  syncs : int;
+  depth_fractions : float array;
+  working_set : int;
+  fig5_speedup_thin : float;
+  fig5_speedup_ibm : float;
+}
+
+(* Rows transcribed from Table 1.  Cells marked (est) were unreadable
+   in our source of the paper and are reconstructed to respect the
+   published Syncs/S.Obj ratios and aggregate medians; the depth
+   fractions discretise Figure 3's bars; the Fig. 5 speedups are read
+   off the figure.  EXPERIMENTS.md discusses the fidelity of each
+   column. *)
+let row name ~app ~lib ~objects ~sobj ~syncs ~depths ~ws ~thin ~ibm =
+  {
+    name;
+    app_bytes = app;
+    lib_bytes = lib;
+    objects;
+    sync_objects = sobj;
+    syncs;
+    depth_fractions = depths;
+    working_set = ws;
+    fig5_speedup_thin = thin;
+    fig5_speedup_ibm = ibm;
+  }
+
+let all =
+  [
+    row "trans" ~app:124751 ~lib:159747 ~objects:486215 ~sobj:49313 ~syncs:873911
+      ~depths:[| 0.85; 0.12; 0.02; 0.01 |] ~ws:24 ~thin:1.17 ~ibm:1.04;
+    row "javac" ~app:298436 ~lib:345687 ~objects:310000 (* est *) ~sobj:24735 ~syncs:856666
+      ~depths:[| 0.78; 0.18; 0.03; 0.01 |] ~ws:20 ~thin:1.08 ~ibm:1.02;
+    row "jacorb" ~app:12182 ~lib:159747 ~objects:4258177 ~sobj:150175 ~syncs:12975639
+      ~depths:[| 0.90; 0.08; 0.015; 0.005 |] ~ws:1500 ~thin:1.30 ~ibm:0.92;
+    row "javaparser" ~app:59431 ~lib:159747 ~objects:420000 (* est *) ~sobj:39138
+      ~syncs:888390 ~depths:[| 0.80; 0.15; 0.04; 0.01 |] ~ws:16 ~thin:1.22 ~ibm:1.08;
+    row "jobe" ~app:52961 ~lib:159747 ~objects:52000 (* est *) ~sobj:31 ~syncs:621
+      ~depths:[| 0.60; 0.30; 0.08; 0.02 |] ~ws:4 ~thin:1.02 ~ibm:1.00;
+    row "toba" ~app:23743 ~lib:166472 ~objects:690000 (* est *) ~sobj:70796 ~syncs:1611558
+      ~depths:[| 0.82; 0.14; 0.03; 0.01 |] ~ws:600 ~thin:1.25 ~ibm:0.95;
+    row "javalex" ~app:25058 ~lib:159747 ~objects:43392 ~sobj:10333 ~syncs:1975481
+      ~depths:[| 0.75; 0.22; 0.02; 0.01 |] ~ws:6 ~thin:1.70 ~ibm:1.40;
+    row "jax" ~app:19182 ~lib:160963 ~objects:24615 ~sobj:4629 ~syncs:19960283
+      ~depths:[| 0.99; 0.01; 0.0; 0.0 |] ~ws:4 ~thin:1.60 ~ibm:1.30;
+    row "javacup" ~app:10105 ~lib:159758 ~objects:100000 (* est *) ~sobj:12243 ~syncs:90573
+      ~depths:[| 0.45; 0.40; 0.10; 0.05 |] ~ws:28 ~thin:1.10 ~ibm:1.03;
+    row "netrexx" ~app:136535 ~lib:298436 ~objects:2258960 ~sobj:139253 ~syncs:1918352
+      ~depths:[| 0.70; 0.25; 0.04; 0.01 |] ~ws:800 ~thin:1.22 ~ibm:0.97;
+    row "espresso" ~app:30569 ~lib:160963 ~objects:221093 ~sobj:23676 ~syncs:330100
+      ~depths:[| 0.80; 0.16; 0.03; 0.01 |] ~ws:22 ~thin:1.18 ~ibm:1.06;
+    row "hashjava" ~app:24154 ~lib:161229 ~objects:625039 ~sobj:119179 ~syncs:1651763
+      ~depths:[| 0.86; 0.11; 0.02; 0.01 |] ~ws:2000 ~thin:1.32 ~ibm:0.90;
+    row "crema" ~app:16821 ~lib:160827 ~objects:247723 ~sobj:7281 ~syncs:212148
+      ~depths:[| 0.77; 0.19; 0.03; 0.01 |] ~ws:12 ~thin:1.20 ~ibm:1.05;
+    row "janet" ~app:26008 ~lib:161071 ~objects:84532 ~sobj:10228 ~syncs:275155
+      ~depths:[| 0.65; 0.28; 0.05; 0.02 |] ~ws:18 ~thin:1.25 ~ibm:1.08;
+    row "javadoc" ~app:65285 ~lib:159747 (* est *) ~objects:879254 ~sobj:107510
+      ~syncs:2175567 ~depths:[| 0.88; 0.10; 0.015; 0.005 |] ~ws:900 ~thin:1.24 ~ibm:0.96;
+    row "javap" ~app:8825 ~lib:160827 ~objects:1083688 ~sobj:234 ~syncs:23369
+      ~depths:[| 0.95; 0.04; 0.01; 0.0 |] ~ws:8 ~thin:1.05 ~ibm:1.01;
+    row "mocha" ~app:139800 ~lib:161096 ~objects:334824 ~sobj:448 ~syncs:12030
+      ~depths:[| 0.72; 0.23; 0.04; 0.01 |] ~ws:10 ~thin:1.12 ~ibm:1.04;
+    row "wingdis" ~app:79260 ~lib:162650 ~objects:2577899 ~sobj:633145 ~syncs:3647296
+      ~depths:[| 0.50; 0.38; 0.09; 0.03 |] ~ws:5000 ~thin:1.28 ~ibm:0.88;
+  ]
+
+let find name = List.find_opt (fun p -> String.equal p.name name) all
+
+let syncs_per_object p =
+  if p.sync_objects = 0 then 0.0 else float_of_int p.syncs /. float_of_int p.sync_objects
+
+let median xs = Tl_util.Stats.median (Array.of_list xs)
+let median_syncs_per_object () = median (List.map syncs_per_object all)
+let median_depth1_fraction () = median (List.map (fun p -> p.depth_fractions.(0)) all)

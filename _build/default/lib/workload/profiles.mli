@@ -1,0 +1,49 @@
+(** Macro-benchmark profiles (paper Table 1 + Figure 3).
+
+    The paper characterises its 17 macro-benchmarks by application and
+    library bytecode size, objects created, objects synchronized,
+    total synchronization operations, and syncs per synchronized
+    object; Figure 3 adds the distribution of lock-nesting depths.
+    These rows reproduce the published numbers (transcribed from the
+    paper's Table 1; a few cells unreadable in our source were
+    reconstructed to be consistent with the published Syncs/S.Obj
+    column and the paper's aggregate statements — the median of 22.7
+    syncs per synchronized object and the 80 % median of depth-1 lock
+    operations; see EXPERIMENTS.md).
+
+    [fig5_speedup_thin] records the ThinLock-vs-JDK111 speedup read
+    off Figure 5; the replayer uses it to calibrate the non-sync work
+    per operation (the paper's applications compute between
+    synchronizations; their compute/sync ratio is not recoverable from
+    the paper, so we fit it on the thin column and then {e predict}
+    the IBM112 column — see DESIGN.md §1). *)
+
+type t = {
+  name : string;
+  app_bytes : int;  (** application bytecode size *)
+  lib_bytes : int;  (** transitively reachable library bytecode size *)
+  objects : int;  (** objects created *)
+  sync_objects : int;  (** objects synchronized at least once *)
+  syncs : int;  (** total lock operations *)
+  depth_fractions : float array;
+      (** fraction of lock operations at nesting depth 1, 2, 3, 4+
+          (sums to 1) — Figure 3 *)
+  working_set : int;
+      (** distinct objects that receive the bulk of the syncs; > 32
+          defeats the IBM112 hot-lock table *)
+  fig5_speedup_thin : float;  (** ThinLock speedup over JDK111 from Fig. 5 *)
+  fig5_speedup_ibm : float;  (** IBM112 speedup over JDK111 from Fig. 5 *)
+}
+
+val all : t list
+(** The 17 benchmarks, in the paper's order. *)
+
+val find : string -> t option
+
+val syncs_per_object : t -> float
+
+val median_syncs_per_object : unit -> float
+(** Should be ≈ 22.7 (§3.1). *)
+
+val median_depth1_fraction : unit -> float
+(** Should be ≈ 0.80 (§3.2). *)

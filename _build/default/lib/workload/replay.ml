@@ -1,0 +1,45 @@
+open Tl_core
+
+type result = { elapsed : float; acquires : int; stats : Lock_stats.snapshot }
+
+(* Opaque integer work the optimiser cannot delete. *)
+let spin_work iterations =
+  let acc = ref 0 in
+  for i = 1 to iterations do
+    acc := !acc lxor Sys.opaque_identity i
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+let run ?(work_per_op = 0) ~(scheme : Scheme_intf.packed) ~env (trace : Tracegen.t) =
+  let heap = Tl_heap.Heap.create () in
+  let pool = Tl_heap.Heap.alloc_many heap trace.Tracegen.pool_size in
+  scheme.Scheme_intf.reset_stats ();
+  let ops = trace.Tracegen.ops in
+  let t0 = Tl_util.Timer.now () in
+  Array.iter
+    (fun op ->
+      if op > 0 then scheme.Scheme_intf.acquire env pool.(op - 1)
+      else scheme.Scheme_intf.release env pool.(-op - 1);
+      if work_per_op > 0 then spin_work work_per_op)
+    ops;
+  let elapsed = Tl_util.Timer.now () -. t0 in
+  { elapsed; acquires = Tracegen.acquire_count trace; stats = scheme.Scheme_intf.stats () }
+
+let calibrate_work ~cost_fast ~cost_slow ~target_speedup =
+  if target_speedup <= 1.0 then 0.0
+  else
+    let w = (cost_slow -. (target_speedup *. cost_fast)) /. (target_speedup -. 1.0) in
+    Float.max 0.0 w
+
+(* Measure the opaque loop's per-iteration cost once. *)
+let seconds_per_iteration =
+  lazy
+    (let iterations = 2_000_000 in
+     let t0 = Tl_util.Timer.now () in
+     spin_work iterations;
+     let dt = Tl_util.Timer.now () -. t0 in
+     Float.max 1e-10 (dt /. float_of_int iterations))
+
+let work_iterations_for_seconds seconds =
+  if seconds <= 0.0 then 0
+  else int_of_float (Float.round (seconds /. Lazy.force seconds_per_iteration))

@@ -1,0 +1,34 @@
+(** Trace replay: execute a synthetic trace against a locking scheme.
+
+    Replay allocates the trace's object pool from a fresh heap, then
+    executes every acquire/release in order, optionally performing
+    [work_per_op] iterations of opaque integer work per lock operation
+    to model the application compute between synchronizations (the
+    knob the Fig. 5 harness calibrates). *)
+
+type result = {
+  elapsed : float;  (** seconds *)
+  acquires : int;
+  stats : Tl_core.Lock_stats.snapshot;
+}
+
+val run :
+  ?work_per_op:int ->
+  scheme:Tl_core.Scheme_intf.packed ->
+  env:Tl_runtime.Runtime.env ->
+  Tracegen.t ->
+  result
+(** Single-threaded replay (the paper's macro-benchmarks are
+    single-threaded; this is the point — measuring the tax on programs
+    with no contention). *)
+
+val calibrate_work :
+  cost_fast:float -> cost_slow:float -> target_speedup:float -> float
+(** [calibrate_work ~cost_fast ~cost_slow ~target_speedup] solves for
+    the per-op work time [w] such that
+    [(cost_slow + w) / (cost_fast + w) = target_speedup]; returns 0 if
+    the target is unattainable (≥ the zero-work ratio or ≤ 1). *)
+
+val work_iterations_for_seconds : float -> int
+(** Convert a work duration into iterations of the opaque work loop
+    (self-calibrating; memoised). *)

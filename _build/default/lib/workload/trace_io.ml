@@ -1,0 +1,88 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let magic = "# thinlocks-trace v1"
+
+let to_string (t : Tracegen.t) =
+  let buf = Buffer.create (16 * Array.length t.Tracegen.ops) in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "profile %s\n" t.Tracegen.profile.Profiles.name);
+  Buffer.add_string buf (Printf.sprintf "pool %d\n" t.Tracegen.pool_size);
+  Array.iteri
+    (fun i op ->
+      if op > 0 then Buffer.add_string buf (Printf.sprintf "+%d" op)
+      else Buffer.add_string buf (string_of_int op);
+      Buffer.add_char buf (if (i + 1) mod 20 = 0 then '\n' else ' '))
+    t.Tracegen.ops;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let save path t = Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc (to_string t))
+
+let synthetic_profile name =
+  match Profiles.find name with
+  | Some p -> p
+  | None ->
+      {
+        Profiles.name;
+        app_bytes = 0;
+        lib_bytes = 0;
+        objects = 0;
+        sync_objects = 0;
+        syncs = 0;
+        depth_fractions = [| 1.0; 0.0; 0.0; 0.0 |];
+        working_set = 0;
+        fig5_speedup_thin = 1.0;
+        fig5_speedup_ibm = 1.0;
+      }
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  match lines with
+  | header :: rest when String.trim header = magic ->
+      let profile = ref None in
+      let pool = ref None in
+      let ops = ref [] in
+      List.iter
+        (fun line ->
+          let line = String.trim line in
+          if line = "" || line.[0] = '#' then ()
+          else
+            match String.split_on_char ' ' line with
+            | "profile" :: name -> profile := Some (String.concat " " name)
+            | [ "pool"; n ] -> (
+                match int_of_string_opt n with
+                | Some n when n > 0 -> pool := Some n
+                | _ -> fail "bad pool size %S" n)
+            | tokens ->
+                List.iter
+                  (fun tok ->
+                    if tok <> "" then
+                      match int_of_string_opt tok with
+                      | Some op when op <> 0 -> ops := op :: !ops
+                      | _ -> fail "bad op token %S" tok)
+                  tokens)
+        rest;
+      let pool_size = match !pool with Some n -> n | None -> fail "missing pool line" in
+      let name = match !profile with Some n -> n | None -> fail "missing profile line" in
+      let ops = Array.of_list (List.rev !ops) in
+      (* validation: ops in range, properly nested per object *)
+      let depth = Hashtbl.create 64 in
+      Array.iter
+        (fun op ->
+          let idx = abs op - 1 in
+          if idx < 0 || idx >= pool_size then fail "op %d outside pool of %d" op pool_size;
+          let d = Option.value ~default:0 (Hashtbl.find_opt depth idx) in
+          if op > 0 then Hashtbl.replace depth idx (d + 1)
+          else if d <= 0 then fail "release of unheld object %d" (idx + 1)
+          else Hashtbl.replace depth idx (d - 1))
+        ops;
+      Hashtbl.iter
+        (fun idx d -> if d <> 0 then fail "object %d left held at end of trace" (idx + 1))
+        depth;
+      { Tracegen.profile = synthetic_profile name; pool_size; ops }
+  | _ -> fail "missing %S header" magic
+
+let load path = of_string (In_channel.with_open_bin path In_channel.input_all)

@@ -1,0 +1,27 @@
+(** Plain-text serialization of lock traces.
+
+    Lets a trace be generated once, inspected, edited or produced by an
+    external tool, and replayed under any scheme (`thinlocks trace` /
+    `thinlocks replay`).  The format is line-oriented:
+
+    {v
+    # thinlocks-trace v1
+    profile jax
+    pool 123
+    +1 +1 -1 -1 +7 -7 ...
+    v}
+
+    [+n] acquires object [n-1], [-n] releases it (1-based, matching the
+    internal encoding); op lines may wrap arbitrarily.  Unknown profile
+    names load with a synthetic profile carrying just the name. *)
+
+val to_string : Tracegen.t -> string
+val save : string -> Tracegen.t -> unit
+
+exception Parse_error of string
+
+val of_string : string -> Tracegen.t
+(** @raise Parse_error on malformed input (bad header, op outside the
+    pool, unbalanced or improperly nested sequences). *)
+
+val load : string -> Tracegen.t

@@ -1,0 +1,35 @@
+(** Synthetic lock-operation traces matching a benchmark profile.
+
+    A trace is a pre-materialised sequence of acquire/release events
+    over a pool of objects, generated so that:
+
+    - the nesting-depth census of the acquires matches the profile's
+      Figure 3 fractions (episodes of nesting [n] are drawn with
+      probability [f_n - f_(n+1)], which makes the per-op depth
+      distribution come out right);
+    - a hot subset of [working_set] objects receives ~90 % of the
+      episodes (Zipf-flavoured locality, which is what defeats the
+      bounded monitor cache and the 32 hot locks);
+    - the syncs-per-object ratio tracks the profile.
+
+    Traces are deterministic in the seed, so every locking scheme
+    replays the identical event sequence. *)
+
+type t = {
+  profile : Profiles.t;
+  pool_size : int;  (** distinct objects in the trace *)
+  ops : int array;
+      (** encoded events: [idx + 1] = acquire object [idx],
+          [-(idx + 1)] = release object [idx] *)
+}
+
+val generate : ?seed:int -> ?max_syncs:int -> Profiles.t -> t
+(** Scale the profile down to at most [max_syncs] (default 100_000)
+    lock operations. *)
+
+val acquire_count : t -> int
+val depth_census : t -> float array
+(** Fraction of acquires at depth 1, 2, 3, 4+ — for conformance
+    tests. *)
+
+val distinct_objects_touched : t -> int

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Ibm112 Jdk111 List Lock_stats Registry Tl_baselines Tl_core Tl_heap Tl_runtime Tl_test_helpers

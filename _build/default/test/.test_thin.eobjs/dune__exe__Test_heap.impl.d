@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Array Atomic Gen List QCheck QCheck_alcotest Tl_heap Tl_runtime

@@ -1,0 +1,1 @@
+test/test_jvm.ml: Alcotest Array Classfile Instr Jlib Tl_jvm Tl_monitor Value Vm

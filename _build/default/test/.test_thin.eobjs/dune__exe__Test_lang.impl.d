@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Ast Compiler Driver Format Lexer List Parser String Tl_core Tl_jvm Tl_lang Tl_monitor Token

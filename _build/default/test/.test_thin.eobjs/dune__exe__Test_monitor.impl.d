@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Array Atomic List Printf Thread Tl_monitor Tl_runtime Unix

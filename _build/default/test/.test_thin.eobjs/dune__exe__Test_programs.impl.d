@@ -1,0 +1,1 @@
+test/test_programs.ml: Alcotest Filename In_channel List Printf Tl_jvm Tl_lang

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Atomic List Thread Tl_runtime Unix

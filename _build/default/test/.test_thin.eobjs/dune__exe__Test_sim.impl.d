@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array List Machine String Thinmodel Tl_heap Tl_sim

@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Array List Printf QCheck QCheck_alcotest Scheme_intf String Tl_baselines Tl_core Tl_heap Tl_monitor Tl_runtime

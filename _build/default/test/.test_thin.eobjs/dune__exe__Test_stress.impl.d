@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Array Atomic Hashtbl List Scheme_intf Thread Tl_baselines Tl_core Tl_heap Tl_runtime Tl_util Unix Validate

@@ -1,0 +1,1 @@
+test/test_thin.ml: Alcotest Array Lock_stats Scheme_intf Thin Thread Tl_core Tl_heap Tl_runtime Tl_test_helpers Tl_util Unix

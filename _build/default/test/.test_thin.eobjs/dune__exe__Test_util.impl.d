@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun List QCheck QCheck_alcotest String Tl_util

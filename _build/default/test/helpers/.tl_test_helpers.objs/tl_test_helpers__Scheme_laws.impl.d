@@ -1,0 +1,1 @@
+test/helpers/scheme_laws.ml: Alcotest Array Atomic List Lock_stats Printf Scheme_intf Thread Tl_core Tl_heap Tl_monitor Tl_runtime Tl_util Unix

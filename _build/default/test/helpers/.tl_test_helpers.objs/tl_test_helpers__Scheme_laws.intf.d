@@ -1,0 +1,1 @@
+test/helpers/scheme_laws.mli: Alcotest Tl_core Tl_heap Tl_runtime

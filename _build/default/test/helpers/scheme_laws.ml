@@ -1,0 +1,264 @@
+open Tl_core
+module Runtime = Tl_runtime.Runtime
+module Fatlock = Tl_monitor.Fatlock
+
+type world = { scheme : Scheme_intf.packed; runtime : Tl_runtime.Runtime.t; heap : Tl_heap.Heap.t }
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let expect_illegal_state f =
+  match f () with
+  | () -> Alcotest.fail "expected Illegal_monitor_state"
+  | exception Fatlock.Illegal_monitor_state _ -> ()
+
+let basic_acquire_release { scheme; runtime; heap } () =
+  let env = Runtime.main_env runtime in
+  let obj = Tl_heap.Heap.alloc heap in
+  check "not held initially" false (scheme.holds env obj);
+  scheme.acquire env obj;
+  check "held after acquire" true (scheme.holds env obj);
+  scheme.release env obj;
+  check "released" false (scheme.holds env obj)
+
+let reentrancy_deep { scheme; runtime; heap } () =
+  let env = Runtime.main_env runtime in
+  let obj = Tl_heap.Heap.alloc heap in
+  (* 300 crosses the thin count's inflation point (257th lock). *)
+  for _ = 1 to 300 do
+    scheme.acquire env obj
+  done;
+  check "held at depth 300" true (scheme.holds env obj);
+  for _ = 1 to 299 do
+    scheme.release env obj
+  done;
+  check "still held at depth 1" true (scheme.holds env obj);
+  scheme.release env obj;
+  check "fully released" false (scheme.holds env obj);
+  (* Another thread can take it afterwards. *)
+  Runtime.run_parallel runtime 1 (fun _ env' ->
+      scheme.acquire env' obj;
+      scheme.release env' obj)
+
+let release_without_hold { scheme; runtime; heap } () =
+  let env = Runtime.main_env runtime in
+  let obj = Tl_heap.Heap.alloc heap in
+  expect_illegal_state (fun () -> scheme.release env obj)
+
+let release_by_non_owner { scheme; runtime; heap } () =
+  let env = Runtime.main_env runtime in
+  let obj = Tl_heap.Heap.alloc heap in
+  scheme.acquire env obj;
+  Runtime.run_parallel runtime 1 (fun _ env' ->
+      expect_illegal_state (fun () -> scheme.release env' obj);
+      check "non-owner does not hold" false (scheme.holds env' obj));
+  scheme.release env obj
+
+let wait_without_hold { scheme; runtime; heap } () =
+  let env = Runtime.main_env runtime in
+  let obj = Tl_heap.Heap.alloc heap in
+  expect_illegal_state (fun () -> scheme.wait ?timeout:(Some 0.01) env obj)
+
+let notify_without_hold { scheme; runtime; heap } () =
+  let env = Runtime.main_env runtime in
+  let obj = Tl_heap.Heap.alloc heap in
+  expect_illegal_state (fun () -> scheme.notify env obj)
+
+let mutual_exclusion ?(threads = 6) ?(iters = 3000) { scheme; runtime; heap } () =
+  let obj = Tl_heap.Heap.alloc heap in
+  let counter = ref 0 in
+  Runtime.run_parallel runtime threads (fun _ env ->
+      for _ = 1 to iters do
+        scheme.acquire env obj;
+        (* Unprotected increment: correct only under mutual exclusion. *)
+        counter := !counter + 1;
+        scheme.release env obj
+      done);
+  check_int "counter" (threads * iters) !counter
+
+let mutual_exclusion_nested { scheme; runtime; heap } () =
+  let obj = Tl_heap.Heap.alloc heap in
+  let counter = ref 0 in
+  Runtime.run_parallel runtime 4 (fun _ env ->
+      for _ = 1 to 1000 do
+        scheme.acquire env obj;
+        scheme.acquire env obj;
+        counter := !counter + 1;
+        scheme.release env obj;
+        scheme.release env obj
+      done);
+  check_int "counter" 4000 !counter
+
+let multi_object_exclusion { scheme; runtime; heap } () =
+  let objs = Tl_heap.Heap.alloc_many heap 8 in
+  let counters = Array.make 8 0 in
+  Runtime.run_parallel runtime 4 (fun t env ->
+      let prng = Tl_util.Prng.create (t + 42) in
+      for _ = 1 to 2000 do
+        let i = Tl_util.Prng.int prng 8 in
+        scheme.acquire env objs.(i);
+        counters.(i) <- counters.(i) + 1;
+        scheme.release env objs.(i)
+      done);
+  check_int "total" 8000 (Array.fold_left ( + ) 0 counters)
+
+let wait_notify_pingpong { scheme; runtime; heap } () =
+  let obj = Tl_heap.Heap.alloc heap in
+  let turns = 50 in
+  let state = ref 0 in
+  (* state parity says whose turn it is; both sides flip it. *)
+  let side parity env =
+    for _ = 1 to turns do
+      scheme.acquire env obj;
+      while !state mod 2 <> parity do
+        scheme.wait env obj
+      done;
+      state := !state + 1;
+      scheme.notify_all env obj;
+      scheme.release env obj
+    done
+  in
+  Runtime.run_parallel runtime 2 (fun i env -> side i env);
+  check_int "turn count" (2 * turns) !state
+
+let notify_all_wakes_all { scheme; runtime; heap } () =
+  let obj = Tl_heap.Heap.alloc heap in
+  let waiters = 5 in
+  let ready = Atomic.make 0 in
+  let released = Atomic.make 0 in
+  let go = ref false in
+  let handles =
+    List.init waiters (fun i ->
+        Tl_runtime.Runtime.spawn ~name:(Printf.sprintf "waiter-%d" i) runtime (fun env ->
+            scheme.acquire env obj;
+            ignore (Atomic.fetch_and_add ready 1);
+            while not !go do
+              scheme.wait env obj
+            done;
+            ignore (Atomic.fetch_and_add released 1);
+            scheme.release env obj))
+  in
+  (* Wait until everyone is parked in wait() — they release the lock
+     while waiting, so [ready] rising to [waiters] plus a grace sleep
+     is enough for this test's purposes. *)
+  let env = Runtime.main_env runtime in
+  while Atomic.get ready < waiters do
+    Thread.yield ()
+  done;
+  Unix.sleepf 0.05;
+  scheme.acquire env obj;
+  go := true;
+  scheme.notify_all env obj;
+  scheme.release env obj;
+  List.iter Runtime.join handles;
+  check_int "all released" waiters (Atomic.get released)
+
+let wait_timeout_returns { scheme; runtime; heap } () =
+  let env = Runtime.main_env runtime in
+  let obj = Tl_heap.Heap.alloc heap in
+  scheme.acquire env obj;
+  let t0 = Unix.gettimeofday () in
+  scheme.wait ?timeout:(Some 0.05) env obj;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  check "waited at least the timeout" true (elapsed >= 0.045);
+  check "lock re-held after timed-out wait" true (scheme.holds env obj);
+  scheme.release env obj
+
+let wait_releases_lock { scheme; runtime; heap } () =
+  let obj = Tl_heap.Heap.alloc heap in
+  let observed_free = ref false in
+  let h =
+    Tl_runtime.Runtime.spawn runtime (fun env ->
+        scheme.acquire env obj;
+        scheme.wait ?timeout:(Some 0.5) env obj;
+        scheme.release env obj)
+  in
+  let env = Runtime.main_env runtime in
+  (* While the waiter is in wait(), we must be able to take the lock. *)
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  let rec try_take () =
+    scheme.acquire env obj;
+    observed_free := true;
+    scheme.notify env obj;
+    scheme.release env obj;
+    if (not !observed_free) && Unix.gettimeofday () < deadline then try_take ()
+  in
+  Unix.sleepf 0.02;
+  try_take ();
+  Runtime.join h;
+  check "lock was acquirable during wait" true !observed_free
+
+let stats_balance { scheme; runtime; heap } () =
+  scheme.reset_stats ();
+  let env = Runtime.main_env runtime in
+  let objs = Tl_heap.Heap.alloc_many heap 10 in
+  Array.iter
+    (fun obj ->
+      scheme.acquire env obj;
+      scheme.acquire env obj;
+      scheme.release env obj;
+      scheme.release env obj)
+    objs;
+  let s = scheme.stats () in
+  let acquires = Lock_stats.total_acquires s in
+  let releases = s.releases_fast + s.releases_nested + s.releases_fat in
+  check_int "acquires" 20 acquires;
+  check_int "releases" 20 releases
+
+let deep_nesting_interleaved_objects { scheme; runtime; heap } () =
+  let env = Runtime.main_env runtime in
+  let a = Tl_heap.Heap.alloc heap in
+  let b = Tl_heap.Heap.alloc heap in
+  for _ = 1 to 10 do
+    scheme.acquire env a;
+    scheme.acquire env b;
+    scheme.acquire env a
+  done;
+  check "a held" true (scheme.holds env a);
+  check "b held" true (scheme.holds env b);
+  for _ = 1 to 10 do
+    scheme.release env a;
+    scheme.release env b;
+    scheme.release env a
+  done;
+  check "a free" false (scheme.holds env a);
+  check "b free" false (scheme.holds env b)
+
+let contended_handoff_chain { scheme; runtime; heap } () =
+  (* Threads form a chain: each waits for its predecessor's token
+     under the object's monitor — exercises queuing and wakeup. *)
+  let obj = Tl_heap.Heap.alloc heap in
+  let token = ref 0 in
+  let n = 5 in
+  Runtime.run_parallel runtime n (fun i env ->
+      scheme.acquire env obj;
+      while !token <> i do
+        scheme.wait ?timeout:(Some 0.2) env obj
+      done;
+      token := i + 1;
+      scheme.notify_all env obj;
+      scheme.release env obj);
+  check_int "token" n !token
+
+let with_world make law () = law (make ()) ()
+
+let cases ~name make =
+  let tc title speed law = Alcotest.test_case (name ^ ": " ^ title) speed (with_world make law) in
+  [
+    tc "basic acquire/release" `Quick basic_acquire_release;
+    tc "reentrancy to depth 300" `Quick reentrancy_deep;
+    tc "release without hold raises" `Quick release_without_hold;
+    tc "release by non-owner raises" `Quick release_by_non_owner;
+    tc "wait without hold raises" `Quick wait_without_hold;
+    tc "notify without hold raises" `Quick notify_without_hold;
+    tc "mutual exclusion" `Slow (mutual_exclusion ?threads:None ?iters:None);
+    tc "mutual exclusion, nested" `Slow mutual_exclusion_nested;
+    tc "mutual exclusion over many objects" `Slow multi_object_exclusion;
+    tc "wait/notify ping-pong" `Slow wait_notify_pingpong;
+    tc "notifyAll wakes all" `Slow notify_all_wakes_all;
+    tc "wait timeout returns and re-locks" `Quick wait_timeout_returns;
+    tc "wait releases the lock" `Slow wait_releases_lock;
+    tc "stats balance" `Quick stats_balance;
+    tc "interleaved nesting on two objects" `Quick deep_nesting_interleaved_objects;
+    tc "contended handoff chain" `Slow contended_handoff_chain;
+  ]

@@ -1,0 +1,15 @@
+(** A battery of monitor-semantics laws applied uniformly to every
+    locking scheme (thin locks, each Fig. 6 variant, the JDK 1.1.1 and
+    IBM 1.1.2 baselines, fat-only, MCS).
+
+    Each law is an alcotest case; [cases make] instantiates the whole
+    battery for one scheme constructor.  [make] must build a fresh,
+    isolated world (runtime + heap + scheme) on every call. *)
+
+type world = {
+  scheme : Tl_core.Scheme_intf.packed;
+  runtime : Tl_runtime.Runtime.t;
+  heap : Tl_heap.Heap.t;
+}
+
+val cases : name:string -> (unit -> world) -> unit Alcotest.test_case list

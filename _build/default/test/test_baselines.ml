@@ -1,0 +1,167 @@
+(* Baseline schemes: the full monitor-semantics law battery for each,
+   plus behaviours specific to the monitor cache (recycling under
+   working-set pressure) and to hot locks (promotion, slot
+   exhaustion). *)
+
+open Tl_core
+open Tl_baselines
+module Runtime = Tl_runtime.Runtime
+module H = Tl_heap.Heap
+
+let world_of scheme_name () =
+  let runtime = Runtime.create () in
+  {
+    Tl_test_helpers.Scheme_laws.scheme = Registry.find_exn scheme_name runtime;
+    runtime;
+    heap = H.create ();
+  }
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let extra_or_zero s key =
+  match List.assoc_opt key s.Lock_stats.extra with Some v -> v | None -> 0
+
+(* --- monitor cache (jdk111) specifics --- *)
+
+let small_cache () =
+  let runtime = Runtime.create () in
+  let params = { Jdk111.cache_capacity = 8; free_list_capacity = 8 } in
+  let ctx = Jdk111.create_with ~params runtime in
+  (runtime, ctx, H.create ())
+
+let test_cache_recycles_under_pressure () =
+  let runtime, ctx, heap = small_cache () in
+  let env = Runtime.main_env runtime in
+  let objs = H.alloc_many heap 100 in
+  Array.iter
+    (fun obj ->
+      Jdk111.acquire ctx env obj;
+      Jdk111.release ctx env obj)
+    objs;
+  (* With capacity 8 and 100 sequentially-used objects, monitors must
+     have been evicted and recycled. *)
+  check "resident bounded" true (Jdk111.resident_monitors ctx <= 9);
+  let s = Lock_stats.snapshot (Jdk111.stats ctx) in
+  let recycles = List.assoc "cache.recycles" s.Lock_stats.extra in
+  check "recycled monitors" true (recycles > 50);
+  let free_hits = List.assoc "cache.free_hits" s.Lock_stats.extra in
+  check "free list reused" true (free_hits > 50)
+
+let test_cache_small_working_set_stays_resident () =
+  let runtime, ctx, heap = small_cache () in
+  let env = Runtime.main_env runtime in
+  let objs = H.alloc_many heap 4 in
+  for _ = 1 to 50 do
+    Array.iter
+      (fun obj ->
+        Jdk111.acquire ctx env obj;
+        Jdk111.release ctx env obj)
+      objs
+  done;
+  let s = Lock_stats.snapshot (Jdk111.stats ctx) in
+  (* Under capacity: 4 misses total, everything else hits. *)
+  check_int "misses" 4 (extra_or_zero s "cache.misses");
+  check_int "recycles" 0 (extra_or_zero s "cache.recycles")
+
+let test_cache_monitor_stable_while_held () =
+  (* An object's monitor must never be recycled while locked, even
+     under pressure from many other objects. *)
+  let runtime, ctx, heap = small_cache () in
+  let env = Runtime.main_env runtime in
+  let held = H.alloc heap in
+  Jdk111.acquire ctx env held;
+  let objs = H.alloc_many heap 50 in
+  Array.iter
+    (fun obj ->
+      Jdk111.acquire ctx env obj;
+      Jdk111.release ctx env obj)
+    objs;
+  check "still held" true (Jdk111.holds ctx env held);
+  Jdk111.release ctx env held;
+  check "released" false (Jdk111.holds ctx env held)
+
+(* --- hot locks (ibm112) specifics --- *)
+
+let hot_world ?(params = Ibm112.default_params) () =
+  let runtime = Runtime.create () in
+  let ctx = Ibm112.create_with ~params runtime in
+  (runtime, ctx, H.create ())
+
+let spin_ops ctx env obj n =
+  for _ = 1 to n do
+    Ibm112.acquire ctx env obj;
+    Ibm112.release ctx env obj
+  done
+
+let test_hot_promotion () =
+  let runtime, ctx, heap = hot_world () in
+  let env = Runtime.main_env runtime in
+  let obj = H.alloc heap in
+  check_int "no hot slots used initially" 0 (Ibm112.hot_slots_used ctx);
+  spin_ops ctx env obj 20;
+  check_int "promoted to a hot slot" 1 (Ibm112.hot_slots_used ctx);
+  let s = Lock_stats.snapshot (Ibm112.stats ctx) in
+  check "hot fast ops observed" true (List.assoc "hot.fast_ops" s.Lock_stats.extra > 0);
+  (* The lock still works after promotion. *)
+  Ibm112.acquire ctx env obj;
+  check "held" true (Ibm112.holds ctx env obj);
+  Ibm112.release ctx env obj
+
+let test_hot_slot_exhaustion () =
+  let params = { Ibm112.default_params with hot_slots = 4; promotion_threshold = 3 } in
+  let runtime, ctx, heap = hot_world ~params () in
+  let env = Runtime.main_env runtime in
+  let objs = H.alloc_many heap 10 in
+  Array.iter (fun obj -> spin_ops ctx env obj 10) objs;
+  check_int "only 4 slots ever used" 4 (Ibm112.hot_slots_used ctx);
+  (* Cold objects still lock correctly after slots run out. *)
+  Array.iter
+    (fun obj ->
+      Ibm112.acquire ctx env obj;
+      check "held" true (Ibm112.holds ctx env obj);
+      Ibm112.release ctx env obj)
+    objs
+
+let test_hot_promotion_during_multithreaded_use () =
+  let params = { Ibm112.default_params with promotion_threshold = 5 } in
+  let runtime, ctx, heap = hot_world ~params () in
+  let obj = H.alloc heap in
+  let counter = ref 0 in
+  Runtime.run_parallel runtime 4 (fun _ env ->
+      for _ = 1 to 2000 do
+        Ibm112.acquire ctx env obj;
+        counter := !counter + 1;
+        Ibm112.release ctx env obj
+      done);
+  check_int "exclusion across promotion" 8000 !counter;
+  check_int "promoted" 1 (Ibm112.hot_slots_used ctx)
+
+let specific_cases =
+  [
+    Alcotest.test_case "jdk111: cache recycles under pressure" `Quick
+      test_cache_recycles_under_pressure;
+    Alcotest.test_case "jdk111: small working set stays resident" `Quick
+      test_cache_small_working_set_stays_resident;
+    Alcotest.test_case "jdk111: monitor stable while held" `Quick
+      test_cache_monitor_stable_while_held;
+    Alcotest.test_case "ibm112: promotion to hot slot" `Quick test_hot_promotion;
+    Alcotest.test_case "ibm112: slot exhaustion leaves objects cold" `Quick
+      test_hot_slot_exhaustion;
+    Alcotest.test_case "ibm112: promotion under contention is safe" `Slow
+      test_hot_promotion_during_multithreaded_use;
+  ]
+
+let () =
+  let laws name = (name ^ " laws", Tl_test_helpers.Scheme_laws.cases ~name (world_of name)) in
+  Alcotest.run "baselines"
+    [
+      laws "jdk111";
+      laws "ibm112";
+      laws "fat";
+      laws "mcs";
+      laws "thin-unlkcas";
+      laws "thin-mpsync";
+      laws "thin-count2";
+      ("specific", specific_cases);
+    ]

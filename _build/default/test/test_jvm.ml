@@ -1,0 +1,252 @@
+(* tl_jvm: the interpreter itself, below the frontend — hand-assembled
+   bytecode for each instruction family, dispatch through class
+   hierarchies, the monitor instructions, and VM-level error cases. *)
+
+open Tl_jvm
+module I = Instr
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* Assemble a program with one class holding static main = [code] and
+   any extra user classes. *)
+let assemble ?(extra_classes = []) ?(main_locals = 8) code =
+  let main_class =
+    {
+      Classfile.c_name = "Main";
+      c_id = Jlib.count;
+      c_super = Some Jlib.object_class_id;
+      c_fields = [||];
+      c_field_defaults = [||];
+      c_methods =
+        [
+          {
+            Classfile.m_name = "main";
+            m_argc = 0;
+            m_locals = main_locals;
+            m_static = true;
+            m_synchronized = false;
+            m_body = Classfile.Bytecode (Array.of_list code);
+          };
+        ];
+      c_native_kind = None;
+    }
+  in
+  {
+    Classfile.classes = Array.append Jlib.classes (Array.of_list (main_class :: extra_classes));
+    main_class = Jlib.count;
+  }
+
+let run_program ?extra_classes code =
+  let program = assemble ?extra_classes code in
+  let vm = Vm.create ~natives:Jlib.natives ~native_states:Jlib.native_states program in
+  let result = Vm.run_main vm in
+  (vm, result)
+
+let expect_error ?extra_classes code =
+  match run_program ?extra_classes code with
+  | _ -> Alcotest.fail "expected a VM error"
+  | exception
+      ( Vm.Runtime_error _ | Value.Type_error _
+      | Tl_monitor.Fatlock.Illegal_monitor_state _ (* Java's IllegalMonitorStateException *) )
+    -> ()
+
+let println v = [ I.Const_int 0; I.Pop ] @ v (* no-op padding helper *)
+
+let test_arith_stack () =
+  let _, result =
+    run_program
+      [
+        I.Const_int 6; I.Const_int 7; I.Mul; I.Const_int 2; I.Add; I.Return_value;
+      ]
+  in
+  check "6*7+2" true (result = Value.Int 44)
+
+let test_dup_pop_swapless () =
+  let _, result =
+    run_program [ I.Const_int 5; I.Dup; I.Add; I.Const_int 9; I.Pop; I.Return_value ]
+  in
+  check "dup doubles" true (result = Value.Int 10)
+
+let test_branches () =
+  (* if (3 < 4) return 1 else return 0 *)
+  let _, result =
+    run_program
+      [
+        I.Const_int 3; I.Const_int 4; I.Cmp I.Lt;
+        I.If_false 6;
+        I.Const_int 1; I.Return_value;
+        I.Const_int 0; I.Return_value;
+      ]
+  in
+  check "branch taken" true (result = Value.Int 1)
+
+let test_locals_loop () =
+  (* sum 1..10 with a goto loop *)
+  let _, result =
+    run_program
+      [
+        (* 0 *) I.Const_int 0; I.Store 0; (* acc *)
+        (* 2 *) I.Const_int 1; I.Store 1; (* i *)
+        (* 4 *) I.Load 1; I.Const_int 10; I.Cmp I.Le;
+        (* 7 *) I.If_false 17;
+        (* 8 *) I.Load 0; I.Load 1; I.Add; I.Store 0;
+        (* 12 *) I.Load 1; I.Const_int 1; I.Add; I.Store 1;
+        (* 16 *) I.Goto 4;
+        (* 17 *) I.Load 0; I.Return_value;
+      ]
+  in
+  check "sum" true (result = Value.Int 55)
+
+let test_string_concat_add () =
+  let _, result =
+    run_program [ I.Const_str "n="; I.Const_int 3; I.Add; I.Return_value ]
+  in
+  check "string + int" true (result = Value.Str "n=3")
+
+let test_monitor_instructions () =
+  let vm, result =
+    run_program
+      [
+        I.New Jlib.object_class_id; I.Store 0;
+        I.Load 0; I.Monitor_enter;
+        I.Load 0; I.Monitor_enter;
+        I.Load 0; I.Monitor_exit;
+        I.Load 0; I.Monitor_exit;
+        I.Const_int 1; I.Return_value;
+      ]
+  in
+  check "ran" true (result = Value.Int 1);
+  check_int "two acquires" 2 (Vm.sync_op_count vm)
+
+let test_monitor_exit_without_enter () =
+  expect_error [ I.New Jlib.object_class_id; I.Monitor_exit; I.Return ]
+
+let test_stack_underflow () = expect_error [ I.Pop; I.Return ]
+let test_pc_out_of_bounds () = expect_error [ I.Goto 99 ]
+let test_div_by_zero () = expect_error [ I.Const_int 1; I.Const_int 0; I.Div; I.Return ]
+
+let test_native_invoke () =
+  let vm, _ =
+    run_program
+      [
+        I.New 2 (* Vector *); I.Store 0;
+        I.Load 0; I.Const_int 42; I.Invoke ("addElement", 1); I.Pop;
+        I.Load 0; I.Const_int 0; I.Invoke ("elementAt", 1);
+        I.Invoke_static (1 (* System *), "println", 1); I.Pop;
+        I.Return;
+      ]
+  in
+  check_str "output" "42\n" (Vm.output vm)
+
+let test_inherited_dispatch () =
+  (* class A { int f() { return 1; } }  class B extends A {} — calling
+     f on a B walks the superclass chain *)
+  let class_a =
+    {
+      Classfile.c_name = "A";
+      c_id = Jlib.count + 1;
+      c_super = Some Jlib.object_class_id;
+      c_fields = [||];
+      c_field_defaults = [||];
+      c_methods =
+        [
+          {
+            Classfile.m_name = "f";
+            m_argc = 0;
+            m_locals = 1;
+            m_static = false;
+            m_synchronized = false;
+            m_body = Classfile.Bytecode [| I.Const_int 1; I.Return_value |];
+          };
+        ];
+      c_native_kind = None;
+    }
+  in
+  let class_b =
+    {
+      Classfile.c_name = "B";
+      c_id = Jlib.count + 2;
+      c_super = Some (Jlib.count + 1);
+      c_fields = [||];
+      c_field_defaults = [||];
+      c_methods = [];
+      c_native_kind = None;
+    }
+  in
+  let _, result =
+    run_program
+      ~extra_classes:[ class_a; class_b ]
+      [ I.New (Jlib.count + 2); I.Invoke ("f", 0); I.Return_value ]
+  in
+  check "inherited" true (result = Value.Int 1)
+
+let test_fields () =
+  let class_c =
+    {
+      Classfile.c_name = "C";
+      c_id = Jlib.count + 1;
+      c_super = Some Jlib.object_class_id;
+      c_fields = [| "x"; "y" |];
+      c_field_defaults = [| Value.Int 0; Value.Int 7 |];
+      c_methods = [];
+      c_native_kind = None;
+    }
+  in
+  let _, result =
+    run_program ~extra_classes:[ class_c ]
+      [
+        I.New (Jlib.count + 1); I.Store 0;
+        I.Load 0; I.Const_int 5; I.Put_field 0;
+        I.Load 0; I.Get_field 0; I.Load 0; I.Get_field 1; I.Add; I.Return_value;
+      ]
+  in
+  check "field defaults + put/get" true (result = Value.Int 12)
+
+let test_value_module () =
+  check "equal ints" true (Value.equal (Value.Int 3) (Value.Int 3));
+  check "unequal types" false (Value.equal (Value.Int 1) (Value.Bool true));
+  check_str "to_string null" "null" (Value.to_string Value.Null);
+  check_str "type name" "boolean" (Value.type_name (Value.Bool false));
+  (match Value.as_int (Value.Str "x") with
+  | _ -> Alcotest.fail "as_int on Str must raise"
+  | exception Value.Type_error _ -> ());
+  check "truthy" true (Value.truthy (Value.Bool true))
+
+let test_program_metrics () =
+  let program = assemble [ I.Return ] in
+  check "method count includes natives" true (Classfile.method_count program > 20);
+  check "bytecode size counts only bytecode" true (Classfile.bytecode_size program = 1);
+  check "class lookup" true (Classfile.class_by_name program "Vector" <> None);
+  let c = Classfile.class_of_id program 2 in
+  check_str "vector" "Vector" c.Classfile.c_name;
+  check "field_slot none" true (Classfile.field_slot c "zzz" = None)
+
+let () =
+  ignore println;
+  Alcotest.run "jvm"
+    [
+      ( "interpreter",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_arith_stack;
+          Alcotest.test_case "dup/pop" `Quick test_dup_pop_swapless;
+          Alcotest.test_case "branches" `Quick test_branches;
+          Alcotest.test_case "locals and loop" `Quick test_locals_loop;
+          Alcotest.test_case "string concatenation" `Quick test_string_concat_add;
+          Alcotest.test_case "monitorenter/exit" `Quick test_monitor_instructions;
+          Alcotest.test_case "monitorexit without enter" `Quick
+            test_monitor_exit_without_enter;
+          Alcotest.test_case "stack underflow" `Quick test_stack_underflow;
+          Alcotest.test_case "pc out of bounds" `Quick test_pc_out_of_bounds;
+          Alcotest.test_case "division by zero" `Quick test_div_by_zero;
+          Alcotest.test_case "native invoke" `Quick test_native_invoke;
+          Alcotest.test_case "inherited dispatch" `Quick test_inherited_dispatch;
+          Alcotest.test_case "fields and defaults" `Quick test_fields;
+        ] );
+      ( "values and metadata",
+        [
+          Alcotest.test_case "value module" `Quick test_value_module;
+          Alcotest.test_case "program metrics" `Quick test_program_metrics;
+        ] );
+    ]

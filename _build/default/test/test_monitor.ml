@@ -1,0 +1,232 @@
+(* tl_monitor: the fat-lock subsystem exercised directly (not through
+   a locking scheme), plus the index table. *)
+
+module Fatlock = Tl_monitor.Fatlock
+module Montable = Tl_monitor.Montable
+module Index_table = Tl_monitor.Index_table
+module Runtime = Tl_runtime.Runtime
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let with_env f =
+  let runtime = Runtime.create () in
+  f runtime (Runtime.main_env runtime)
+
+let test_basic () =
+  with_env (fun _ env ->
+      let fat = Fatlock.create () in
+      check_int "unowned" 0 (Fatlock.owner fat);
+      Fatlock.acquire env fat;
+      check "holds" true (Fatlock.holds env fat);
+      check_int "count" 1 (Fatlock.count fat);
+      Fatlock.acquire env fat;
+      check_int "reentrant count" 2 (Fatlock.count fat);
+      Fatlock.release env fat;
+      Fatlock.release env fat;
+      check_int "released" 0 (Fatlock.owner fat))
+
+let test_create_locked () =
+  with_env (fun _ env ->
+      let me = env.Runtime.descriptor.Tl_runtime.Tid.index in
+      let fat = Fatlock.create_locked ~owner:me ~count:42 in
+      check "holds" true (Fatlock.holds env fat);
+      check_int "count transferred" 42 (Fatlock.count fat);
+      for _ = 1 to 42 do
+        Fatlock.release env fat
+      done;
+      check_int "balanced" 0 (Fatlock.owner fat))
+
+let test_create_locked_validation () =
+  (match Fatlock.create_locked ~owner:0 ~count:1 with
+  | _ -> Alcotest.fail "owner 0 must be rejected"
+  | exception Invalid_argument _ -> ());
+  match Fatlock.create_locked ~owner:1 ~count:0 with
+  | _ -> Alcotest.fail "count 0 must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_try_acquire () =
+  with_env (fun runtime env ->
+      let fat = Fatlock.create () in
+      check "try on free" true (Fatlock.try_acquire env fat);
+      check "try reentrant" true (Fatlock.try_acquire env fat);
+      check_int "count 2" 2 (Fatlock.count fat);
+      Runtime.run_parallel runtime 1 (fun _ env' ->
+          check "try on foreign-held fails" false (Fatlock.try_acquire env' fat));
+      Fatlock.release env fat;
+      Fatlock.release env fat)
+
+let test_release_by_non_owner () =
+  with_env (fun runtime env ->
+      let fat = Fatlock.create () in
+      Fatlock.acquire env fat;
+      Runtime.run_parallel runtime 1 (fun _ env' ->
+          match Fatlock.release env' fat with
+          | () -> Alcotest.fail "non-owner release must raise"
+          | exception Fatlock.Illegal_monitor_state _ -> ());
+      Fatlock.release env fat)
+
+let test_queueing_fifo_ish () =
+  (* A long-held lock with several blocked entrants: all must
+     eventually get it exactly once. *)
+  with_env (fun runtime env ->
+      let fat = Fatlock.create () in
+      let entered = Atomic.make 0 in
+      Fatlock.acquire env fat;
+      let handles =
+        List.init 5 (fun i ->
+            Runtime.spawn ~name:(Printf.sprintf "w%d" i) runtime (fun env' ->
+                Fatlock.acquire env' fat;
+                ignore (Atomic.fetch_and_add entered 1);
+                Fatlock.release env' fat))
+      in
+      Unix.sleepf 0.05;
+      check_int "nobody entered while held" 0 (Atomic.get entered);
+      check "entry queue populated" true (Fatlock.entry_queue_length fat >= 1);
+      Fatlock.release env fat;
+      List.iter Runtime.join handles;
+      check_int "all entered" 5 (Atomic.get entered);
+      check_int "queue drained" 0 (Fatlock.entry_queue_length fat))
+
+let test_wait_notify_counts () =
+  with_env (fun runtime env ->
+      let fat = Fatlock.create () in
+      let stage = ref 0 in
+      let h =
+        Runtime.spawn runtime (fun env' ->
+            Fatlock.acquire env' fat;
+            stage := 1;
+            while !stage < 2 do
+              Fatlock.wait env' fat
+            done;
+            stage := 3;
+            Fatlock.release env' fat)
+      in
+      let rec wait_for_stage n =
+        if !stage < n then begin
+          Thread.yield ();
+          wait_for_stage n
+        end
+      in
+      wait_for_stage 1;
+      Unix.sleepf 0.02;
+      check_int "waiter in wait set" 1 (Fatlock.wait_set_length fat);
+      Fatlock.acquire env fat;
+      stage := 2;
+      Fatlock.notify env fat;
+      Fatlock.release env fat;
+      Runtime.join h;
+      check_int "waiter resumed and finished" 3 !stage;
+      check_int "wait set drained" 0 (Fatlock.wait_set_length fat))
+
+let test_notify_no_waiters_is_noop () =
+  with_env (fun _ env ->
+      let fat = Fatlock.create () in
+      Fatlock.acquire env fat;
+      Fatlock.notify env fat;
+      Fatlock.notify_all env fat;
+      Fatlock.release env fat)
+
+let test_wait_restores_nested_count () =
+  with_env (fun runtime env ->
+      let fat = Fatlock.create () in
+      Fatlock.acquire env fat;
+      Fatlock.acquire env fat;
+      Fatlock.acquire env fat;
+      let h =
+        Runtime.spawn runtime (fun env' ->
+            Unix.sleepf 0.02;
+            Fatlock.acquire env' fat;
+            Fatlock.notify env' fat;
+            Fatlock.release env' fat)
+      in
+      Fatlock.wait env fat;
+      Runtime.join h;
+      check_int "count restored after wait" 3 (Fatlock.count fat);
+      for _ = 1 to 3 do
+        Fatlock.release env fat
+      done;
+      check_int "balanced" 0 (Fatlock.owner fat))
+
+(* --- index table --- *)
+
+let test_index_table_basics () =
+  let t = Index_table.create () in
+  let i1 = Index_table.allocate t "one" in
+  let i2 = Index_table.allocate t "two" in
+  check_int "dense from 1" 1 i1;
+  check_int "second" 2 i2;
+  Alcotest.(check string) "get" "one" (Index_table.get t i1);
+  check_int "allocated" 2 (Index_table.allocated t);
+  (match Index_table.get t 0 with
+  | _ -> Alcotest.fail "index 0 invalid"
+  | exception Invalid_argument _ -> ());
+  match Index_table.get t 99 with
+  | _ -> Alcotest.fail "unallocated index invalid"
+  | exception Invalid_argument _ -> ()
+
+let test_index_table_growth () =
+  let t = Index_table.create () in
+  let indices = List.init 500 (fun i -> Index_table.allocate t i) in
+  List.iteri
+    (fun i idx -> check_int "stable across growth" i (Index_table.get t idx))
+    indices
+
+let test_index_table_exhaustion () =
+  let t = Index_table.create ~max_index:3 () in
+  ignore (Index_table.allocate t 0);
+  ignore (Index_table.allocate t 0);
+  ignore (Index_table.allocate t 0);
+  match Index_table.allocate t 0 with
+  | _ -> Alcotest.fail "must exhaust"
+  | exception Failure _ -> ()
+
+let test_index_table_concurrent () =
+  let t = Index_table.create () in
+  let runtime = Runtime.create () in
+  let results = Array.make 4 [] in
+  Runtime.run_parallel runtime 4 (fun i _env ->
+      results.(i) <- List.init 300 (fun j -> Index_table.allocate t ((i * 1000) + j)));
+  (* all indices distinct, all values retrievable *)
+  let all = List.concat (Array.to_list results) in
+  check_int "distinct" 1200 (List.length (List.sort_uniq compare all));
+  Array.iteri
+    (fun i indices ->
+      List.iteri
+        (fun j idx -> check_int "value" ((i * 1000) + j) (Index_table.get t idx))
+        indices)
+    results
+
+let test_montable_is_index_table_of_fatlocks () =
+  let t = Montable.create () in
+  let fat = Fatlock.create () in
+  let idx = Montable.allocate t fat in
+  check "same fat back" true (Montable.get t idx == fat);
+  check_int "census" 1 (Montable.allocated t)
+
+let () =
+  Alcotest.run "monitor"
+    [
+      ( "fatlock",
+        [
+          Alcotest.test_case "acquire/release/reentrancy" `Quick test_basic;
+          Alcotest.test_case "create_locked transfers count" `Quick test_create_locked;
+          Alcotest.test_case "create_locked validates" `Quick test_create_locked_validation;
+          Alcotest.test_case "try_acquire" `Slow test_try_acquire;
+          Alcotest.test_case "release by non-owner raises" `Slow test_release_by_non_owner;
+          Alcotest.test_case "queueing drains" `Slow test_queueing_fifo_ish;
+          Alcotest.test_case "wait/notify" `Slow test_wait_notify_counts;
+          Alcotest.test_case "notify without waiters" `Quick test_notify_no_waiters_is_noop;
+          Alcotest.test_case "wait restores nested count" `Slow
+            test_wait_restores_nested_count;
+        ] );
+      ( "index table",
+        [
+          Alcotest.test_case "basics" `Quick test_index_table_basics;
+          Alcotest.test_case "growth keeps values" `Quick test_index_table_growth;
+          Alcotest.test_case "exhaustion" `Quick test_index_table_exhaustion;
+          Alcotest.test_case "concurrent allocation" `Slow test_index_table_concurrent;
+          Alcotest.test_case "montable wraps fat locks" `Quick
+            test_montable_is_index_table_of_fatlocks;
+        ] );
+    ]

@@ -1,0 +1,173 @@
+(* Model checking the thin-lock protocol: exhaustive interleaving
+   exploration on small configurations, demonstrations that the checker
+   catches protocol violations, and operation censuses for the §3.3
+   instruction-count discussion. *)
+
+open Tl_sim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let workers ~threads ~iterations ?nesting ~spin_budget () =
+  Array.init threads (fun i -> Thinmodel.worker ~tid:(i + 1) ~iterations ?nesting ~spin_budget ())
+
+let exhaustive ~threads ~iterations ?nesting ?(spin_budget = 2) ?(max_depth = 400) () =
+  Machine.explore ~max_depth ~mem_size:Thinmodel.Addr.mem_size
+    ~invariant:(Thinmodel.mutual_exclusion_invariant ~threads)
+    ~final:(Thinmodel.completion_check ~threads ~iterations)
+    (workers ~threads ~iterations ?nesting ~spin_budget ())
+
+(* Configurations too big to enumerate get randomized schedules; the
+   model programs may spin freely there (random scheduling is fair). *)
+let sampled ~threads ~iterations ?nesting ?(spin_budget = 50) ~schedules () =
+  Machine.sample ~schedules ~seed:42 ~mem_size:Thinmodel.Addr.mem_size
+    ~invariant:(Thinmodel.mutual_exclusion_invariant ~threads)
+    ~final:(Thinmodel.completion_check ~threads ~iterations)
+    (workers ~threads ~iterations ?nesting ~spin_budget ())
+
+let assert_safe outcome =
+  (match outcome.Machine.violation with
+  | Some v ->
+      Alcotest.failf "violation: %s (schedule: %s)" v.Machine.message
+        (String.concat "," (List.map string_of_int v.Machine.schedule))
+  | None -> ());
+  check "explored some paths" true (outcome.Machine.explored_paths > 0);
+  check "some paths completed" true (outcome.Machine.completed_paths > 0)
+
+let test_two_threads_one_iteration () = assert_safe (exhaustive ~threads:2 ~iterations:1 ())
+
+let test_two_threads_two_iterations_sampled () =
+  assert_safe (sampled ~threads:2 ~iterations:2 ~schedules:20_000 ())
+
+let test_two_threads_nested () =
+  assert_safe (exhaustive ~threads:2 ~iterations:1 ~nesting:2 ~spin_budget:1 ())
+
+(* Three workers of ~7 shared ops each already have ~4e8 interleavings
+   (21!/7!^3) — beyond enumeration without state merging — so 3+
+   threads are checked by randomized sampling. *)
+let test_three_threads_sampled () =
+  assert_safe (sampled ~threads:3 ~iterations:1 ~schedules:30_000 ())
+
+let test_four_threads_sampled () =
+  assert_safe (sampled ~threads:4 ~iterations:3 ~schedules:10_000 ())
+
+let test_deep_nesting_sampled () =
+  assert_safe (sampled ~threads:2 ~iterations:1 ~nesting:300 ~schedules:500 ())
+
+(* The buggy variants must be CAUGHT — these tests check that the
+   checker has teeth.  Sampling with a fixed seed is deterministic and
+   finds these shallow races in well under the schedule budget. *)
+let assert_buggy_caught make =
+  let programs =
+    [| make ~tid:1 ~iterations:2 ~spin_budget:20 (); make ~tid:2 ~iterations:2 ~spin_budget:20 () |]
+  in
+  let outcome =
+    Machine.sample ~schedules:50_000 ~seed:7 ~mem_size:Thinmodel.Addr.mem_size
+      ~invariant:(Thinmodel.mutual_exclusion_invariant ~threads:2)
+      programs
+  in
+  check "violation found" true (outcome.Machine.violation <> None)
+
+let test_blind_release_caught () =
+  assert_buggy_caught (fun ~tid ~iterations ~spin_budget ->
+      Thinmodel.buggy_blind_release_worker ~tid ~iterations ~spin_budget)
+
+let test_nonowner_inflation_caught () =
+  assert_buggy_caught (fun ~tid ~iterations ~spin_budget ->
+      Thinmodel.buggy_nonowner_inflate_worker ~tid ~iterations ~spin_budget)
+
+let test_initial_path_counts () =
+  let c = Thinmodel.acquire_solo_counts () in
+  check_int "exactly one CAS to lock" 1 c.Machine.cas;
+  check_int "one load to build the old value" 1 c.Machine.loads;
+  check_int "no stores" 0 c.Machine.stores
+
+let test_release_path_counts () =
+  let c = Thinmodel.release_solo_counts () in
+  check_int "zero atomic ops to unlock" 0 c.Machine.cas;
+  check_int "one load" 1 c.Machine.loads;
+  check_int "one plain store" 1 c.Machine.stores
+
+let test_nested_path_counts () =
+  let a = Thinmodel.nested_acquire_solo_counts () in
+  check_int "nested lock: CAS attempted once (fails)" 1 a.Machine.cas;
+  check_int "nested lock: plain store" 1 a.Machine.stores;
+  let r = Thinmodel.nested_release_solo_counts () in
+  check_int "nested unlock: zero atomic ops" 0 r.Machine.cas;
+  check_int "nested unlock: plain store" 1 r.Machine.stores
+
+let test_fat_path_costs_more () =
+  let thin = Thinmodel.solo_counts `Initial in
+  let fat = Thinmodel.fat_solo_counts () in
+  check "fat path costs more ops than thin"
+    true
+    (Machine.total_ops fat > 0
+    && fat.Machine.cas >= 1
+    && Machine.total_ops thin > 0)
+
+let test_solo_deep_nesting_state () =
+  (* A solo worker locking 3 deep leaves memory fully released. *)
+  let mem, _ =
+    Machine.run_solo ~mem_size:Thinmodel.Addr.mem_size
+      (Thinmodel.worker ~tid:1 ~iterations:2 ~nesting:3 ~spin_budget:0 ())
+  in
+  check_int "worker finished" 1 mem.(Thinmodel.Addr.done_flag ~tid:1);
+  check_int "lock word back to unlocked" 0 mem.(Thinmodel.Addr.lockword);
+  check_int "nobody gave up" 0 mem.(Thinmodel.Addr.gave_up_flag ~tid:1)
+
+let test_overflow_inflation_in_model () =
+  (* Nesting past 256 in the model must transition the word to the
+     inflated encoding, mirroring the library, and still balance. *)
+  let mem, _ =
+    Machine.run_solo ~mem_size:Thinmodel.Addr.mem_size
+      (Thinmodel.worker ~tid:1 ~iterations:1 ~nesting:257 ~spin_budget:0 ())
+  in
+  check "word inflated after deep nesting" true
+    (Tl_heap.Header.is_inflated mem.(Thinmodel.Addr.lockword));
+  check_int "worker finished" 1 mem.(Thinmodel.Addr.done_flag ~tid:1);
+  check_int "fat monitor released" 0 mem.(Thinmodel.Addr.fat_owner)
+
+let test_explorer_counts_paths () =
+  (* Two independent single-op threads: exactly the 2 interleavings of
+     disjoint stores each complete. *)
+  let program a () = Machine.Store (a, 1, fun () -> Machine.Done) in
+  let outcome =
+    Machine.explore ~mem_size:4
+      ~invariant:(fun _ -> None)
+      [| program 0; program 1 |]
+  in
+  check_int "paths" 2 outcome.Machine.explored_paths;
+  check_int "completed" 2 outcome.Machine.completed_paths
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "explore",
+        [
+          Alcotest.test_case "explorer path counting" `Quick test_explorer_counts_paths;
+          Alcotest.test_case "2 threads x 1 iter: exhaustive, safe" `Quick
+            test_two_threads_one_iteration;
+          Alcotest.test_case "2 threads x 2 iters: sampled, safe" `Slow
+            test_two_threads_two_iterations_sampled;
+          Alcotest.test_case "2 threads nested: exhaustive, safe" `Slow test_two_threads_nested;
+          Alcotest.test_case "3 threads x 1 iter: sampled, safe" `Slow
+            test_three_threads_sampled;
+          Alcotest.test_case "4 threads x 3 iters: sampled, safe" `Slow test_four_threads_sampled;
+          Alcotest.test_case "inflation by overflow under contention: sampled" `Slow
+            test_deep_nesting_sampled;
+          Alcotest.test_case "blind release is caught" `Quick test_blind_release_caught;
+          Alcotest.test_case "non-owner inflation is caught" `Quick
+            test_nonowner_inflation_caught;
+        ] );
+      ( "counts",
+        [
+          Alcotest.test_case "initial lock: 1 CAS, 1 load" `Quick test_initial_path_counts;
+          Alcotest.test_case "unlock: no atomic op" `Quick test_release_path_counts;
+          Alcotest.test_case "nested paths: no extra atomics" `Quick test_nested_path_counts;
+          Alcotest.test_case "fat path costs more" `Quick test_fat_path_costs_more;
+          Alcotest.test_case "solo deep nesting leaves clean state" `Quick
+            test_solo_deep_nesting_state;
+          Alcotest.test_case "overflow inflation in the model" `Quick
+            test_overflow_inflation_in_model;
+        ] );
+    ]

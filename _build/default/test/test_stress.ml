@@ -1,0 +1,155 @@
+(* Stress: every scheme under chaos injection (random yields inside the
+   protocol edges) with an independent shadow validator checking
+   monitor semantics operation by operation, plus randomized
+   mixed-workload storms.  This is where cooperative-scheduling bugs
+   that the law battery's tamer interleavings miss would surface. *)
+
+open Tl_core
+module Runtime = Tl_runtime.Runtime
+module H = Tl_heap.Heap
+
+let check_int = Alcotest.(check int)
+
+let schemes_under_test = [ "thin"; "jdk111"; "ibm112"; "fat"; "mcs"; "thin-unlkcas" ]
+
+let wrapped scheme_name runtime =
+  Validate.with_validation
+    (Validate.with_chaos ~seed:(Hashtbl.hash scheme_name)
+       (Tl_baselines.Registry.find_exn scheme_name runtime))
+
+let storm scheme_name () =
+  let runtime = Runtime.create () in
+  let heap = H.create () in
+  let scheme = wrapped scheme_name runtime in
+  let objs = H.alloc_many heap 16 in
+  let counters = Array.make 16 0 in
+  Runtime.run_parallel runtime 6 (fun t env ->
+      let prng = Tl_util.Prng.create (t * 31337) in
+      for _ = 1 to 1500 do
+        let i = Tl_util.Prng.int prng 16 in
+        let obj = objs.(i) in
+        match Tl_util.Prng.int prng 10 with
+        | 0 | 1 | 2 | 3 | 4 | 5 ->
+            (* plain critical section *)
+            scheme.Scheme_intf.acquire env obj;
+            counters.(i) <- counters.(i) + 1;
+            scheme.Scheme_intf.release env obj
+        | 6 | 7 ->
+            (* nested *)
+            scheme.Scheme_intf.acquire env obj;
+            scheme.Scheme_intf.acquire env obj;
+            counters.(i) <- counters.(i) + 1;
+            scheme.Scheme_intf.release env obj;
+            scheme.Scheme_intf.release env obj
+        | 8 ->
+            (* timed wait (nobody may notify: relies on the timeout) *)
+            scheme.Scheme_intf.acquire env obj;
+            counters.(i) <- counters.(i) + 1;
+            scheme.Scheme_intf.wait ?timeout:(Some 0.001) env obj;
+            scheme.Scheme_intf.release env obj
+        | _ ->
+            (* notify with no waiters is a legal no-op *)
+            scheme.Scheme_intf.acquire env obj;
+            counters.(i) <- counters.(i) + 1;
+            scheme.Scheme_intf.notify env obj;
+            scheme.Scheme_intf.release env obj
+      done);
+  check_int "all increments survived" 9000 (Array.fold_left ( + ) 0 counters)
+
+let waiters_storm scheme_name () =
+  (* producers/consumers rendezvous through a single monitor under
+     chaos + validation *)
+  let runtime = Runtime.create () in
+  let heap = H.create () in
+  let scheme = wrapped scheme_name runtime in
+  let obj = H.alloc heap in
+  let budget = ref 0 in
+  let produced = ref 0 in
+  let consumed = ref 0 in
+  let rounds = 300 in
+  let producer env =
+    for _ = 1 to rounds do
+      scheme.Scheme_intf.acquire env obj;
+      budget := !budget + 1;
+      produced := !produced + 1;
+      scheme.Scheme_intf.notify_all env obj;
+      scheme.Scheme_intf.release env obj
+    done
+  in
+  let consumer env =
+    for _ = 1 to rounds do
+      scheme.Scheme_intf.acquire env obj;
+      while !budget = 0 do
+        scheme.Scheme_intf.wait ?timeout:(Some 0.05) env obj
+      done;
+      budget := !budget - 1;
+      consumed := !consumed + 1;
+      scheme.Scheme_intf.release env obj
+    done
+  in
+  let handles =
+    [
+      Runtime.spawn ~name:"p0" runtime producer;
+      Runtime.spawn ~name:"p1" runtime producer;
+      Runtime.spawn ~name:"c0" runtime consumer;
+      Runtime.spawn ~name:"c1" runtime consumer;
+    ]
+  in
+  List.iter Runtime.join handles;
+  check_int "production" (2 * rounds) !produced;
+  check_int "consumption" (2 * rounds) !consumed;
+  check_int "balance" 0 !budget
+
+let validator_catches_misuse () =
+  (* The validator itself must have teeth: a bare release without an
+     acquire must trip it even on the forgiving nosync scheme. *)
+  let runtime = Runtime.create () in
+  let heap = H.create () in
+  let scheme = Validate.with_validation (Tl_baselines.Registry.find_exn "nosync" runtime) in
+  let env = Runtime.main_env runtime in
+  let obj = H.alloc heap in
+  match scheme.Scheme_intf.release env obj with
+  | () -> Alcotest.fail "validator missed an unpaired release"
+  | exception Validate.Violation _ -> ()
+
+let nosync_fails_exclusion_under_validation () =
+  (* And it must catch actual mutual-exclusion failures: nosync lets
+     two threads in, so the shadow sees an acquire while another
+     thread's shadow entry is still live. *)
+  let runtime = Runtime.create () in
+  let heap = H.create () in
+  let scheme = Validate.with_validation (Tl_baselines.Registry.find_exn "nosync" runtime) in
+  let obj = H.alloc heap in
+  let violated = Atomic.make false in
+  Runtime.run_parallel runtime 2 (fun _ env ->
+      try
+        for i = 1 to 5_000 do
+          scheme.Scheme_intf.acquire env obj;
+          (* actually deschedule inside the "critical section" so the
+             other thread provably runs while the shadow is held —
+             Thread.yield alone may be a no-op if the peer is not yet
+             runnable *)
+          if i mod 64 = 0 then Unix.sleepf 0.0002 else Thread.yield ();
+          scheme.Scheme_intf.release env obj
+        done
+      with Validate.Violation _ -> Atomic.set violated true);
+  Alcotest.(check bool) "violation observed" true (Atomic.get violated)
+
+let () =
+  Alcotest.run "stress"
+    [
+      ( "chaos storms",
+        List.map
+          (fun name -> Alcotest.test_case (name ^ " mixed storm") `Slow (storm name))
+          schemes_under_test );
+      ( "wait/notify storms",
+        List.map
+          (fun name -> Alcotest.test_case (name ^ " rendezvous") `Slow (waiters_storm name))
+          [ "thin"; "jdk111"; "ibm112"; "fat"; "mcs" ] );
+      ( "validator",
+        [
+          Alcotest.test_case "catches unpaired release" `Quick validator_catches_misuse;
+          Alcotest.test_case "catches broken exclusion" `Slow
+            nosync_fails_exclusion_under_validation;
+        ] );
+    ]

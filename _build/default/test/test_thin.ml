@@ -1,0 +1,285 @@
+(* Thin-lock algorithm tests: the scheme-laws battery plus paths and
+   state transitions specific to the paper's protocol (inflation
+   causes, lock-word contents, count-width ablation). *)
+
+open Tl_core
+module Header = Tl_heap.Header
+module Runtime = Tl_runtime.Runtime
+module H = Tl_heap.Heap
+
+let make_world () =
+  let runtime = Runtime.create () in
+  let ctx = Thin.create runtime in
+  {
+    Tl_test_helpers.Scheme_laws.scheme = Scheme_intf.pack (module Thin) ctx;
+    runtime;
+    heap = H.create ();
+  }
+
+(* Direct (non-packed) world for inspecting ctx internals. *)
+let direct () =
+  let runtime = Runtime.create () in
+  let ctx = Thin.create runtime in
+  let heap = H.create () in
+  (runtime, ctx, heap)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_lock_word_transitions () =
+  let runtime, ctx, heap = direct () in
+  let env = Runtime.main_env runtime in
+  let obj = H.alloc ~class_id:0xAB heap in
+  let word0 = Thin.lock_word obj in
+  check "starts unlocked" true (Header.is_unlocked word0);
+  check_int "hdr bits preserved" 0xAB (Header.hdr_bits word0);
+  Thin.acquire ctx env obj;
+  let word1 = Thin.lock_word obj in
+  check "thin locked" true (Header.is_thin_locked word1);
+  check_int "owner" env.Runtime.descriptor.Tl_runtime.Tid.index (Header.thin_owner word1);
+  check_int "count zero (= one lock)" 0 (Header.thin_count word1);
+  check_int "hdr bits preserved while locked" 0xAB (Header.hdr_bits word1);
+  Thin.acquire ctx env obj;
+  let word2 = Thin.lock_word obj in
+  check_int "count one (= two locks)" 1 (Header.thin_count word2);
+  check_int "word delta is 256" Header.count_increment (word2 - word1);
+  Thin.release ctx env obj;
+  check_int "back to count zero" word1 (Thin.lock_word obj);
+  Thin.release ctx env obj;
+  check_int "back to unlocked word" word0 (Thin.lock_word obj)
+
+let test_overflow_inflates () =
+  let runtime, ctx, heap = direct () in
+  let env = Runtime.main_env runtime in
+  let obj = H.alloc heap in
+  for _ = 1 to 256 do
+    Thin.acquire ctx env obj
+  done;
+  check "still thin at 256 locks" false (Header.is_inflated (Thin.lock_word obj));
+  check_int "count at max" Header.max_thin_count (Header.thin_count (Thin.lock_word obj));
+  Thin.acquire ctx env obj;
+  check "inflated at 257th lock" true (Header.is_inflated (Thin.lock_word obj));
+  let s = Lock_stats.snapshot (Thin.stats ctx) in
+  check_int "one overflow inflation" 1 s.Lock_stats.inflations_overflow;
+  (* All 257 releases must still balance through the fat lock. *)
+  for _ = 1 to 257 do
+    Thin.release ctx env obj
+  done;
+  check "released" false (Thin.holds ctx env obj);
+  check "stays inflated forever" true (Header.is_inflated (Thin.lock_word obj))
+
+let test_wait_inflates () =
+  let runtime, ctx, heap = direct () in
+  let env = Runtime.main_env runtime in
+  let obj = H.alloc heap in
+  Thin.acquire ctx env obj;
+  Thin.acquire ctx env obj;
+  Thin.wait ~timeout:0.02 ctx env obj;
+  check "inflated by wait" true (Header.is_inflated (Thin.lock_word obj));
+  check "count restored after wait" true (Thin.holds ctx env obj);
+  let s = Lock_stats.snapshot (Thin.stats ctx) in
+  check_int "wait inflation" 1 s.Lock_stats.inflations_wait;
+  Thin.release ctx env obj;
+  Thin.release ctx env obj;
+  check "balanced" false (Thin.holds ctx env obj)
+
+let test_notify_on_thin_is_noop () =
+  let runtime, ctx, heap = direct () in
+  let env = Runtime.main_env runtime in
+  let obj = H.alloc heap in
+  Thin.acquire ctx env obj;
+  Thin.notify ctx env obj;
+  Thin.notify_all ctx env obj;
+  check "still thin after notify" false (Header.is_inflated (Thin.lock_word obj));
+  Thin.release ctx env obj
+
+let test_contention_inflates () =
+  let runtime, ctx, heap = direct () in
+  let env = Runtime.main_env runtime in
+  let obj = H.alloc heap in
+  Thin.acquire ctx env obj;
+  let h =
+    Runtime.spawn runtime (fun env' ->
+        Thin.acquire ctx env' obj;
+        Thin.release ctx env' obj)
+  in
+  (* Give the contender time to start spinning, then release. *)
+  Unix.sleepf 0.05;
+  Thin.release ctx env obj;
+  Runtime.join h;
+  check "inflated by contention" true (Header.is_inflated (Thin.lock_word obj));
+  let s = Lock_stats.snapshot (Thin.stats ctx) in
+  check_int "contention inflation" 1 s.Lock_stats.inflations_contention;
+  check "contended episode recorded" true (s.Lock_stats.contended_episodes >= 1);
+  (* The lock still works, through the fat path now. *)
+  Thin.acquire ctx env obj;
+  check "reusable after inflation" true (Thin.holds ctx env obj);
+  Thin.release ctx env obj
+
+let test_count_width_ablation () =
+  (* With a 2-bit count the 4-lock nest fits (counts 0..3) and the 5th
+     lock overflows into a fat monitor. *)
+  let runtime = Runtime.create () in
+  let config = { Thin.default_config with count_width = 2 } in
+  let ctx = Thin.create_with ~config runtime in
+  let heap = H.create () in
+  let env = Runtime.main_env runtime in
+  let obj = H.alloc heap in
+  for _ = 1 to 4 do
+    Thin.acquire ctx env obj
+  done;
+  check "thin at 4 locks (2-bit count)" false (Header.is_inflated (Thin.lock_word obj));
+  Thin.acquire ctx env obj;
+  check "inflated at 5th lock" true (Header.is_inflated (Thin.lock_word obj));
+  for _ = 1 to 5 do
+    Thin.release ctx env obj
+  done;
+  check "balanced" false (Thin.holds ctx env obj)
+
+let test_unlk_cas_variant () =
+  let runtime = Runtime.create () in
+  let config = { Thin.default_config with unlock_with_cas = true } in
+  let ctx = Thin.create_with ~config runtime in
+  let heap = H.create () in
+  let env = Runtime.main_env runtime in
+  let obj = H.alloc heap in
+  for _ = 1 to 3 do
+    Thin.acquire ctx env obj
+  done;
+  for _ = 1 to 3 do
+    Thin.release ctx env obj
+  done;
+  check "balanced with CAS unlock" false (Thin.holds ctx env obj)
+
+let test_scenario_census () =
+  let runtime, ctx, heap = direct () in
+  let env = Runtime.main_env runtime in
+  let objs = H.alloc_many heap 100 in
+  Array.iter
+    (fun obj ->
+      Thin.acquire ctx env obj;
+      Thin.acquire ctx env obj;
+      Thin.release ctx env obj;
+      Thin.release ctx env obj)
+    objs;
+  let s = Lock_stats.snapshot (Thin.stats ctx) in
+  check_int "unlocked acquires" 100 s.Lock_stats.acquires_unlocked;
+  check_int "nested acquires" 100 s.Lock_stats.acquires_nested;
+  check_int "objects synchronized" 100 s.Lock_stats.objects_synchronized;
+  Alcotest.(check (float 1e-9)) "depth-1 fraction" 0.5 (Lock_stats.depth_fraction s 1);
+  Alcotest.(check (float 1e-9)) "depth-2 fraction" 0.5 (Lock_stats.depth_fraction s 2);
+  Alcotest.(check (float 1e-9)) "syncs per object" 2.0 (Lock_stats.syncs_per_object s)
+
+let test_shifted_index_agrees_with_header () =
+  check_int "runtime pre-shift = header tid offset" Header.tid_offset
+    Runtime.lock_word_shift
+
+(* --- deflation extension --- *)
+
+let inflate_by_wait ctx env obj =
+  Thin.acquire ctx env obj;
+  Thin.wait ~timeout:0.005 ctx env obj;
+  Thin.release ctx env obj
+
+let test_deflate_idle () =
+  let runtime, ctx, heap = direct () in
+  let env = Runtime.main_env runtime in
+  let obj = H.alloc ~class_id:0xCD heap in
+  check "not inflated: nothing to deflate" false (Thin.deflate_idle ctx obj);
+  inflate_by_wait ctx env obj;
+  check "inflated" true (Header.is_inflated (Thin.lock_word obj));
+  check "deflates when idle" true (Thin.deflate_idle ctx obj);
+  check "back to thin-unlocked" true (Header.is_unlocked (Thin.lock_word obj));
+  check_int "hdr bits preserved" 0xCD (Header.hdr_bits (Thin.lock_word obj));
+  check_int "counted" 1 (Thin.deflations ctx);
+  (* the fast path works again, and re-inflation works too *)
+  Thin.acquire ctx env obj;
+  check "thin again after deflation" false (Header.is_inflated (Thin.lock_word obj));
+  Thin.wait ~timeout:0.005 ctx env obj;
+  check "re-inflates" true (Header.is_inflated (Thin.lock_word obj));
+  Thin.release ctx env obj
+
+let test_deflate_refuses_held () =
+  let runtime, ctx, heap = direct () in
+  let env = Runtime.main_env runtime in
+  let obj = H.alloc heap in
+  inflate_by_wait ctx env obj;
+  Thin.acquire ctx env obj;
+  check "refuses while owned" false (Thin.deflate_idle ctx obj);
+  check "still inflated" true (Header.is_inflated (Thin.lock_word obj));
+  Thin.release ctx env obj;
+  check "deflates once released" true (Thin.deflate_idle ctx obj)
+
+let test_deflate_refuses_waiters () =
+  let runtime, ctx, heap = direct () in
+  let env = Runtime.main_env runtime in
+  let obj = H.alloc heap in
+  let h =
+    Runtime.spawn runtime (fun env' ->
+        Thin.acquire ctx env' obj;
+        Thin.wait ~timeout:1.0 ctx env' obj;
+        Thin.release ctx env' obj)
+  in
+  (* wait until the waiter is parked in the wait set *)
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  while
+    (not (Header.is_inflated (Thin.lock_word obj)))
+    && Unix.gettimeofday () < deadline
+  do
+    Thread.yield ()
+  done;
+  Unix.sleepf 0.02;
+  check "refuses with a waiter parked" false (Thin.deflate_idle ctx obj);
+  Thin.acquire ctx env obj;
+  Thin.notify ctx env obj;
+  Thin.release ctx env obj;
+  Runtime.join h;
+  check "deflates after the episode" true (Thin.deflate_idle ctx obj)
+
+let test_deflation_phases () =
+  (* Phased workload with quiescence between phases — the GC-point
+     pattern: contention inflates during a phase, deflation resets
+     between phases, and the next phase enjoys thin fast paths. *)
+  let runtime, ctx, heap = direct () in
+  let objs = H.alloc_many heap 8 in
+  let do_phase () =
+    Runtime.run_parallel runtime 4 (fun t env ->
+        let prng = Tl_util.Prng.create t in
+        for _ = 1 to 500 do
+          let obj = objs.(Tl_util.Prng.int prng 8) in
+          Thin.acquire ctx env obj;
+          if Tl_util.Prng.int prng 50 = 0 then Thread.yield ();
+          Thin.release ctx env obj
+        done)
+  in
+  do_phase ();
+  (* all threads joined: quiescent *)
+  let deflated = Array.fold_left (fun n o -> if Thin.deflate_idle ctx o then n + 1 else n) 0 objs in
+  check "some locks deflated between phases" true (deflated >= 0);
+  do_phase ();
+  let s = Lock_stats.snapshot (Thin.stats ctx) in
+  check_int "all ops accounted" 4000 (Lock_stats.total_acquires s)
+
+let direct_cases =
+  [
+    Alcotest.test_case "lock word transitions (Fig. 1)" `Quick test_lock_word_transitions;
+    Alcotest.test_case "count overflow inflates at 257" `Quick test_overflow_inflates;
+    Alcotest.test_case "wait inflates and restores count" `Quick test_wait_inflates;
+    Alcotest.test_case "notify on thin lock is a no-op" `Quick test_notify_on_thin_is_noop;
+    Alcotest.test_case "contention inflates" `Slow test_contention_inflates;
+    Alcotest.test_case "2-bit count-width ablation" `Quick test_count_width_ablation;
+    Alcotest.test_case "UnlkC&S variant balances" `Quick test_unlk_cas_variant;
+    Alcotest.test_case "scenario census" `Quick test_scenario_census;
+    Alcotest.test_case "pre-shift constants agree" `Quick test_shifted_index_agrees_with_header;
+    Alcotest.test_case "deflation: idle fat lock deflates" `Quick test_deflate_idle;
+    Alcotest.test_case "deflation: refuses held lock" `Quick test_deflate_refuses_held;
+    Alcotest.test_case "deflation: refuses parked waiters" `Slow test_deflate_refuses_waiters;
+    Alcotest.test_case "deflation: phased workload" `Slow test_deflation_phases;
+  ]
+
+let () =
+  Alcotest.run "thin"
+    [
+      ("laws", Tl_test_helpers.Scheme_laws.cases ~name:"thin" make_world);
+      ("protocol", direct_cases);
+    ]

@@ -1,0 +1,234 @@
+(* tl_workload: profile invariants against the paper's aggregates,
+   trace-generator conformance (qcheck over profiles), replay
+   correctness, micro kernels, and report smoke tests. *)
+
+open Tl_workload
+module Runtime = Tl_runtime.Runtime
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- profiles --- *)
+
+let test_profile_aggregates () =
+  check_int "benchmark count" 18 (List.length Profiles.all);
+  let med = Profiles.median_syncs_per_object () in
+  check "median syncs/object ~22.7 (paper)" true (med > 20.0 && med < 26.0);
+  let d1 = Profiles.median_depth1_fraction () in
+  check "median depth-1 ~0.80 (paper)" true (d1 > 0.75 && d1 < 0.85);
+  List.iter
+    (fun (p : Profiles.t) ->
+      check (p.Profiles.name ^ " depth-1 >= 45%") true (p.Profiles.depth_fractions.(0) >= 0.45);
+      let sum = Array.fold_left ( +. ) 0.0 p.Profiles.depth_fractions in
+      check (p.Profiles.name ^ " fractions sum to 1") true (Float.abs (sum -. 1.0) < 1e-6))
+    Profiles.all
+
+let test_fig5_medians () =
+  let thin = List.map (fun p -> p.Profiles.fig5_speedup_thin) Profiles.all in
+  let ibm = List.map (fun p -> p.Profiles.fig5_speedup_ibm) Profiles.all in
+  let med l = Tl_util.Stats.median (Array.of_list l) in
+  Alcotest.(check (float 0.02)) "thin median 1.22" 1.22 (med thin);
+  Alcotest.(check (float 0.02)) "ibm median 1.04" 1.035 (med ibm);
+  Alcotest.(check (float 1e-9)) "thin max 1.7" 1.7 (List.fold_left Float.max 0.0 thin)
+
+let test_find () =
+  check "find jax" true (Profiles.find "jax" <> None);
+  check "find missing" true (Profiles.find "nope" = None)
+
+(* --- tracegen --- *)
+
+let profile_arb =
+  QCheck.make
+    (QCheck.Gen.oneofl Profiles.all)
+    ~print:(fun (p : Profiles.t) -> p.Profiles.name)
+
+let prop_trace_balanced =
+  QCheck.Test.make ~name:"traces are balanced and properly nested" ~count:18 profile_arb
+    (fun p ->
+      let trace = Tracegen.generate ~max_syncs:5_000 p in
+      (* every acquire has a matching release; depth per object never
+         goes negative *)
+      let depth = Hashtbl.create 32 in
+      let ok = ref true in
+      Array.iter
+        (fun op ->
+          let idx = abs op - 1 in
+          let d = Option.value ~default:0 (Hashtbl.find_opt depth idx) in
+          if op > 0 then Hashtbl.replace depth idx (d + 1)
+          else if d <= 0 then ok := false
+          else Hashtbl.replace depth idx (d - 1))
+        trace.Tracegen.ops;
+      Hashtbl.iter (fun _ d -> if d <> 0 then ok := false) depth;
+      !ok)
+
+let prop_trace_depth_census =
+  QCheck.Test.make ~name:"trace depth census tracks the profile" ~count:18 profile_arb
+    (fun p ->
+      let trace = Tracegen.generate ~max_syncs:20_000 p in
+      let census = Tracegen.depth_census trace in
+      (* depth-1 fraction within 10 points of the profile *)
+      Float.abs (census.(0) -. p.Profiles.depth_fractions.(0)) < 0.10)
+
+let prop_trace_deterministic =
+  QCheck.Test.make ~name:"same seed, same trace" ~count:10 profile_arb (fun p ->
+      let a = Tracegen.generate ~seed:5 ~max_syncs:2_000 p in
+      let b = Tracegen.generate ~seed:5 ~max_syncs:2_000 p in
+      a.Tracegen.ops = b.Tracegen.ops)
+
+let test_trace_scaling () =
+  let p = Option.get (Profiles.find "jax") in
+  let trace = Tracegen.generate ~max_syncs:10_000 p in
+  let acquires = Tracegen.acquire_count trace in
+  check "scaled to cap" true (acquires >= 10_000 && acquires < 11_000);
+  check "hot set small" true (Tracegen.distinct_objects_touched trace < 200)
+
+(* --- trace serialization --- *)
+
+let prop_trace_io_roundtrip =
+  QCheck.Test.make ~name:"trace text round trip" ~count:18 profile_arb (fun p ->
+      let trace = Tracegen.generate ~max_syncs:2_000 p in
+      let back = Trace_io.of_string (Trace_io.to_string trace) in
+      back.Tracegen.ops = trace.Tracegen.ops
+      && back.Tracegen.pool_size = trace.Tracegen.pool_size
+      && String.equal back.Tracegen.profile.Profiles.name p.Profiles.name)
+
+let test_trace_io_errors () =
+  let expect_parse_error text =
+    match Trace_io.of_string text with
+    | _ -> Alcotest.failf "expected parse error on %S" text
+    | exception Trace_io.Parse_error _ -> ()
+  in
+  expect_parse_error "";
+  expect_parse_error "not a trace";
+  expect_parse_error "# thinlocks-trace v1\nprofile x\n+1 -1\n" (* missing pool *);
+  expect_parse_error "# thinlocks-trace v1\nprofile x\npool 1\n+2 -2\n" (* out of pool *);
+  expect_parse_error "# thinlocks-trace v1\nprofile x\npool 1\n-1 +1\n" (* bad nesting *);
+  expect_parse_error "# thinlocks-trace v1\nprofile x\npool 1\n+1\n" (* left held *)
+
+let test_trace_io_file_roundtrip () =
+  let p = Option.get (Profiles.find "mocha") in
+  let trace = Tracegen.generate ~max_syncs:1_000 p in
+  let path = Filename.temp_file "thinlocks" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace_io.save path trace;
+      let back = Trace_io.load path in
+      check "ops equal" true (back.Tracegen.ops = trace.Tracegen.ops))
+
+(* --- replay --- *)
+
+let test_replay_balances_under_all_schemes () =
+  let p = Option.get (Profiles.find "javalex") in
+  let trace = Tracegen.generate ~max_syncs:5_000 p in
+  List.iter
+    (fun scheme_name ->
+      let runtime = Runtime.create () in
+      let scheme = Tl_baselines.Registry.find_exn scheme_name runtime in
+      let env = Runtime.main_env runtime in
+      let result = Replay.run ~scheme ~env trace in
+      let s = result.Replay.stats in
+      check_int
+        (scheme_name ^ " acquires = trace acquires")
+        (Tracegen.acquire_count trace)
+        (Tl_core.Lock_stats.total_acquires s);
+      let releases =
+        s.Tl_core.Lock_stats.releases_fast + s.Tl_core.Lock_stats.releases_nested
+        + s.Tl_core.Lock_stats.releases_fat
+      in
+      check_int (scheme_name ^ " releases balance") (Tracegen.acquire_count trace) releases)
+    [ "thin"; "jdk111"; "ibm112"; "fat"; "mcs"; "thin-count2" ]
+
+let test_calibrate_work () =
+  Alcotest.(check (float 1e-9)) "unattainable -> 0" 0.0
+    (Replay.calibrate_work ~cost_fast:1.0 ~cost_slow:2.0 ~target_speedup:1.0);
+  let w = Replay.calibrate_work ~cost_fast:1.0 ~cost_slow:3.0 ~target_speedup:1.5 in
+  Alcotest.(check (float 1e-9)) "solves the ratio" 1.5 ((3.0 +. w) /. (1.0 +. w));
+  check "iterations conversion monotone" true
+    (Replay.work_iterations_for_seconds 1e-6 <= Replay.work_iterations_for_seconds 1e-5)
+
+(* --- micro kernels --- *)
+
+let test_micro_kernels_run () =
+  let runtime = Runtime.create () in
+  let scheme = Tl_baselines.Registry.find_exn "thin" runtime in
+  List.iter
+    (fun kernel ->
+      let m = Micro.run ~runs:1 ~iterations:2_000 ~scheme ~runtime kernel in
+      check (Micro.kernel_name kernel ^ " positive time") true (m.Micro.seconds >= 0.0))
+    Micro.all_kernels
+
+let test_micro_parse_roundtrip () =
+  List.iter
+    (fun kernel ->
+      match Micro.parse_kernel (Micro.kernel_name kernel) with
+      | Some k -> check "roundtrip" true (k = kernel)
+      | None -> Alcotest.failf "cannot parse %s" (Micro.kernel_name kernel))
+    (Micro.all_kernels @ [ Micro.Multi_sync 117; Micro.Threads 9 ]);
+  check "garbage rejected" true (Micro.parse_kernel "bogus" = None);
+  check "bad arg rejected" true (Micro.parse_kernel "threads:x" = None)
+
+let test_micro_direct_flavour () =
+  let runtime = Runtime.create () in
+  let ctx = Tl_core.Thin.create runtime in
+  let env = Runtime.main_env runtime in
+  let module D = Micro.Direct (Tl_core.Thin) in
+  let m = D.run ~runs:1 ~iterations:2_000 ~ctx ~env Micro.Sync in
+  check "direct runs" true (m.Micro.seconds >= 0.0);
+  match D.run ~runs:1 ~iterations:10 ~ctx ~env (Micro.Threads 2) with
+  | _ -> Alcotest.fail "Threads must be rejected in direct flavour"
+  | exception Invalid_argument _ -> ()
+
+(* --- reports (smoke: they run and contain expected anchors) --- *)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec loop i = i + n <= h && (String.sub hay i n = needle || loop (i + 1)) in
+  loop 0
+
+let test_reports_smoke () =
+  let t1 = Report.table1 ~max_syncs:2_000 () in
+  check "table1 mentions javalex" true (contains ~needle:"javalex" t1);
+  let f3 = Report.fig3 ~max_syncs:2_000 () in
+  check "fig3 mentions median" true (contains ~needle:"median first-lock fraction" f3);
+  let ab = Report.count_width_ablation ~max_syncs:2_000 () in
+  check "ablation lists width 2" true (contains ~needle:"2" ab);
+  let ch = Report.characterize ~max_syncs:2_000 () in
+  check "characterize lists scenario 1" true (contains ~needle:"unlocked object" ch)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "profiles",
+        [
+          Alcotest.test_case "paper aggregates" `Quick test_profile_aggregates;
+          Alcotest.test_case "fig5 medians" `Quick test_fig5_medians;
+          Alcotest.test_case "find" `Quick test_find;
+        ] );
+      ( "tracegen",
+        [
+          QCheck_alcotest.to_alcotest prop_trace_balanced;
+          QCheck_alcotest.to_alcotest prop_trace_depth_census;
+          QCheck_alcotest.to_alcotest prop_trace_deterministic;
+          Alcotest.test_case "scaling" `Quick test_trace_scaling;
+        ] );
+      ( "trace io",
+        [
+          QCheck_alcotest.to_alcotest prop_trace_io_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_trace_io_errors;
+          Alcotest.test_case "file round trip" `Quick test_trace_io_file_roundtrip;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "balances under every scheme" `Slow
+            test_replay_balances_under_all_schemes;
+          Alcotest.test_case "work calibration" `Quick test_calibrate_work;
+        ] );
+      ( "micro",
+        [
+          Alcotest.test_case "all kernels run" `Slow test_micro_kernels_run;
+          Alcotest.test_case "kernel name parse roundtrip" `Quick test_micro_parse_roundtrip;
+          Alcotest.test_case "direct flavour" `Quick test_micro_direct_flavour;
+        ] );
+      ("reports", [ Alcotest.test_case "smoke" `Slow test_reports_smoke ]);
+    ]
