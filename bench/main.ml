@@ -205,6 +205,85 @@ let bench_deflation () =
     (run_group
        (Test.make_grouped ~name:"deflation" [ test_thin_path; test_inflated; test_deflated ]))
 
+(* Monitor-table allocation scaling: concurrent allocate/free cycles
+   against a single-shard table (the seed's one-big-mutex design) and
+   the sharded default.  Wall-clock: needs real domains. *)
+let bench_montable_scaling () =
+  section "Monitor-table allocation scaling (allocate+free, ns per op per domain)";
+  let iters = if quick then 20_000 else 100_000 in
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let variants = [ ("single mutex (seed design)", 1); ("sharded x8", 8) ] in
+  Printf.printf "%-28s %s\n" ""
+    (String.concat "" (List.map (fun d -> Printf.sprintf "%8dd" d) domain_counts));
+  List.iter
+    (fun (label, shards) ->
+      Printf.printf "%-28s" label;
+      List.iter
+        (fun domains ->
+          let runtime = Runtime.create () in
+          let table = Tl_monitor.Index_table.create ~shards () in
+          let t0 = Unix.gettimeofday () in
+          Runtime.run_parallel ~backend:Runtime.Domain_backend runtime domains
+            (fun i _env ->
+              for _ = 1 to iters do
+                let h = Tl_monitor.Index_table.allocate ~shard_hint:i table () in
+                Tl_monitor.Index_table.free table h
+              done);
+          let elapsed = Unix.gettimeofday () -. t0 in
+          let per_op = 1e9 *. elapsed /. float_of_int (iters * domains) in
+          Printf.printf " %7.1f " per_op)
+        domain_counts;
+      print_newline ())
+    variants;
+  Printf.printf
+    "\n  (lower is better; the sharded table should hold roughly flat as domains\n\
+    \   grow while the single mutex serialises every allocation)\n\n%!"
+
+(* Long-run stability: drive inflate/deflate cycles past the 2^23
+   monitor-index ceiling that a leak-per-inflation design exhausts.
+   The seed leaked one slot per inflation, so it would die at
+   2^23 - 1 inflations; with reclamation the census sails past it
+   while the live count stays at one. *)
+let bench_churn_stability () =
+  section "Long-run stability: inflate/deflate churn past the 2^23 slot ceiling";
+  let cycles = if quick then 200_000 else (1 lsl 23) + 4096 in
+  let runtime = Runtime.create () in
+  let config =
+    { Tl_core.Thin.default_config with count_width = 1; record_stats = false }
+  in
+  let ctx = Tl_core.Thin.create_with ~config runtime in
+  let env = Runtime.main_env runtime in
+  let obj = Tl_heap.Heap.alloc (Tl_heap.Heap.create ()) in
+  let t0 = Unix.gettimeofday () in
+  for cycle = 1 to cycles do
+    Tl_core.Thin.acquire ctx env obj;
+    Tl_core.Thin.acquire ctx env obj;
+    Tl_core.Thin.acquire ctx env obj (* 1-bit count holds 0..1: third acquire overflows *);
+    Tl_core.Thin.release ctx env obj;
+    Tl_core.Thin.release ctx env obj;
+    Tl_core.Thin.release ctx env obj;
+    if not (Tl_core.Thin.deflate_idle ctx obj) then
+      failwith (Printf.sprintf "deflation refused at cycle %d" cycle)
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let table = Tl_core.Thin.montable ctx in
+  let allocated = Tl_monitor.Montable.allocated table in
+  Printf.printf
+    "  %d inflate/deflate cycles in %.1fs (%.0f ns/cycle)\n\
+    \  monitors allocated (census): %d   live: %d   slot reuses: %d\n"
+    cycles elapsed
+    (1e9 *. elapsed /. float_of_int cycles)
+    allocated
+    (Tl_monitor.Montable.live table)
+    (Tl_monitor.Montable.reuses table);
+  if not quick then
+    Printf.printf
+      "  the seed design (slot leaked per inflation) would have exhausted the\n\
+      \  table at inflation %d; this run performed %d inflations on one slot.\n"
+      ((1 lsl 23) - 1)
+      allocated;
+  print_newline ()
+
 (* Contention-handling ablation: backoff policy under competing
    threads (wall-clock: needs real threads). *)
 let bench_backoff () =
@@ -272,6 +351,8 @@ let () =
   bench_fig6_cells ();
   bench_ablation_cells ();
   bench_deflation ();
+  bench_montable_scaling ();
+  bench_churn_stability ();
   bench_backoff ();
   bench_vm_macros ();
 
@@ -300,5 +381,9 @@ let () =
 
   section "Ablation: count width (par.3.2)";
   print_string (Tl_workload.Report.count_width_ablation ~max_syncs ());
+
+  section "Monitor lifecycle: deflation and slot reclamation";
+  print_string
+    (Tl_workload.Report.monitor_lifecycle ~cycles:(if quick then 5_000 else 20_000) ());
 
   Printf.printf "\ndone.\n"

@@ -16,7 +16,7 @@ let create runtime = { runtime; montable = Montable.create (); stats = Lock_stat
 let stats ctx = ctx.stats
 
 (* Find the object's monitor, installing one on first use.  Losing the
-   installation race just means an unused table slot. *)
+   installation race frees the unused slot back to the table. *)
 let rec monitor_of ctx obj =
   let lw = Obj_model.lockword obj in
   let word = Atomic.get lw in
@@ -25,7 +25,11 @@ let rec monitor_of ctx obj =
     let fat = Fatlock.create () in
     let monitor_index = Montable.allocate ctx.montable fat in
     let inflated = Header.inflated_word ~hdr:(Header.hdr_bits word) ~monitor_index in
-    if Atomic.compare_and_set lw word inflated then fat else monitor_of ctx obj
+    if Atomic.compare_and_set lw word inflated then fat
+    else begin
+      Montable.free ctx.montable monitor_index;
+      monitor_of ctx obj
+    end
   end
 
 let acquire ctx env obj =

@@ -53,7 +53,12 @@ let rec monitor_of ctx obj =
     let monitor_index = Index_table.allocate ctx.table (fresh_mon ()) in
     let inflated = Header.inflated_word ~hdr:(Header.hdr_bits word) ~monitor_index in
     if Atomic.compare_and_set lw word inflated then Index_table.get ctx.table monitor_index
-    else monitor_of ctx obj
+    else begin
+      (* Lost the installation race; nobody ever saw this handle, so
+         the slot can be recycled immediately. *)
+      Index_table.free ctx.table monitor_index;
+      monitor_of ctx obj
+    end
   end
 
 let my_index (env : Tl_runtime.Runtime.env) = env.Tl_runtime.Runtime.descriptor.Tl_runtime.Tid.index

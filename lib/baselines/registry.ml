@@ -1,7 +1,8 @@
 open Tl_core
 
 let pack_thin ?config runtime =
-  Scheme_intf.pack (module Thin) (Thin.create_with ?config runtime)
+  let ctx = Thin.create_with ?config runtime in
+  Scheme_intf.pack ~deflate_idle:(Thin.deflate_idle ctx) (module Thin) ctx
 
 let rename name packed = { packed with Scheme_intf.name }
 

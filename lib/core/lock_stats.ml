@@ -16,10 +16,16 @@ type t = {
   wait_ops : int Atomic.t;
   notify_ops : int Atomic.t;
   notify_all_ops : int Atomic.t;
+  deflations : int Atomic.t;
   objects_synchronized : int Atomic.t;
   depths : int Atomic.t array; (* index = min depth (depth_buckets-1) *)
-  extra_mutex : Mutex.t;
-  mutable extra : (string * int Atomic.t) list;
+  (* Immutable assoc list behind an atomic: lookups are plain reads of
+     a consistent snapshot, and key creation is a CAS — no mutex, no
+     read/publish race. *)
+  extra : (string * int Atomic.t) list Atomic.t;
+  (* Gauges are sampled at snapshot time (e.g. live monitors); they are
+     registered once at scheme creation, before any concurrency. *)
+  gauges : (string * (unit -> int)) list Atomic.t;
 }
 
 let create () =
@@ -39,10 +45,11 @@ let create () =
     wait_ops = Atomic.make 0;
     notify_ops = Atomic.make 0;
     notify_all_ops = Atomic.make 0;
+    deflations = Atomic.make 0;
     objects_synchronized = Atomic.make 0;
     depths = Array.init depth_buckets (fun _ -> Atomic.make 0);
-    extra_mutex = Mutex.create ();
-    extra = [];
+    extra = Atomic.make [];
+    gauges = Atomic.make [];
   }
 
 let reset t =
@@ -62,11 +69,10 @@ let reset t =
   z t.wait_ops;
   z t.notify_ops;
   z t.notify_all_ops;
+  z t.deflations;
   z t.objects_synchronized;
   Array.iter z t.depths;
-  Mutex.lock t.extra_mutex;
-  List.iter (fun (_, a) -> z a) t.extra;
-  Mutex.unlock t.extra_mutex
+  List.iter (fun (_, a) -> z a) (Atomic.get t.extra)
 
 let bump a = ignore (Atomic.fetch_and_add a 1)
 
@@ -106,25 +112,27 @@ let record_inflation t = function
 let record_wait t = bump t.wait_ops
 let record_notify t = bump t.notify_ops
 let record_notify_all t = bump t.notify_all_ops
+let record_deflation t = bump t.deflations
+let deflation_count t = Atomic.get t.deflations
 
 let add_extra t key n =
-  let counter =
-    match List.assoc_opt key t.extra with
+  let rec counter () =
+    let l = Atomic.get t.extra in
+    match List.assoc_opt key l with
     | Some a -> a
     | None ->
-        Mutex.lock t.extra_mutex;
-        let a =
-          match List.assoc_opt key t.extra with
-          | Some a -> a
-          | None ->
-              let a = Atomic.make 0 in
-              t.extra <- (key, a) :: t.extra;
-              a
-        in
-        Mutex.unlock t.extra_mutex;
-        a
+        let a = Atomic.make 0 in
+        if Atomic.compare_and_set t.extra l ((key, a) :: l) then a else counter ()
   in
-  ignore (Atomic.fetch_and_add counter n)
+  ignore (Atomic.fetch_and_add (counter ()) n)
+
+let register_gauge t key f =
+  let rec add () =
+    let l = Atomic.get t.gauges in
+    let l' = (key, f) :: List.remove_assoc key l in
+    if not (Atomic.compare_and_set t.gauges l l') then add ()
+  in
+  add ()
 
 type snapshot = {
   acquires_unlocked : int;
@@ -142,6 +150,7 @@ type snapshot = {
   wait_ops : int;
   notify_ops : int;
   notify_all_ops : int;
+  deflations : int;
   objects_synchronized : int;
   depth_hist : (int * int) list;
   extra : (string * int) list;
@@ -153,9 +162,10 @@ let snapshot t =
     let c = Atomic.get t.depths.(i) in
     if c > 0 then depth_hist := (i, c) :: !depth_hist
   done;
-  Mutex.lock t.extra_mutex;
-  let extra = List.rev_map (fun (k, a) -> (k, Atomic.get a)) t.extra in
-  Mutex.unlock t.extra_mutex;
+  let extra =
+    List.rev_map (fun (k, a) -> (k, Atomic.get a)) (Atomic.get t.extra)
+    @ List.rev_map (fun (k, f) -> (k, f ())) (Atomic.get t.gauges)
+  in
   {
     acquires_unlocked = Atomic.get t.acquires_unlocked;
     acquires_nested = Atomic.get t.acquires_nested;
@@ -172,6 +182,7 @@ let snapshot t =
     wait_ops = Atomic.get t.wait_ops;
     notify_ops = Atomic.get t.notify_ops;
     notify_all_ops = Atomic.get t.notify_all_ops;
+    deflations = Atomic.get t.deflations;
     objects_synchronized = Atomic.get t.objects_synchronized;
     depth_hist = !depth_hist;
     extra;
@@ -206,8 +217,8 @@ let pp ppf s =
     s.acquires_unlocked s.acquires_nested s.acquires_fat_fast s.acquires_fat_queued
     (total_acquires s);
   f "releases: fast=%d nested=%d fat=%d@\n" s.releases_fast s.releases_nested s.releases_fat;
-  f "inflations: contention=%d wait=%d overflow=%d@\n" s.inflations_contention
-    s.inflations_wait s.inflations_overflow;
+  f "inflations: contention=%d wait=%d overflow=%d; deflations=%d@\n" s.inflations_contention
+    s.inflations_wait s.inflations_overflow s.deflations;
   f "contention: episodes=%d spins=%d@\n" s.contended_episodes s.contended_spins;
   f "wait/notify/notifyAll: %d/%d/%d@\n" s.wait_ops s.notify_ops s.notify_all_ops;
   f "objects synchronized: %d (%.1f syncs/object)@\n" s.objects_synchronized

@@ -38,9 +38,21 @@ val record_wait : t -> unit
 val record_notify : t -> unit
 val record_notify_all : t -> unit
 
+val record_deflation : t -> unit
+(** A fat lock was deflated back to a thin word and its monitor-table
+    slot reclaimed (the quiescence-point deflation extension). *)
+
+val deflation_count : t -> int
+
 val add_extra : t -> string -> int -> unit
 (** Scheme-specific counters (e.g. the baselines' monitor-cache probes
-    and evictions); keys are created on first use. *)
+    and evictions); keys are created on first use.  Lock-free. *)
+
+val register_gauge : t -> string -> (unit -> int) -> unit
+(** Register a sampled value (e.g. live monitors) evaluated at
+    {!snapshot} time and reported alongside the [extra] counters.
+    Re-registering a key replaces the gauge; {!reset} leaves gauges
+    alone. *)
 
 (** {1 Snapshots — read by the harness} *)
 
@@ -60,9 +72,10 @@ type snapshot = {
   wait_ops : int;
   notify_ops : int;
   notify_all_ops : int;
+  deflations : int;  (** quiescence-point deflations (extension) *)
   objects_synchronized : int;
   depth_hist : (int * int) list;  (** (depth, acquires at that depth) *)
-  extra : (string * int) list;
+  extra : (string * int) list;  (** scheme-specific counters, then gauges *)
 }
 
 val snapshot : t -> snapshot

@@ -52,9 +52,13 @@ type packed = {
   holds : Tl_runtime.Runtime.env -> Tl_heap.Obj_model.t -> bool;
   stats : unit -> Lock_stats.snapshot;
   reset_stats : unit -> unit;
+  deflate_idle : Tl_heap.Obj_model.t -> bool;
+      (* Quiescence-point deflation hook; schemes without a deflatable
+         representation keep the default (always [false]). *)
 }
 
-let pack (type a) (module M : S with type ctx = a) (ctx : a) : packed =
+let pack (type a) ?(deflate_idle = fun _ -> false) (module M : S with type ctx = a) (ctx : a)
+    : packed =
   {
     name = M.name;
     acquire = M.acquire ctx;
@@ -65,6 +69,7 @@ let pack (type a) (module M : S with type ctx = a) (ctx : a) : packed =
     holds = M.holds ctx;
     stats = (fun () -> Lock_stats.snapshot (M.stats ctx));
     reset_stats = (fun () -> Lock_stats.reset (M.stats ctx));
+    deflate_idle;
   }
 
 let synchronized (scheme : packed) env obj f =

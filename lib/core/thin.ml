@@ -27,7 +27,6 @@ type ctx = {
   nested_limit : int;
   config : config;
   fence_pad : int Atomic.t; (* target of the MP Sync variant's extra atomic op *)
-  deflation_count : int Atomic.t;
 }
 
 let name = "thin"
@@ -35,14 +34,20 @@ let name = "thin"
 let create_with ?(config = default_config) runtime =
   if config.count_width < 1 || config.count_width > Header.count_width then
     invalid_arg "Thin.create_with: count_width";
+  let montable = Montable.create () in
+  let stats = Lock_stats.create () in
+  (* Monitor-lifecycle gauges ride along in every snapshot, so reports
+     see the census without reaching into the table. *)
+  Lock_stats.register_gauge stats "monitors.live" (fun () -> Montable.live montable);
+  Lock_stats.register_gauge stats "monitors.allocated" (fun () -> Montable.allocated montable);
+  Lock_stats.register_gauge stats "monitors.slot_reuses" (fun () -> Montable.reuses montable);
   {
     runtime;
-    montable = Montable.create ();
-    stats = Lock_stats.create ();
+    montable;
+    stats;
     nested_limit = Header.nested_limit_for ~count_width:config.count_width;
     config;
     fence_pad = Atomic.make 0;
-    deflation_count = Atomic.make 0;
   }
 
 let create runtime = create_with runtime
@@ -65,19 +70,12 @@ let my_index (env : Runtime.env) = env.descriptor.Tid.index
    visible (both are seq-cst atomics). *)
 let inflate_owned ctx env obj ~locks ~cause =
   let fat = Fatlock.create_locked ~owner:(my_index env) ~count:locks in
-  let monitor_index = Montable.allocate ctx.montable fat in
+  let monitor_index = Montable.allocate ~shard_hint:(my_index env) ctx.montable fat in
   let lw = Obj_model.lockword obj in
   let hdr = Header.hdr_bits (Atomic.get lw) in
   Atomic.set lw (Header.inflated_word ~hdr ~monitor_index);
   if ctx.config.record_stats then Lock_stats.record_inflation ctx.stats cause;
   fat
-
-let fat_acquire ctx env obj monitor_index =
-  let fat = Montable.get ctx.montable monitor_index in
-  let queued = not (Fatlock.try_acquire env fat) in
-  if queued then Fatlock.acquire env fat;
-  if ctx.config.record_stats then
-    Lock_stats.record_acquire_fat ctx.stats obj ~queued ~depth:(Fatlock.count fat)
 
 (* Contended thin lock: spin with backoff until either some other
    contender inflates the lock, or we seize the thin lock ourselves and
@@ -108,7 +106,7 @@ let rec contended ctx env obj backoff =
       contended ctx env obj backoff
     end
 
-let rec acquire ctx env obj =
+and acquire ctx env obj =
   fence ctx;
   let lw = Obj_model.lockword obj in
   let word = Atomic.get lw in
@@ -145,6 +143,21 @@ let rec acquire ctx env obj =
     else
       (* Scenario 4/5: held by another thread. *)
       contended ctx env obj (Backoff.create ~policy:ctx.config.backoff_policy ())
+
+and fat_acquire ctx env obj monitor_ref =
+  match Montable.find ctx.montable monitor_ref with
+  | None ->
+      (* The word we read was stale: the monitor behind it was deflated
+         and its slot reclaimed (detected by the generation tag).  The
+         deflater rewrote the lock word before freeing the slot, so a
+         fresh read makes progress. *)
+      if ctx.config.record_stats then Lock_stats.add_extra ctx.stats "stale_monitor_reads" 1;
+      acquire ctx env obj
+  | Some fat ->
+      let queued = not (Fatlock.try_acquire env fat) in
+      if queued then Fatlock.acquire env fat;
+      if ctx.config.record_stats then
+        Lock_stats.record_acquire_fat ctx.stats obj ~queued ~depth:(Fatlock.count fat)
 
 let owner_store ctx lw ~old_word ~new_word =
   if ctx.config.unlock_with_cas then begin
@@ -217,28 +230,32 @@ let notify_all ctx env obj =
 let holds ctx env obj =
   let word = lock_word obj in
   if Header.is_inflated word then
-    Fatlock.holds env (Montable.get ctx.montable (Header.monitor_index word))
+    match Montable.find ctx.montable (Header.monitor_index word) with
+    | Some fat -> Fatlock.holds env fat
+    | None -> false (* stale word: whatever monitor it named is gone *)
   else Header.thin_owner word = my_index env
 
 (* Quiescence-point deflation (extension; see the interface for the
    safety contract).  The write back to the thin-unlocked pattern is a
-   plain store: under quiescence nobody races us. *)
+   plain store: under quiescence nobody races us.  The lock word is
+   rewritten BEFORE the slot is freed, so any thread that cached the
+   old inflated word either re-reads the new word or trips the
+   generation check in [fat_acquire]. *)
 let deflate_idle ctx obj =
   let lw = Obj_model.lockword obj in
   let word = Atomic.get lw in
   if not (Header.is_inflated word) then false
-  else begin
-    let fat = Montable.get ctx.montable (Header.monitor_index word) in
-    if
-      Fatlock.owner fat = 0
-      && Fatlock.entry_queue_length fat = 0
-      && Fatlock.wait_set_length fat = 0
-    then begin
-      Atomic.set lw (Header.hdr_bits word);
-      ignore (Atomic.fetch_and_add ctx.deflation_count 1);
-      true
-    end
-    else false
-  end
+  else
+    let handle = Header.monitor_index word in
+    match Montable.find ctx.montable handle with
+    | None -> false
+    | Some fat ->
+        if Fatlock.is_idle fat then begin
+          Atomic.set lw (Header.hdr_bits word);
+          Montable.free ctx.montable handle;
+          if ctx.config.record_stats then Lock_stats.record_deflation ctx.stats;
+          true
+        end
+        else false
 
-let deflations ctx = Atomic.get ctx.deflation_count
+let deflations ctx = Lock_stats.deflation_count ctx.stats

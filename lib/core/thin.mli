@@ -61,13 +61,22 @@ val lock_word : Tl_heap.Obj_model.t -> int
 val deflate_idle : ctx -> Tl_heap.Obj_model.t -> bool
 (** [deflate_idle ctx obj] returns the object to the thin-unlocked
     state if its fat monitor is completely idle (unowned, empty entry
-    queue, empty wait set); returns [true] on deflation, [false] if
-    the lock was not inflated or not idle.
+    queue, empty wait set — checked as one consistent snapshot under
+    the monitor latch); returns [true] on deflation, [false] if the
+    lock was not inflated or not idle.
+
+    The monitor-table slot {e is} recycled: the lock word is rewritten
+    first, then the slot is freed with its generation tag bumped, so a
+    thread still holding the old inflated word detects the reuse (its
+    handle goes stale) and re-reads instead of acquiring a recycled
+    monitor.  Deflations are counted in {!Lock_stats} (see
+    [Lock_stats.snapshot.deflations] and the [monitors.*] gauges).
 
     {b Safety:} the caller must guarantee that no thread is
-    concurrently performing a monitor operation on [obj] (quiescence) —
-    a concurrent entrant may have already fetched the stale monitor
-    index.  The monitor-table slot is not recycled. *)
+    concurrently performing a monitor operation on [obj] (quiescence,
+    e.g. a stop-the-world point); the generation tag is
+    defense-in-depth, not a license to deflate under traffic. *)
 
 val deflations : ctx -> int
-(** How many locks {!deflate_idle} has deflated. *)
+(** How many locks {!deflate_idle} has deflated, as recorded in the
+    statistics (0 when [record_stats] is off). *)

@@ -72,6 +72,16 @@ let with_validation (scheme : Scheme_intf.packed) : Scheme_intf.packed =
         if owner <> me env then fail "notifyAll by non-owner %d" (me env));
     scheme.Scheme_intf.notify_all env obj
   in
+  let deflate_idle obj =
+    (* Deflation is only legal at quiescence, when the shadow shows the
+       object unowned; deflating a held lock would strand its owner. *)
+    with_shadow shadow (fun () ->
+        let owner, count = entry shadow obj in
+        if owner <> 0 then
+          fail "deflate_idle while thread %d holds object %d (count %d)" owner
+            (Tl_heap.Obj_model.id obj) count);
+    scheme.Scheme_intf.deflate_idle obj
+  in
   {
     scheme with
     Scheme_intf.name = scheme.Scheme_intf.name ^ "+validated";
@@ -80,6 +90,7 @@ let with_validation (scheme : Scheme_intf.packed) : Scheme_intf.packed =
     wait;
     notify;
     notify_all;
+    deflate_idle;
   }
 
 let with_chaos ?(seed = 0xC4405) ?(yield_probability = 0.1) (scheme : Scheme_intf.packed) :

@@ -7,8 +7,12 @@ let shape_bit = 31
 let shape_mask = 1 lsl shape_bit
 let lock_field_mask = Tl_util.Bits.field_mask ~offset:hdr_width ~width:24
 let monitor_index_width = 23
+let monitor_slot_width = 18
+let monitor_generation_width = monitor_index_width - monitor_slot_width
 let max_thin_count = (1 lsl count_width) - 1
 let max_monitor_index = (1 lsl monitor_index_width) - 1
+let max_monitor_slot = (1 lsl monitor_slot_width) - 1
+let max_monitor_generation = (1 lsl monitor_generation_width) - 1
 
 let hdr_mask = Tl_util.Bits.mask hdr_width
 let hdr_bits word = word land hdr_mask
@@ -29,6 +33,13 @@ let thin_count word = Tl_util.Bits.extract ~offset:count_offset ~width:count_wid
 let monitor_index word =
   Tl_util.Bits.extract ~offset:count_offset ~width:monitor_index_width word
 
+let monitor_slot word = Tl_util.Bits.extract ~offset:count_offset ~width:monitor_slot_width word
+
+let monitor_generation word =
+  Tl_util.Bits.extract
+    ~offset:(count_offset + monitor_slot_width)
+    ~width:monitor_generation_width word
+
 let nested_limit = max_thin_count lsl count_offset
 
 let nested_limit_for ~count_width =
@@ -40,7 +51,11 @@ let can_lock_nested ~word ~shifted_tid = word lxor shifted_tid < nested_limit
 let count_increment = 1 lsl count_offset
 
 let describe word =
-  if is_inflated word then Printf.sprintf "inflated(monitor=%d)" (monitor_index word)
+  if is_inflated word then
+    if monitor_generation word = 0 then
+      Printf.sprintf "inflated(monitor=%d)" (monitor_index word)
+    else
+      Printf.sprintf "inflated(monitor=%d gen=%d)" (monitor_slot word) (monitor_generation word)
   else if is_unlocked word then "unlocked"
   else
     Printf.sprintf "thin(owner=%d, locks=%d)" (thin_owner word) (thin_count word + 1)

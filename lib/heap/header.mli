@@ -11,7 +11,9 @@
     With shape = 0 the field is a {e thin} lock: index 0 means
     unlocked; otherwise the index names the owner and [count] is the
     number of locks {e minus one}.  With shape = 1 the remaining 23
-    bits are an index into the monitor table (Fig. 2).
+    bits are a handle into the monitor table (Fig. 2) — an 18-bit slot
+    plus a 5-bit generation tag that detects slot reuse across the
+    deflation extension (the paper itself never recycles slots).
 
     All functions are pure; the atomic lock word itself lives in
     {!Obj_model.t}. *)
@@ -34,11 +36,23 @@ val shape_mask : int
 val lock_field_mask : int
 val monitor_index_width : int
 
+val monitor_slot_width : int
+(** 18 — low bits of the 23-bit monitor field naming the table slot.
+    Must equal [Tl_monitor.Montable.slot_width] (asserted by tests;
+    the two libraries cannot depend on each other). *)
+
+val monitor_generation_width : int
+(** 5 — high bits of the monitor field carrying the slot's generation
+    tag, so a lock word that survived a deflation/reallocation cycle
+    is detectably stale. *)
+
 val max_thin_count : int
 (** 255: largest storable count, i.e. 256 recursive locks; the 257th
     lock inflates ("excessive" nesting, §2.3). *)
 
 val max_monitor_index : int
+val max_monitor_slot : int
+val max_monitor_generation : int
 
 val hdr_bits : int -> int
 (** [hdr_bits word] is the 8 low non-lock bits — the "old value" used
@@ -62,7 +76,13 @@ val thin_owner : int -> int
 (** Thread index of a thin word (0 if unlocked). *)
 
 val thin_count : int -> int
+
 val monitor_index : int -> int
+(** The full 23-bit monitor field — the handle passed to the monitor
+    table (slot plus generation). *)
+
+val monitor_slot : int -> int
+val monitor_generation : int -> int
 
 val nested_limit : int
 (** [255 lsl 8] — the single unsigned immediate the nested-lock check

@@ -199,11 +199,15 @@ let notify_all env t =
   Spinlock.release t.latch;
   List.iter (fun w -> Parker.unpark w.env.parker) woken
 
-let owner t = t.owner
-let count t = t.count
+let owner t = Spinlock.with_lock t.latch (fun () -> t.owner)
+let count t = Spinlock.with_lock t.latch (fun () -> t.count)
 
 let entry_queue_length t =
   Spinlock.with_lock t.latch (fun () -> Queue.length t.entry_queue)
 
 let wait_set_length t = Spinlock.with_lock t.latch (fun () -> Queue.length t.wait_set)
-let holds env t = t.owner = my_index env
+let holds env t = Spinlock.with_lock t.latch (fun () -> t.owner = my_index env)
+
+let is_idle t =
+  Spinlock.with_lock t.latch (fun () ->
+      t.owner = 0 && Queue.is_empty t.entry_queue && Queue.is_empty t.wait_set)

@@ -48,13 +48,19 @@ val notify : Tl_runtime.Runtime.env -> t -> unit
 val notify_all : Tl_runtime.Runtime.env -> t -> unit
 
 val owner : t -> int
-(** Current owner's thread index, 0 if unowned (racy observation). *)
+(** Current owner's thread index, 0 if unowned.  Read under the
+    monitor's latch; may be stale by return time but never torn. *)
 
 val count : t -> int
-(** Current lock count (racy observation). *)
+(** Current lock count, read under the latch. *)
 
 val entry_queue_length : t -> int
 val wait_set_length : t -> int
 
 val holds : Tl_runtime.Runtime.env -> t -> bool
 (** Does the calling thread own the monitor? *)
+
+val is_idle : t -> bool
+(** Atomically (under the latch): unowned, empty entry queue, empty
+    wait set — the deflation precondition, checked as one consistent
+    snapshot rather than three racy reads. *)

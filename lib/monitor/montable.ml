@@ -1,6 +1,22 @@
 type t = Fatlock.t Index_table.t
 
-let create () = Index_table.create ()
-let allocate t fat = Index_table.allocate t fat
-let get t index = Index_table.get t index
+(* The 23-bit monitor field of an inflated lock word splits into an
+   18-bit slot and a 5-bit generation; Tl_heap.Header mirrors this
+   split (a test asserts they agree — tl_monitor cannot depend on
+   tl_heap). *)
+let slot_width = 18
+let generation_width = 5
+let max_slot = (1 lsl slot_width) - 1
+
+exception Stale = Index_table.Stale
+
+let create ?shards () = Index_table.create ~max_index:max_slot ~generation_width ?shards ()
+let allocate ?shard_hint t fat = Index_table.allocate ?shard_hint t fat
+let get t handle = Index_table.get t handle
+let find t handle = Index_table.find t handle
+let free t handle = Index_table.free t handle
 let allocated t = Index_table.allocated t
+let live t = Index_table.live t
+let reuses t = Index_table.reuses t
+let frees t = Index_table.frees t
+let shard_count t = Index_table.shard_count t

@@ -1,26 +1,63 @@
 (** Monitor-index table.
 
-    An inflated lock word stores a 23-bit monitor index; this table is
-    the vector mapping indices to fat locks (paper Fig. 2).  Lookup is
-    the fast operation — "the fat lock pointer is simply obtained by
+    An inflated lock word stores a 23-bit monitor field; this table is
+    the vector mapping it to fat locks (paper Fig. 2).  Lookup is the
+    fast operation — "the fat lock pointer is simply obtained by
     shifting the monitor index to the right and indexing into the
-    vector" (§3.3) — so reads are a single atomic array fetch plus an
-    index; allocation (rare: once per inflated object) takes a mutex.
+    vector" (§3.3) — so reads are lock-free array fetches; allocation
+    (rare: once per inflation) takes one shard's mutex.
 
-    Indices are never recycled: inflation is permanent for the lifetime
-    of the object (§2.3), which is what makes lock-free reads safe. *)
+    The paper never recycles indices because inflation is permanent for
+    the lifetime of the object (§2.3).  Our deflation extension does
+    recycle them, so the 23-bit field is split into an 18-bit {e slot}
+    and a 5-bit {e generation}: freeing a slot bumps its generation,
+    and a thread acting on a stale inflated word sees {!find} return
+    [None] (or {!get} raise {!Stale}) instead of a recycled monitor. *)
 
 type t
 
-val create : unit -> t
+exception Stale of int
 
-val allocate : t -> Fatlock.t -> int
-(** Register a fat lock, returning its index (≥ 1).
-    @raise Failure if all 2^23 - 1 indices are in use. *)
+val slot_width : int
+(** 18 — must equal [Tl_heap.Header.monitor_slot_width]. *)
+
+val generation_width : int
+(** 5 — must equal [Tl_heap.Header.monitor_generation_width]. *)
+
+val max_slot : int
+
+val create : ?shards:int -> unit -> t
+(** [shards] is the allocation shard count (default 8, rounded up to a
+    power of two). *)
+
+val allocate : ?shard_hint:int -> t -> Fatlock.t -> int
+(** Register a fat lock, returning its handle (≥ 1), which fits the
+    23-bit monitor field.  [shard_hint] should identify the allocating
+    thread or domain so concurrent inflations spread across shards.
+    @raise Failure if all 2^18 - 1 slots are live. *)
 
 val get : t -> int -> Fatlock.t
-(** [get t index] is the fat lock at [index]; O(1), lock-free.
-    @raise Invalid_argument on an unallocated index. *)
+(** [get t handle] is the fat lock behind [handle]; O(1), lock-free.
+    @raise Stale if the monitor was deflated and its slot reclaimed.
+    @raise Invalid_argument on a never-allocated handle. *)
+
+val find : t -> int -> Fatlock.t option
+(** Like {!get}, [None] on stale/unallocated handles — the form the
+    lock protocol uses where a stale read is survivable. *)
+
+val free : t -> int -> unit
+(** Return a deflated monitor's slot for reuse.  Caller must guarantee
+    no live references (the deflation quiescence contract).
+    @raise Stale on double free. *)
 
 val allocated : t -> int
 (** Number of monitors ever created — the inflation census. *)
+
+val live : t -> int
+(** Monitors currently in the table (allocated minus freed). *)
+
+val reuses : t -> int
+(** Allocations that recycled a previously freed slot. *)
+
+val frees : t -> int
+val shard_count : t -> int

@@ -37,6 +37,16 @@ val characterize : ?max_syncs:int -> ?seed:int -> unit -> string
     traces, plus the simulator's operation counts per protocol path
     (the "17 instructions" discussion). *)
 
+val monitor_lifecycle : ?cycles:int -> ?threads:int -> unit -> string
+(** The deflation extension's lifecycle census: [threads] threads each
+    drive [cycles] inflate/deflate round trips on a private object
+    (1-bit nest count, so a shallow nest overflow-inflates cheaply),
+    then report inflations, deflations, slot reuses and live monitors
+    from {!Tl_core.Lock_stats} and the monitor table's own counters.
+    With slot reclamation working, every monitor ever allocated is
+    reclaimed (live = 0) and the table's footprint stays at one slot
+    per thread regardless of cycle count. *)
+
 val count_width_ablation : ?max_syncs:int -> ?seed:int -> unit -> string
 (** §3.2's conjecture that 2–3 count bits suffice: inflation rates per
     count width over the benchmark traces. *)

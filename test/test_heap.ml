@@ -18,6 +18,12 @@ let test_constants () =
   check_int "shape bit" 31 Header.shape_bit;
   check_int "max count" 255 Header.max_thin_count;
   check_int "max monitor index" ((1 lsl 23) - 1) Header.max_monitor_index;
+  check_int "monitor slot width" 18 Header.monitor_slot_width;
+  check_int "monitor generation width" 5 Header.monitor_generation_width;
+  check_int "slot + generation fill the monitor field" Header.monitor_index_width
+    (Header.monitor_slot_width + Header.monitor_generation_width);
+  check_int "max monitor slot" ((1 lsl 18) - 1) Header.max_monitor_slot;
+  check_int "max monitor generation" ((1 lsl 5) - 1) Header.max_monitor_generation;
   check_int "nested limit is 255 << 8" (255 lsl 8) Header.nested_limit;
   check_int "count increment is 256" 256 Header.count_increment
 
@@ -105,7 +111,25 @@ let test_describe () =
   Alcotest.(check string) "thin" "thin(owner=3, locks=2)"
     (Header.describe (Header.thin_word ~hdr:0 ~shifted_tid:(3 lsl 16) ~count:1));
   Alcotest.(check string) "fat" "inflated(monitor=9)"
-    (Header.describe (Header.inflated_word ~hdr:0 ~monitor_index:9))
+    (Header.describe (Header.inflated_word ~hdr:0 ~monitor_index:9));
+  (* a recycled-slot handle: slot 9, generation 2 *)
+  Alcotest.(check string) "fat with generation" "inflated(monitor=9 gen=2)"
+    (Header.describe (Header.inflated_word ~hdr:0 ~monitor_index:(9 lor (2 lsl 18))))
+
+(* Handles split into slot and generation; the split must round-trip
+   through an inflated word. *)
+let prop_slot_generation_split =
+  QCheck.Test.make ~name:"monitor slot/generation split round trip" ~count:2000
+    QCheck.(
+      triple (int_bound 255)
+        (int_range 1 Header.max_monitor_slot)
+        (int_bound Header.max_monitor_generation))
+    (fun (hdr, slot, generation) ->
+      let monitor_index = (generation lsl Header.monitor_slot_width) lor slot in
+      let word = Header.inflated_word ~hdr ~monitor_index in
+      Header.monitor_slot word = slot
+      && Header.monitor_generation word = generation
+      && Header.monitor_index word = monitor_index)
 
 let test_heap_alloc () =
   let heap = Heap.create () in
@@ -147,6 +171,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_xor_trick_equivalence;
           QCheck_alcotest.to_alcotest prop_count_increment_is_add;
           QCheck_alcotest.to_alcotest prop_nested_limit_width;
+          QCheck_alcotest.to_alcotest prop_slot_generation_split;
           Alcotest.test_case "describe" `Quick test_describe;
         ] );
       ( "heap",

@@ -151,7 +151,9 @@ let test_wait_restores_nested_count () =
 (* --- index table --- *)
 
 let test_index_table_basics () =
-  let t = Index_table.create () in
+  (* One shard so allocation order is deterministic: handles are dense
+     from 1 (generation 0 handles coincide with raw slot numbers). *)
+  let t = Index_table.create ~shards:1 () in
   let i1 = Index_table.allocate t "one" in
   let i2 = Index_table.allocate t "two" in
   check_int "dense from 1" 1 i1;
@@ -197,6 +199,106 @@ let test_index_table_concurrent () =
         indices)
     results
 
+(* --- slot recycling and generation tags (the deflation fix) --- *)
+
+let test_free_and_reuse () =
+  let t = Index_table.create ~shards:1 () in
+  let h1 = Index_table.allocate t "first" in
+  Index_table.free t h1;
+  check_int "live back to zero" 0 (Index_table.live t);
+  let h2 = Index_table.allocate t "second" in
+  check_int "same slot recycled" (Index_table.slot_of_handle t h1)
+    (Index_table.slot_of_handle t h2);
+  check_int "generation bumped" 1 (Index_table.generation_of_handle t h2);
+  Alcotest.(check bool) "handles differ" true (h1 <> h2);
+  (* The stale handle no longer reaches the new occupant. *)
+  (match Index_table.get t h1 with
+  | _ -> Alcotest.fail "stale handle must not resolve"
+  | exception Index_table.Stale _ -> ());
+  Alcotest.(check (option string)) "find on stale" None (Index_table.find t h1);
+  Alcotest.(check string) "fresh handle resolves" "second" (Index_table.get t h2);
+  check_int "reuse counted" 1 (Index_table.reuses t);
+  check_int "census counts both" 2 (Index_table.allocated t)
+
+let test_double_free_raises () =
+  let t = Index_table.create ~shards:1 () in
+  let h = Index_table.allocate t "x" in
+  Index_table.free t h;
+  match Index_table.free t h with
+  | () -> Alcotest.fail "double free must raise Stale"
+  | exception Index_table.Stale _ -> ()
+
+let test_free_then_exhaustion_recovers () =
+  let t = Index_table.create ~max_index:3 () in
+  let h1 = Index_table.allocate t "a" in
+  ignore (Index_table.allocate t "b");
+  ignore (Index_table.allocate t "c");
+  (match Index_table.allocate t "d" with
+  | _ -> Alcotest.fail "must exhaust at 3 slots"
+  | exception Failure _ -> ());
+  (* Freeing one slot makes the table usable again — the leak the seed
+     had would keep it dead forever. *)
+  Index_table.free t h1;
+  let h4 = Index_table.allocate t "d" in
+  check_int "recycled the freed slot" (Index_table.slot_of_handle t h1)
+    (Index_table.slot_of_handle t h4);
+  Alcotest.(check string) "value readable" "d" (Index_table.get t h4)
+
+let test_churn_never_exhausts () =
+  (* Far more allocate/free cycles than the table has slots: reclamation
+     must keep it alive indefinitely, with generations wrapping. *)
+  let t = Index_table.create ~max_index:7 ~generation_width:5 () in
+  for i = 1 to 1_000 do
+    let h = Index_table.allocate t i in
+    check_int "readable" i (Index_table.get t h);
+    Index_table.free t h
+  done;
+  check_int "census saw all cycles" 1_000 (Index_table.allocated t);
+  check_int "nothing live" 0 (Index_table.live t)
+
+let test_concurrent_alloc_free_stress () =
+  let t = Index_table.create () in
+  let runtime = Runtime.create () in
+  let sentinel = Index_table.allocate t (-1) in
+  let domains = 4 in
+  let cycles = 2_000 in
+  Runtime.run_parallel ~backend:Runtime.Domain_backend runtime domains (fun i _env ->
+      for j = 1 to cycles do
+        let h = Index_table.allocate ~shard_hint:i t ((i * 100_000) + j) in
+        (* Our own handle must stay valid until we free it... *)
+        check_int "own handle valid" ((i * 100_000) + j) (Index_table.get t h);
+        (* ...and probing the shared sentinel must never observe a
+           recycled occupant: Some (-1) before its free, None after. *)
+        (match Index_table.find t sentinel with
+        | Some v -> check_int "sentinel value intact" (-1) v
+        | None -> ());
+        if i = 0 && j = cycles / 2 then Index_table.free t sentinel;
+        Index_table.free t h
+      done);
+  check_int "all slots reclaimed" 0 (Index_table.live t);
+  check_int "census" ((domains * cycles) + 1) (Index_table.allocated t);
+  Alcotest.(check bool) "free lists recycled slots" true (Index_table.reuses t > 0)
+
+let test_montable_free_find () =
+  let t = Montable.create () in
+  let fat = Fatlock.create () in
+  let h = Montable.allocate t fat in
+  Alcotest.(check bool) "find resolves" true
+    (match Montable.find t h with Some f -> f == fat | None -> false);
+  Montable.free t h;
+  Alcotest.(check bool) "find after free" true (Montable.find t h = None);
+  check_int "live" 0 (Montable.live t);
+  check_int "frees" 1 (Montable.frees t)
+
+let test_fatlock_is_idle () =
+  with_env (fun _ env ->
+      let fat = Fatlock.create () in
+      Alcotest.(check bool) "fresh monitor idle" true (Fatlock.is_idle fat);
+      Fatlock.acquire env fat;
+      Alcotest.(check bool) "held monitor not idle" false (Fatlock.is_idle fat);
+      Fatlock.release env fat;
+      Alcotest.(check bool) "idle again after release" true (Fatlock.is_idle fat))
+
 let test_montable_is_index_table_of_fatlocks () =
   let t = Montable.create () in
   let fat = Fatlock.create () in
@@ -228,5 +330,17 @@ let () =
           Alcotest.test_case "concurrent allocation" `Slow test_index_table_concurrent;
           Alcotest.test_case "montable wraps fat locks" `Quick
             test_montable_is_index_table_of_fatlocks;
+        ] );
+      ( "slot recycling",
+        [
+          Alcotest.test_case "free and reuse bumps generation" `Quick test_free_and_reuse;
+          Alcotest.test_case "double free raises Stale" `Quick test_double_free_raises;
+          Alcotest.test_case "freeing recovers from exhaustion" `Quick
+            test_free_then_exhaustion_recovers;
+          Alcotest.test_case "churn past the slot count" `Quick test_churn_never_exhausts;
+          Alcotest.test_case "concurrent allocate/get/free stress" `Slow
+            test_concurrent_alloc_free_stress;
+          Alcotest.test_case "montable free and find" `Quick test_montable_free_find;
+          Alcotest.test_case "fatlock idleness probe" `Quick test_fatlock_is_idle;
         ] );
     ]

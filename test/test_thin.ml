@@ -192,11 +192,17 @@ let test_deflate_idle () =
   check "back to thin-unlocked" true (Header.is_unlocked (Thin.lock_word obj));
   check_int "hdr bits preserved" 0xCD (Header.hdr_bits (Thin.lock_word obj));
   check_int "counted" 1 (Thin.deflations ctx);
+  check_int "counted in the stats snapshot" 1
+    (Lock_stats.snapshot (Thin.stats ctx)).Lock_stats.deflations;
+  (* the fix: deflation released the monitor-table slot *)
+  check_int "no live monitors after deflation" 0 (Tl_monitor.Montable.live (Thin.montable ctx));
   (* the fast path works again, and re-inflation works too *)
   Thin.acquire ctx env obj;
   check "thin again after deflation" false (Header.is_inflated (Thin.lock_word obj));
   Thin.wait ~timeout:0.005 ctx env obj;
   check "re-inflates" true (Header.is_inflated (Thin.lock_word obj));
+  check "re-inflation recycled the freed slot" true
+    (Tl_monitor.Montable.reuses (Thin.montable ctx) >= 1);
   Thin.release ctx env obj
 
 let test_deflate_refuses_held () =
@@ -260,6 +266,98 @@ let test_deflation_phases () =
   let s = Lock_stats.snapshot (Thin.stats ctx) in
   check_int "all ops accounted" 4000 (Lock_stats.total_acquires s)
 
+let test_stale_handle_after_deflation () =
+  let runtime, ctx, heap = direct () in
+  let env = Runtime.main_env runtime in
+  let obj = H.alloc heap in
+  inflate_by_wait ctx env obj;
+  (* A stale reader's cached view: the monitor handle read from the
+     inflated word before deflation. *)
+  let old_handle = Header.monitor_index (Thin.lock_word obj) in
+  check "old handle resolves while inflated" true
+    (Tl_monitor.Montable.find (Thin.montable ctx) old_handle <> None);
+  check "deflates" true (Thin.deflate_idle ctx obj);
+  (* The generation bump makes the cached handle unresolvable — a
+     thread still holding it retries instead of touching a monitor
+     that may have been recycled for another object. *)
+  check "old handle is stale after deflation" true
+    (Tl_monitor.Montable.find (Thin.montable ctx) old_handle = None);
+  (* Re-inflate: the slot is recycled under a new generation, and the
+     stale handle still does not resolve to the new monitor. *)
+  inflate_by_wait ctx env obj;
+  let new_handle = Header.monitor_index (Thin.lock_word obj) in
+  check "new incarnation has a different handle" true (new_handle <> old_handle);
+  check "stale handle still unresolvable" true
+    (Tl_monitor.Montable.find (Thin.montable ctx) old_handle = None)
+
+let test_deflate_relock_reinflate_domains () =
+  (* The full round trip under real parallelism: phases of multi-domain
+     traffic that inflate every object, quiescence points that deflate
+     them all, repeated — live monitors return to zero each time and
+     slots get recycled rather than leaked. *)
+  let runtime, ctx, heap = direct () in
+  let domains = 4 in
+  let phases = 3 in
+  let objs = H.alloc_many heap domains in
+  for phase = 1 to phases do
+    Runtime.run_parallel ~backend:Runtime.Domain_backend runtime domains (fun i env ->
+        let obj = objs.(i) in
+        (* inflate via wait, then hammer the fat path a little *)
+        Thin.acquire ctx env obj;
+        Thin.wait ~timeout:0.002 ctx env obj;
+        Thin.release ctx env obj;
+        for _ = 1 to 100 do
+          Thin.acquire ctx env obj;
+          Thin.release ctx env obj
+        done);
+    (* run_parallel joined every domain: quiescent *)
+    Array.iter (fun obj -> check "deflates at quiescence" true (Thin.deflate_idle ctx obj)) objs;
+    check_int
+      (Printf.sprintf "no monitors live after phase %d" phase)
+      0
+      (Tl_monitor.Montable.live (Thin.montable ctx))
+  done;
+  let table = Thin.montable ctx in
+  check_int "one inflation per object per phase" (domains * phases)
+    (Tl_monitor.Montable.allocated table);
+  check_int "every deflation counted" (domains * phases) (Thin.deflations ctx);
+  check "slots recycled across phases" true (Tl_monitor.Montable.reuses table >= 1)
+
+let test_churn_does_not_leak () =
+  (* The regression the tentpole fixes: before, every inflate/deflate
+     cycle leaked a monitor slot, so churn marched the census toward
+     the 2^23 ceiling.  5 000 cycles on one object must end with zero
+     live monitors and a census equal to the cycle count. *)
+  let runtime = Runtime.create () in
+  let config = { Thin.default_config with count_width = 1 } in
+  let ctx = Thin.create_with ~config runtime in
+  let env = Runtime.main_env runtime in
+  let obj = H.alloc (H.create ()) in
+  let cycles = 5_000 in
+  for _ = 1 to cycles do
+    Thin.acquire ctx env obj;
+    Thin.acquire ctx env obj;
+    Thin.acquire ctx env obj (* 1-bit count holds 0..1: third acquire overflows *);
+    Thin.release ctx env obj;
+    Thin.release ctx env obj;
+    Thin.release ctx env obj;
+    check "deflates every cycle" true (Thin.deflate_idle ctx obj)
+  done;
+  let table = Thin.montable ctx in
+  check_int "census equals cycles" cycles (Tl_monitor.Montable.allocated table);
+  check_int "nothing leaked" 0 (Tl_monitor.Montable.live table);
+  check_int "deflations equal cycles" cycles (Thin.deflations ctx)
+
+let test_monitor_field_constants_agree () =
+  (* Montable cannot see Header (dependency direction), so both define
+     the 18/5 slot/generation split; they must agree bit-for-bit. *)
+  check_int "slot widths agree" Header.monitor_slot_width Tl_monitor.Montable.slot_width;
+  check_int "generation widths agree" Header.monitor_generation_width
+    Tl_monitor.Montable.generation_width;
+  check_int "split covers the 23-bit monitor field" Header.monitor_index_width
+    (Header.monitor_slot_width + Header.monitor_generation_width);
+  check_int "max slot agrees" Header.max_monitor_slot Tl_monitor.Montable.max_slot
+
 let direct_cases =
   [
     Alcotest.test_case "lock word transitions (Fig. 1)" `Quick test_lock_word_transitions;
@@ -275,6 +373,13 @@ let direct_cases =
     Alcotest.test_case "deflation: refuses held lock" `Quick test_deflate_refuses_held;
     Alcotest.test_case "deflation: refuses parked waiters" `Slow test_deflate_refuses_waiters;
     Alcotest.test_case "deflation: phased workload" `Slow test_deflation_phases;
+    Alcotest.test_case "deflation: stale handle detection" `Quick
+      test_stale_handle_after_deflation;
+    Alcotest.test_case "deflation: multi-domain round trips" `Slow
+      test_deflate_relock_reinflate_domains;
+    Alcotest.test_case "deflation: churn does not leak slots" `Quick test_churn_does_not_leak;
+    Alcotest.test_case "monitor slot/generation constants agree" `Quick
+      test_monitor_field_constants_agree;
   ]
 
 let () =

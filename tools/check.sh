@@ -1,0 +1,23 @@
+#!/bin/sh
+# Tier-1 check: build + full test suite, with a formatting gate when the
+# formatter is actually available (ocamlformat is not baked into every
+# container this repo is built in, and dune's @fmt alias fails hard when
+# it is missing).
+set -e
+
+cd "$(dirname "$0")/.."
+
+if command -v ocamlformat >/dev/null 2>&1 && [ -f .ocamlformat ]; then
+  echo "== dune build @fmt"
+  dune build @fmt
+else
+  echo "== skipping format check (ocamlformat or .ocamlformat not present)"
+fi
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+echo "ok."
