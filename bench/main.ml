@@ -18,7 +18,8 @@ module Runtime = Tl_runtime.Runtime
 module Scheme = Tl_core.Scheme_intf
 module Registry = Tl_baselines.Registry
 
-let quick = Array.exists (String.equal "quick") Sys.argv
+let smoke = Array.exists (String.equal "smoke") Sys.argv
+let quick = smoke || Array.exists (String.equal "quick") Sys.argv
 
 let t_start = Unix.gettimeofday ()
 
@@ -284,6 +285,155 @@ let bench_churn_stability () =
       allocated;
   print_newline ()
 
+(* Generation-width ablation: how many ABA escapes do stale handles
+   get as a function of generation bits?  Deterministic adversarial
+   churn: every slot is freed and reallocated once per round, so the
+   stored generation advances by exactly 1 per round and a stale
+   (generation-0) handle wrongly resolves whenever the round count
+   wraps the generation space — at every multiple of 2^width.  The
+   escape rate over N rounds is then 1/2^width exactly, which the
+   measurement must reproduce. *)
+let bench_generation_width () =
+  section "Ablation: generation width vs stale-handle ABA escapes";
+  let slots = 256 in
+  let rounds = if quick then 64 else 256 in
+  Printf.printf "  %d slots, %d free/realloc churn rounds per slot, probing %d stale handles\n\n"
+    slots rounds slots;
+  Printf.printf "  %-10s %10s %12s %12s\n" "gen bits" "escapes" "rate" "expected";
+  List.iter
+    (fun width ->
+      let table = Tl_monitor.Index_table.create ~max_index:slots ~generation_width:width ~shards:1 () in
+      let stale = Array.init slots (fun _ -> Tl_monitor.Index_table.allocate table ()) in
+      Array.iter (Tl_monitor.Index_table.free table) stale;
+      let escapes = ref 0 and probes = ref 0 in
+      for _round = 1 to rounds do
+        let live = Array.init slots (fun _ -> Tl_monitor.Index_table.allocate table ()) in
+        Array.iter
+          (fun h ->
+            incr probes;
+            if Tl_monitor.Index_table.find table h <> None then incr escapes)
+          stale;
+        Array.iter (Tl_monitor.Index_table.free table) live
+      done;
+      (* The wrap fires at every multiple of 2^width within [rounds]. *)
+      let expected = float_of_int (rounds / (1 lsl width)) /. float_of_int rounds in
+      Printf.printf "  %-10d %10d %11.3f%% %11.3f%%\n" width !escapes
+        (100.0 *. float_of_int !escapes /. float_of_int !probes)
+        (100.0 *. expected))
+    [ 0; 3; 5; 8 ];
+  Printf.printf
+    "\n  (0 bits = no reuse detection at all; the library default is 5 bits —\n\
+    \   a stale handle escapes only if its slot is recycled exactly 2^5 times)\n\n%!"
+
+(* Shard-count sensitivity: allocation throughput across the
+   (shards x domains) grid, balanced (each domain hints its own index)
+   and skewed (every domain hints shard 0, so every allocation AND
+   every free — slots are striped by shard — lands on one mutex). *)
+let bench_shard_sensitivity () =
+  section "Monitor-table shard-count sensitivity (allocate+free ns/op per domain)";
+  let iters = if quick then 10_000 else 50_000 in
+  let shard_counts = [ 1; 2; 4; 8; 16 ] in
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let grid label hint_of =
+    Printf.printf "  %s\n" label;
+    Printf.printf "  %-10s %s\n" "shards"
+      (String.concat "" (List.map (fun d -> Printf.sprintf "%8dd" d) domain_counts));
+    List.iter
+      (fun shards ->
+        Printf.printf "  %-10d" shards;
+        List.iter
+          (fun domains ->
+            let runtime = Runtime.create () in
+            let table = Tl_monitor.Index_table.create ~shards () in
+            let t0 = Unix.gettimeofday () in
+            Runtime.run_parallel ~backend:Runtime.Domain_backend runtime domains
+              (fun i _env ->
+                let hint = hint_of i in
+                for _ = 1 to iters do
+                  let h = Tl_monitor.Index_table.allocate ~shard_hint:hint table () in
+                  Tl_monitor.Index_table.free table h
+                done);
+            let elapsed = Unix.gettimeofday () -. t0 in
+            Printf.printf " %7.1f "
+              (1e9 *. elapsed /. float_of_int (iters * domains)))
+          domain_counts;
+        print_newline ())
+      shard_counts;
+    print_newline ()
+  in
+  grid "balanced hints (domain i -> shard i)" (fun i -> i);
+  grid "skewed hints (every domain -> shard 0: one stripe takes all traffic)" (fun _ -> 0);
+  Printf.printf
+    "  (balanced should flatten as shards >= domains; skewed shows the\n\
+    \   single-stripe worst case that extra shards cannot fix)\n\n%!"
+
+(* Lifecycle reaper under traffic: churner domains keep inflating a few
+   shared objects while the main thread times the thin fast path on a
+   private object — once with no reaper and once with an eager reaper
+   deflating live monitors the whole time.  The reaper must produce
+   non-quiescent deflations without moving the fast path. *)
+let bench_reaper () =
+  section "Lifecycle reaper: non-quiescent deflation under traffic";
+  let churn_domains = 3 and nshared = 4 in
+  let pairs = if quick then 200_000 else 1_000_000 in
+  let measure with_reaper =
+    let runtime = Runtime.create () in
+    let ctx = Tl_core.Thin.create runtime in
+    let heap = Tl_heap.Heap.create () in
+    let shared = Array.init nshared (fun _ -> Tl_heap.Heap.alloc heap) in
+    let stop = Atomic.make false in
+    let churners =
+      List.init churn_domains (fun i ->
+          Runtime.spawn ~name:(Printf.sprintf "churn-%d" i) ~backend:Runtime.Domain_backend
+            runtime
+            (fun env ->
+              let j = ref 0 in
+              while not (Atomic.get stop) do
+                let obj = shared.((i + !j) mod nshared) in
+                Tl_core.Thin.acquire ctx env obj;
+                if !j mod 101 = 0 then Tl_core.Thin.wait ~timeout:0.0002 ctx env obj;
+                Tl_core.Thin.release ctx env obj;
+                incr j
+              done))
+    in
+    let reaper =
+      if with_reaper then
+        Some (Tl_lifecycle.Reaper.start ~policy:Tl_lifecycle.Policy.always_idle ~interval:0.0 ctx)
+      else None
+    in
+    let env = Runtime.main_env runtime in
+    let priv = Tl_heap.Heap.alloc heap in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to pairs do
+      Tl_core.Thin.acquire ctx env priv;
+      Tl_core.Thin.release ctx env priv
+    done;
+    let fast_ns = 1e9 *. (Unix.gettimeofday () -. t0) /. float_of_int pairs in
+    Atomic.set stop true;
+    List.iter Runtime.join churners;
+    let totals = Option.map Tl_lifecycle.Reaper.stop reaper in
+    (fast_ns, ctx, totals)
+  in
+  let fast_off, _, _ = measure false in
+  let fast_on, ctx, totals = measure true in
+  let extra key =
+    let s = Tl_core.Lock_stats.snapshot (Tl_core.Thin.stats ctx) in
+    Option.value ~default:0 (List.assoc_opt key s.Tl_core.Lock_stats.extra)
+  in
+  Printf.printf "  thin fast path, no reaper:   %8.1f ns per lock+unlock\n" fast_off;
+  Printf.printf "  thin fast path, live reaper: %8.1f ns per lock+unlock\n\n" fast_on;
+  (match totals with
+  | Some t -> Format.printf "  reaper totals: %a@." Tl_lifecycle.Reaper.pp_scan t
+  | None -> ());
+  Printf.printf "  deflations.non_quiescent:      %d\n" (extra "deflations.non_quiescent");
+  Printf.printf "  deflation.aborted_handshakes:  %d\n" (extra "deflation.aborted_handshakes");
+  Printf.printf "  deflation.retired_monitor_retries: %d\n"
+    (extra "deflation.retired_monitor_retries");
+  Printf.printf "  reaper scans:                  %d\n" (extra "reaper.scans");
+  Printf.printf
+    "\n  (deflations while lockers are running is the Tasuki-style extension at\n\
+    \   work; the two fast-path numbers should agree within noise)\n\n%!"
+
 (* Contention-handling ablation: backoff policy under competing
    threads (wall-clock: needs real threads). *)
 let bench_backoff () =
@@ -339,12 +489,25 @@ let bench_vm_macros () =
     programs;
   print_newline ()
 
+(* CI smoke pass: the fast wall-clock sections only — enough to catch
+   bit-rot in the bench harness (and exercise the lifecycle subsystem
+   end-to-end) without the multi-minute Bechamel and report runs. *)
+let run_smoke () =
+  section "Thin Locks reproduction - benchmark harness (smoke pass)";
+  bench_generation_width ();
+  bench_shard_sensitivity ();
+  bench_reaper ();
+  bench_deflation ();
+  Printf.printf "\ndone (smoke).\n"
+
 let () =
+  if smoke then run_smoke ()
+  else begin
   let max_syncs = if quick then 20_000 else 100_000 in
   let iterations = if quick then 20_000 else 100_000 in
 
   section "Thin Locks reproduction - benchmark harness";
-  Printf.printf "mode: %s (pass 'quick' for reduced sizes)\n%!"
+  Printf.printf "mode: %s (pass 'quick' for reduced sizes, 'smoke' for the CI subset)\n%!"
     (if quick then "quick" else "full");
 
   bench_fig4_cells ();
@@ -352,6 +515,9 @@ let () =
   bench_ablation_cells ();
   bench_deflation ();
   bench_montable_scaling ();
+  bench_generation_width ();
+  bench_shard_sensitivity ();
+  bench_reaper ();
   bench_churn_stability ();
   bench_backoff ();
   bench_vm_macros ();
@@ -387,3 +553,4 @@ let () =
     (Tl_workload.Report.monitor_lifecycle ~cycles:(if quick then 5_000 else 20_000) ());
 
   Printf.printf "\ndone.\n"
+  end

@@ -23,7 +23,7 @@ let rec monitor_of ctx obj =
   if Header.is_inflated word then Montable.get ctx.montable (Header.monitor_index word)
   else begin
     let fat = Fatlock.create () in
-    let monitor_index = Montable.allocate ctx.montable fat in
+    let monitor_index = Montable.allocate ctx.montable ~lockword:lw fat in
     let inflated = Header.inflated_word ~hdr:(Header.hdr_bits word) ~monitor_index in
     if Atomic.compare_and_set lw word inflated then fat
     else begin

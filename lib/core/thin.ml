@@ -70,8 +70,8 @@ let my_index (env : Runtime.env) = env.descriptor.Tid.index
    visible (both are seq-cst atomics). *)
 let inflate_owned ctx env obj ~locks ~cause =
   let fat = Fatlock.create_locked ~owner:(my_index env) ~count:locks in
-  let monitor_index = Montable.allocate ~shard_hint:(my_index env) ctx.montable fat in
   let lw = Obj_model.lockword obj in
+  let monitor_index = Montable.allocate ~shard_hint:(my_index env) ~lockword:lw ctx.montable fat in
   let hdr = Header.hdr_bits (Atomic.get lw) in
   Atomic.set lw (Header.inflated_word ~hdr ~monitor_index);
   if ctx.config.record_stats then Lock_stats.record_inflation ctx.stats cause;
@@ -153,11 +153,31 @@ and fat_acquire ctx env obj monitor_ref =
          fresh read makes progress. *)
       if ctx.config.record_stats then Lock_stats.add_extra ctx.stats "stale_monitor_reads" 1;
       acquire ctx env obj
-  | Some fat ->
-      let queued = not (Fatlock.try_acquire env fat) in
-      if queued then Fatlock.acquire env fat;
-      if ctx.config.record_stats then
-        Lock_stats.record_acquire_fat ctx.stats obj ~queued ~depth:(Fatlock.count fat)
+  | Some fat -> (
+      (* Entry-side of the deflation handshake: a monitor retired by a
+         concurrent deflater turns us away, and a fresh read of the lock
+         word — which the deflater rewrites right after retiring — makes
+         progress.  Retirement is sticky and re-inflation allocates a
+         fresh monitor, so our reference can never resurrect. *)
+      let retired_retry () =
+        if ctx.config.record_stats then
+          Lock_stats.add_extra ctx.stats "deflation.retired_monitor_retries" 1;
+        (* The deflater is between retiring and rewriting the word; give
+           it the processor rather than spinning through the latch. *)
+        Thread.yield ();
+        acquire ctx env obj
+      in
+      match Fatlock.try_acquire_live env fat with
+      | `Acquired ->
+          if ctx.config.record_stats then
+            Lock_stats.record_acquire_fat ctx.stats obj ~queued:false ~depth:(Fatlock.count fat)
+      | `Retired -> retired_retry ()
+      | `Busy -> (
+          match Fatlock.acquire_live env fat with
+          | `Acquired queued ->
+              if ctx.config.record_stats then
+                Lock_stats.record_acquire_fat ctx.stats obj ~queued ~depth:(Fatlock.count fat)
+          | `Retired -> retired_retry ()))
 
 let owner_store ctx lw ~old_word ~new_word =
   if ctx.config.unlock_with_cas then begin
@@ -235,27 +255,76 @@ let holds ctx env obj =
     | None -> false (* stale word: whatever monitor it named is gone *)
   else Header.thin_owner word = my_index env
 
-(* Quiescence-point deflation (extension; see the interface for the
-   safety contract).  The write back to the thin-unlocked pattern is a
-   plain store: under quiescence nobody races us.  The lock word is
-   rewritten BEFORE the slot is freed, so any thread that cached the
-   old inflated word either re-reads the new word or trips the
-   generation check in [fat_acquire]. *)
-let deflate_idle ctx obj =
-  let lw = Obj_model.lockword obj in
+(* Deflation handshake (extension; see the interface for the safety
+   contract).  The protocol, against the entry side in [fat_acquire] /
+   [Fatlock.acquire_live]:
+
+     1. CAS the deflation-in-progress bit onto the inflated word.  This
+        arbitrates rival deflaters — only the winner may rewrite the
+        word or free the slot — without perturbing entering threads,
+        which ignore the bit.
+     2. Under the monitor latch, atomically check idleness and set the
+        sticky [retired] flag ([Fatlock.retire_if_idle]).  An entrant
+        that wins the latch first makes the monitor non-idle and the
+        handshake aborts; a retirement that wins first bounces every
+        later entrant back to re-read the lock word.
+     3. Retired: CAS the word to the thin-unlocked pattern, then free
+        the slot.  Word-before-slot ordering means a thread still
+        holding the old word either re-reads the new one or trips the
+        generation check in [fat_acquire].
+     4. Not idle: CAS the bit back off (an aborted handshake) so future
+        deflaters may try again.
+
+   Both step-3/4 CASes must succeed — holding the bit excludes every
+   other writer of an inflated word — so failure is a protocol bug and
+   asserts. *)
+
+type deflate_outcome = [ `Deflated | `Busy | `Lost_race | `Not_inflated ]
+
+let deflate_lockword ctx ~cause lw =
   let word = Atomic.get lw in
-  if not (Header.is_inflated word) then false
-  else
+  if not (Header.is_inflated word) then `Not_inflated
+  else if Header.is_deflating word then `Lost_race
+  else if not (Atomic.compare_and_set lw word (Header.set_deflating word)) then `Lost_race
+  else begin
+    let finish new_word =
+      if not (Atomic.compare_and_set lw (Header.set_deflating word) new_word) then assert false
+    in
+    (* Derive the handle from the word we tagged, never from a caller's
+       cached copy: the bit pins this inflation in place. *)
     let handle = Header.monitor_index word in
     match Montable.find ctx.montable handle with
-    | None -> false
+    | None ->
+        (* Unreachable while the protocol holds — the slot can only be
+           freed by a handshake winner, and we are it — but degrade
+           gracefully rather than assert on behalf of other code. *)
+        finish word;
+        `Lost_race
     | Some fat ->
-        if Fatlock.is_idle fat then begin
-          Atomic.set lw (Header.hdr_bits word);
+        if Fatlock.retire_if_idle fat then begin
+          finish (Header.hdr_bits word);
           Montable.free ctx.montable handle;
-          if ctx.config.record_stats then Lock_stats.record_deflation ctx.stats;
-          true
+          if ctx.config.record_stats then begin
+            Lock_stats.record_deflation ctx.stats;
+            match cause with
+            | `Concurrent -> Lock_stats.add_extra ctx.stats "deflations.non_quiescent" 1
+            | `Quiescent -> ()
+          end;
+          `Deflated
         end
-        else false
+        else begin
+          finish word;
+          if ctx.config.record_stats then
+            Lock_stats.add_extra ctx.stats "deflation.aborted_handshakes" 1;
+          `Busy
+        end
+  end
+
+let deflate_obj ctx ~cause obj = deflate_lockword ctx ~cause (Obj_model.lockword obj)
+
+let deflate_idle ctx obj =
+  match deflate_obj ctx ~cause:`Quiescent obj with
+  | `Deflated -> true
+  | `Busy | `Lost_race | `Not_inflated -> false
 
 let deflations ctx = Lock_stats.deflation_count ctx.stats

@@ -52,31 +52,58 @@ val lock_word : Tl_heap.Obj_model.t -> int
 (** {1 Deflation (extension)}
 
     The paper makes inflation permanent ("prevents thrashing between
-    the thin and fat states", §2.3) and later work (Onodera &
-    Kawachiya's Tasuki locks) showed how to undo it.  This extension
-    takes the approach production JVMs use: deflate at {e quiescence
-    points} (e.g. when a garbage collector has stopped the world),
-    where no thread can be concurrently entering the monitor. *)
+    the thin and fat states", §2.3); Onodera & Kawachiya's Tasuki
+    locks showed how to undo it {e without} stopping the world, by
+    handshaking through a flc bit in the header.  This extension
+    implements that handshake (the bit is
+    [Tl_heap.Header.deflating_bit]):
+
+    + the deflater CASes the deflation-in-progress bit onto the
+      inflated word, arbitrating rival deflaters;
+    + under the monitor latch it atomically checks idleness and sets a
+      sticky {e retired} flag ([Fatlock.retire_if_idle]);
+    + if retired, it CASes the word to thin-unlocked and only then
+      frees the slot (generation bumped); if the monitor was busy it
+      CASes the bit back off — an {e aborted handshake}.
+
+    Entering threads never block on the bit: one that reaches a
+    retired monitor is turned away ([Fatlock.acquire_live] returning
+    [`Retired]) and re-reads the lock word, which the deflater rewrote
+    right after retiring.  Monitors are never resurrected —
+    re-inflation allocates a fresh one — so a stale reference cannot
+    acquire a recycled monitor.
+
+    Deflations are counted in {!Lock_stats}
+    ([Lock_stats.snapshot.deflations], plus the
+    ["deflations.non_quiescent"] and ["deflation.aborted_handshakes"]
+    extras and the [monitors.*] gauges).  The lifecycle reaper
+    ([Tl_lifecycle.Reaper]) drives {!deflate_lockword} from the
+    monitor census under a pluggable policy. *)
+
+type deflate_outcome =
+  [ `Deflated  (** idle monitor retired; word back to thin-unlocked *)
+  | `Busy  (** monitor in use; handshake aborted, bit cleared *)
+  | `Lost_race  (** another deflater holds the bit, or the word moved *)
+  | `Not_inflated  (** nothing to do *) ]
+
+val deflate_lockword :
+  ctx -> cause:[ `Quiescent | `Concurrent ] -> int Atomic.t -> deflate_outcome
+(** Run the deflation handshake on one atomic lock word (the form the
+    reaper uses — it walks [Montable] entries, which carry the word as
+    a back-reference, without needing the heap object).  [cause] only
+    affects accounting: [`Concurrent] deflations are additionally
+    counted under ["deflations.non_quiescent"]. *)
+
+val deflate_obj : ctx -> cause:[ `Quiescent | `Concurrent ] -> Tl_heap.Obj_model.t -> deflate_outcome
+(** {!deflate_lockword} on an object's lock word. *)
 
 val deflate_idle : ctx -> Tl_heap.Obj_model.t -> bool
-(** [deflate_idle ctx obj] returns the object to the thin-unlocked
-    state if its fat monitor is completely idle (unowned, empty entry
-    queue, empty wait set — checked as one consistent snapshot under
-    the monitor latch); returns [true] on deflation, [false] if the
-    lock was not inflated or not idle.
-
-    The monitor-table slot {e is} recycled: the lock word is rewritten
-    first, then the slot is freed with its generation tag bumped, so a
-    thread still holding the old inflated word detects the reuse (its
-    handle goes stale) and re-reads instead of acquiring a recycled
-    monitor.  Deflations are counted in {!Lock_stats} (see
-    [Lock_stats.snapshot.deflations] and the [monitors.*] gauges).
-
-    {b Safety:} the caller must guarantee that no thread is
-    concurrently performing a monitor operation on [obj] (quiescence,
-    e.g. a stop-the-world point); the generation tag is
-    defense-in-depth, not a license to deflate under traffic. *)
+(** [deflate_idle ctx obj] is
+    [deflate_obj ctx ~cause:`Quiescent obj = `Deflated]: the historical
+    entry point for quiescence-point deflation, now running the same
+    handshake (safe under traffic, merely more likely to report
+    [false] there). *)
 
 val deflations : ctx -> int
-(** How many locks {!deflate_idle} has deflated, as recorded in the
+(** How many locks the handshake has deflated, as recorded in the
     statistics (0 when [record_stats] is off). *)

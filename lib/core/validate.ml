@@ -73,14 +73,24 @@ let with_validation (scheme : Scheme_intf.packed) : Scheme_intf.packed =
     scheme.Scheme_intf.notify_all env obj
   in
   let deflate_idle obj =
-    (* Deflation is only legal at quiescence, when the shadow shows the
-       object unowned; deflating a held lock would strand its owner. *)
+    (* Attempting deflation on a held lock is legal — the handshake is
+       designed to abort it — so the violation is outcome-based: a
+       deflation that REPORTS success on an object the shadow shows as
+       owned stranded that owner.  The shadow mutex is held across the
+       scheme call so the comparison is against the shadow state the
+       deflation raced with: the shadow's release clears ownership
+       before the real release and its acquire records ownership after
+       the real acquire, so "deflated a shadow-owned object" cannot be
+       a bystander artifact.  (Lock order is safe: schemes never take
+       the shadow mutex, and the monitor latch is never held while
+       calling back into us.) *)
     with_shadow shadow (fun () ->
         let owner, count = entry shadow obj in
-        if owner <> 0 then
-          fail "deflate_idle while thread %d holds object %d (count %d)" owner
-            (Tl_heap.Obj_model.id obj) count);
-    scheme.Scheme_intf.deflate_idle obj
+        let deflated = scheme.Scheme_intf.deflate_idle obj in
+        if deflated && owner <> 0 then
+          fail "deflation succeeded while thread %d holds object %d (count %d)" owner
+            (Tl_heap.Obj_model.id obj) count;
+        deflated)
   in
   {
     scheme with

@@ -15,7 +15,12 @@
 exception Violation of string
 
 val with_validation : Scheme_intf.packed -> Scheme_intf.packed
-(** The wrapped scheme shares the original's statistics. *)
+(** The wrapped scheme shares the original's statistics.
+
+    Deflation is judged by outcome, not attempt: running [deflate_idle]
+    on a held lock is legal (the non-quiescent handshake aborts it),
+    but a deflation {e reporting success} while the shadow records an
+    owner is a violation — it stranded that owner. *)
 
 val with_chaos : ?seed:int -> ?yield_probability:float -> Scheme_intf.packed -> Scheme_intf.packed
 (** [yield_probability] defaults to 0.1 per operation edge. *)

@@ -40,6 +40,18 @@ let monitor_generation word =
     ~offset:(count_offset + monitor_slot_width)
     ~width:monitor_generation_width word
 
+(* Deflation-in-progress ("flat lock contention"-style) bit, one above
+   the 32-bit word of Fig. 1.  Tasuki locks borrow their flc bit from an
+   adjacent header word; on this OCaml model of the header the 63-bit
+   native int gives us the adjacent bit directly.  The bit is only ever
+   set on an {e inflated} word, by a deflater that has won the handshake
+   CAS, so none of the thin-path equality/XOR tests below ever see it. *)
+let deflating_bit = 32
+let deflating_mask = 1 lsl deflating_bit
+let is_deflating word = word land deflating_mask <> 0
+let set_deflating word = word lor deflating_mask
+let clear_deflating word = word land lnot deflating_mask
+
 let nested_limit = max_thin_count lsl count_offset
 
 let nested_limit_for ~count_width =
@@ -52,10 +64,12 @@ let count_increment = 1 lsl count_offset
 
 let describe word =
   if is_inflated word then
+    let suffix = if is_deflating word then " deflating" else "" in
     if monitor_generation word = 0 then
-      Printf.sprintf "inflated(monitor=%d)" (monitor_index word)
+      Printf.sprintf "inflated(monitor=%d%s)" (monitor_index word) suffix
     else
-      Printf.sprintf "inflated(monitor=%d gen=%d)" (monitor_slot word) (monitor_generation word)
+      Printf.sprintf "inflated(monitor=%d gen=%d%s)" (monitor_slot word)
+        (monitor_generation word) suffix
   else if is_unlocked word then "unlocked"
   else
     Printf.sprintf "thin(owner=%d, locks=%d)" (thin_owner word) (thin_count word + 1)

@@ -84,6 +84,28 @@ val monitor_index : int -> int
 val monitor_slot : int -> int
 val monitor_generation : int -> int
 
+(** {2 Deflation handshake bit (lifecycle extension)}
+
+    One bit {e above} the 32-bit word of Fig. 1 marks an inflated word
+    whose monitor is being deflated by a concurrent deflater — the
+    analogue of the Tasuki flc bit, which Onodera & Kawachiya borrow
+    from an adjacent header word.  A deflater claims the bit with a CAS
+    (arbitrating rival deflaters), decides the monitor's fate under the
+    monitor latch, and then either rewrites the word to thin-unlocked or
+    clears the bit.  The bit is only ever set on inflated words, so the
+    thin-path equality and XOR tests never observe it. *)
+
+val deflating_bit : int
+(** 32. *)
+
+val deflating_mask : int
+
+val is_deflating : int -> bool
+(** Is a deflation handshake in progress on this (inflated) word? *)
+
+val set_deflating : int -> int
+val clear_deflating : int -> int
+
 val nested_limit : int
 (** [255 lsl 8] — the single unsigned immediate the nested-lock check
     compares against (§2.3.3). *)

@@ -1,0 +1,28 @@
+type candidate = { idle_scans : int; contended_episodes : int }
+type t = { name : string; decide : candidate -> bool }
+
+module type S = sig
+  val name : string
+  val decide : candidate -> bool
+end
+
+let v ~name decide = { name; decide }
+let of_module (module P : S) = { name = P.name; decide = P.decide }
+let never = { name = "never"; decide = (fun _ -> false) }
+let always_idle = { name = "always-idle"; decide = (fun c -> c.idle_scans >= 1) }
+
+let idle_for ~quiescence_points =
+  if quiescence_points < 1 then invalid_arg "Policy.idle_for: quiescence_points";
+  {
+    name = Printf.sprintf "idle-for-%d" quiescence_points;
+    decide = (fun c -> c.idle_scans >= quiescence_points);
+  }
+
+let zero_contended_episodes =
+  {
+    name = "zero-contended-episodes";
+    decide = (fun c -> c.idle_scans >= 1 && c.contended_episodes = 0);
+  }
+
+let both a b =
+  { name = Printf.sprintf "%s&%s" a.name b.name; decide = (fun c -> a.decide c && b.decide c) }

@@ -1,0 +1,136 @@
+module Fatlock = Tl_monitor.Fatlock
+module Montable = Tl_monitor.Montable
+module Thin = Tl_core.Thin
+module Lock_stats = Tl_core.Lock_stats
+module Timer = Tl_util.Timer
+
+type scan = {
+  scanned : int;
+  candidates : int;
+  deflated : int;
+  aborted : int;
+  lost_races : int;
+  elapsed : float;
+}
+
+let empty_scan =
+  { scanned = 0; candidates = 0; deflated = 0; aborted = 0; lost_races = 0; elapsed = 0.0 }
+
+let add_scans a b =
+  {
+    scanned = a.scanned + b.scanned;
+    candidates = a.candidates + b.candidates;
+    deflated = a.deflated + b.deflated;
+    aborted = a.aborted + b.aborted;
+    lost_races = a.lost_races + b.lost_races;
+    elapsed = a.elapsed +. b.elapsed;
+  }
+
+let pp_scan ppf s =
+  Format.fprintf ppf "scanned %d, candidates %d, deflated %d, aborted %d, lost races %d, %.0f us"
+    s.scanned s.candidates s.deflated s.aborted s.lost_races (s.elapsed *. 1e6)
+
+let scan_once ?(policy = Policy.always_idle) ctx =
+  let t0 = Timer.now () in
+  let scanned = ref 0
+  and candidates = ref 0
+  and deflated = ref 0
+  and aborted = ref 0
+  and lost_races = ref 0 in
+  Montable.iter_live (Thin.montable ctx) (fun ~handle:_ (entry : Montable.entry) ->
+      incr scanned;
+      (* A retired monitor in the census is just the tiny window before
+         the winning deflater frees its slot; skip it. *)
+      if not (Fatlock.is_retired entry.fat) then begin
+        let candidate =
+          {
+            Policy.idle_scans = Fatlock.observe_idle entry.fat;
+            contended_episodes = Fatlock.contended_episodes entry.fat;
+          }
+        in
+        if policy.Policy.decide candidate then begin
+          incr candidates;
+          (* The handshake re-validates everything; the census entry
+             may be stale by now (freed, even reallocated), in which
+             case the lock word no longer names it and the attempt
+             resolves as a lost race or a no-op. *)
+          match Thin.deflate_lockword ctx ~cause:`Concurrent entry.lockword with
+          | `Deflated -> incr deflated
+          | `Busy -> incr aborted
+          | `Lost_race | `Not_inflated -> incr lost_races
+        end
+      end);
+  let elapsed = Timer.now () -. t0 in
+  let stats = Thin.stats ctx in
+  Lock_stats.add_extra stats "reaper.scans" 1;
+  Lock_stats.add_extra stats "reaper.scan_us" (int_of_float (elapsed *. 1e6));
+  {
+    scanned = !scanned;
+    candidates = !candidates;
+    deflated = !deflated;
+    aborted = !aborted;
+    lost_races = !lost_races;
+    elapsed;
+  }
+
+(* Background reaper thread. *)
+
+type t = {
+  stop_flag : bool Atomic.t;
+  mutable thread : Thread.t option; (* None once joined *)
+  totals_mutex : Mutex.t;
+  mutable totals : scan;
+  mutable scans : int;
+}
+
+let accumulate t s =
+  Mutex.lock t.totals_mutex;
+  t.totals <- add_scans t.totals s;
+  t.scans <- t.scans + 1;
+  Mutex.unlock t.totals_mutex
+
+let totals t =
+  Mutex.lock t.totals_mutex;
+  let s = t.totals in
+  Mutex.unlock t.totals_mutex;
+  s
+
+let scans t =
+  Mutex.lock t.totals_mutex;
+  let n = t.scans in
+  Mutex.unlock t.totals_mutex;
+  n
+
+let start ?policy ?(interval = 0.0005) ctx =
+  let t =
+    {
+      stop_flag = Atomic.make false;
+      thread = None;
+      totals_mutex = Mutex.create ();
+      totals = empty_scan;
+      scans = 0;
+    }
+  in
+  let body () =
+    while not (Atomic.get t.stop_flag) do
+      accumulate t (scan_once ?policy ctx);
+      (* Yield even with a zero interval so single-core schedulers let
+         the mutators run between scans. *)
+      if interval > 0.0 then Thread.delay interval else Thread.yield ()
+    done
+  in
+  t.thread <- Some (Thread.create body ());
+  t
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  (match t.thread with Some th -> Thread.join th | None -> ());
+  t.thread <- None;
+  totals t
+
+let on_quiescence ?policy ?(every = 1) runtime ctx =
+  if every < 1 then invalid_arg "Reaper.on_quiescence: every";
+  let announcements = Atomic.make 0 in
+  Tl_runtime.Runtime.on_quiescence runtime (fun () ->
+      if Atomic.fetch_and_add announcements 1 mod every = every - 1 then
+        ignore (scan_once ?policy ctx))

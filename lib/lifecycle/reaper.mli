@@ -1,0 +1,57 @@
+(** The monitor-lifecycle reaper: walks the live-monitor census and
+    deflates what a {!Policy} nominates, via the non-quiescent
+    handshake ([Tl_core.Thin.deflate_lockword]) — so it is safe to run
+    {e while lockers are active}.  Three driving modes:
+
+    - {!scan_once}: one synchronous sweep, for callers with their own
+      schedule (tests, a stop-the-world hook);
+    - {!start}/{!stop}: a background thread sweeping on an interval;
+    - {!on_quiescence}: sweeps driven by runtime quiescence
+      announcements ([Runtime.quiescence_point]).
+
+    Scan latency and counts are recorded in the scheme's
+    [Lock_stats] extras (["reaper.scans"], ["reaper.scan_us"]); the
+    handshake itself records ["deflations.non_quiescent"] and
+    ["deflation.aborted_handshakes"]. *)
+
+type scan = {
+  scanned : int;  (** live census entries visited *)
+  candidates : int;  (** entries the policy nominated *)
+  deflated : int;
+  aborted : int;  (** handshakes aborted: the monitor was in use *)
+  lost_races : int;  (** another deflater (or the world) got there first *)
+  elapsed : float;  (** seconds *)
+}
+
+val empty_scan : scan
+val add_scans : scan -> scan -> scan
+val pp_scan : Format.formatter -> scan -> unit
+
+val scan_once : ?policy:Policy.t -> Tl_core.Thin.ctx -> scan
+(** One sweep over the census (default policy: {!Policy.always_idle}).
+    The walk is racy by design; every candidate is re-validated by the
+    handshake, so concurrent allocation/free/locking is fine. *)
+
+(** {1 Background reaper} *)
+
+type t
+
+val start : ?policy:Policy.t -> ?interval:float -> Tl_core.Thin.ctx -> t
+(** Spawn a thread sweeping every [interval] seconds (default 0.5 ms;
+    0 means back-to-back sweeps with a yield in between). *)
+
+val stop : t -> scan
+(** Signal, join, and return the accumulated totals.  Idempotent. *)
+
+val totals : t -> scan
+val scans : t -> int
+
+(** {1 Quiescence-driven reaping} *)
+
+val on_quiescence :
+  ?policy:Policy.t -> ?every:int -> Tl_runtime.Runtime.t -> Tl_core.Thin.ctx -> unit
+(** Register a quiescence hook running {!scan_once} at every [every]-th
+    announcement (default 1) — the stop-the-world-adjacent mode: scans
+    happen on a mutator thread at a point it declared safe.  The hook
+    cannot be unregistered (see [Runtime.on_quiescence]); stop
+    announcing, or let the runtime drop. *)

@@ -18,6 +18,17 @@ type t = {
   mutable count : int; (* number of locks held by [owner] *)
   entry_queue : waiter Queue.t;
   wait_set : waiter Queue.t;
+  mutable retired : bool;
+      (* set (under the latch, while idle) by a deflater that won the
+         lock-word handshake; sticky — a retired monitor is never
+         resurrected, its object gets a fresh one on re-inflation *)
+  mutable in_flight : int;
+      (* waiters removed from the wait set (notify/timeout) but not yet
+         re-entered: they are invisible to both queues, so this count is
+         what stops [retire_if_idle] from deflating out from under
+         them *)
+  mutable contended_episodes : int; (* entrants that had to queue, ever *)
+  mutable idle_scans : int; (* consecutive reaper scans that saw it idle *)
 }
 
 let create () =
@@ -27,6 +38,10 @@ let create () =
     count = 0;
     entry_queue = Queue.create ();
     wait_set = Queue.create ();
+    retired = false;
+    in_flight = 0;
+    contended_episodes = 0;
+    idle_scans = 0;
   }
 
 let create_locked ~owner ~count =
@@ -52,35 +67,56 @@ let remove_from_queue q w =
 
 (* Entry protocol, Mesa-style with barging: a released monitor may be
    grabbed by any arriving thread; a woken entrant that loses the race
-   re-queues (at the back). *)
-let acquire env t =
+   re-queues (at the back).  A retired monitor turns entrants away with
+   [`Retired] — the caller re-reads the object's lock word, which the
+   deflater rewrites to thin-unlocked right after retiring. *)
+let acquire_live env t =
   let me = my_index env in
   Spinlock.acquire t.latch;
-  if t.owner = 0 then begin
+  if t.retired then begin
+    Spinlock.release t.latch;
+    `Retired
+  end
+  else if t.owner = 0 then begin
     t.owner <- me;
     t.count <- 1;
-    Spinlock.release t.latch
+    t.idle_scans <- 0;
+    Spinlock.release t.latch;
+    `Acquired false
   end
   else if t.owner = me then begin
     t.count <- t.count + 1;
-    Spinlock.release t.latch
+    Spinlock.release t.latch;
+    `Acquired false
   end
   else begin
     let w = { env; notified = false; in_queue = true } in
     Queue.push w t.entry_queue;
+    t.contended_episodes <- t.contended_episodes + 1;
     Spinlock.release t.latch;
     let rec wait_turn () =
       Parker.park env.parker;
       Spinlock.acquire t.latch;
-      if t.owner = 0 then begin
+      if t.retired then begin
+        (* Retirement requires an empty entry queue, so our record was
+           already popped (by the final release) before the deflater
+           could retire — nothing to clean up, and no wakeup is lost:
+           the monitor is defunct and the caller retries on the object,
+           whose lock word the deflater resets. *)
+        Spinlock.release t.latch;
+        `Retired
+      end
+      else if t.owner = 0 then begin
         t.owner <- me;
         t.count <- 1;
+        t.idle_scans <- 0;
         if w.in_queue then begin
           (* woken by a stale permit while still queued *)
           remove_from_queue t.entry_queue w;
           w.in_queue <- false
         end;
-        Spinlock.release t.latch
+        Spinlock.release t.latch;
+        `Acquired true
       end
       else begin
         if not w.in_queue then begin
@@ -94,23 +130,36 @@ let acquire env t =
     wait_turn ()
   end
 
-let try_acquire env t =
+let acquire env t =
+  match acquire_live env t with
+  | `Acquired _ -> ()
+  | `Retired ->
+      (* Only the thin scheme retires monitors, and it enters through
+         [acquire_live]; the baselines' monitors live forever. *)
+      raise (Illegal_monitor_state "acquire: monitor was retired (deflated)")
+
+let try_acquire_live env t =
   let me = my_index env in
   Spinlock.acquire t.latch;
-  let ok =
-    if t.owner = 0 then begin
+  let outcome =
+    if t.retired then `Retired
+    else if t.owner = 0 then begin
       t.owner <- me;
       t.count <- 1;
-      true
+      t.idle_scans <- 0;
+      `Acquired
     end
     else if t.owner = me then begin
       t.count <- t.count + 1;
-      true
+      `Acquired
     end
-    else false
+    else `Busy
   in
   Spinlock.release t.latch;
-  ok
+  outcome
+
+let try_acquire env t =
+  match try_acquire_live env t with `Acquired -> true | `Busy | `Retired -> false
 
 (* Fully release an owned monitor (count already saved by the caller)
    and wake the next entrant, if any.  Must be called with the latch
@@ -161,17 +210,27 @@ let wait ?timeout env t =
         else if deadline_hit then begin
           (* Timed out — but a notify may have happened between the
              timeout and this line; removing ourselves under the latch
-             resolves the race. *)
+             resolves the race.  Leaving the wait set on our own makes
+             us in-flight (notify bumps the count for the waiters it
+             pops). *)
           Spinlock.acquire t.latch;
-          if not w.notified then remove_from_queue t.wait_set w;
+          if not w.notified then begin
+            remove_from_queue t.wait_set w;
+            t.in_flight <- t.in_flight + 1
+          end;
           Spinlock.release t.latch
         end
   in
   block ();
+  (* Between leaving the wait set and re-acquiring we are invisible to
+     both queues; the in-flight count (bumped by whoever removed us)
+     keeps a concurrent deflater from retiring the monitor out from
+     under this re-acquisition, so [acquire] cannot see it retired. *)
   acquire env t;
   (* Restore the saved recursion count. *)
   Spinlock.acquire t.latch;
   t.count <- saved_count;
+  t.in_flight <- t.in_flight - 1;
   Spinlock.release t.latch
 
 let notify env t =
@@ -182,7 +241,11 @@ let notify env t =
     raise (not_owner_error t "notify" me)
   end;
   let woken = if Queue.is_empty t.wait_set then None else Some (Queue.pop t.wait_set) in
-  (match woken with Some w -> w.notified <- true | None -> ());
+  (match woken with
+  | Some w ->
+      w.notified <- true;
+      t.in_flight <- t.in_flight + 1
+  | None -> ());
   Spinlock.release t.latch;
   match woken with None -> () | Some w -> Parker.unpark w.env.parker
 
@@ -196,6 +259,7 @@ let notify_all env t =
   let woken = Queue.fold (fun acc w -> w :: acc) [] t.wait_set in
   Queue.clear t.wait_set;
   List.iter (fun w -> w.notified <- true) woken;
+  t.in_flight <- t.in_flight + List.length woken;
   Spinlock.release t.latch;
   List.iter (fun w -> Parker.unpark w.env.parker) woken
 
@@ -208,6 +272,38 @@ let entry_queue_length t =
 let wait_set_length t = Spinlock.with_lock t.latch (fun () -> Queue.length t.wait_set)
 let holds env t = Spinlock.with_lock t.latch (fun () -> t.owner = my_index env)
 
-let is_idle t =
+(* Idleness for deflation: unowned, no queued entrant, no waiter, and
+   no notified/timed-out waiter in flight back to re-acquisition. *)
+let idle_locked t =
+  t.owner = 0
+  && Queue.is_empty t.entry_queue
+  && Queue.is_empty t.wait_set
+  && t.in_flight = 0
+
+let is_idle t = Spinlock.with_lock t.latch (fun () -> (not t.retired) && idle_locked t)
+
+(* --- lifecycle handshake (non-quiescent deflation) --- *)
+
+let retire_if_idle t =
   Spinlock.with_lock t.latch (fun () ->
-      t.owner = 0 && Queue.is_empty t.entry_queue && Queue.is_empty t.wait_set)
+      if (not t.retired) && idle_locked t then begin
+        t.retired <- true;
+        true
+      end
+      else false)
+
+let is_retired t = Spinlock.with_lock t.latch (fun () -> t.retired)
+
+let observe_idle t =
+  Spinlock.with_lock t.latch (fun () ->
+      if (not t.retired) && idle_locked t then begin
+        t.idle_scans <- t.idle_scans + 1;
+        t.idle_scans
+      end
+      else begin
+        t.idle_scans <- 0;
+        0
+      end)
+
+let contended_episodes t = Spinlock.with_lock t.latch (fun () -> t.contended_episodes)
+let idle_scans t = Spinlock.with_lock t.latch (fun () -> t.idle_scans)

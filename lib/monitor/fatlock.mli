@@ -26,10 +26,22 @@ val create_locked : owner:int -> count:int -> t
 
 val acquire : Tl_runtime.Runtime.env -> t -> unit
 (** Lock the monitor, blocking in the entry queue if necessary.
-    Re-entrant: the owner's count is incremented. *)
+    Re-entrant: the owner's count is incremented.
+    @raise Illegal_monitor_state if the monitor was retired — only
+    possible for schemes that deflate; use {!acquire_live} there. *)
 
 val try_acquire : Tl_runtime.Runtime.env -> t -> bool
-(** Non-blocking acquire; never queues. *)
+(** Non-blocking acquire; never queues.  [false] on a busy {e or}
+    retired monitor; use {!try_acquire_live} to tell them apart. *)
+
+val acquire_live : Tl_runtime.Runtime.env -> t -> [ `Acquired of bool | `Retired ]
+(** Like {!acquire}, but retirement-aware: [`Acquired queued] on
+    success ([queued] = the thread had to block in the entry queue);
+    [`Retired] if a deflater retired the monitor before or while we
+    waited — the caller must re-read the object's lock word and start
+    over (the deflater rewrites it right after retiring). *)
+
+val try_acquire_live : Tl_runtime.Runtime.env -> t -> [ `Acquired | `Busy | `Retired ]
 
 val release : Tl_runtime.Runtime.env -> t -> unit
 (** Unlock once; on the last release wakes one queued entrant.
@@ -61,6 +73,36 @@ val holds : Tl_runtime.Runtime.env -> t -> bool
 (** Does the calling thread own the monitor? *)
 
 val is_idle : t -> bool
-(** Atomically (under the latch): unowned, empty entry queue, empty
-    wait set — the deflation precondition, checked as one consistent
-    snapshot rather than three racy reads. *)
+(** Atomically (under the latch): not retired, unowned, empty entry
+    queue, empty wait set, and no notified waiter in flight back to
+    re-acquisition — the deflation precondition, checked as one
+    consistent snapshot rather than five racy reads. *)
+
+(** {1 Lifecycle handshake (non-quiescent deflation)}
+
+    A deflater that has claimed the object's lock word (the
+    deflation-in-progress bit) calls {!retire_if_idle}; from the moment
+    it returns [true] every entrant gets [`Retired] from
+    {!acquire_live}/{!try_acquire_live} and falls back to the object's
+    lock word.  Retirement is sticky: a retired monitor is never
+    reused — re-inflation allocates a fresh one — which is what makes a
+    stale reference held across the deflation harmless. *)
+
+val retire_if_idle : t -> bool
+(** Atomically retire the monitor if it {!is_idle}; [false] if it is
+    owned, queued on, waited on, has a waiter in flight, or is already
+    retired. *)
+
+val is_retired : t -> bool
+
+val observe_idle : t -> int
+(** One reaper scan tick: if the monitor {!is_idle}, bump and return
+    its consecutive-idle-scan count; otherwise reset the count to 0 and
+    return 0.  Feeds the deflation policy engine. *)
+
+val contended_episodes : t -> int
+(** How many entrants ever had to queue on this monitor — the signal
+    behind contention-averse deflation policies. *)
+
+val idle_scans : t -> int
+(** Current consecutive-idle-scan count (see {!observe_idle}). *)

@@ -185,6 +185,20 @@ let free t handle =
       Mutex.unlock shard.lock;
       raise (Stale handle)
 
+(* Racy-by-design census walk: each cell is read atomically, but the
+   set of live entries can change mid-scan.  Callers (the lifecycle
+   reaper) must treat every visited entry as a candidate to re-verify,
+   not as a consistent snapshot. *)
+let iter_live t f =
+  let spine = Atomic.get t.spine in
+  let upper = min t.max_slot ((Array.length spine * chunk_size) - 1) in
+  for slot = 1 to upper do
+    let c = Atomic.get spine.(slot lsr chunk_width).(slot land chunk_mask) in
+    match c.value with
+    | Some value -> f ~handle:(handle t ~slot ~generation:c.generation) value
+    | None -> ()
+  done
+
 let allocated t = Atomic.get t.allocations
 let frees t = Atomic.get t.frees
 let reuses t = Atomic.get t.reuses

@@ -53,6 +53,13 @@ val free : 'a t -> int -> unit
     shard's free list.
     @raise Stale if the handle is already stale (e.g. double free). *)
 
+val iter_live : 'a t -> (handle:int -> 'a -> unit) -> unit
+(** Visit every live entry with its current handle.  The walk is
+    lock-free and racy by design: entries freed or allocated during the
+    scan may or may not be visited, so callers must re-validate each
+    candidate (the reaper's deflation handshake does).  Cost is linear
+    in the high-water slot count, not in live entries. *)
+
 val allocated : 'a t -> int
 (** Total allocations ever (slot reuses included) — the census. *)
 

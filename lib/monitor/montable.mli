@@ -16,6 +16,13 @@
 
 type t
 
+type entry = { fat : Fatlock.t; lockword : int Atomic.t }
+(** A registered monitor and the atomic lock word of the object it
+    inflates — the back-reference the lifecycle reaper follows to run
+    the deflation handshake on census candidates.  (Only the atomic
+    cell is stored; this library has no view of the heap's object
+    model.) *)
+
 exception Stale of int
 
 val slot_width : int
@@ -30,10 +37,12 @@ val create : ?shards:int -> unit -> t
 (** [shards] is the allocation shard count (default 8, rounded up to a
     power of two). *)
 
-val allocate : ?shard_hint:int -> t -> Fatlock.t -> int
+val allocate : ?shard_hint:int -> t -> lockword:int Atomic.t -> Fatlock.t -> int
 (** Register a fat lock, returning its handle (≥ 1), which fits the
-    23-bit monitor field.  [shard_hint] should identify the allocating
-    thread or domain so concurrent inflations spread across shards.
+    23-bit monitor field.  [lockword] is the inflating object's atomic
+    lock word (kept as the reaper's back-reference).  [shard_hint]
+    should identify the allocating thread or domain so concurrent
+    inflations spread across shards.
     @raise Failure if all 2^18 - 1 slots are live. *)
 
 val get : t -> int -> Fatlock.t
@@ -44,6 +53,14 @@ val get : t -> int -> Fatlock.t
 val find : t -> int -> Fatlock.t option
 (** Like {!get}, [None] on stale/unallocated handles — the form the
     lock protocol uses where a stale read is survivable. *)
+
+val find_entry : t -> int -> entry option
+(** The full entry (fat lock + lock-word back-reference); the reaper's
+    view. *)
+
+val iter_live : t -> (handle:int -> entry -> unit) -> unit
+(** Walk the live-monitor census (see {!Index_table.iter_live} for the
+    racy-snapshot caveats). *)
 
 val free : t -> int -> unit
 (** Return a deflated monitor's slot for reuse.  Caller must guarantee

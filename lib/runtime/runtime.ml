@@ -1,4 +1,14 @@
-type t = { tids : Tid.table; mutable main : env option; main_mutex : Mutex.t }
+type t = {
+  tids : Tid.table;
+  mutable main : env option;
+  main_mutex : Mutex.t;
+  (* Quiescence machinery (lifecycle extension): hooks fire at every
+     announced quiescence point.  The list is behind an atomic so
+     registration never blocks running threads; firing reads one
+     snapshot. *)
+  quiescence_hooks : (unit -> unit) list Atomic.t;
+  quiescence_points : int Atomic.t;
+}
 
 and env = {
   descriptor : Tid.descriptor;
@@ -9,7 +19,26 @@ and env = {
 
 let lock_word_shift = 16
 
-let create () = { tids = Tid.create_table (); main = None; main_mutex = Mutex.create () }
+let create () =
+  {
+    tids = Tid.create_table ();
+    main = None;
+    main_mutex = Mutex.create ();
+    quiescence_hooks = Atomic.make [];
+    quiescence_points = Atomic.make 0;
+  }
+
+let rec on_quiescence t f =
+  let hooks = Atomic.get t.quiescence_hooks in
+  if not (Atomic.compare_and_set t.quiescence_hooks hooks (f :: hooks)) then on_quiescence t f
+
+let quiescence_point t =
+  Atomic.incr t.quiescence_points;
+  (* Oldest-first, so a stats hook registered before a reaper hook sees
+     the world the reaper is about to change. *)
+  List.iter (fun f -> f ()) (List.rev (Atomic.get t.quiescence_hooks))
+
+let quiescence_count t = Atomic.get t.quiescence_points
 
 let tid_table t = t.tids
 

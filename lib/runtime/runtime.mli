@@ -54,3 +54,26 @@ val run_parallel :
   ?name_prefix:string -> ?backend:backend -> t -> int -> (int -> env -> unit) -> unit
 (** [run_parallel t n body] spawns [n] threads running [body i env] and
     joins them all, re-raising the first failure after all complete. *)
+
+(** {1 Quiescence points (lifecycle extension)}
+
+    A {e quiescence point} is a place where a thread announces it is at
+    a safe point (between monitor operations) — the moral equivalent of
+    a JVM safepoint poll.  The monitor-lifecycle reaper can drive its
+    deflation scans from these instead of (or in addition to) a
+    background thread. *)
+
+val on_quiescence : t -> (unit -> unit) -> unit
+(** Register a hook to run at every subsequent {!quiescence_point}.
+    Registration is lock-free and never blocks announcing threads;
+    hooks run oldest-first on the announcing thread and must not
+    raise.  Hooks cannot be unregistered — use a flag in the closure to
+    disable one. *)
+
+val quiescence_point : t -> unit
+(** Announce a quiescence point: bump the counter and run the hooks on
+    the calling thread.  Safe to call concurrently from any registered
+    thread. *)
+
+val quiescence_count : t -> int
+(** Total quiescence points announced on this runtime. *)

@@ -84,7 +84,10 @@ let rec skim mem counts s =
       skim mem counts next
   | s -> s
 
-let explore ?(max_depth = 10_000) ?(final = fun _ -> None) ~mem_size ~invariant programs =
+let apply_seed_mem seed_mem mem = List.iter (fun (a, v) -> mem.(a) <- v) seed_mem
+
+let explore ?(max_depth = 10_000) ?(seed_mem = []) ?(final = fun _ -> None) ~mem_size ~invariant
+    programs =
   let explored = ref 0 in
   let completed = ref 0 in
   let truncated = ref 0 in
@@ -121,6 +124,7 @@ let explore ?(max_depth = 10_000) ?(final = fun _ -> None) ~mem_size ~invariant 
         enabled
   in
   let mem = Array.make mem_size 0 in
+  apply_seed_mem seed_mem mem;
   let counts = ref zero_counts in
   let states = Array.map (fun p -> skim mem counts (p ())) programs in
   match go mem states 0 [] with
@@ -139,8 +143,8 @@ let explore ?(max_depth = 10_000) ?(final = fun _ -> None) ~mem_size ~invariant 
         violation = Some v;
       }
 
-let sample ?(max_depth = 100_000) ?(final = fun _ -> None) ~schedules ~seed ~mem_size
-    ~invariant programs =
+let sample ?(max_depth = 100_000) ?(seed_mem = []) ?(final = fun _ -> None) ~schedules ~seed
+    ~mem_size ~invariant programs =
   let prng = Tl_util.Prng.create seed in
   let explored = ref 0 in
   let completed = ref 0 in
@@ -148,6 +152,7 @@ let sample ?(max_depth = 100_000) ?(final = fun _ -> None) ~schedules ~seed ~mem
   let counts = ref zero_counts in
   let run_one () =
     let mem = Array.make mem_size 0 in
+    apply_seed_mem seed_mem mem;
     let states = Array.map (fun p -> skim mem counts (p ())) programs in
     let schedule = ref [] in
     let rec step depth =

@@ -65,13 +65,17 @@ type outcome = {
 
 val explore :
   ?max_depth:int ->
+  ?seed_mem:(int * int) list ->
   ?final:(int array -> string option) ->
   mem_size:int ->
   invariant:(int array -> string option) ->
   program array ->
   outcome
 (** Depth-first enumeration of all interleavings of the programs over
-    a shared zeroed memory of [mem_size] words.  [invariant] inspects
+    a shared zeroed memory of [mem_size] words.  [seed_mem] is a list
+    of [(address, value)] pairs applied to the initial memory — e.g.
+    seeding an already-inflated lock word so a deflater has something
+    to deflate without paying the inflation prefix.  [invariant] inspects
     memory after every scheduling point and returns [Some msg] to
     report a violation; [final] additionally checks the memory of
     every path on which all threads completed.  Exploration stops at
@@ -85,6 +89,7 @@ val explore :
 
 val sample :
   ?max_depth:int ->
+  ?seed_mem:(int * int) list ->
   ?final:(int array -> string option) ->
   schedules:int ->
   seed:int ->
@@ -94,6 +99,7 @@ val sample :
   outcome
 (** Randomized complement to {!explore} for configurations too large
     to enumerate: runs [schedules] uniformly-random schedules
-    (deterministic in [seed]), checking the same invariants.  Spin
+    (deterministic in [seed], each on freshly [seed_mem]-initialized
+    memory), checking the same invariants.  Spin
     loops are fine here — random schedulers are fair with probability
     1 — but [max_depth] still guards against livelock. *)

@@ -8,31 +8,24 @@ module Addr = struct
   let cs_flag ~tid = 4 + tid (* tids are 1-based, at most 8 *)
   let done_flag ~tid = 12 + tid
   let gave_up_flag ~tid = 20 + tid
-  let mem_size = 20 + 9
+  let fat_retired = 29
+  let deflated_flag = 30
+  let protocol_error = 31
+  let mem_size = 32
 end
 
 let shifted tid = tid lsl Header.tid_offset
 
-(* --- model fat monitor: CAS-guarded owner/count pair --- *)
+(* The deflater's ownership token: a "thread index" no worker uses.
+   [retire_if_idle] is modelled as CAS-ing it into [fat_owner], which
+   atomically checks idleness (owner = 0 ⇔ idle: the model monitor has
+   no queues) and excludes entrants.  A deflated monitor keeps the
+   token forever — the model's tombstone for a freed slot — so no
+   entrant can ever CAS a retired monitor; the next inflation installs
+   a fresh owner/count/retired triple, modelling a fresh fat lock. *)
+let deflater_token = 15
 
-let rec fat_acquire ~tid ~budget k =
-  Cas
-    ( Addr.fat_owner,
-      0,
-      tid,
-      fun ok ->
-        if ok then Store (Addr.fat_count, 1, k)
-        else
-          Load
-            ( Addr.fat_owner,
-              fun owner ->
-                if owner = tid then
-                  Load (Addr.fat_count, fun c -> Store (Addr.fat_count, c + 1, k))
-                else if budget <= 0 then give_up ~tid
-                else Alu (1, fun () -> fat_acquire ~tid ~budget:(budget - 1) k) ) )
-
-and give_up ~tid =
-  Store (Addr.gave_up_flag ~tid, 1, fun () -> Done)
+let give_up ~tid = Store (Addr.gave_up_flag ~tid, 1, fun () -> Done)
 
 let fat_release ~tid k =
   ignore tid;
@@ -42,28 +35,70 @@ let fat_release ~tid k =
     )
 
 (* Inflate a thin lock we own: install the model fat monitor
-   (owner/count) and publish the inflated word.  [locks] is the total
-   lock count to transfer. *)
+   (owner/count, with the retired tombstone of any previous incarnation
+   cleared — a fresh fat lock) and publish the inflated word.  [locks]
+   is the total lock count to transfer. *)
 let inflate_owned ~tid ~locks k =
   Store
-    ( Addr.fat_owner,
-      tid,
+    ( Addr.fat_retired,
+      0,
       fun () ->
         Store
-          ( Addr.fat_count,
-            locks,
+          ( Addr.fat_owner,
+            tid,
             fun () ->
-              Load
-                ( Addr.lockword,
-                  fun word ->
-                    Store
+              Store
+                ( Addr.fat_count,
+                  locks,
+                  fun () ->
+                    Load
                       ( Addr.lockword,
-                        Header.inflated_word ~hdr:(Header.hdr_bits word) ~monitor_index:1,
-                        k ) ) ) )
+                        fun word ->
+                          Store
+                            ( Addr.lockword,
+                              Header.inflated_word ~hdr:(Header.hdr_bits word) ~monitor_index:1,
+                              k ) ) ) ) )
 
-(* --- the thin-lock protocol, mirroring Tl_core.Thin.acquire --- *)
+(* --- the thin-lock protocol, mirroring Tl_core.Thin.acquire ---
 
-let rec acquire ~tid ~budget k =
+   The model fat monitor is a CAS-guarded owner/count pair.  The fat
+   path is retire-aware, mirroring [Thin.fat_acquire]: the entry load
+   of [fat_retired] models the generation check ([Montable.find]
+   returning [None]), the post-spin load models [Fatlock.acquire_live]
+   returning [`Retired]; both bounce back to a fresh read of the lock
+   word, which the deflater rewrites right after retiring. *)
+
+let rec fat_acquire ~tid ~budget k =
+  Load
+    ( Addr.fat_retired,
+      fun r ->
+        if r = 1 then restart ~tid ~budget k
+        else
+          Cas
+            ( Addr.fat_owner,
+              0,
+              tid,
+              fun ok ->
+                if ok then Store (Addr.fat_count, 1, k)
+                else
+                  Load
+                    ( Addr.fat_owner,
+                      fun owner ->
+                        if owner = tid then
+                          Load (Addr.fat_count, fun c -> Store (Addr.fat_count, c + 1, k))
+                        else
+                          Load
+                            ( Addr.fat_retired,
+                              fun r ->
+                                if r = 1 then restart ~tid ~budget k
+                                else if budget <= 0 then give_up ~tid
+                                else Alu (1, fun () -> fat_acquire ~tid ~budget:(budget - 1) k)
+                            ) ) ) )
+
+and restart ~tid ~budget k =
+  if budget <= 0 then give_up ~tid else acquire ~tid ~budget:(budget - 1) k
+
+and acquire ~tid ~budget k =
   Load
     ( Addr.lockword,
       fun word ->
@@ -137,18 +172,90 @@ let critical_section ~tid k =
 let rec lock_n ~tid ~budget n k =
   if n = 0 then k () else acquire ~tid ~budget (fun () -> lock_n ~tid ~budget (n - 1) k)
 
-let rec release_n ~tid n k =
-  if n = 0 then k () else release ~tid (fun () -> release_n ~tid (n - 1) k)
+let rec release_n ?lenient ~tid n k =
+  if n = 0 then k () else release ?lenient ~tid (fun () -> release_n ?lenient ~tid (n - 1) k)
 
-let worker ~tid ~iterations ?(nesting = 1) ~spin_budget () : program =
+let worker ~tid ~iterations ?(nesting = 1) ?lenient ~spin_budget () : program =
  fun () ->
   let rec iter i =
     if i = 0 then Store (Addr.done_flag ~tid, 1, fun () -> Done)
     else
       lock_n ~tid ~budget:spin_budget nesting (fun () ->
-          critical_section ~tid (fun () -> release_n ~tid nesting (fun () -> iter (i - 1))))
+          critical_section ~tid (fun () ->
+              release_n ?lenient ~tid nesting (fun () -> iter (i - 1))))
   in
   iter iterations
+
+(* --- deflaters ---
+
+   The real handshake ([Thin.deflate_lockword]): claim the
+   deflation-in-progress bit on the inflated word, atomically
+   check-and-retire the monitor (here: CAS the deflater token into the
+   idle owner field), then either rewrite the word to thin-unlocked or
+   CAS the bit back off.  The two post-retirement CASes can only fail
+   if some other thread wrote an inflated word while we held the bit —
+   a protocol violation, flagged at [Addr.protocol_error] for the
+   invariant to see. *)
+
+let deflater () : program =
+ fun () ->
+  Load
+    ( Addr.lockword,
+      fun word ->
+        if (not (Header.is_inflated word)) || Header.is_deflating word then Done
+        else
+          Cas
+            ( Addr.lockword,
+              word,
+              Header.set_deflating word,
+              fun won ->
+                if not won then Done
+                else
+                  let finish new_word k =
+                    Cas
+                      ( Addr.lockword,
+                        Header.set_deflating word,
+                        new_word,
+                        fun ok ->
+                          if ok then k () else Store (Addr.protocol_error, 1, fun () -> Done) )
+                  in
+                  Cas
+                    ( Addr.fat_owner,
+                      0,
+                      deflater_token,
+                      fun idle ->
+                        if idle then
+                          Store
+                            ( Addr.fat_retired,
+                              1,
+                              fun () ->
+                                finish (Header.hdr_bits word) (fun () ->
+                                    Store (Addr.deflated_flag, 1, fun () -> Done)) )
+                        else finish word (fun () -> Done) ) ) )
+
+(* The no-handshake deflater: checks idleness with a plain load and
+   rewrites the lock word with a plain store — the check-then-act race
+   the deflation-in-progress bit exists to close.  A worker can enter
+   the monitor between the two; the deflated word then lets a second
+   thread in beside it (mutual-exclusion violation), and the first
+   worker's release finds a word it no longer owns (completion
+   violation). *)
+let buggy_no_handshake_deflater () : program =
+ fun () ->
+  Load
+    ( Addr.lockword,
+      fun word ->
+        if not (Header.is_inflated word) then Done
+        else
+          Load
+            ( Addr.fat_owner,
+              fun owner ->
+                if owner <> 0 then Done
+                else
+                  Store
+                    ( Addr.lockword,
+                      Header.hdr_bits word,
+                      fun () -> Store (Addr.deflated_flag, 1, fun () -> Done) ) ) )
 
 (* --- broken variants --- *)
 
@@ -221,6 +328,10 @@ let mutual_exclusion_invariant ~threads mem =
     inside := !inside + mem.(Addr.cs_flag ~tid)
   done;
   if !inside > 1 then Some (Printf.sprintf "%d threads in the critical section" !inside)
+  else if mem.(Addr.protocol_error) = 1 then
+    Some "deflation handshake CAS failed: inflated word changed under the bit"
+  else if mem.(Addr.fat_retired) = 1 && mem.(Addr.fat_owner) <> deflater_token then
+    Some "retired monitor has an owner"
   else None
 
 let completion_check ~threads ~iterations mem =
@@ -236,7 +347,9 @@ let completion_check ~threads ~iterations mem =
     Some (Printf.sprintf "threads unaccounted for: finished=%d gave_up=%d" !finished gave_up)
   else if gave_up = 0 && Header.is_thin_locked mem.(Addr.lockword) then
     Some "lock word left locked after all threads completed"
-  else if gave_up = 0 && mem.(Addr.fat_owner) <> 0 then
+  else if gave_up = 0 && mem.(Addr.fat_owner) <> 0 && mem.(Addr.fat_retired) = 0 then
+    (* A retired monitor legitimately keeps the deflater token — the
+       model's freed-slot tombstone. *)
     Some "fat monitor left owned after all threads completed"
   else None
 

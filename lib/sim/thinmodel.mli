@@ -26,19 +26,57 @@ module Addr : sig
   val gave_up_flag : tid:int -> int
   (** Set when a thread exhausts its spin budget and abandons. *)
 
+  val fat_retired : int
+  (** The model monitor's sticky retired flag (deflation extension). *)
+
+  val deflated_flag : int
+  (** Set by a deflater that completed a deflation. *)
+
+  val protocol_error : int
+  (** Set if a handshake CAS that must succeed failed — checked by
+      {!mutual_exclusion_invariant}. *)
+
   val mem_size : int
 end
 
+val deflater_token : int
+(** The pseudo-owner a deflater CASes into [fat_owner] to atomically
+    check-and-retire an idle monitor; a retired monitor keeps it
+    forever (the freed slot's tombstone), so stale entrants can never
+    reacquire it. *)
+
 val worker :
-  tid:int -> iterations:int -> ?nesting:int -> spin_budget:int -> unit -> Machine.program
+  tid:int ->
+  iterations:int ->
+  ?nesting:int ->
+  ?lenient:bool ->
+  spin_budget:int ->
+  unit ->
+  Machine.program
 (** A thread that [iterations] times: acquires the lock ([nesting]
     times, default 1), runs the critical section (its flag up, then
     down), releases; finally sets its [done_flag].  When a spin budget
     runs out the thread bumps [gave_up] and stops — exploration stays
-    finite. *)
+    finite.  [lenient] makes release tolerate a word it does not own
+    (needed in buggy-variant worlds, where dispossession is the bug
+    under test). *)
+
+val deflater : unit -> Machine.program
+(** One shot of the real deflation handshake
+    ([Tl_core.Thin.deflate_lockword]): claim the
+    deflation-in-progress bit, CAS-retire the monitor if idle, rewrite
+    the word to thin-unlocked (setting [Addr.deflated_flag]) or back
+    off.  Exploring it against {!worker}s machine-checks
+    deflate-vs-lock-vs-unlock safety. *)
 
 (** Deliberately broken variants, used to demonstrate that the checker
-    has teeth: each must yield a mutual-exclusion violation. *)
+    has teeth: each must yield a violation. *)
+
+val buggy_no_handshake_deflater : unit -> Machine.program
+(** Deflates with a plain idleness load and a plain lock-word store —
+    no deflation-in-progress bit, no atomic retire.  A worker entering
+    between check and act keeps the monitor while the freshly
+    thin-unlocked word admits a second thread. *)
 
 val buggy_blind_release_worker :
   tid:int -> iterations:int -> spin_budget:int -> unit -> Machine.program
@@ -52,12 +90,14 @@ val buggy_nonowner_inflate_worker :
     through the fat monitor. *)
 
 val mutual_exclusion_invariant : threads:int -> int array -> string option
-(** At most one [cs_flag] set. *)
+(** At most one [cs_flag] set; additionally no handshake protocol
+    error and no retired monitor with a non-tombstone owner. *)
 
 val completion_check : threads:int -> iterations:int -> int array -> string option
 (** On completed paths: every thread either finished or gave up, and —
     when none gave up — the lock ends fully released (thin-unlocked or
-    fat with no owner).  Catches lost unlocks. *)
+    fat with no owner; a retired monitor holding the deflater's
+    tombstone token is fine).  Catches lost unlocks. *)
 
 (** {1 Operation counting (§3.3)} *)
 

@@ -1,0 +1,247 @@
+(* Lifecycle subsystem tests: policy decisions, reaper scans, and the
+   headline stress — deflation running concurrently with live lockers,
+   with no lost wakeups and no stale-monitor acquires. *)
+
+open Tl_core
+open Tl_lifecycle
+module Header = Tl_heap.Header
+module Runtime = Tl_runtime.Runtime
+module Montable = Tl_monitor.Montable
+module H = Tl_heap.Heap
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let direct () =
+  let runtime = Runtime.create () in
+  let ctx = Thin.create runtime in
+  let heap = H.create () in
+  (runtime, ctx, heap)
+
+(* Inflate an object's lock from its owner (wait with a tiny timeout
+   inflates with cause `Wait) and leave it idle. *)
+let inflate_idle ctx env obj =
+  Thin.acquire ctx env obj;
+  Thin.wait ~timeout:0.001 ctx env obj;
+  Thin.release ctx env obj;
+  assert (Header.is_inflated (Thin.lock_word obj))
+
+let extra_of ctx key =
+  let s = Lock_stats.snapshot (Thin.stats ctx) in
+  match List.assoc_opt key s.Lock_stats.extra with Some n -> n | None -> 0
+
+(* --- policies --- *)
+
+let test_policy_decisions () =
+  let c ~idle ~episodes = { Policy.idle_scans = idle; contended_episodes = episodes } in
+  check "never never fires" false (Policy.never.Policy.decide (c ~idle:100 ~episodes:0));
+  check "always_idle needs one idle scan" false
+    (Policy.always_idle.Policy.decide (c ~idle:0 ~episodes:0));
+  check "always_idle fires when idle" true
+    (Policy.always_idle.Policy.decide (c ~idle:1 ~episodes:9));
+  let p = Policy.idle_for ~quiescence_points:3 in
+  check "idle_for below threshold" false (p.Policy.decide (c ~idle:2 ~episodes:0));
+  check "idle_for at threshold" true (p.Policy.decide (c ~idle:3 ~episodes:0));
+  check "zero_contended refuses contended" false
+    (Policy.zero_contended_episodes.Policy.decide (c ~idle:5 ~episodes:1));
+  check "zero_contended accepts uncontended" true
+    (Policy.zero_contended_episodes.Policy.decide (c ~idle:1 ~episodes:0));
+  let b = Policy.both Policy.always_idle Policy.never in
+  check "both is conjunction" false (b.Policy.decide (c ~idle:5 ~episodes:0))
+
+(* --- single-threaded reaper scans --- *)
+
+let test_scan_deflates_idle () =
+  let runtime, ctx, heap = direct () in
+  let env = Runtime.main_env runtime in
+  let obj = H.alloc heap in
+  inflate_idle ctx env obj;
+  check_int "one live monitor" 1 (Montable.live (Thin.montable ctx));
+  let scan = Reaper.scan_once ctx in
+  check_int "scanned" 1 scan.Reaper.scanned;
+  check_int "deflated" 1 scan.Reaper.deflated;
+  check "word back to thin" false (Header.is_inflated (Thin.lock_word obj));
+  check_int "no live monitors" 0 (Montable.live (Thin.montable ctx));
+  check "reaper.scans recorded" true (extra_of ctx "reaper.scans" >= 1);
+  check "counted as non-quiescent" true (extra_of ctx "deflations.non_quiescent" >= 1);
+  (* The object still locks fine, and re-inflation gets a fresh monitor. *)
+  Thin.acquire ctx env obj;
+  Thin.release ctx env obj
+
+let test_scan_policy_hysteresis () =
+  let runtime, ctx, heap = direct () in
+  let env = Runtime.main_env runtime in
+  let obj = H.alloc heap in
+  inflate_idle ctx env obj;
+  let policy = Policy.idle_for ~quiescence_points:3 in
+  let s1 = Reaper.scan_once ~policy ctx in
+  let s2 = Reaper.scan_once ~policy ctx in
+  check_int "no candidate on scan 1" 0 s1.Reaper.candidates;
+  check_int "no candidate on scan 2" 0 s2.Reaper.candidates;
+  check "still inflated" true (Header.is_inflated (Thin.lock_word obj));
+  (* Touching the lock resets the idle streak... *)
+  Thin.acquire ctx env obj;
+  Thin.release ctx env obj;
+  let s3 = Reaper.scan_once ~policy ctx in
+  check_int "streak reset by use" 0 s3.Reaper.deflated;
+  (* ...and the third undisturbed scan after the reset deflates. *)
+  let s4 = Reaper.scan_once ~policy ctx in
+  check_int "still below threshold" 0 s4.Reaper.deflated;
+  let s5 = Reaper.scan_once ~policy ctx in
+  check_int "deflated on the third idle scan" 1 s5.Reaper.deflated;
+  check "word back to thin" false (Header.is_inflated (Thin.lock_word obj))
+
+let test_scan_aborts_on_held () =
+  let runtime, ctx, heap = direct () in
+  let env = Runtime.main_env runtime in
+  let obj = H.alloc heap in
+  inflate_idle ctx env obj;
+  Thin.acquire ctx env obj;
+  (* A policy hostile enough to nominate a held monitor: the handshake
+     must abort, not strand the owner. *)
+  let eager = Policy.v ~name:"eager" (fun _ -> true) in
+  let scan = Reaper.scan_once ~policy:eager ctx in
+  check_int "nominated" 1 scan.Reaper.candidates;
+  check_int "not deflated" 0 scan.Reaper.deflated;
+  check_int "handshake aborted" 1 scan.Reaper.aborted;
+  check "still inflated" true (Header.is_inflated (Thin.lock_word obj));
+  check "owner still holds" true (Thin.holds ctx env obj);
+  check "abort recorded" true (extra_of ctx "deflation.aborted_handshakes" >= 1);
+  Thin.release ctx env obj;
+  check_int "deflates once released" 1 (Reaper.scan_once ~policy:eager ctx).Reaper.deflated
+
+let test_zero_contended_policy_keeps_contended_locks_fat () =
+  let runtime, ctx, heap = direct () in
+  let env = Runtime.main_env runtime in
+  let quiet = H.alloc heap in
+  let hot = H.alloc heap in
+  inflate_idle ctx env quiet;
+  (* Make [hot] develop a queue: hold it while a spawned thread blocks
+     on the fat path. *)
+  inflate_idle ctx env hot;
+  Thin.acquire ctx env hot;
+  let h =
+    Runtime.spawn runtime (fun env' ->
+        Thin.acquire ctx env' hot;
+        Thin.release ctx env' hot)
+  in
+  Unix.sleepf 0.05;
+  Thin.release ctx env hot;
+  Runtime.join h;
+  let scan = Reaper.scan_once ~policy:Policy.zero_contended_episodes ctx in
+  check_int "only the quiet monitor deflated" 1 scan.Reaper.deflated;
+  check "hot lock stays fat" true (Header.is_inflated (Thin.lock_word hot));
+  check "quiet lock thin again" false (Header.is_inflated (Thin.lock_word quiet))
+
+(* --- quiescence-driven reaping --- *)
+
+let test_quiescence_hook_reaps () =
+  let runtime, ctx, heap = direct () in
+  let env = Runtime.main_env runtime in
+  let obj = H.alloc heap in
+  Reaper.on_quiescence ~every:2 runtime ctx;
+  inflate_idle ctx env obj;
+  Runtime.quiescence_point runtime;
+  check "1st announcement: not yet (every=2)" true (Header.is_inflated (Thin.lock_word obj));
+  Runtime.quiescence_point runtime;
+  check "2nd announcement deflates" false (Header.is_inflated (Thin.lock_word obj));
+  check_int "points counted" 2 (Runtime.quiescence_count runtime)
+
+(* --- the headline stress: reaper under traffic --- *)
+
+(* Few objects + several domains = constant contention inflations; an
+   eager background reaper deflates any momentarily-idle monitor the
+   whole time.  Any stale-monitor acquire or stranded owner surfaces as
+   an exception through run_parallel or as an unreleasable lock. *)
+let test_reaper_under_traffic () =
+  let runtime, ctx, heap = direct () in
+  let nobjs = 4 and domains = 4 and iterations = 1500 in
+  let objs = Array.init nobjs (fun _ -> H.alloc heap) in
+  let reaper = Reaper.start ~policy:Policy.always_idle ~interval:0.0 ctx in
+  Runtime.run_parallel ~backend:Runtime.Domain_backend runtime domains (fun i env ->
+      for j = 0 to iterations - 1 do
+        let obj = objs.((i + j) mod nobjs) in
+        Thin.acquire ctx env obj;
+        if j mod 97 = 0 then Thin.wait ~timeout:0.0005 ctx env obj;
+        Thin.release ctx env obj
+      done);
+  let totals = Reaper.stop reaper in
+  check "reaper ran while lockers were active" true (Reaper.scans reaper > 0);
+  check "non-quiescent deflations under traffic" true (totals.Reaper.deflated > 0);
+  check "stat agrees" true (extra_of ctx "deflations.non_quiescent" > 0);
+  (* Shutdown: with the world quiet, the census must drain to zero. *)
+  let rec drain tries =
+    if Montable.live (Thin.montable ctx) > 0 && tries > 0 then begin
+      ignore (Reaper.scan_once ctx);
+      drain (tries - 1)
+    end
+  in
+  drain 4;
+  check_int "monitors.live returns to 0 at shutdown" 0 (Montable.live (Thin.montable ctx));
+  Array.iter
+    (fun obj -> check "all words thin" false (Header.is_inflated (Thin.lock_word obj)))
+    objs
+
+(* Wait/notify ping-pong with an eager reaper attacking the monitor the
+   whole time: a lost wakeup would stall a round into its 2-second
+   timeout, which the elapsed-time assertion turns into a failure. *)
+let test_reaper_no_lost_wakeups () =
+  let runtime, ctx, heap = direct () in
+  let obj = H.alloc heap in
+  let rounds = 300 in
+  let count = ref 0 in
+  let eager = Policy.v ~name:"eager" (fun _ -> true) in
+  let reaper = Reaper.start ~policy:eager ~interval:0.0 ctx in
+  let t0 = Unix.gettimeofday () in
+  let consumer =
+    Runtime.spawn ~name:"consumer" runtime (fun env ->
+        for _ = 1 to rounds do
+          Thin.acquire ctx env obj;
+          while !count = 0 do
+            Thin.wait ~timeout:2.0 ctx env obj
+          done;
+          decr count;
+          Thin.release ctx env obj
+        done)
+  in
+  let producer =
+    Runtime.spawn ~name:"producer" runtime (fun env ->
+        for _ = 1 to rounds do
+          Thin.acquire ctx env obj;
+          incr count;
+          Thin.notify ctx env obj;
+          Thin.release ctx env obj;
+          Thread.yield ()
+        done)
+  in
+  Runtime.join producer;
+  Runtime.join consumer;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  ignore (Reaper.stop reaper);
+  check_int "all rounds consumed" 0 !count;
+  check "no wait timed out (no lost wakeup)" true (elapsed < 2.0);
+  (* Quiet now: one scan must reclaim the monitor. *)
+  ignore (Reaper.scan_once ctx);
+  check_int "census drained" 0 (Montable.live (Thin.montable ctx))
+
+let () =
+  Alcotest.run "lifecycle"
+    [
+      ( "policy",
+        [ Alcotest.test_case "decision table" `Quick test_policy_decisions ] );
+      ( "reaper scans",
+        [
+          Alcotest.test_case "deflates idle monitors" `Quick test_scan_deflates_idle;
+          Alcotest.test_case "idle_for hysteresis" `Quick test_scan_policy_hysteresis;
+          Alcotest.test_case "aborts handshake on held monitor" `Quick test_scan_aborts_on_held;
+          Alcotest.test_case "zero_contended keeps hot locks fat" `Slow
+            test_zero_contended_policy_keeps_contended_locks_fat;
+          Alcotest.test_case "quiescence-driven reaping" `Quick test_quiescence_hook_reaps;
+        ] );
+      ( "reaper under traffic",
+        [
+          Alcotest.test_case "deflation with live lockers" `Slow test_reaper_under_traffic;
+          Alcotest.test_case "no lost wakeups under eager reaping" `Slow
+            test_reaper_no_lost_wakeups;
+        ] );
+    ]

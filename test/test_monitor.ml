@@ -282,7 +282,7 @@ let test_concurrent_alloc_free_stress () =
 let test_montable_free_find () =
   let t = Montable.create () in
   let fat = Fatlock.create () in
-  let h = Montable.allocate t fat in
+  let h = Montable.allocate t ~lockword:(Atomic.make 0) fat in
   Alcotest.(check bool) "find resolves" true
     (match Montable.find t h with Some f -> f == fat | None -> false);
   Montable.free t h;
@@ -302,7 +302,7 @@ let test_fatlock_is_idle () =
 let test_montable_is_index_table_of_fatlocks () =
   let t = Montable.create () in
   let fat = Fatlock.create () in
-  let idx = Montable.allocate t fat in
+  let idx = Montable.allocate t ~lockword:(Atomic.make 0) fat in
   check "same fat back" true (Montable.get t idx == fat);
   check_int "census" 1 (Montable.allocated t)
 

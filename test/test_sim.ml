@@ -76,6 +76,110 @@ let test_nonowner_inflation_caught () =
   assert_buggy_caught (fun ~tid ~iterations ~spin_budget ->
       Thinmodel.buggy_nonowner_inflate_worker ~tid ~iterations ~spin_budget)
 
+(* --- deflation handshake model checking --- *)
+
+(* All deflation configurations start from an already-inflated, idle
+   monitor: the deflater has something to deflate without paying the
+   inflation prefix in every interleaving. *)
+let inflated_idle_seed = [ (Thinmodel.Addr.lockword, Tl_heap.Header.inflated_word ~hdr:0 ~monitor_index:1) ]
+
+let test_model_deflater_deflates_idle () =
+  let mem = Array.make Thinmodel.Addr.mem_size 0 in
+  List.iter (fun (a, v) -> mem.(a) <- v) inflated_idle_seed;
+  ignore (Machine.run_seeded mem (Thinmodel.deflater ()));
+  check_int "deflated" 1 mem.(Thinmodel.Addr.deflated_flag);
+  check_int "word back to thin-unlocked" 0 mem.(Thinmodel.Addr.lockword);
+  check_int "monitor retired" 1 mem.(Thinmodel.Addr.fat_retired);
+  check_int "tombstone owner" Thinmodel.deflater_token mem.(Thinmodel.Addr.fat_owner);
+  check_int "no protocol error" 0 mem.(Thinmodel.Addr.protocol_error)
+
+let test_model_deflater_aborts_on_held () =
+  let mem = Array.make Thinmodel.Addr.mem_size 0 in
+  List.iter (fun (a, v) -> mem.(a) <- v) inflated_idle_seed;
+  let inflated = mem.(Thinmodel.Addr.lockword) in
+  mem.(Thinmodel.Addr.fat_owner) <- 1;
+  mem.(Thinmodel.Addr.fat_count) <- 1;
+  ignore (Machine.run_seeded mem (Thinmodel.deflater ()));
+  check_int "not deflated" 0 mem.(Thinmodel.Addr.deflated_flag);
+  check_int "word untouched (bit cleared)" inflated mem.(Thinmodel.Addr.lockword);
+  check_int "monitor not retired" 0 mem.(Thinmodel.Addr.fat_retired);
+  check_int "owner undisturbed" 1 mem.(Thinmodel.Addr.fat_owner)
+
+(* Exhaustive: every interleaving of one locker (2 lock/unlock rounds,
+   entering through the seeded fat monitor, then — if the deflater got
+   there first — through the rewritten thin word) against the real
+   handshake.  Checks deflate-vs-lock, deflate-vs-unlock and the
+   retired-monitor bounce with no schedule left to luck. *)
+let test_deflate_vs_locker_exhaustive () =
+  let programs =
+    [| Thinmodel.worker ~tid:1 ~iterations:2 ~spin_budget:2 (); Thinmodel.deflater () |]
+  in
+  let outcome =
+    Machine.explore ~seed_mem:inflated_idle_seed ~mem_size:Thinmodel.Addr.mem_size
+      ~invariant:(Thinmodel.mutual_exclusion_invariant ~threads:1)
+      ~final:(Thinmodel.completion_check ~threads:1 ~iterations:2)
+      programs
+  in
+  assert_safe outcome
+
+(* Two lockers racing each other AND a deflater is beyond enumeration;
+   sample it. *)
+let test_deflate_vs_two_lockers_sampled () =
+  let programs =
+    [|
+      Thinmodel.worker ~tid:1 ~iterations:2 ~spin_budget:50 ();
+      Thinmodel.worker ~tid:2 ~iterations:2 ~spin_budget:50 ();
+      Thinmodel.deflater ();
+    |]
+  in
+  let outcome =
+    Machine.sample ~schedules:20_000 ~seed:42 ~seed_mem:inflated_idle_seed
+      ~mem_size:Thinmodel.Addr.mem_size
+      ~invariant:(Thinmodel.mutual_exclusion_invariant ~threads:2)
+      ~final:(Thinmodel.completion_check ~threads:2 ~iterations:2)
+      programs
+  in
+  assert_safe outcome
+
+(* The checker's teeth, deflation edition: the no-handshake deflater
+   must be flagged.  Exhaustively: the locker that entered the monitor
+   during the check-then-act window ends the world with a monitor it
+   could never release (its lenient release found a word it no longer
+   owned). *)
+let test_buggy_deflater_caught_exhaustive () =
+  let programs =
+    [|
+      Thinmodel.worker ~tid:1 ~iterations:1 ~lenient:true ~spin_budget:2 ();
+      Thinmodel.buggy_no_handshake_deflater ();
+    |]
+  in
+  let outcome =
+    Machine.explore ~seed_mem:inflated_idle_seed ~mem_size:Thinmodel.Addr.mem_size
+      ~invariant:(Thinmodel.mutual_exclusion_invariant ~threads:1)
+      ~final:(Thinmodel.completion_check ~threads:1 ~iterations:1)
+      programs
+  in
+  check "buggy deflater caught" true (outcome.Machine.violation <> None)
+
+(* ...and with two lockers, sampling exhibits the headline disaster: a
+   second thread inside the critical section beside the dispossessed
+   first. *)
+let test_buggy_deflater_violates_exclusion_sampled () =
+  let programs =
+    [|
+      Thinmodel.worker ~tid:1 ~iterations:2 ~lenient:true ~spin_budget:50 ();
+      Thinmodel.worker ~tid:2 ~iterations:2 ~lenient:true ~spin_budget:50 ();
+      Thinmodel.buggy_no_handshake_deflater ();
+    |]
+  in
+  let outcome =
+    Machine.sample ~schedules:50_000 ~seed:7 ~seed_mem:inflated_idle_seed
+      ~mem_size:Thinmodel.Addr.mem_size
+      ~invariant:(Thinmodel.mutual_exclusion_invariant ~threads:2)
+      programs
+  in
+  check "buggy deflater caught" true (outcome.Machine.violation <> None)
+
 let test_initial_path_counts () =
   let c = Thinmodel.acquire_solo_counts () in
   check_int "exactly one CAS to lock" 1 c.Machine.cas;
@@ -158,6 +262,21 @@ let () =
           Alcotest.test_case "blind release is caught" `Quick test_blind_release_caught;
           Alcotest.test_case "non-owner inflation is caught" `Quick
             test_nonowner_inflation_caught;
+        ] );
+      ( "deflation",
+        [
+          Alcotest.test_case "model deflater deflates an idle monitor" `Quick
+            test_model_deflater_deflates_idle;
+          Alcotest.test_case "model deflater aborts on a held monitor" `Quick
+            test_model_deflater_aborts_on_held;
+          Alcotest.test_case "deflate vs locker: exhaustive, safe" `Slow
+            test_deflate_vs_locker_exhaustive;
+          Alcotest.test_case "deflate vs 2 lockers: sampled, safe" `Slow
+            test_deflate_vs_two_lockers_sampled;
+          Alcotest.test_case "no-handshake deflater caught (exhaustive)" `Quick
+            test_buggy_deflater_caught_exhaustive;
+          Alcotest.test_case "no-handshake deflater breaks exclusion (sampled)" `Slow
+            test_buggy_deflater_violates_exclusion_sampled;
         ] );
       ( "counts",
         [

@@ -14,10 +14,28 @@ else
   echo "== skipping format check (ocamlformat or .ocamlformat not present)"
 fi
 
-echo "== dune build"
-dune build
+echo "== dune build (warnings are errors for this gate)"
+build_log=$(mktemp)
+# Force a fresh compile so warnings already cached in _build still
+# surface; dune only prints diagnostics on recompilation.  No pipe:
+# under plain sh, `dune | tee` would report tee's status, not dune's.
+if ! dune build --force >"$build_log" 2>&1; then
+  cat "$build_log"
+  rm -f "$build_log"
+  exit 1
+fi
+cat "$build_log"
+if grep -q "Warning" "$build_log"; then
+  rm -f "$build_log"
+  echo "FAIL: dune build emitted compiler warnings (see above)." >&2
+  exit 1
+fi
+rm -f "$build_log"
 
 echo "== dune runtest"
 dune runtest
+
+echo "== bench smoke pass"
+dune exec bench/main.exe -- smoke
 
 echo "ok."
