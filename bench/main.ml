@@ -434,6 +434,40 @@ let bench_reaper () =
     "\n  (deflations while lockers are running is the Tasuki-style extension at\n\
     \   work; the two fast-path numbers should agree within noise)\n\n%!"
 
+(* Tracing overhead: the identical private-object lock/unlock loop
+   with the event sink disabled vs enabled.  Disabled must be free —
+   the ctx caches the enabled bit, so the fast path pays one load and
+   an untaken branch; enabled pays two fetch-and-adds per event.  The
+   ring is sized to hold the whole run so drops never skew the enabled
+   number. *)
+let bench_events_overhead () =
+  section "Lock-event tracing overhead (thin fast path, ns per lock+unlock)";
+  let pairs = if quick then 50_000 else 250_000 in
+  let measure events =
+    let runtime = Runtime.create () in
+    let ctx = Tl_core.Thin.create_with ~events runtime in
+    let heap = Tl_heap.Heap.create () in
+    let obj = Tl_heap.Heap.alloc heap in
+    let env = Runtime.main_env runtime in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to pairs do
+      Tl_core.Thin.acquire ctx env obj;
+      Tl_core.Thin.release ctx env obj
+    done;
+    1e9 *. (Unix.gettimeofday () -. t0) /. float_of_int pairs
+  in
+  let off = measure Tl_events.Sink.disabled in
+  let sink = Tl_events.Sink.create ~ring_capacity:((2 * pairs) + 1024) () in
+  let on = measure sink in
+  let drained = Tl_events.Sink.drain sink in
+  let recorded = Array.length drained.Tl_events.Sink.events in
+  let dropped = List.fold_left (fun a (_, n) -> a + n) 0 drained.Tl_events.Sink.dropped in
+  Printf.printf "  tracing disabled: %8.1f ns per lock+unlock\n" off;
+  Printf.printf "  tracing enabled:  %8.1f ns per lock+unlock (%d events recorded, %d dropped)\n"
+    on recorded dropped;
+  Printf.printf "  overhead: %+.1f ns (%+.0f%%)\n\n%!" (on -. off)
+    (if off > 0.0 then 100.0 *. (on -. off) /. off else 0.0)
+
 (* Contention-handling ablation: backoff policy under competing
    threads (wall-clock: needs real threads). *)
 let bench_backoff () =
@@ -498,6 +532,7 @@ let run_smoke () =
   bench_shard_sensitivity ();
   bench_reaper ();
   bench_deflation ();
+  bench_events_overhead ();
   Printf.printf "\ndone (smoke).\n"
 
 let () =
@@ -520,6 +555,7 @@ let () =
   bench_reaper ();
   bench_churn_stability ();
   bench_backoff ();
+  bench_events_overhead ();
   bench_vm_macros ();
 
   section "Table 1: macro-benchmark characterization";
@@ -551,6 +587,9 @@ let () =
   section "Monitor lifecycle: deflation and slot reclamation";
   print_string
     (Tl_workload.Report.monitor_lifecycle ~cycles:(if quick then 5_000 else 20_000) ());
+
+  section "Policy lab: deflation policies scored from the event stream";
+  print_string (Tl_workload.Policy_lab.table ~max_syncs:(if quick then 5_000 else 20_000) ());
 
   Printf.printf "\ndone.\n"
   end

@@ -27,7 +27,35 @@ let time_arg =
   let doc = "Report elapsed wall time." in
   Arg.(value & flag & info [ "time" ] ~doc)
 
-let run file scheme_name stats disasm time =
+let reap_arg =
+  let doc =
+    "Hook the monitor-lifecycle reaper onto the VM's quiescence points (thin scheme \
+     only): every safepoint-driven announcement runs a deflation scan under this \
+     policy (never, always-idle, idle-for-4, zero-contended-episodes)."
+  in
+  Arg.(value & opt (some string) None & info [ "reap" ] ~docv:"POLICY" ~doc)
+
+let safepoint_arg =
+  let doc =
+    "Safepoint poll interval: every Nth backward branch or method entry announces a \
+     quiescence point (0 disables polling)."
+  in
+  Arg.(
+    value
+    & opt int Tl_jvm.Vm.default_safepoint_interval
+    & info [ "safepoint-interval" ] ~docv:"N" ~doc)
+
+(* A thin scheme with a quiescence-hooked reaper attached before the VM
+   starts — the --reap wiring. *)
+let reaping_thin_scheme policy runtime =
+  let ctx = Tl_core.Thin.create runtime in
+  Tl_lifecycle.Reaper.on_quiescence ~policy runtime ctx;
+  Tl_core.Scheme_intf.pack
+    ~deflate_idle:(Tl_core.Thin.deflate_idle ctx)
+    (module Tl_core.Thin)
+    ctx
+
+let run file scheme_name reap safepoint_interval stats disasm time =
   try
     if disasm then begin
       let source = In_channel.with_open_bin file In_channel.input_all in
@@ -36,8 +64,36 @@ let run file scheme_name stats disasm time =
       0
     end
     else begin
+      let scheme_of =
+        match reap with
+        | None -> None
+        | Some policy_name ->
+            if scheme_name <> "thin" then begin
+              Printf.eprintf "--reap requires the thin scheme (got %s)\n" scheme_name;
+              exit 1
+            end;
+            let policy =
+              match
+                List.find_opt
+                  (fun p -> p.Tl_lifecycle.Policy.name = policy_name)
+                  [
+                    Tl_lifecycle.Policy.never;
+                    Tl_lifecycle.Policy.always_idle;
+                    Tl_lifecycle.Policy.idle_for ~quiescence_points:4;
+                    Tl_lifecycle.Policy.zero_contended_episodes;
+                  ]
+              with
+              | Some p -> p
+              | None ->
+                  Printf.eprintf "unknown policy %S\n" policy_name;
+                  exit 1
+            in
+            Some (reaping_thin_scheme policy)
+      in
       let t0 = Unix.gettimeofday () in
-      let vm = Tl_lang.Driver.run_file ~scheme_name ~echo:true file in
+      let vm =
+        Tl_lang.Driver.run_file ~scheme_name ?scheme_of ~safepoint_interval ~echo:true file
+      in
       let elapsed = Unix.gettimeofday () -. t0 in
       if time then Printf.printf "[%.3fs under %s]\n" elapsed scheme_name;
       if stats then begin
@@ -45,7 +101,10 @@ let run file scheme_name stats disasm time =
         Format.printf "--- locking statistics (%s) ---@.%a@." scheme_name
           Tl_core.Lock_stats.pp snapshot;
         Printf.printf "objects allocated: %d\n"
-          (Tl_heap.Heap.objects_allocated (Tl_jvm.Vm.heap vm))
+          (Tl_heap.Heap.objects_allocated (Tl_jvm.Vm.heap vm));
+        Printf.printf "safepoint polls: %d, quiescence points: %d\n"
+          (Tl_jvm.Vm.safepoint_polls vm)
+          (Tl_runtime.Runtime.quiescence_count (Tl_jvm.Vm.runtime vm))
       end;
       0
     end
@@ -69,4 +128,7 @@ let () =
   in
   exit
     (Cmd.eval'
-       (Cmd.v info Term.(const run $ file_arg $ scheme_arg $ stats_arg $ disasm_arg $ time_arg)))
+       (Cmd.v info
+          Term.(
+            const run $ file_arg $ scheme_arg $ reap_arg $ safepoint_arg $ stats_arg
+            $ disasm_arg $ time_arg)))

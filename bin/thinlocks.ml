@@ -273,6 +273,82 @@ let sim_cmd =
     (Cmd.info "sim" ~doc:"Model-check the protocol and count per-path operations")
     Term.(const run $ const ())
 
+let events_cmd =
+  let benchmark_arg =
+    let doc = "Benchmark profile to trace." in
+    Arg.(value & opt string "javalex" & info [ "benchmark"; "b" ] ~docv:"NAME" ~doc)
+  in
+  let policy_arg =
+    let doc = "Deflation policy driving the quiescence-hooked reaper during the replay \
+               (never, always-idle, idle-for-4, zero-contended-episodes)." in
+    Arg.(value & opt string "never" & info [ "policy"; "p" ] ~docv:"POLICY" ~doc)
+  in
+  let output_arg =
+    let doc = "Write the event stream to this file (stdout if omitted)." in
+    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let summary_arg =
+    let doc = "Print a per-kind census instead of the full stream." in
+    Arg.(value & flag & info [ "summary" ] ~doc)
+  in
+  let run benchmark policy_name output summary max_syncs seed =
+    match Tl_workload.Policy_lab.policy_of_string policy_name with
+    | None -> Printf.eprintf "unknown policy %S\n" policy_name
+    | Some policy -> (
+        match Tl_workload.Profiles.find benchmark with
+        | None -> Printf.eprintf "unknown benchmark %S\n" benchmark
+        | Some profile ->
+            let trace = Tl_workload.Tracegen.generate ~seed ~max_syncs profile in
+            let _ctx, drained = Tl_workload.Policy_lab.replay_traced ~policy trace in
+            if summary then begin
+              Printf.printf "%d events (%d dropped) from %s under %s:\n"
+                (Array.length drained.Tl_events.Sink.events)
+                (List.fold_left (fun a (_, n) -> a + n) 0 drained.Tl_events.Sink.dropped)
+                benchmark policy_name;
+              List.iter
+                (fun kind ->
+                  let n = Tl_events.Sink.count_kind drained kind in
+                  if n > 0 then
+                    Printf.printf "  %-20s %d\n" (Tl_events.Event.kind_name kind) n)
+                Tl_events.Event.all_kinds
+            end
+            else
+              let text = Tl_events.Codec.to_string drained in
+              (match output with
+              | Some path ->
+                  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc text);
+                  Printf.printf "wrote %d events to %s\n"
+                    (Array.length drained.Tl_events.Sink.events)
+                    path
+              | None -> print_string text))
+  in
+  Cmd.v
+    (Cmd.info "events"
+       ~doc:"Replay a benchmark trace with lock-event tracing on and dump the stream")
+    Term.(
+      const run $ benchmark_arg $ policy_arg $ output_arg $ summary_arg $ max_syncs_arg
+      $ seed_arg)
+
+let policy_lab_cmd =
+  let benchmarks_arg =
+    let doc = "Traces to replay (comma-separated benchmark names)." in
+    Arg.(
+      value
+      & opt (list string) Tl_workload.Policy_lab.default_benchmarks
+      & info [ "benchmarks" ] ~docv:"NAMES" ~doc)
+  in
+  let lab_max_syncs_arg =
+    let doc = "Ops per replayed trace." in
+    Arg.(value & opt int 20_000 & info [ "max-syncs" ] ~docv:"N" ~doc)
+  in
+  let run max_syncs seed benchmarks =
+    print (Tl_workload.Policy_lab.table ~max_syncs ~seed ~benchmarks ())
+  in
+  Cmd.v
+    (Cmd.info "policy-lab"
+       ~doc:"Score every deflation policy against macro traces via the event stream")
+    Term.(const run $ lab_max_syncs_arg $ seed_arg $ benchmarks_arg)
+
 let all_cmd =
   let run max_syncs seed iterations =
     print (Tl_workload.Report.table1 ~max_syncs ~seed ());
@@ -303,5 +379,6 @@ let () =
        (Cmd.group info
           [
             table1_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig6_cmd; characterize_cmd;
-            ablation_cmd; micro_cmd; sim_cmd; stress_cmd; trace_cmd; replay_cmd; all_cmd;
+            ablation_cmd; micro_cmd; sim_cmd; stress_cmd; trace_cmd; replay_cmd;
+            events_cmd; policy_lab_cmd; all_cmd;
           ]))

@@ -2,6 +2,7 @@ open Tl_runtime
 open Tl_heap
 module Fatlock = Tl_monitor.Fatlock
 module Montable = Tl_monitor.Montable
+module Ev = Tl_events.Event
 
 type config = {
   count_width : int;
@@ -27,11 +28,16 @@ type ctx = {
   nested_limit : int;
   config : config;
   fence_pad : int Atomic.t; (* target of the MP Sync variant's extra atomic op *)
+  events : Tl_events.Sink.t;
+  tracing : bool;
+      (* [Sink.enabled events], cached in the ctx so the fast path pays
+         one field load and an untaken branch when tracing is off —
+         never a cross-module call *)
 }
 
 let name = "thin"
 
-let create_with ?(config = default_config) runtime =
+let create_with ?(config = default_config) ?(events = Tl_events.Sink.disabled) runtime =
   if config.count_width < 1 || config.count_width > Header.count_width then
     invalid_arg "Thin.create_with: count_width";
   let montable = Montable.create () in
@@ -48,6 +54,8 @@ let create_with ?(config = default_config) runtime =
     nested_limit = Header.nested_limit_for ~count_width:config.count_width;
     config;
     fence_pad = Atomic.make 0;
+    events;
+    tracing = Tl_events.Sink.enabled events;
   }
 
 let create runtime = create_with runtime
@@ -55,6 +63,11 @@ let create runtime = create_with runtime
 let stats ctx = ctx.stats
 let config_of ctx = ctx.config
 let montable ctx = ctx.montable
+let events ctx = ctx.events
+
+(* Every call site is guarded by [if ctx.tracing] so a disabled sink
+   costs nothing beyond the branch. *)
+let emit ctx ~tid kind ~arg = Tl_events.Sink.emit ctx.events ~tid ~kind ~arg
 let lock_word obj = Atomic.get (Obj_model.lockword obj)
 
 (* Stand-in for the PowerPC isync/sync pair of the MP Sync variant: a
@@ -69,12 +82,26 @@ let my_index (env : Runtime.env) = env.descriptor.Tid.index
    table publishes the fat lock before the inflated word becomes
    visible (both are seq-cst atomics). *)
 let inflate_owned ctx env obj ~locks ~cause =
-  let fat = Fatlock.create_locked ~owner:(my_index env) ~count:locks in
+  let fat =
+    (* The monitor carries the object id as its tag so deflation events
+       can name the object without holding it. *)
+    Fatlock.create_locked ~tag:(Obj_model.id obj) ~events:ctx.events ~owner:(my_index env)
+      ~count:locks ()
+  in
   let lw = Obj_model.lockword obj in
   let monitor_index = Montable.allocate ~shard_hint:(my_index env) ~lockword:lw ctx.montable fat in
   let hdr = Header.hdr_bits (Atomic.get lw) in
   Atomic.set lw (Header.inflated_word ~hdr ~monitor_index);
   if ctx.config.record_stats then Lock_stats.record_inflation ctx.stats cause;
+  if ctx.tracing then begin
+    let kind =
+      match cause with
+      | `Contention -> Ev.Inflate_contention
+      | `Wait -> Ev.Inflate_wait
+      | `Overflow -> Ev.Inflate_overflow
+    in
+    emit ctx ~tid:(my_index env) kind ~arg:(Obj_model.id obj)
+  end;
   fat
 
 (* Contended thin lock: spin with backoff until either some other
@@ -99,7 +126,8 @@ let rec contended ctx env obj backoff =
         Lock_stats.record_contended_spin ctx.stats ~spins:(Backoff.steps backoff);
       ignore (inflate_owned ctx env obj ~locks:1 ~cause:`Contention);
       if ctx.config.record_stats then
-        Lock_stats.record_acquire_fat ctx.stats obj ~queued:false ~depth:1
+        Lock_stats.record_acquire_fat ctx.stats obj ~queued:false ~depth:1;
+      if ctx.tracing then emit ctx ~tid:(my_index env) Ev.Acquire_fat ~arg:(Obj_model.id obj)
     end
     else begin
       Backoff.once backoff;
@@ -115,7 +143,8 @@ and acquire ctx env obj =
   if Atomic.compare_and_set lw unlocked_pattern (unlocked_pattern lor env.Runtime.shifted_index)
   then begin
     (* Scenario 1: locking an unlocked object. *)
-    if ctx.config.record_stats then Lock_stats.record_acquire_unlocked ctx.stats obj
+    if ctx.config.record_stats then Lock_stats.record_acquire_unlocked ctx.stats obj;
+    if ctx.tracing then emit ctx ~tid:(my_index env) Ev.Acquire_fast ~arg:(Obj_model.id obj)
   end
   else
     let word = Atomic.get lw in
@@ -127,7 +156,8 @@ and acquire ctx env obj =
          store. *)
       Atomic.set lw (word + Header.count_increment);
       if ctx.config.record_stats then
-        Lock_stats.record_acquire_nested ctx.stats ~depth:(Header.thin_count word + 2)
+        Lock_stats.record_acquire_nested ctx.stats ~depth:(Header.thin_count word + 2);
+      if ctx.tracing then emit ctx ~tid:(my_index env) Ev.Acquire_nested ~arg:(Obj_model.id obj)
     end
     else if Header.is_inflated word then fat_acquire ctx env obj (Header.monitor_index word)
     else if Header.is_unlocked word then
@@ -138,11 +168,17 @@ and acquire ctx env obj =
          overflows into a fat lock (§2.3). *)
       let locks = Header.thin_count word + 2 in
       ignore (inflate_owned ctx env obj ~locks ~cause:`Overflow);
-      if ctx.config.record_stats then Lock_stats.record_acquire_nested ctx.stats ~depth:locks
+      if ctx.config.record_stats then Lock_stats.record_acquire_nested ctx.stats ~depth:locks;
+      (* Traced as a fat acquisition: the thread leaves holding the fat
+         monitor, and the [Inflate_overflow] event names the cause. *)
+      if ctx.tracing then emit ctx ~tid:(my_index env) Ev.Acquire_fat ~arg:(Obj_model.id obj)
     end
-    else
+    else begin
       (* Scenario 4/5: held by another thread. *)
-      contended ctx env obj (Backoff.create ~policy:ctx.config.backoff_policy ())
+      if ctx.tracing then emit ctx ~tid:(my_index env) Ev.Contended_begin ~arg:(Obj_model.id obj);
+      contended ctx env obj (Backoff.create ~policy:ctx.config.backoff_policy ());
+      if ctx.tracing then emit ctx ~tid:(my_index env) Ev.Contended_end ~arg:(Obj_model.id obj)
+    end
 
 and fat_acquire ctx env obj monitor_ref =
   match Montable.find ctx.montable monitor_ref with
@@ -170,13 +206,19 @@ and fat_acquire ctx env obj monitor_ref =
       match Fatlock.try_acquire_live env fat with
       | `Acquired ->
           if ctx.config.record_stats then
-            Lock_stats.record_acquire_fat ctx.stats obj ~queued:false ~depth:(Fatlock.count fat)
+            Lock_stats.record_acquire_fat ctx.stats obj ~queued:false ~depth:(Fatlock.count fat);
+          if ctx.tracing then
+            emit ctx ~tid:(my_index env) Ev.Acquire_fat ~arg:(Obj_model.id obj)
       | `Retired -> retired_retry ()
       | `Busy -> (
           match Fatlock.acquire_live env fat with
           | `Acquired queued ->
               if ctx.config.record_stats then
-                Lock_stats.record_acquire_fat ctx.stats obj ~queued ~depth:(Fatlock.count fat)
+                Lock_stats.record_acquire_fat ctx.stats obj ~queued ~depth:(Fatlock.count fat);
+              if ctx.tracing then
+                emit ctx ~tid:(my_index env)
+                  (if queued then Ev.Acquire_fat_queued else Ev.Acquire_fat)
+                  ~arg:(Obj_model.id obj)
           | `Retired -> retired_retry ()))
 
 let owner_store ctx lw ~old_word ~new_word =
@@ -203,16 +245,19 @@ let release ctx env obj =
   if word = held_once_pattern then begin
     (* Most common: owned once by me — store the unlocked pattern. *)
     owner_store ctx lw ~old_word:word ~new_word:(Header.hdr_bits word);
-    if ctx.config.record_stats then Lock_stats.record_release ctx.stats `Fast
+    if ctx.config.record_stats then Lock_stats.record_release ctx.stats `Fast;
+    if ctx.tracing then emit ctx ~tid:(my_index env) Ev.Release_fast ~arg:(Obj_model.id obj)
   end
   else if word lxor env.Runtime.shifted_index < 1 lsl Header.tid_offset then begin
     (* Thin, mine, count >= 1: decrement with a plain store. *)
     owner_store ctx lw ~old_word:word ~new_word:(word - Header.count_increment);
-    if ctx.config.record_stats then Lock_stats.record_release ctx.stats `Nested
+    if ctx.config.record_stats then Lock_stats.record_release ctx.stats `Nested;
+    if ctx.tracing then emit ctx ~tid:(my_index env) Ev.Release_nested ~arg:(Obj_model.id obj)
   end
   else if Header.is_inflated word then begin
     Fatlock.release env (Montable.get ctx.montable (Header.monitor_index word));
-    if ctx.config.record_stats then Lock_stats.record_release ctx.stats `Fat
+    if ctx.config.record_stats then Lock_stats.record_release ctx.stats `Fat;
+    if ctx.tracing then emit ctx ~tid:(my_index env) Ev.Release_fat ~arg:(Obj_model.id obj)
   end
   else not_owner "release" env word
 
@@ -227,6 +272,7 @@ let wait ?timeout ctx env obj =
     else not_owner "wait" env word
   in
   if ctx.config.record_stats then Lock_stats.record_wait ctx.stats;
+  if ctx.tracing then emit ctx ~tid:(my_index env) Ev.Wait_op ~arg:(Obj_model.id obj);
   Fatlock.wait ?timeout env fat
 
 let notify ctx env obj =
@@ -237,7 +283,8 @@ let notify ctx env obj =
     (* Thin lock held by me: no thread can possibly be waiting. *)
     ()
   else not_owner "notify" env word;
-  if ctx.config.record_stats then Lock_stats.record_notify ctx.stats
+  if ctx.config.record_stats then Lock_stats.record_notify ctx.stats;
+  if ctx.tracing then emit ctx ~tid:(my_index env) Ev.Notify_op ~arg:(Obj_model.id obj)
 
 let notify_all ctx env obj =
   let word = lock_word obj in
@@ -245,7 +292,8 @@ let notify_all ctx env obj =
     Fatlock.notify_all env (Montable.get ctx.montable (Header.monitor_index word))
   else if word lxor env.Runtime.shifted_index < 1 lsl Header.tid_offset then ()
   else not_owner "notifyAll" env word;
-  if ctx.config.record_stats then Lock_stats.record_notify_all ctx.stats
+  if ctx.config.record_stats then Lock_stats.record_notify_all ctx.stats;
+  if ctx.tracing then emit ctx ~tid:(my_index env) Ev.Notify_all_op ~arg:(Obj_model.id obj)
 
 let holds ctx env obj =
   let word = lock_word obj in
@@ -310,12 +358,22 @@ let deflate_lockword ctx ~cause lw =
             | `Concurrent -> Lock_stats.add_extra ctx.stats "deflations.non_quiescent" 1
             | `Quiescent -> ()
           end;
+          (* Deflation runs with no env in hand (the reaper walks the
+             monitor table); events go to the system stream, tid 0, with
+             the monitor's tag recovering the object id. *)
+          if ctx.tracing then
+            emit ctx ~tid:0
+              (match cause with
+              | `Quiescent -> Ev.Deflate_quiescent
+              | `Concurrent -> Ev.Deflate_concurrent)
+              ~arg:(Fatlock.tag fat);
           `Deflated
         end
         else begin
           finish word;
           if ctx.config.record_stats then
             Lock_stats.add_extra ctx.stats "deflation.aborted_handshakes" 1;
+          if ctx.tracing then emit ctx ~tid:0 Ev.Deflate_aborted ~arg:(Fatlock.tag fat);
           `Busy
         end
   end

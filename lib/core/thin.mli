@@ -40,11 +40,20 @@ val default_config : config
 
 include Scheme_intf.S
 
-val create_with : ?config:config -> Tl_runtime.Runtime.t -> ctx
+val create_with :
+  ?config:config -> ?events:Tl_events.Sink.t -> Tl_runtime.Runtime.t -> ctx
+(** [events] (default [Sink.disabled]) attaches a lock-event trace
+    sink.  The enabled/disabled decision is cached in the ctx, so a
+    disabled sink costs the fast path one field load and an untaken
+    branch; an enabled one records every protocol step
+    ([Tl_events.Event.kind]) as it happens. *)
 
 val config_of : ctx -> config
 val montable : ctx -> Tl_monitor.Montable.t
 (** Exposed for tests and for the deflation extension. *)
+
+val events : ctx -> Tl_events.Sink.t
+(** The sink given to {!create_with} ([Sink.disabled] if none). *)
 
 val lock_word : Tl_heap.Obj_model.t -> int
 (** Current raw lock word (for examples and tests). *)

@@ -1,0 +1,92 @@
+(* One lock-lifecycle event.  Kinds are constant constructors so call
+   sites can name them without allocating, and the whole event fits in
+   four machine ints — the ring stores it unboxed. *)
+
+type kind =
+  | Acquire_fast
+  | Acquire_nested
+  | Acquire_fat
+  | Acquire_fat_queued
+  | Release_fast
+  | Release_nested
+  | Release_fat
+  | Inflate_contention
+  | Inflate_wait
+  | Inflate_overflow
+  | Deflate_quiescent
+  | Deflate_concurrent
+  | Deflate_aborted
+  | Contended_begin
+  | Contended_end
+  | Wait_op
+  | Notify_op
+  | Notify_all_op
+  | Reaper_scan
+  | Quiescence
+
+type t = { seq : int; tid : int; kind : kind; arg : int }
+
+let all_kinds =
+  [
+    Acquire_fast; Acquire_nested; Acquire_fat; Acquire_fat_queued; Release_fast;
+    Release_nested; Release_fat; Inflate_contention; Inflate_wait; Inflate_overflow;
+    Deflate_quiescent; Deflate_concurrent; Deflate_aborted; Contended_begin; Contended_end;
+    Wait_op; Notify_op; Notify_all_op; Reaper_scan; Quiescence;
+  ]
+
+let kind_to_int = function
+  | Acquire_fast -> 0
+  | Acquire_nested -> 1
+  | Acquire_fat -> 2
+  | Acquire_fat_queued -> 3
+  | Release_fast -> 4
+  | Release_nested -> 5
+  | Release_fat -> 6
+  | Inflate_contention -> 7
+  | Inflate_wait -> 8
+  | Inflate_overflow -> 9
+  | Deflate_quiescent -> 10
+  | Deflate_concurrent -> 11
+  | Deflate_aborted -> 12
+  | Contended_begin -> 13
+  | Contended_end -> 14
+  | Wait_op -> 15
+  | Notify_op -> 16
+  | Notify_all_op -> 17
+  | Reaper_scan -> 18
+  | Quiescence -> 19
+
+let kind_table = Array.of_list all_kinds
+
+let kind_of_int i =
+  if i < 0 || i >= Array.length kind_table then None else Some kind_table.(i)
+
+let kind_name = function
+  | Acquire_fast -> "acquire-fast"
+  | Acquire_nested -> "acquire-nested"
+  | Acquire_fat -> "acquire-fat"
+  | Acquire_fat_queued -> "acquire-fat-queued"
+  | Release_fast -> "release-fast"
+  | Release_nested -> "release-nested"
+  | Release_fat -> "release-fat"
+  | Inflate_contention -> "inflate-contention"
+  | Inflate_wait -> "inflate-wait"
+  | Inflate_overflow -> "inflate-overflow"
+  | Deflate_quiescent -> "deflate-quiescent"
+  | Deflate_concurrent -> "deflate-concurrent"
+  | Deflate_aborted -> "deflate-aborted"
+  | Contended_begin -> "contended-begin"
+  | Contended_end -> "contended-end"
+  | Wait_op -> "wait"
+  | Notify_op -> "notify"
+  | Notify_all_op -> "notify-all"
+  | Reaper_scan -> "reaper-scan"
+  | Quiescence -> "quiescence"
+
+let kind_of_name =
+  let table = Hashtbl.create 32 in
+  List.iter (fun k -> Hashtbl.replace table (kind_name k) k) all_kinds;
+  fun name -> Hashtbl.find_opt table name
+
+let pp ppf t =
+  Format.fprintf ppf "%d %d %s %d" t.seq t.tid (kind_name t.kind) t.arg

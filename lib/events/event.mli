@@ -1,0 +1,53 @@
+(** Lock-lifecycle events.
+
+    Each event is one protocol step observed by an instrumented layer:
+    which acquire path an operation took, an inflation and its cause, a
+    deflation (or an aborted handshake), the boundaries of a contended
+    episode, wait/notify traffic, a reaper scan, a quiescence point.
+
+    Events are compact — four machine ints — and kinds are constant
+    constructors, so an instrumentation site allocates nothing when it
+    names one.  [arg] is kind-dependent: the object id for lock-path,
+    inflation and deflation events (the deflater learns it from the
+    monitor's tag, see [Tl_monitor.Fatlock]); the number of monitors
+    deflated for [Reaper_scan]; the announcement count for
+    [Quiescence]. *)
+
+type kind =
+  | Acquire_fast  (** scenario 1: CAS on an unlocked word *)
+  | Acquire_nested  (** scenarios 2–3: owner re-entry, plain store *)
+  | Acquire_fat  (** entered a fat monitor without queuing *)
+  | Acquire_fat_queued  (** entered a fat monitor after blocking *)
+  | Release_fast
+  | Release_nested
+  | Release_fat
+  | Inflate_contention
+  | Inflate_wait
+  | Inflate_overflow
+  | Deflate_quiescent
+  | Deflate_concurrent
+  | Deflate_aborted  (** handshake reached the monitor but found it busy *)
+  | Contended_begin  (** a thread starts spinning or queuing *)
+  | Contended_end  (** …and finally holds the lock *)
+  | Wait_op
+  | Notify_op
+  | Notify_all_op
+  | Reaper_scan  (** one census scan completed; [arg] = deflated count *)
+  | Quiescence  (** a quiescence point announced; [arg] = running count *)
+
+type t = { seq : int; tid : int; kind : kind; arg : int }
+(** [seq] is the global order ticket issued by the sink — merging the
+    per-thread rings on [seq] reconstructs one totally-ordered
+    stream. *)
+
+val all_kinds : kind list
+
+val kind_to_int : kind -> int
+val kind_of_int : int -> kind option
+
+val kind_name : kind -> string
+(** Stable wire name (e.g. ["acquire-fast"]) used by the text codec. *)
+
+val kind_of_name : string -> kind option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+(* Bounded event buffer, lock-free on the producer side.
+
+   Writers reserve a slot with one fetch-and-add and write the event
+   into four unboxed int arrays; reservations past the capacity are
+   counted as drops instead of overwriting (a trace with a hole at the
+   *end* and an honest drop count is more useful than one silently
+   missing its middle).  There is no consumer-side synchronisation:
+   [drain] is only meaningful once every producer has quiesced
+   (joined, or parked at a barrier) — which the harness guarantees by
+   draining after workloads complete. *)
+
+type t = {
+  capacity : int;
+  seqs : int array;
+  tids : int array;
+  kinds : int array; (* Event.kind_to_int *)
+  args : int array;
+  head : int Atomic.t; (* total reservations ever; may exceed capacity *)
+}
+
+let create capacity =
+  if capacity < 1 then invalid_arg "Ring.create: capacity";
+  {
+    capacity;
+    seqs = Array.make capacity 0;
+    tids = Array.make capacity 0;
+    kinds = Array.make capacity 0;
+    args = Array.make capacity 0;
+    head = Atomic.make 0;
+  }
+
+let emit t ~seq ~tid ~kind ~arg =
+  let i = Atomic.fetch_and_add t.head 1 in
+  if i < t.capacity then begin
+    t.seqs.(i) <- seq;
+    t.tids.(i) <- tid;
+    t.kinds.(i) <- Event.kind_to_int kind;
+    t.args.(i) <- arg
+  end
+
+let written t = min (Atomic.get t.head) t.capacity
+let dropped t = max 0 (Atomic.get t.head - t.capacity)
+let capacity t = t.capacity
+
+let fold f acc t =
+  let n = written t in
+  let acc = ref acc in
+  for i = 0 to n - 1 do
+    let kind =
+      match Event.kind_of_int t.kinds.(i) with
+      | Some k -> k
+      | None -> assert false (* only [emit] writes, and it writes valid kinds *)
+    in
+    acc := f !acc { Event.seq = t.seqs.(i); tid = t.tids.(i); kind; arg = t.args.(i) }
+  done;
+  !acc

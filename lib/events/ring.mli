@@ -1,0 +1,32 @@
+(** One bounded event buffer (normally: one per thread id).
+
+    Producers are lock-free: a slot is reserved with a single
+    fetch-and-add and filled with plain stores into unboxed int arrays.
+    When the buffer is full, further events are {e dropped} (and
+    counted), never overwritten — the surviving prefix stays intact and
+    the loss is reported, rather than silently corrupting the middle of
+    the stream.
+
+    Reading ([fold]/[written]) must not race with producers: the
+    reservation index is visible before the slot's stores are, so a
+    concurrent reader could see a reserved-but-unwritten slot.  The
+    sink drains only after producers have quiesced (thread join or
+    barrier), which establishes the necessary happens-before. *)
+
+type t
+
+val create : int -> t
+(** [create capacity].  @raise Invalid_argument if [capacity < 1]. *)
+
+val emit : t -> seq:int -> tid:int -> kind:Event.kind -> arg:int -> unit
+
+val written : t -> int
+(** Events actually stored (≤ capacity). *)
+
+val dropped : t -> int
+(** Events lost to overflow. *)
+
+val capacity : t -> int
+
+val fold : ('a -> Event.t -> 'a) -> 'a -> t -> 'a
+(** Fold over stored events in write order (producers quiesced). *)

@@ -1,0 +1,89 @@
+(* The sink: a set of per-thread-id rings behind one global sequence
+   counter.
+
+   Disabled sinks are a shared constant with no rings; instrumented
+   code keeps a cached [enabled] bool next to its hot state so the
+   disabled cost is one load and one untaken branch.  Enabled emits
+   pay one fetch-and-add for the global order ticket and one for the
+   ring slot — both on the emitting thread's own ring, so cross-thread
+   contention is limited to the ticket counter.
+
+   Rings are keyed by thread id (Tid index).  Tid recycling is safe:
+   an index is only reissued after its previous holder released it, so
+   at any instant each ring has at most the system writer (tid 0) plus
+   one thread — and the reservation discipline in [Ring.emit] tolerates
+   multiple writers anyway. *)
+
+(* Matches Tl_runtime.Tid.bits without depending on the runtime; tids
+   beyond this (impossible today) fold onto the system ring. *)
+let max_tids = 1 lsl 15
+
+type t = {
+  enabled : bool;
+  ring_capacity : int;
+  next_seq : int Atomic.t;
+  rings : Ring.t option Atomic.t array; (* index = tid; [||] when disabled *)
+}
+
+let disabled =
+  { enabled = false; ring_capacity = 0; next_seq = Atomic.make 0; rings = [||] }
+
+let default_capacity = 1 lsl 16
+
+let create ?(ring_capacity = default_capacity) () =
+  if ring_capacity < 1 then invalid_arg "Sink.create: ring_capacity";
+  {
+    enabled = true;
+    ring_capacity;
+    next_seq = Atomic.make 0;
+    rings = Array.init max_tids (fun _ -> Atomic.make None);
+  }
+
+let enabled t = t.enabled
+
+let rec ring_for t tid =
+  let cell = t.rings.(tid) in
+  match Atomic.get cell with
+  | Some ring -> ring
+  | None ->
+      let ring = Ring.create t.ring_capacity in
+      if Atomic.compare_and_set cell None (Some ring) then ring else ring_for t tid
+
+let emit t ~tid ~kind ~arg =
+  if t.enabled then begin
+    let tid = if tid >= 0 && tid < max_tids then tid else 0 in
+    let seq = Atomic.fetch_and_add t.next_seq 1 in
+    Ring.emit (ring_for t tid) ~seq ~tid ~kind ~arg
+  end
+
+let emitted t = Atomic.get t.next_seq
+
+type drained = { events : Event.t array; dropped : (int * int) list }
+
+let empty = { events = [||]; dropped = [] }
+
+let drain t =
+  if not t.enabled then empty
+  else begin
+    let events = ref [] in
+    let dropped = ref [] in
+    (* walk tids high-to-low so the accumulated lists end up in tid
+       order without a final reverse *)
+    for tid = Array.length t.rings - 1 downto 0 do
+      match Atomic.get t.rings.(tid) with
+      | None -> ()
+      | Some ring ->
+          events := Ring.fold (fun acc e -> e :: acc) [] ring @ !events;
+          let d = Ring.dropped ring in
+          if d > 0 then dropped := (tid, d) :: !dropped
+    done;
+    let events = Array.of_list !events in
+    Array.sort (fun (a : Event.t) (b : Event.t) -> compare a.Event.seq b.Event.seq) events;
+    { events; dropped = !dropped }
+  end
+
+let total_dropped t =
+  match drain t with d -> List.fold_left (fun acc (_, n) -> acc + n) 0 d.dropped
+
+let count_kind (d : drained) kind =
+  Array.fold_left (fun acc (e : Event.t) -> if e.Event.kind = kind then acc + 1 else acc) 0 d.events

@@ -1,0 +1,65 @@
+(** The event sink: per-thread rings behind one global order ticket.
+
+    A sink is either {e enabled} — it owns one {!Ring} per thread id,
+    created lazily on the thread's first event — or the shared
+    {!disabled} constant, which records nothing.  Instrumented layers
+    test {!enabled} once on their hot path (typically via a bool cached
+    in their context record) and skip event construction entirely when
+    tracing is off, so the disabled cost is one load and one untaken
+    branch per operation.
+
+    {b Ordering guarantees.}  Every recorded event carries a [seq]
+    ticket from a single global counter, taken {e at emit time}; the
+    merged stream from {!drain} is sorted by it.  [seq] order is
+    therefore a total order consistent with each thread's program
+    order, and consistent with real time up to the tiny window between
+    taking the ticket and the instrumented operation's linearisation
+    point.  Drops (ring overflow) lose a suffix of one thread's events,
+    never a middle slice, and are reported per thread id.
+
+    {!drain} must only run once producers have quiesced (joined
+    threads, or a barrier such as a quiescence point); see {!Ring}. *)
+
+type t
+
+val disabled : t
+(** The null sink: {!enabled} is [false], {!emit} is a no-op, {!drain}
+    is empty.  Shared; never records. *)
+
+val default_capacity : int
+(** Per-ring default: 65536 events. *)
+
+val max_tids : int
+(** Thread-id space per sink (matches [Tl_runtime.Tid.bits]); events
+    emitted with a tid outside [0, max_tids) fold onto the system
+    stream, tid 0. *)
+
+val create : ?ring_capacity:int -> unit -> t
+(** An enabled sink whose rings each hold [ring_capacity] events
+    (default {!default_capacity}).  Size it to the workload when drops
+    matter: roughly [2×ops + inflations + extras] per thread. *)
+
+val enabled : t -> bool
+
+val emit : t -> tid:int -> kind:Event.kind -> arg:int -> unit
+(** Record one event on [tid]'s ring (no-op when disabled).  Lock-free;
+    safe from any thread. *)
+
+val emitted : t -> int
+(** Order tickets issued so far (= recorded + dropped). *)
+
+type drained = { events : Event.t array; dropped : (int * int) list }
+(** A merged stream: [events] sorted by [seq]; [dropped] the non-zero
+    per-tid overflow counts, sorted by tid. *)
+
+val empty : drained
+
+val drain : t -> drained
+(** Merge every ring into one globally-ordered stream.  Requires
+    producers to have quiesced; may be called repeatedly (it reads,
+    never consumes). *)
+
+val total_dropped : t -> int
+
+val count_kind : drained -> Event.kind -> int
+(** Occurrences of one kind in a drained stream (scoring helper). *)

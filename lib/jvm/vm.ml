@@ -19,6 +19,8 @@ and t = {
   echo : bool;
   mutable handles : Runtime.handle list;
   handles_mutex : Mutex.t;
+  safepoint_interval : int; (* polls between quiescence announcements; 0 = off *)
+  safepoint_ticks : int Atomic.t;
 }
 
 let error fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
@@ -44,7 +46,11 @@ let new_object t class_id =
   in
   alloc_object t ~class_id ~field_defaults:c.c_field_defaults ~native
 
-let create ?scheme_of ?(echo = false) ~natives ~native_states program =
+let default_safepoint_interval = 256
+
+let create ?scheme_of ?(echo = false) ?(safepoint_interval = default_safepoint_interval)
+    ~natives ~native_states program =
+  if safepoint_interval < 0 then error "safepoint_interval must be >= 0";
   let runtime = Runtime.create () in
   let scheme =
     match scheme_of with
@@ -65,6 +71,8 @@ let create ?scheme_of ?(echo = false) ~natives ~native_states program =
       echo;
       handles = [];
       handles_mutex = Mutex.create ();
+      safepoint_interval;
+      safepoint_ticks = Atomic.make 0;
     }
   in
   List.iter (fun (k, impl) -> Hashtbl.replace t.natives k impl) natives;
@@ -94,6 +102,22 @@ let output t =
   s
 
 let sync_op_count t = Tl_core.Lock_stats.total_acquires (t.scheme.Scheme_intf.stats ())
+
+let safepoint_interval t = t.safepoint_interval
+let safepoint_polls t = Atomic.get t.safepoint_ticks
+
+(* Safepoint poll: the JVM-style answer to "when may the runtime
+   interrupt this thread?".  Polls sit on backward branches and method
+   entries — the places a loop cannot avoid — so every thread
+   announces a quiescence point every [safepoint_interval] polls no
+   matter what bytecode it is stuck in.  The tick counter is shared
+   across threads: the interval bounds announcement frequency
+   globally, which is what the reaper cares about. *)
+let safepoint_poll t env =
+  if t.safepoint_interval > 0 then begin
+    let n = Atomic.fetch_and_add t.safepoint_ticks 1 in
+    if (n + 1) mod t.safepoint_interval = 0 then Runtime.quiescence_point ~env t.runtime
+  end
 
 (* --- the interpreter core --- *)
 
@@ -208,9 +232,21 @@ let rec exec_bytecode t env (code : Instr.t array) (frame : frame) =
         let a = pop frame in
         push frame (Value.Bool (compare_values c a b));
         step (pc + 1)
-    | Goto target -> step target
-    | If_false target -> if Value.truthy (pop frame) then step (pc + 1) else step target
-    | If_true target -> if Value.truthy (pop frame) then step target else step (pc + 1)
+    | Goto target ->
+        if target <= pc then safepoint_poll t env;
+        step target
+    | If_false target ->
+        if Value.truthy (pop frame) then step (pc + 1)
+        else begin
+          if target <= pc then safepoint_poll t env;
+          step target
+        end
+    | If_true target ->
+        if Value.truthy (pop frame) then begin
+          if target <= pc then safepoint_poll t env;
+          step target
+        end
+        else step (pc + 1)
     | New class_id ->
         push frame (Value.Ref (new_object t class_id));
         step (pc + 1)
@@ -272,6 +308,7 @@ and invoke_resolved t env ~class_id ~name receiver args =
             | Some impl -> impl t env receiver args
             | None -> error "native %S not registered" key)
         | Bytecode code ->
+            safepoint_poll t env;
             let locals = Array.make (max m.m_locals (argc + 1)) Value.Null in
             let base =
               if m.m_static then 0

@@ -15,9 +15,13 @@ type native_impl = t -> Tl_runtime.Runtime.env -> Value.t -> Value.t array -> Va
 
 exception Runtime_error of string
 
+val default_safepoint_interval : int
+(** 256 polls between announcements. *)
+
 val create :
   ?scheme_of:(Tl_runtime.Runtime.t -> Tl_core.Scheme_intf.packed) ->
   ?echo:bool ->
+  ?safepoint_interval:int ->
   natives:(string * native_impl) list ->
   native_states:(string * (unit -> Value.native_state)) list ->
   Classfile.program ->
@@ -25,7 +29,15 @@ val create :
 (** The VM owns a fresh thread runtime; [scheme_of] builds the locking
     scheme over that runtime (default: thin locks).  [echo] (default
     false) forwards [System.print] output to stdout as well as the
-    capture buffer. *)
+    capture buffer.
+
+    [safepoint_interval] threads real safepoint polls through the
+    interpreter: backward branches and bytecode method entries each
+    count one poll, and every [safepoint_interval]-th poll (globally,
+    default {!default_safepoint_interval}) announces a
+    [Runtime.quiescence_point] on the executing thread — so hooks such
+    as the quiescence-driven reaper ([Tl_lifecycle.Reaper.on_quiescence])
+    actually run under interpreted workloads.  [0] disables polling. *)
 
 val runtime : t -> Tl_runtime.Runtime.t
 val heap : t -> Tl_heap.Heap.t
@@ -64,6 +76,12 @@ val print_out : t -> string -> unit
 val sync_op_count : t -> int
 (** Total monitor operations (acquires) performed so far — Table 1's
     "Syncs" column. *)
+
+val safepoint_interval : t -> int
+
+val safepoint_polls : t -> int
+(** Safepoint polls executed so far (across all VM threads); roughly
+    [polls / interval] quiescence points have been announced. *)
 
 val class_lock_object : t -> int -> Value.jobject
 (** The per-class object static synchronized methods lock. *)

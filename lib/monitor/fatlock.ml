@@ -29,6 +29,11 @@ type t = {
          them *)
   mutable contended_episodes : int; (* entrants that had to queue, ever *)
   mutable idle_scans : int; (* consecutive reaper scans that saw it idle *)
+  tag : int;
+      (* caller-chosen identity (the thin scheme stores the object id)
+         carried so deflaters and event traces can name the object a
+         monitor served without holding the object itself *)
+  events : Tl_events.Sink.t; (* trace sink; Sink.disabled when untraced *)
 }
 
 let create () =
@@ -42,14 +47,16 @@ let create () =
     in_flight = 0;
     contended_episodes = 0;
     idle_scans = 0;
+    tag = 0;
+    events = Tl_events.Sink.disabled;
   }
 
-let create_locked ~owner ~count =
+let create_locked ?(tag = 0) ?(events = Tl_events.Sink.disabled) ~owner ~count () =
   if owner <= 0 || count < 1 then invalid_arg "Fatlock.create_locked";
   let t = create () in
-  t.owner <- owner;
-  t.count <- count;
-  t
+  { t with owner; count; tag; events }
+
+let tag t = t.tag
 
 let my_index (env : Runtime.env) = env.descriptor.Tid.index
 
@@ -94,6 +101,8 @@ let acquire_live env t =
     Queue.push w t.entry_queue;
     t.contended_episodes <- t.contended_episodes + 1;
     Spinlock.release t.latch;
+    if Tl_events.Sink.enabled t.events then
+      Tl_events.Sink.emit t.events ~tid:me ~kind:Tl_events.Event.Contended_begin ~arg:t.tag;
     let rec wait_turn () =
       Parker.park env.parker;
       Spinlock.acquire t.latch;
@@ -116,6 +125,8 @@ let acquire_live env t =
           w.in_queue <- false
         end;
         Spinlock.release t.latch;
+        if Tl_events.Sink.enabled t.events then
+          Tl_events.Sink.emit t.events ~tid:me ~kind:Tl_events.Event.Contended_end ~arg:t.tag;
         `Acquired true
       end
       else begin

@@ -19,10 +19,20 @@ exception Illegal_monitor_state of string
 
 val create : unit -> t
 
-val create_locked : owner:int -> count:int -> t
+val create_locked :
+  ?tag:int -> ?events:Tl_events.Sink.t -> owner:int -> count:int -> unit -> t
 (** A monitor born already owned — used when inflating a held thin
     lock, which transfers the thin count (§2.3.4).  [count] is the
-    number of locks (≥ 1). *)
+    number of locks (≥ 1).  [tag] (default 0) is a caller-chosen
+    identity — the thin scheme stores the object id, so deflaters and
+    traces can name the object without holding it.  [events] (default
+    [Sink.disabled]) receives [Contended_begin]/[Contended_end] events,
+    [arg] = the tag, when entrants queue: begin when the entrant joins
+    the queue, end when it finally holds the monitor (an entrant turned
+    away by retirement leaves its episode open — it re-enters through a
+    fresh monitor). *)
+
+val tag : t -> int
 
 val acquire : Tl_runtime.Runtime.env -> t -> unit
 (** Lock the monitor, blocking in the entry queue if necessary.

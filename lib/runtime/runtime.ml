@@ -8,6 +8,7 @@ type t = {
      snapshot. *)
   quiescence_hooks : (unit -> unit) list Atomic.t;
   quiescence_points : int Atomic.t;
+  events : Tl_events.Sink.t Atomic.t;
 }
 
 and env = {
@@ -26,14 +27,24 @@ let create () =
     main_mutex = Mutex.create ();
     quiescence_hooks = Atomic.make [];
     quiescence_points = Atomic.make 0;
+    events = Atomic.make Tl_events.Sink.disabled;
   }
+
+let set_event_sink t sink = Atomic.set t.events sink
+let event_sink t = Atomic.get t.events
 
 let rec on_quiescence t f =
   let hooks = Atomic.get t.quiescence_hooks in
   if not (Atomic.compare_and_set t.quiescence_hooks hooks (f :: hooks)) then on_quiescence t f
 
-let quiescence_point t =
+let quiescence_point ?env t =
   Atomic.incr t.quiescence_points;
+  let sink = Atomic.get t.events in
+  if Tl_events.Sink.enabled sink then begin
+    let tid = match env with Some e -> e.descriptor.Tid.index | None -> 0 in
+    Tl_events.Sink.emit sink ~tid ~kind:Tl_events.Event.Quiescence
+      ~arg:(Atomic.get t.quiescence_points)
+  end;
   (* Oldest-first, so a stats hook registered before a reaper hook sees
      the world the reaper is about to change. *)
   List.iter (fun f -> f ()) (List.rev (Atomic.get t.quiescence_hooks))

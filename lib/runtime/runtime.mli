@@ -70,10 +70,25 @@ val on_quiescence : t -> (unit -> unit) -> unit
     raise.  Hooks cannot be unregistered — use a flag in the closure to
     disable one. *)
 
-val quiescence_point : t -> unit
+val quiescence_point : ?env:env -> t -> unit
 (** Announce a quiescence point: bump the counter and run the hooks on
     the calling thread.  Safe to call concurrently from any registered
-    thread. *)
+    thread.  When an event sink is attached ({!set_event_sink}), a
+    [Quiescence] event is recorded, attributed to [env]'s thread (or
+    tid 0 when no [env] is given). *)
 
 val quiescence_count : t -> int
 (** Total quiescence points announced on this runtime. *)
+
+(** {1 Event tracing}
+
+    A runtime carries one {!Tl_events.Sink} (default:
+    [Sink.disabled]) so runtime-level events — currently quiescence
+    points — land in the same stream the lock layers write to. *)
+
+val set_event_sink : t -> Tl_events.Sink.t -> unit
+(** Attach a sink.  Threads already between operations pick it up on
+    their next announcement; call before starting the workload when a
+    complete stream matters. *)
+
+val event_sink : t -> Tl_events.Sink.t

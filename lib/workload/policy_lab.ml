@@ -1,0 +1,199 @@
+(* The policy lab: replay macro traces under each deflation policy and
+   score the lifecycle dynamics from the event stream.
+
+   Plain counter snapshots can say how many deflations happened; only
+   the ordered stream can say how long monitors *stayed* fat (the
+   residency integral), or whether a deflation was wasted because the
+   same object re-inflated moments later (thrash).  The lab replays
+   the same deterministic trace once per policy with tracing on, then
+   computes those stream metrics plus the fast-path ratio.
+
+   Knobs chosen so lifecycle dynamics actually appear in a
+   single-threaded replay: a 1-bit nest count makes every depth-3
+   episode overflow-inflate (the traces' depth censuses give each
+   benchmark its own inflation pressure), and a quiescence point is
+   announced every [quiescence_every] ops, which is what drives the
+   quiescence-hooked reaper. *)
+
+module Runtime = Tl_runtime.Runtime
+module Thin = Tl_core.Thin
+module Scheme_intf = Tl_core.Scheme_intf
+module Policy = Tl_lifecycle.Policy
+module Reaper = Tl_lifecycle.Reaper
+module Sink = Tl_events.Sink
+module Event = Tl_events.Event
+module T = Tl_util.Tablefmt
+
+let shipped_policies =
+  [
+    Policy.never;
+    Policy.always_idle;
+    Policy.idle_for ~quiescence_points:4;
+    Policy.zero_contended_episodes;
+  ]
+
+let policy_of_string name =
+  List.find_opt (fun p -> p.Policy.name = name) shipped_policies
+
+let replay_traced ?(count_width = 1) ?(quiescence_every = 64) ~policy
+    (trace : Tracegen.t) =
+  let ops = trace.Tracegen.ops in
+  (* Room for one acquire + one release event per op, plus inflations,
+     deflations, scans and quiescence marks: no drops, so the scores
+     see the whole run. *)
+  let sink = Sink.create ~ring_capacity:((4 * Array.length ops) + 4096) () in
+  let runtime = Runtime.create () in
+  Runtime.set_event_sink runtime sink;
+  let config = { Thin.default_config with count_width } in
+  let ctx = Thin.create_with ~config ~events:sink runtime in
+  Reaper.on_quiescence ~policy runtime ctx;
+  let env = Runtime.main_env runtime in
+  let heap = Tl_heap.Heap.create () in
+  let pool = Tl_heap.Heap.alloc_many heap trace.Tracegen.pool_size in
+  Array.iteri
+    (fun i op ->
+      if op > 0 then Thin.acquire ctx env pool.(op - 1)
+      else Thin.release ctx env pool.(-op - 1);
+      if (i + 1) mod quiescence_every = 0 then Runtime.quiescence_point ~env runtime)
+    ops;
+  (* Settle: extra announcements so hysteresis policies (idle-for-N)
+     get the chance to drain monitors still fat at trace end. *)
+  for _ = 1 to 16 do
+    Runtime.quiescence_point ~env runtime
+  done;
+  (ctx, Sink.drain sink)
+
+type score = {
+  policy : string;
+  acquires : int;
+  fast_ratio : float;
+  inflations : int;
+  deflations : int;
+  aborted : int;
+  reinflations : int;
+  thrash : float;
+  fat_residency : float;
+  dropped : int;
+}
+
+(* Lab score: slow-path percentage plus thrash, lower better.  Both
+   terms are "wasted work per acquire" shaped: acquires that missed
+   the thin fast path, and deflations that had to be undone. *)
+let lab_score s = (100.0 *. (1.0 -. s.fast_ratio)) +. s.thrash
+
+let score_stream ~policy (d : Sink.drained) =
+  let acquires = ref 0 and fast = ref 0 in
+  let inflations = ref 0 and deflations = ref 0 and aborted = ref 0 in
+  let reinflations = ref 0 in
+  let deflated_once = Hashtbl.create 64 in
+  let live = ref 0 in
+  let area = ref 0.0 in
+  let last_seq = ref None in
+  Array.iter
+    (fun (e : Event.t) ->
+      (match !last_seq with
+      | Some prev -> area := !area +. (float_of_int !live *. float_of_int (e.Event.seq - prev))
+      | None -> ());
+      last_seq := Some e.Event.seq;
+      match e.Event.kind with
+      | Event.Acquire_fast | Event.Acquire_nested ->
+          incr acquires;
+          incr fast
+      | Event.Acquire_fat | Event.Acquire_fat_queued -> incr acquires
+      | Event.Inflate_contention | Event.Inflate_wait | Event.Inflate_overflow ->
+          incr inflations;
+          incr live;
+          if Hashtbl.mem deflated_once e.Event.arg then incr reinflations
+      | Event.Deflate_quiescent | Event.Deflate_concurrent ->
+          incr deflations;
+          decr live;
+          Hashtbl.replace deflated_once e.Event.arg ()
+      | Event.Deflate_aborted -> incr aborted
+      | Event.Release_fast | Event.Release_nested | Event.Release_fat
+      | Event.Contended_begin | Event.Contended_end | Event.Wait_op | Event.Notify_op
+      | Event.Notify_all_op | Event.Reaper_scan | Event.Quiescence ->
+          ())
+    d.Sink.events;
+  let span =
+    match (Array.length d.Sink.events, !last_seq) with
+    | 0, _ | _, None -> 0
+    | _, Some last -> last - d.Sink.events.(0).Event.seq
+  in
+  {
+    policy = policy.Policy.name;
+    acquires = !acquires;
+    fast_ratio = (if !acquires = 0 then 1.0 else float_of_int !fast /. float_of_int !acquires);
+    inflations = !inflations;
+    deflations = !deflations;
+    aborted = !aborted;
+    reinflations = !reinflations;
+    thrash =
+      (if !acquires = 0 then 0.0
+       else 1000.0 *. float_of_int !reinflations /. float_of_int !acquires);
+    fat_residency = (if span = 0 then 0.0 else !area /. float_of_int span);
+    dropped = List.fold_left (fun acc (_, n) -> acc + n) 0 d.Sink.dropped;
+  }
+
+let run_one ?count_width ?quiescence_every ~policy trace =
+  let _ctx, drained = replay_traced ?count_width ?quiescence_every ~policy trace in
+  score_stream ~policy drained
+
+(* Chosen for spread of inflation pressure: javalex is light (3 % of
+   ops at depth >= 3), mocha moderate, javacup heavy (15 %). *)
+let default_benchmarks = [ "javalex"; "javacup"; "mocha" ]
+
+let table ?(max_syncs = 20_000) ?(seed = 1998) ?(benchmarks = default_benchmarks) () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Policy lab: macro traces replayed under each deflation policy\n\
+        (1-bit nest count so depth-3 episodes overflow-inflate; quiescence\n\
+        announced every 64 ops drives the reaper; %d ops per trace, seed %d).\n\
+        lab score = slow-path %% + re-inflations per 1000 acquires (lower is better).\n\n"
+       max_syncs seed);
+  List.iter
+    (fun bench ->
+      let profile =
+        match Profiles.find bench with
+        | Some p -> p
+        | None -> invalid_arg (Printf.sprintf "Policy_lab.table: unknown benchmark %S" bench)
+      in
+      let trace = Tracegen.generate ~seed ~max_syncs profile in
+      let scores = List.map (fun policy -> run_one ~policy trace) shipped_policies in
+      let rows =
+        List.map
+          (fun s ->
+            [
+              s.policy;
+              Printf.sprintf "%.1f" (100.0 *. s.fast_ratio);
+              Printf.sprintf "%.1f" s.fat_residency;
+              string_of_int s.inflations;
+              string_of_int s.deflations;
+              string_of_int s.aborted;
+              string_of_int s.reinflations;
+              Printf.sprintf "%.2f" s.thrash;
+              Printf.sprintf "%.2f" (lab_score s);
+            ])
+          scores
+      in
+      Buffer.add_string buf
+        (T.render
+           ~title:(Printf.sprintf "%s (%d acquires)" bench (Tracegen.acquire_count trace))
+           ~header:
+             [
+               "policy"; "fast %"; "fat-res"; "infl"; "defl"; "abort"; "re-infl"; "thrash/1k";
+               "score";
+             ]
+           ~align:T.[ Left; Right; Right; Right; Right; Right; Right; Right; Right ]
+           rows);
+      let ranked =
+        List.sort (fun a b -> compare (lab_score a) (lab_score b)) scores
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "ranking: %s\n\n"
+           (String.concat " < " (List.map (fun s -> s.policy) ranked))))
+    benchmarks;
+  Buffer.add_string buf
+    "(zero-contended-episodes tracks always-idle here: single-threaded replays never\n\
+     queue, so every monitor has zero contended episodes.)\n";
+  Buffer.contents buf

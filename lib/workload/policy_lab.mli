@@ -1,0 +1,73 @@
+(** The policy lab: score deflation policies against macro traces
+    using the lock-event stream.
+
+    Counter snapshots say how many deflations happened; the ordered
+    event stream additionally says how long monitors {e stayed} fat
+    and whether a deflation was wasted because the same object
+    re-inflated right after.  The lab replays one deterministic trace
+    per policy with tracing enabled and reduces the drained stream to
+    those metrics:
+
+    - {b fast ratio} — acquires that took the thin fast or nested path
+      over all acquires;
+    - {b fat residency} — the integral of live fat monitors over the
+      event-sequence span (mean monitors fat at any instant);
+    - {b thrash} — re-inflations (an [Inflate_*] of an object already
+      deflated once) per 1000 acquires.
+
+    Replays use a 1-bit nest count so depth-3 episodes
+    overflow-inflate (giving each benchmark its profile's inflation
+    pressure even single-threaded) and announce a quiescence point
+    every [quiescence_every] ops to drive the quiescence-hooked
+    reaper. *)
+
+val shipped_policies : Tl_lifecycle.Policy.t list
+(** [never], [always-idle], [idle-for-4], [zero-contended-episodes]. *)
+
+val policy_of_string : string -> Tl_lifecycle.Policy.t option
+(** Look a shipped policy up by its name. *)
+
+val replay_traced :
+  ?count_width:int ->
+  ?quiescence_every:int ->
+  policy:Tl_lifecycle.Policy.t ->
+  Tracegen.t ->
+  Tl_core.Thin.ctx * Tl_events.Sink.drained
+(** Replay one trace on a fresh runtime/heap under [policy]
+    ([count_width] default 1, [quiescence_every] default 64), tracing
+    every lock event into a sink sized so nothing drops; returns the
+    ctx (for counter inspection) and the drained stream. *)
+
+type score = {
+  policy : string;
+  acquires : int;
+  fast_ratio : float;
+  inflations : int;
+  deflations : int;
+  aborted : int;  (** aborted deflation handshakes *)
+  reinflations : int;
+  thrash : float;  (** re-inflations per 1000 acquires *)
+  fat_residency : float;
+  dropped : int;  (** ring-overflow losses — 0 in lab replays *)
+}
+
+val score_stream : policy:Tl_lifecycle.Policy.t -> Tl_events.Sink.drained -> score
+
+val lab_score : score -> float
+(** Composite ranking key: slow-path percentage + thrash; lower is
+    better. *)
+
+val run_one :
+  ?count_width:int ->
+  ?quiescence_every:int ->
+  policy:Tl_lifecycle.Policy.t ->
+  Tracegen.t ->
+  score
+(** {!replay_traced} then {!score_stream}. *)
+
+val default_benchmarks : string list
+
+val table : ?max_syncs:int -> ?seed:int -> ?benchmarks:string list -> unit -> string
+(** Render the comparison: one table per benchmark trace (default
+    {!default_benchmarks}, 20k ops each) with every shipped policy's
+    metrics, followed by a lab-score ranking line. *)

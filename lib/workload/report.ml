@@ -395,23 +395,60 @@ let monitor_lifecycle ?(cycles = 20_000) ?(threads = 4) () =
         ignore (Thin.deflate_idle ctx obj)
       done);
   let elapsed = Tl_util.Timer.now () -. t0 in
+  (* Phase 2: the reaper against live churn.  The churners inflate by
+     overflow but never deflate themselves; the main thread runs
+     census scans concurrently, so the non-quiescent counters — scans,
+     concurrent deflations, aborted handshakes — become non-zero. *)
+  let stop = Atomic.make false in
+  let churn_threads = min 2 threads in
+  let churners =
+    List.init churn_threads (fun i ->
+        Runtime.spawn ~name:(Printf.sprintf "churner-%d" i) runtime (fun env ->
+            let obj = objs.(i) in
+            while not (Atomic.get stop) do
+              Thin.acquire ctx env obj;
+              Thin.acquire ctx env obj;
+              Thin.acquire ctx env obj;
+              Thin.release ctx env obj;
+              Thin.release ctx env obj;
+              Thin.release ctx env obj;
+              Thread.yield ()
+            done))
+  in
+  for _ = 1 to 200 do
+    ignore (Tl_lifecycle.Reaper.scan_once ~policy:Tl_lifecycle.Policy.always_idle ctx);
+    Thread.yield ()
+  done;
+  Atomic.set stop true;
+  List.iter Runtime.join churners;
+  (* Quiescent now: sweep the churners' leftover monitors so the
+     live-at-end census stays a reclamation check. *)
+  for i = 0 to churn_threads - 1 do
+    ignore (Thin.deflate_idle ctx objs.(i))
+  done;
   let s = Lock_stats.snapshot (Thin.stats ctx) in
+  let extra key = match List.assoc_opt key s.Lock_stats.extra with Some n -> n | None -> 0 in
   let table = Thin.montable ctx in
   let total = cycles * threads in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
     (Printf.sprintf
        "Monitor lifecycle (deflation extension): %d threads x %d inflate/deflate cycles\n\
-        in %.2fs (%.0f ns/cycle), monitor table sharded %d ways.\n\n"
+        in %.2fs (%.0f ns/cycle), monitor table sharded %d ways;\n\
+        then %d churner threads against 200 concurrent reaper scans.\n\n"
        threads cycles elapsed
        (1e9 *. elapsed /. float_of_int total)
-       (Tl_monitor.Montable.shard_count table));
+       (Tl_monitor.Montable.shard_count table)
+       churn_threads);
   Buffer.add_string buf
     (T.render ~header:[ "counter"; "value" ]
        ~align:T.[ Left; Right ]
        [
          [ "inflations (overflow)"; string_of_int s.Lock_stats.inflations_overflow ];
          [ "deflations"; string_of_int s.Lock_stats.deflations ];
+         [ "deflations, non-quiescent"; string_of_int (extra "deflations.non_quiescent") ];
+         [ "aborted deflation handshakes"; string_of_int (extra "deflation.aborted_handshakes") ];
+         [ "reaper scans"; string_of_int (extra "reaper.scans") ];
          [ "monitors allocated (census)"; string_of_int (Tl_monitor.Montable.allocated table) ];
          [ "monitor slots reused"; string_of_int (Tl_monitor.Montable.reuses table) ];
          [ "monitors live at the end"; string_of_int (Tl_monitor.Montable.live table) ];

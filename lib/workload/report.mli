@@ -40,8 +40,11 @@ val characterize : ?max_syncs:int -> ?seed:int -> unit -> string
 val monitor_lifecycle : ?cycles:int -> ?threads:int -> unit -> string
 (** The deflation extension's lifecycle census: [threads] threads each
     drive [cycles] inflate/deflate round trips on a private object
-    (1-bit nest count, so a shallow nest overflow-inflates cheaply),
-    then report inflations, deflations, slot reuses and live monitors
+    (1-bit nest count, so a shallow nest overflow-inflates cheaply);
+    then two churner threads keep inflating while the reaper scans
+    concurrently, exercising the non-quiescent path.  Reports
+    inflations, deflations (including the non-quiescent count),
+    aborted handshakes, reaper scans, slot reuses and live monitors
     from {!Tl_core.Lock_stats} and the monitor table's own counters.
     With slot reclamation working, every monitor ever allocated is
     reclaimed (live = 0) and the table's footprint stays at one slot

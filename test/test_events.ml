@@ -1,0 +1,357 @@
+(* tl_events: event kinds, the lock-free ring, sink merge ordering,
+   the canonical text codec (golden + qcheck round trips — the suite
+   tools/check.sh pins), and end-to-end instrumentation through Thin,
+   the reaper and the runtime's quiescence points. *)
+
+open Tl_events
+module Runtime = Tl_runtime.Runtime
+module Thin = Tl_core.Thin
+module H = Tl_heap.Heap
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* --- kinds --- *)
+
+let test_kind_int_roundtrip () =
+  List.iteri
+    (fun i k ->
+      check_int "dense numbering" i (Event.kind_to_int k);
+      check "int roundtrip" true (Event.kind_of_int (Event.kind_to_int k) = Some k))
+    Event.all_kinds;
+  check "below range" true (Event.kind_of_int (-1) = None);
+  check "above range" true (Event.kind_of_int (List.length Event.all_kinds) = None)
+
+let test_kind_name_roundtrip () =
+  let seen = Hashtbl.create 32 in
+  List.iter
+    (fun k ->
+      let name = Event.kind_name k in
+      check ("unique name " ^ name) false (Hashtbl.mem seen name);
+      Hashtbl.replace seen name ();
+      check ("name roundtrip " ^ name) true (Event.kind_of_name name = Some k))
+    Event.all_kinds;
+  check "unknown name" true (Event.kind_of_name "acquire-bogus" = None)
+
+(* --- ring --- *)
+
+let test_ring_overflow_drops_suffix () =
+  let ring = Ring.create 8 in
+  for i = 0 to 10 do
+    Ring.emit ring ~seq:i ~tid:1 ~kind:Event.Acquire_fast ~arg:(100 + i)
+  done;
+  check_int "written caps at capacity" 8 (Ring.written ring);
+  check_int "overflow counted" 3 (Ring.dropped ring);
+  check_int "capacity" 8 (Ring.capacity ring);
+  (* the surviving prefix is intact and in write order *)
+  let seqs = List.rev (Ring.fold (fun acc e -> e.Event.seq :: acc) [] ring) in
+  check "prefix, in order" true (seqs = [ 0; 1; 2; 3; 4; 5; 6; 7 ])
+
+let test_ring_rejects_zero_capacity () =
+  match Ring.create 0 with
+  | _ -> Alcotest.fail "capacity 0 must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* --- sink --- *)
+
+let test_sink_disabled_is_inert () =
+  check "disabled" false (Sink.enabled Sink.disabled);
+  Sink.emit Sink.disabled ~tid:1 ~kind:Event.Acquire_fast ~arg:0;
+  check_int "no tickets" 0 (Sink.emitted Sink.disabled);
+  let d = Sink.drain Sink.disabled in
+  check_int "no events" 0 (Array.length d.Sink.events);
+  check "no drops" true (d.Sink.dropped = [])
+
+let test_sink_merges_in_seq_order () =
+  let sink = Sink.create ~ring_capacity:64 () in
+  (* interleave three tids; seq tickets are issued in emit order *)
+  List.iter
+    (fun (tid, arg) -> Sink.emit sink ~tid ~kind:Event.Acquire_fast ~arg)
+    [ (3, 30); (1, 10); (2, 20); (1, 11); (3, 31) ];
+  let d = Sink.drain sink in
+  check_int "all recorded" 5 (Array.length d.Sink.events);
+  Array.iteri (fun i e -> check_int "seq = emit order" i e.Event.seq) d.Sink.events;
+  check "args follow emit order" true
+    (Array.map (fun e -> e.Event.arg) d.Sink.events = [| 30; 10; 20; 11; 31 |]);
+  check "tids preserved" true
+    (Array.map (fun e -> e.Event.tid) d.Sink.events = [| 3; 1; 2; 1; 3 |]);
+  (* drain reads, never consumes *)
+  check_int "drain is repeatable" 5 (Array.length (Sink.drain sink).Sink.events)
+
+let test_sink_out_of_range_tid_folds_to_system () =
+  let sink = Sink.create ~ring_capacity:8 () in
+  Sink.emit sink ~tid:Sink.max_tids ~kind:Event.Quiescence ~arg:1;
+  Sink.emit sink ~tid:(-7) ~kind:Event.Quiescence ~arg:2;
+  let d = Sink.drain sink in
+  check_int "both recorded" 2 (Array.length d.Sink.events);
+  Array.iter (fun e -> check_int "folded to tid 0" 0 e.Event.tid) d.Sink.events
+
+let test_sink_reports_drops_per_tid () =
+  let sink = Sink.create ~ring_capacity:16 () in
+  for i = 1 to 100 do
+    Sink.emit sink ~tid:5 ~kind:Event.Release_fast ~arg:i
+  done;
+  Sink.emit sink ~tid:2 ~kind:Event.Quiescence ~arg:0;
+  let d = Sink.drain sink in
+  check_int "tickets = recorded + dropped" 101 (Sink.emitted sink);
+  check "per-tid drop counts" true (d.Sink.dropped = [ (5, 84) ]);
+  check_int "total_dropped" 84 (Sink.total_dropped sink);
+  check_int "count_kind sees survivors" 16 (Sink.count_kind d Event.Release_fast)
+
+let test_sink_multithreaded_emit () =
+  let sink = Sink.create ~ring_capacity:4096 () in
+  let per_thread = 500 and threads = 4 in
+  let handles =
+    List.init threads (fun t ->
+        Thread.create
+          (fun () ->
+            for i = 0 to per_thread - 1 do
+              Sink.emit sink ~tid:(t + 1) ~kind:Event.Acquire_fast ~arg:i
+            done)
+          ())
+  in
+  List.iter Thread.join handles;
+  let d = Sink.drain sink in
+  check_int "nothing lost" (threads * per_thread) (Array.length d.Sink.events);
+  check "no drops" true (d.Sink.dropped = []);
+  (* the merged stream is strictly seq-sorted, and each thread's events
+     keep their program order (args ascending per tid) *)
+  let last_seq = ref (-1) in
+  let last_arg = Hashtbl.create 8 in
+  Array.iter
+    (fun e ->
+      check "strictly increasing seq" true (e.Event.seq > !last_seq);
+      last_seq := e.Event.seq;
+      let prev = Option.value ~default:(-1) (Hashtbl.find_opt last_arg e.Event.tid) in
+      check "per-thread program order" true (e.Event.arg > prev);
+      Hashtbl.replace last_arg e.Event.tid e.Event.arg)
+    d.Sink.events
+
+(* --- codec (the golden suite tools/check.sh runs) --- *)
+
+let golden_stream () =
+  let sink = Sink.create ~ring_capacity:8 () in
+  Sink.emit sink ~tid:1 ~kind:Event.Acquire_fast ~arg:7;
+  Sink.emit sink ~tid:1 ~kind:Event.Inflate_overflow ~arg:7;
+  Sink.emit sink ~tid:2 ~kind:Event.Acquire_fat_queued ~arg:7;
+  Sink.emit sink ~tid:1 ~kind:Event.Release_fat ~arg:7;
+  Sink.emit sink ~tid:0 ~kind:Event.Deflate_quiescent ~arg:7;
+  Sink.emit sink ~tid:0 ~kind:Event.Reaper_scan ~arg:1;
+  Sink.drain sink
+
+let golden_text =
+  "# thinlocks-events v1\n\
+   events 6\n\
+   0 1 acquire-fast 7\n\
+   1 1 inflate-overflow 7\n\
+   2 2 acquire-fat-queued 7\n\
+   3 1 release-fat 7\n\
+   4 0 deflate-quiescent 7\n\
+   5 0 reaper-scan 1\n"
+
+let test_codec_golden () =
+  check_str "golden encoding" golden_text (Codec.to_string (golden_stream ()))
+
+let test_codec_roundtrip_is_canonical () =
+  (* to_string ∘ of_string is the identity on accepted inputs *)
+  check_str "byte-for-byte" golden_text (Codec.to_string (Codec.of_string golden_text));
+  let with_drops =
+    {
+      Sink.events = (golden_stream ()).Sink.events;
+      dropped = [ (1, 3); (4, 1_000_000) ];
+    }
+  in
+  let text = Codec.to_string with_drops in
+  check_str "byte-for-byte with drops" text (Codec.to_string (Codec.of_string text));
+  let back = Codec.of_string text in
+  check "events survive" true (back.Sink.events = with_drops.Sink.events);
+  check "drops survive" true (back.Sink.dropped = with_drops.Sink.dropped);
+  let empty = Codec.to_string Sink.empty in
+  check_str "empty stream" "# thinlocks-events v1\nevents 0\n" empty;
+  check_str "empty roundtrip" empty (Codec.to_string (Codec.of_string empty))
+
+let test_codec_parse_errors () =
+  let expect_parse_error text =
+    match Codec.of_string text with
+    | _ -> Alcotest.failf "expected parse error on %S" text
+    | exception Codec.Parse_error _ -> ()
+  in
+  expect_parse_error "";
+  expect_parse_error "# thinlocks-events v2\nevents 0\n" (* wrong magic *);
+  expect_parse_error "# thinlocks-events v1\nevents 0" (* no trailing newline *);
+  expect_parse_error "# thinlocks-events v1\nevents 2\n0 1 acquire-fast 7\n" (* short *);
+  expect_parse_error
+    "# thinlocks-events v1\nevents 1\n0 1 acquire-fast 7\n1 1 release-fast 7\n"
+    (* trailing data *);
+  expect_parse_error "# thinlocks-events v1\nevents 01\n" (* leading zero *);
+  expect_parse_error "# thinlocks-events v1\nevents -1\n" (* negative count *);
+  expect_parse_error "# thinlocks-events v1\nevents 1\n0 1 acquire-warp 7\n"
+    (* unknown kind *);
+  expect_parse_error "# thinlocks-events v1\nevents 1\n0 1 acquire-fast\n"
+    (* missing field *);
+  expect_parse_error "# thinlocks-events v1\nevents 0\ndropped 3 1\ndropped 2 1\n"
+    (* tids out of order *);
+  expect_parse_error "# thinlocks-events v1\nevents 0\ndropped 2 0\n"
+    (* zero drop count *);
+  expect_parse_error "# thinlocks-events v1\nevents 0\ndropped 2 -3\n"
+    (* negative drop count *)
+
+let drained_arb =
+  let open QCheck.Gen in
+  let kind = oneofl Event.all_kinds in
+  let gen =
+    let* n = int_range 0 40 in
+    let* seq0 = int_range 0 1000 in
+    let* events =
+      array_repeat n
+        (let* tid = int_range 0 50 in
+         let* k = kind in
+         let* arg = int_range 0 100_000 in
+         return (tid, k, arg))
+    in
+    (* seqs strictly increasing, as drain produces *)
+    let events =
+      Array.mapi (fun i (tid, k, arg) -> { Event.seq = seq0 + i; tid; kind = k; arg }) events
+    in
+    let* drop_tids = list_size (int_range 0 4) (int_range 0 60) in
+    let drop_tids = List.sort_uniq compare drop_tids in
+    let* dropped =
+      flatten_l (List.map (fun tid -> map (fun n -> (tid, n + 1)) (int_range 0 99)) drop_tids)
+    in
+    return { Sink.events; dropped }
+  in
+  QCheck.make gen ~print:Codec.to_string
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"codec round trips any drained stream" ~count:100 drained_arb
+    (fun d ->
+      let text = Codec.to_string d in
+      let back = Codec.of_string text in
+      back.Sink.events = d.Sink.events
+      && back.Sink.dropped = d.Sink.dropped
+      && String.equal (Codec.to_string back) text)
+
+(* --- end-to-end instrumentation --- *)
+
+let test_thin_emits_protocol_events () =
+  let runtime = Runtime.create () in
+  let sink = Sink.create ~ring_capacity:256 () in
+  let config = { Thin.default_config with count_width = 1 } in
+  let ctx = Thin.create_with ~config ~events:sink runtime in
+  let env = Runtime.main_env runtime in
+  let heap = H.create () in
+  let obj = H.alloc heap in
+  (* depth 3 under a 1-bit count: fast, nested, overflow-inflate *)
+  Thin.acquire ctx env obj;
+  Thin.acquire ctx env obj;
+  Thin.acquire ctx env obj;
+  Thin.release ctx env obj;
+  Thin.release ctx env obj;
+  Thin.release ctx env obj;
+  check "deflates" true (Thin.deflate_idle ctx obj);
+  let d = Sink.drain sink in
+  check_int "one fast acquire" 1 (Sink.count_kind d Event.Acquire_fast);
+  check_int "one nested acquire" 1 (Sink.count_kind d Event.Acquire_nested);
+  check_int "one overflow inflation" 1 (Sink.count_kind d Event.Inflate_overflow);
+  check_int "overflow acquire traced as fat" 1 (Sink.count_kind d Event.Acquire_fat);
+  check_int "three fat releases" 3 (Sink.count_kind d Event.Release_fat);
+  check_int "one quiescent deflation" 1 (Sink.count_kind d Event.Deflate_quiescent);
+  (* lifecycle events carry the object id so streams can be joined per
+     object; deflation is attributed to the system stream *)
+  Array.iter
+    (fun e ->
+      match e.Event.kind with
+      | Event.Inflate_overflow ->
+          check_int "inflation arg = object id" (Tl_heap.Obj_model.id obj) e.Event.arg
+      | Event.Deflate_quiescent ->
+          check_int "deflation arg = monitor tag" (Tl_heap.Obj_model.id obj) e.Event.arg;
+          check_int "deflation on system stream" 0 e.Event.tid
+      | _ -> ())
+    d.Sink.events
+
+let test_thin_emits_wait_and_notify () =
+  let runtime = Runtime.create () in
+  let sink = Sink.create ~ring_capacity:256 () in
+  let ctx = Thin.create_with ~events:sink runtime in
+  let env = Runtime.main_env runtime in
+  let heap = H.create () in
+  let obj = H.alloc heap in
+  Thin.acquire ctx env obj;
+  Thin.wait ~timeout:0.001 ctx env obj;
+  Thin.notify ctx env obj;
+  Thin.notify_all ctx env obj;
+  Thin.release ctx env obj;
+  let d = Sink.drain sink in
+  check_int "wait inflates" 1 (Sink.count_kind d Event.Inflate_wait);
+  check_int "wait op" 1 (Sink.count_kind d Event.Wait_op);
+  check_int "notify op" 1 (Sink.count_kind d Event.Notify_op);
+  check_int "notify-all op" 1 (Sink.count_kind d Event.Notify_all_op)
+
+let test_runtime_and_reaper_events () =
+  let runtime = Runtime.create () in
+  let sink = Sink.create ~ring_capacity:256 () in
+  Runtime.set_event_sink runtime sink;
+  let ctx = Thin.create_with ~events:sink runtime in
+  let env = Runtime.main_env runtime in
+  Runtime.quiescence_point ~env runtime;
+  Runtime.quiescence_point runtime (* env-less: system stream *);
+  ignore (Tl_lifecycle.Reaper.scan_once ctx);
+  let d = Sink.drain sink in
+  check_int "quiescence events" 2 (Sink.count_kind d Event.Quiescence);
+  check_int "reaper scan event" 1 (Sink.count_kind d Event.Reaper_scan);
+  let envless =
+    Array.exists
+      (fun e -> e.Event.kind = Event.Quiescence && e.Event.tid = 0)
+      d.Sink.events
+  in
+  check "env-less quiescence on system stream" true envless
+
+let test_untraced_ctx_stays_silent () =
+  let runtime = Runtime.create () in
+  let ctx = Thin.create runtime in
+  check "default ctx carries the null sink" false (Sink.enabled (Thin.events ctx));
+  let env = Runtime.main_env runtime in
+  let heap = H.create () in
+  let obj = H.alloc heap in
+  Thin.acquire ctx env obj;
+  Thin.release ctx env obj;
+  check_int "nothing recorded anywhere" 0 (Sink.emitted Sink.disabled)
+
+let () =
+  Alcotest.run "events"
+    [
+      ( "kinds",
+        [
+          Alcotest.test_case "int roundtrip" `Quick test_kind_int_roundtrip;
+          Alcotest.test_case "name roundtrip" `Quick test_kind_name_roundtrip;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "overflow drops a suffix" `Quick test_ring_overflow_drops_suffix;
+          Alcotest.test_case "zero capacity rejected" `Quick test_ring_rejects_zero_capacity;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "disabled is inert" `Quick test_sink_disabled_is_inert;
+          Alcotest.test_case "merge in seq order" `Quick test_sink_merges_in_seq_order;
+          Alcotest.test_case "out-of-range tid folds" `Quick
+            test_sink_out_of_range_tid_folds_to_system;
+          Alcotest.test_case "drops reported per tid" `Quick test_sink_reports_drops_per_tid;
+          Alcotest.test_case "multithreaded emit" `Quick test_sink_multithreaded_emit;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "golden encoding" `Quick test_codec_golden;
+          Alcotest.test_case "canonical roundtrip" `Quick test_codec_roundtrip_is_canonical;
+          Alcotest.test_case "parse errors" `Quick test_codec_parse_errors;
+          QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+        ] );
+      ( "instrumentation",
+        [
+          Alcotest.test_case "thin protocol events" `Quick test_thin_emits_protocol_events;
+          Alcotest.test_case "wait and notify events" `Quick test_thin_emits_wait_and_notify;
+          Alcotest.test_case "runtime and reaper events" `Quick test_runtime_and_reaper_events;
+          Alcotest.test_case "untraced ctx stays silent" `Quick test_untraced_ctx_stays_silent;
+        ] );
+    ]

@@ -204,6 +204,52 @@ let test_fields () =
   in
   check "field defaults + put/get" true (result = Value.Int 12)
 
+(* count 0..99 with a backward goto: 100 loop-edge polls plus the
+   method-entry poll *)
+let counting_loop =
+  [
+    (* 0 *) I.Const_int 0; I.Store 0;
+    (* 2 *) I.Load 0; I.Const_int 100; I.Cmp I.Lt;
+    (* 5 *) I.If_false 11;
+    (* 6 *) I.Load 0; I.Const_int 1; I.Add; I.Store 0;
+    (* 10 *) I.Goto 2;
+    (* 11 *) I.Load 0; I.Return_value;
+  ]
+
+let test_safepoint_polls_announce_quiescence () =
+  let program = assemble counting_loop in
+  let vm =
+    Vm.create ~safepoint_interval:10 ~natives:Jlib.natives ~native_states:Jlib.native_states
+      program
+  in
+  check_int "interval recorded" 10 (Vm.safepoint_interval vm);
+  let result = Vm.run_main vm in
+  check "loop result unchanged" true (result = Value.Int 100);
+  (* one poll per taken backward branch (Goto 2, 100 times) plus the
+     bytecode method entry *)
+  check_int "polls counted" 101 (Vm.safepoint_polls vm);
+  check_int "every 10th poll announces" 10
+    (Tl_runtime.Runtime.quiescence_count (Vm.runtime vm))
+
+let test_safepoint_interval_zero_disables () =
+  let program = assemble counting_loop in
+  let vm =
+    Vm.create ~safepoint_interval:0 ~natives:Jlib.natives ~native_states:Jlib.native_states
+      program
+  in
+  ignore (Vm.run_main vm);
+  check_int "no polls" 0 (Vm.safepoint_polls vm);
+  check_int "no announcements" 0 (Tl_runtime.Runtime.quiescence_count (Vm.runtime vm))
+
+let test_safepoint_negative_interval_rejected () =
+  let program = assemble [ I.Return ] in
+  match
+    Vm.create ~safepoint_interval:(-1) ~natives:Jlib.natives
+      ~native_states:Jlib.native_states program
+  with
+  | _ -> Alcotest.fail "negative safepoint interval must be rejected"
+  | exception Vm.Runtime_error _ -> ()
+
 let test_value_module () =
   check "equal ints" true (Value.equal (Value.Int 3) (Value.Int 3));
   check "unequal types" false (Value.equal (Value.Int 1) (Value.Bool true));
@@ -243,6 +289,14 @@ let () =
           Alcotest.test_case "native invoke" `Quick test_native_invoke;
           Alcotest.test_case "inherited dispatch" `Quick test_inherited_dispatch;
           Alcotest.test_case "fields and defaults" `Quick test_fields;
+        ] );
+      ( "safepoints",
+        [
+          Alcotest.test_case "polls announce quiescence" `Quick
+            test_safepoint_polls_announce_quiescence;
+          Alcotest.test_case "interval 0 disables" `Quick test_safepoint_interval_zero_disables;
+          Alcotest.test_case "negative interval rejected" `Quick
+            test_safepoint_negative_interval_rejected;
         ] );
       ( "values and metadata",
         [

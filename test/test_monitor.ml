@@ -29,7 +29,7 @@ let test_basic () =
 let test_create_locked () =
   with_env (fun _ env ->
       let me = env.Runtime.descriptor.Tl_runtime.Tid.index in
-      let fat = Fatlock.create_locked ~owner:me ~count:42 in
+      let fat = Fatlock.create_locked ~owner:me ~count:42 () in
       check "holds" true (Fatlock.holds env fat);
       check_int "count transferred" 42 (Fatlock.count fat);
       for _ = 1 to 42 do
@@ -38,10 +38,10 @@ let test_create_locked () =
       check_int "balanced" 0 (Fatlock.owner fat))
 
 let test_create_locked_validation () =
-  (match Fatlock.create_locked ~owner:0 ~count:1 with
+  (match Fatlock.create_locked ~owner:0 ~count:1 () with
   | _ -> Alcotest.fail "owner 0 must be rejected"
   | exception Invalid_argument _ -> ());
-  match Fatlock.create_locked ~owner:1 ~count:0 with
+  match Fatlock.create_locked ~owner:1 ~count:0 () with
   | _ -> Alcotest.fail "count 0 must be rejected"
   | exception Invalid_argument _ -> ()
 

@@ -105,6 +105,51 @@ let test_trace_io_errors () =
   expect_parse_error "# thinlocks-trace v1\nprofile x\npool 1\n-1 +1\n" (* bad nesting *);
   expect_parse_error "# thinlocks-trace v1\nprofile x\npool 1\n+1\n" (* left held *)
 
+(* Adversarial trace generator: random balanced episode sequences over
+   a random pool, independent of Tracegen's own statistics — so the
+   codec round trip is tested on shapes the profile generator would
+   never produce (tiny pools, deep uniform nesting, op lines long
+   enough to wrap). *)
+let balanced_ops_arb =
+  let open QCheck.Gen in
+  let gen =
+    let* pool_size = int_range 1 8 in
+    let* episodes = int_range 0 60 in
+    let* ops =
+      flatten_l
+        (List.init episodes (fun _ ->
+             let* idx = int_range 1 pool_size in
+             let* depth = int_range 1 4 in
+             return (List.init depth (fun _ -> idx) @ List.init depth (fun _ -> -idx))))
+    in
+    let trace =
+      {
+        Tracegen.profile = Option.get (Profiles.find "jax");
+        pool_size;
+        ops = Array.of_list (List.concat ops);
+      }
+    in
+    return trace
+  in
+  QCheck.make gen ~print:(fun t ->
+      Printf.sprintf "pool %d, %d ops" t.Tracegen.pool_size (Array.length t.Tracegen.ops))
+
+let prop_trace_io_roundtrip_adversarial =
+  QCheck.Test.make ~name:"trace text round trip (adversarial shapes)" ~count:100
+    balanced_ops_arb (fun trace ->
+      let back = Trace_io.of_string (Trace_io.to_string trace) in
+      back.Tracegen.ops = trace.Tracegen.ops
+      && back.Tracegen.pool_size = trace.Tracegen.pool_size)
+
+let prop_trace_io_rejects_unbalanced =
+  QCheck.Test.make ~name:"unbalanced mutation is rejected" ~count:50 balanced_ops_arb
+    (fun trace ->
+      (* leave object 1 held at end of an otherwise valid trace *)
+      let text = Trace_io.to_string trace ^ "+1\n" in
+      match Trace_io.of_string text with
+      | _ -> false
+      | exception Trace_io.Parse_error _ -> true)
+
 let test_trace_io_file_roundtrip () =
   let p = Option.get (Profiles.find "mocha") in
   let trace = Tracegen.generate ~max_syncs:1_000 p in
@@ -196,6 +241,54 @@ let test_reports_smoke () =
   let ch = Report.characterize ~max_syncs:2_000 () in
   check "characterize lists scenario 1" true (contains ~needle:"unlocked object" ch)
 
+let test_monitor_lifecycle_report () =
+  let r = Report.monitor_lifecycle ~cycles:50 ~threads:2 () in
+  List.iter
+    (fun needle -> check ("lifecycle reports " ^ needle) true (contains ~needle r))
+    [ "deflations, non-quiescent"; "aborted deflation handshakes"; "reaper scans" ]
+
+(* --- policy lab --- *)
+
+let test_policy_lab_scores () =
+  let p = Option.get (Profiles.find "javacup") in
+  let trace = Tracegen.generate ~max_syncs:2_000 p in
+  List.iter
+    (fun policy ->
+      let s = Policy_lab.run_one ~policy trace in
+      let name = s.Policy_lab.policy in
+      check_int (name ^ " sees every acquire") (Tracegen.acquire_count trace)
+        s.Policy_lab.acquires;
+      check (name ^ " fast ratio sane") true
+        (s.Policy_lab.fast_ratio >= 0.0 && s.Policy_lab.fast_ratio <= 1.0);
+      check (name ^ " no drops") true (s.Policy_lab.dropped = 0);
+      check (name ^ " javacup inflates under 1-bit counts") true
+        (s.Policy_lab.inflations > 0))
+    Policy_lab.shipped_policies;
+  (* never deflates nothing; always-idle undoes inflations *)
+  let never = Policy_lab.run_one ~policy:Tl_lifecycle.Policy.never trace in
+  check_int "never: zero deflations" 0 never.Policy_lab.deflations;
+  let idle = Policy_lab.run_one ~policy:Tl_lifecycle.Policy.always_idle trace in
+  check "always-idle deflates" true (idle.Policy_lab.deflations > 0);
+  check "thrash only with deflation" true (never.Policy_lab.thrash = 0.0)
+
+let test_policy_lab_table () =
+  let t = Policy_lab.table ~max_syncs:2_000 () in
+  List.iter
+    (fun needle -> check ("lab table has " ^ needle) true (contains ~needle t))
+    ([ "fast %"; "fat-res"; "thrash/1k"; "ranking:"; "javalex"; "javacup"; "mocha" ]
+    @ List.map (fun p -> p.Tl_lifecycle.Policy.name) Policy_lab.shipped_policies)
+
+let test_policy_lab_policy_of_string () =
+  List.iter
+    (fun p ->
+      (* physical equality: Policy.t holds a closure, so (=) would trap *)
+      check ("parses " ^ p.Tl_lifecycle.Policy.name) true
+        (match Policy_lab.policy_of_string p.Tl_lifecycle.Policy.name with
+        | Some q -> q == p
+        | None -> false))
+    Policy_lab.shipped_policies;
+  check "garbage rejected" true (Policy_lab.policy_of_string "bogus" = None)
+
 let () =
   Alcotest.run "workload"
     [
@@ -215,6 +308,8 @@ let () =
       ( "trace io",
         [
           QCheck_alcotest.to_alcotest prop_trace_io_roundtrip;
+          QCheck_alcotest.to_alcotest prop_trace_io_roundtrip_adversarial;
+          QCheck_alcotest.to_alcotest prop_trace_io_rejects_unbalanced;
           Alcotest.test_case "parse errors" `Quick test_trace_io_errors;
           Alcotest.test_case "file round trip" `Quick test_trace_io_file_roundtrip;
         ] );
@@ -230,5 +325,15 @@ let () =
           Alcotest.test_case "kernel name parse roundtrip" `Quick test_micro_parse_roundtrip;
           Alcotest.test_case "direct flavour" `Quick test_micro_direct_flavour;
         ] );
-      ("reports", [ Alcotest.test_case "smoke" `Slow test_reports_smoke ]);
+      ( "reports",
+        [
+          Alcotest.test_case "smoke" `Slow test_reports_smoke;
+          Alcotest.test_case "monitor lifecycle" `Slow test_monitor_lifecycle_report;
+        ] );
+      ( "policy lab",
+        [
+          Alcotest.test_case "scores" `Slow test_policy_lab_scores;
+          Alcotest.test_case "table" `Slow test_policy_lab_table;
+          Alcotest.test_case "policy parse" `Quick test_policy_lab_policy_of_string;
+        ] );
     ]

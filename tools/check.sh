@@ -35,7 +35,10 @@ rm -f "$build_log"
 echo "== dune runtest"
 dune runtest
 
-echo "== bench smoke pass"
+echo "== event-codec golden test"
+dune exec test/test_events.exe -- test codec
+
+echo "== bench smoke pass (includes events-overhead)"
 dune exec bench/main.exe -- smoke
 
 echo "ok."
