@@ -27,6 +27,33 @@ let section title =
   let bar = String.make (String.length title) '=' in
   Printf.printf "\n[t=%.0fs] %s\n%s\n\n%!" (Unix.gettimeofday () -. t_start) title bar
 
+(* --- Machine-readable results (BENCH.json) ---
+
+   Sections push structured rows here as they print their human
+   tables; the accumulated object is written once at the end of the
+   run, so CI (tools/check.sh) and trend tooling can consume numbers
+   without scraping stdout. *)
+
+module J = Tl_util.Jsonout
+
+let json_sections : (string * J.t) list ref = ref []
+let add_json key v = json_sections := (key, v) :: !json_sections
+
+let write_bench_json () =
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str "thinlocks-bench-v1");
+        ("mode", J.Str (if smoke then "smoke" else if quick then "quick" else "full"));
+        (* Scaling numbers are only meaningful relative to the cores
+           actually available — the CI box has one. *)
+        ("cores", J.Int (Domain.recommended_domain_count ()));
+        ("scenarios", J.Obj (List.rev !json_sections));
+      ]
+  in
+  J.to_file "BENCH.json" doc;
+  Printf.printf "\nwrote BENCH.json (%d scenario sections)\n%!" (List.length !json_sections)
+
 (* --- Bechamel plumbing --- *)
 
 let run_group group =
@@ -432,7 +459,15 @@ let bench_reaper () =
   Printf.printf "  reaper scans:                  %d\n" (extra "reaper.scans");
   Printf.printf
     "\n  (deflations while lockers are running is the Tasuki-style extension at\n\
-    \   work; the two fast-path numbers should agree within noise)\n\n%!"
+    \   work; the two fast-path numbers should agree within noise)\n\n%!";
+  add_json "reaper"
+    (J.Obj
+       [
+         ("fast_ns_no_reaper", J.Float fast_off);
+         ("fast_ns_live_reaper", J.Float fast_on);
+         ("deflations_non_quiescent", J.Int (extra "deflations.non_quiescent"));
+         ("reaper_scans", J.Int (extra "reaper.scans"));
+       ])
 
 (* Tracing overhead: the identical private-object lock/unlock loop
    with the event sink disabled vs enabled.  Disabled must be free —
@@ -466,7 +501,99 @@ let bench_events_overhead () =
   Printf.printf "  tracing enabled:  %8.1f ns per lock+unlock (%d events recorded, %d dropped)\n"
     on recorded dropped;
   Printf.printf "  overhead: %+.1f ns (%+.0f%%)\n\n%!" (on -. off)
-    (if off > 0.0 then 100.0 *. (on -. off) /. off else 0.0)
+    (if off > 0.0 then 100.0 *. (on -. off) /. off else 0.0);
+  add_json "events_overhead"
+    (J.Obj
+       [
+         ("disabled_ns", J.Float off);
+         ("enabled_ns", J.Float on);
+         ("events_recorded", J.Int recorded);
+         ("events_dropped", J.Int dropped);
+       ])
+
+(* Parallel trace replay: the tentpole scaling scenario.  One macro
+   trace, replayed through the work-stealing scheduler at increasing
+   domain counts, in both decomposition modes, thin against the
+   forced-fat and baseline schemes.  Affinity mode is the
+   scheduler-friendly case (per-object locality preserved, contention
+   only from stealing); shuffle deliberately breaks affinity so
+   episodes of hot objects overlap. *)
+let bench_replay_par () =
+  section "Parallel replay: multi-domain trace scaling (replay-par)";
+  let module PR = Tl_workload.Parallel_replay in
+  let max_syncs = if quick then 8_000 else 60_000 in
+  let domain_counts = if quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ] in
+  let schemes = if quick then [ "thin"; "fat" ] else [ "thin"; "fat"; "jdk111"; "ibm112" ] in
+  let profile =
+    match Tl_workload.Profiles.find "javacup" with
+    | Some p -> p
+    | None -> failwith "bench_replay_par: javacup profile missing"
+  in
+  let trace = Tl_workload.Tracegen.generate ~seed:1998 ~max_syncs profile in
+  let lanes = PR.decompose trace in
+  Printf.printf "  trace: javacup, %d ops, %d lanes (cores available: %d)\n\n"
+    (Array.length trace.Tl_workload.Tracegen.ops)
+    (Array.length lanes)
+    (Domain.recommended_domain_count ());
+  let json_rows = ref [] in
+  List.iter
+    (fun mode ->
+      Printf.printf "  mode: %s\n" (PR.mode_name mode);
+      Printf.printf "  %-10s %8s %12s %9s %6s %8s %8s\n" "scheme" "domains" "ops/sec" "scaling"
+        "eff" "steals" "fast%";
+      List.iter
+        (fun scheme_name ->
+          let base = ref nan in
+          List.iter
+            (fun domains ->
+              try
+                let runtime = Runtime.create () in
+                let scheme = Registry.find_exn scheme_name runtime in
+                let config =
+                  { PR.default_config with PR.domains; mode; tick_every = 64 }
+                in
+                let tick env = Runtime.quiescence_point ~env runtime in
+                let r = PR.run ~config ~tick ~scheme ~runtime trace in
+                if domains = 1 then base := r.PR.ops_per_sec;
+                let scaling = r.PR.ops_per_sec /. !base in
+                let fast = 100.0 *. PR.fast_ratio r.PR.stats in
+                Printf.printf "  %-10s %8d %12.0f %8.2fx %6.2f %8d %7.1f\n%!" scheme_name
+                  domains r.PR.ops_per_sec scaling
+                  (scaling /. float_of_int domains)
+                  r.PR.steals fast;
+                json_rows :=
+                  J.Obj
+                    [
+                      ("scenario", J.Str "replay-par");
+                       ("bench", J.Str "javacup");
+                       ("mode", J.Str (PR.mode_name mode));
+                       ("scheme", J.Str scheme_name);
+                       ("domains", J.Int domains);
+                       ("ops", J.Int r.PR.ops);
+                       ("ops_per_sec", J.Float r.PR.ops_per_sec);
+                       ("scaling_x", J.Float scaling);
+                       ("efficiency", J.Float (scaling /. float_of_int domains));
+                       ("steals", J.Int r.PR.steals);
+                       ("lanes", J.Int r.PR.lanes);
+                      ("fast_ratio", J.Float (PR.fast_ratio r.PR.stats));
+                      ( "inflations_contention",
+                        J.Int r.PR.stats.Tl_core.Lock_stats.inflations_contention );
+                      ( "contended_episodes",
+                        J.Int r.PR.stats.Tl_core.Lock_stats.contended_episodes );
+                    ]
+                  :: !json_rows
+              with exn ->
+                Printf.printf "  %-10s %8d  FAILED: %s\n%!" scheme_name domains
+                  (Printexc.to_string exn))
+            domain_counts)
+        schemes;
+      print_newline ())
+    [ PR.Affinity; PR.Shuffle ];
+  add_json "replay_par" (J.List (List.rev !json_rows));
+  Printf.printf
+    "  (scaling = ops/sec over the same scheme at 1 domain; on a host with\n\
+    \   fewer cores than domains, scaling saturates at the core count and the\n\
+    \   interesting signal is the contention columns under shuffle)\n\n%!"
 
 (* Contention-handling ablation: backoff policy under competing
    threads (wall-clock: needs real threads). *)
@@ -533,6 +660,8 @@ let run_smoke () =
   bench_reaper ();
   bench_deflation ();
   bench_events_overhead ();
+  bench_replay_par ();
+  write_bench_json ();
   Printf.printf "\ndone (smoke).\n"
 
 let () =
@@ -556,6 +685,7 @@ let () =
   bench_churn_stability ();
   bench_backoff ();
   bench_events_overhead ();
+  bench_replay_par ();
   bench_vm_macros ();
 
   section "Table 1: macro-benchmark characterization";
@@ -591,5 +721,13 @@ let () =
   section "Policy lab: deflation policies scored from the event stream";
   print_string (Tl_workload.Policy_lab.table ~max_syncs:(if quick then 5_000 else 20_000) ());
 
+  section "Policy lab, parallel: policies under real contention (4 domains, shuffle)";
+  print_string
+    (Tl_workload.Policy_lab.table_par
+       ~max_syncs:(if quick then 4_000 else 10_000)
+       ~domains:4 ~mode:Tl_workload.Parallel_replay.Shuffle ());
+  flush stdout;
+
+  write_bench_json ();
   Printf.printf "\ndone.\n"
   end

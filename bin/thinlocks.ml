@@ -341,13 +341,157 @@ let policy_lab_cmd =
     let doc = "Ops per replayed trace." in
     Arg.(value & opt int 20_000 & info [ "max-syncs" ] ~docv:"N" ~doc)
   in
-  let run max_syncs seed benchmarks =
-    print (Tl_workload.Policy_lab.table ~max_syncs ~seed ~benchmarks ())
+  let domains_arg =
+    let doc = "Replay across N domains through the work-stealing scheduler (1 = the \
+               classic single-threaded lab)." in
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let affinity_arg =
+    let doc = "With --domains > 1: shard lanes by object affinity instead of the \
+               default shuffle (contention-manufacturing) decomposition." in
+    Arg.(value & flag & info [ "affinity" ] ~doc)
+  in
+  let run max_syncs seed benchmarks domains affinity =
+    if domains <= 1 then print (Tl_workload.Policy_lab.table ~max_syncs ~seed ~benchmarks ())
+    else
+      let mode =
+        if affinity then Tl_workload.Parallel_replay.Affinity
+        else Tl_workload.Parallel_replay.Shuffle
+      in
+      print (Tl_workload.Policy_lab.table_par ~max_syncs ~seed ~benchmarks ~domains ~mode ())
   in
   Cmd.v
     (Cmd.info "policy-lab"
        ~doc:"Score every deflation policy against macro traces via the event stream")
-    Term.(const run $ lab_max_syncs_arg $ seed_arg $ benchmarks_arg)
+    Term.(const run $ lab_max_syncs_arg $ seed_arg $ benchmarks_arg $ domains_arg $ affinity_arg)
+
+let replay_par_cmd =
+  let module PR = Tl_workload.Parallel_replay in
+  let benchmark_arg =
+    let doc = "Benchmark profile to generate the replayed trace from." in
+    Arg.(value & opt string "javacup" & info [ "benchmark"; "b" ] ~docv:"NAME" ~doc)
+  in
+  let domains_arg =
+    let doc = "Worker domains." in
+    Arg.(value & opt int 2 & info [ "domains"; "d" ] ~docv:"N" ~doc)
+  in
+  let shuffle_arg =
+    let doc = "Break per-object affinity: deal episodes round-robin so consecutive \
+               episodes of hot objects overlap across domains (manufactures contention)." in
+    Arg.(value & flag & info [ "shuffle" ] ~doc)
+  in
+  let scheme_arg =
+    let doc = "Locking scheme (registry name)." in
+    Arg.(value & opt string "thin" & info [ "scheme"; "s" ] ~docv:"SCHEME" ~doc)
+  in
+  let work_arg =
+    let doc = "Spin-work iterations per replayed op (lengthens critical sections)." in
+    Arg.(value & opt int 0 & info [ "work" ] ~docv:"N" ~doc)
+  in
+  let tick_every_arg =
+    let doc = "Ops between per-domain quiescence announcements." in
+    Arg.(value & opt int 64 & info [ "tick-every" ] ~docv:"N" ~doc)
+  in
+  let interleave_arg =
+    let doc = "Add a 50us voluntary deschedule to every tick — the stand-in for \
+               preemption that makes episodes overlap on hosts with fewer cores \
+               than domains." in
+    Arg.(value & flag & info [ "interleave" ] ~doc)
+  in
+  let expect_contention_arg =
+    let doc = "Retry the replay (up to 5 attempts) until it produced at least one \
+               contended episode or contention inflation; exit 1 otherwise.  CI uses \
+               this to assert the parallel path really contends." in
+    Arg.(value & flag & info [ "expect-contention" ] ~doc)
+  in
+  let run benchmark domains shuffle scheme_name work tick_every interleave expect max_syncs
+      seed =
+    match Tl_workload.Profiles.find benchmark with
+    | None ->
+        Printf.eprintf "unknown benchmark %S\n" benchmark;
+        exit 2
+    | Some profile ->
+        let trace = Tl_workload.Tracegen.generate ~seed ~max_syncs profile in
+        let mode = if shuffle then PR.Shuffle else PR.Affinity in
+        let attempt () =
+          let runtime = Tl_runtime.Runtime.create () in
+          let scheme = Tl_baselines.Registry.find_exn scheme_name runtime in
+          let tick env =
+            Tl_runtime.Runtime.quiescence_point ~env runtime;
+            if interleave then Unix.sleepf 5e-5
+          in
+          let config =
+            { PR.default_config with PR.domains; mode; work_per_op = work; tick_every }
+          in
+          PR.run ~config ~tick ~scheme ~runtime trace
+        in
+        let contended (r : PR.result) =
+          r.PR.stats.Tl_core.Lock_stats.inflations_contention
+          + r.PR.stats.Tl_core.Lock_stats.contended_episodes
+        in
+        let rec go attempts r =
+          if (not expect) || contended r > 0 || attempts <= 0 then r
+          else begin
+            Printf.printf "  (no contention this attempt, retrying: %d left)\n%!" attempts;
+            go (attempts - 1) (attempt ())
+          end
+        in
+        let r = go 4 (attempt ()) in
+        Printf.printf "replayed %s under %s: %d ops (%d acquires), %d lanes / %d runs\n"
+          benchmark scheme_name r.PR.ops r.PR.acquires r.PR.lanes r.PR.runs;
+        Printf.printf "%d domains, %s mode: %.0f ops/sec in %s; %d steals\n\n" domains
+          (PR.mode_name mode) r.PR.ops_per_sec
+          (Tl_util.Timer.seconds_to_string r.PR.elapsed)
+          r.PR.steals;
+        Printf.printf "  %-7s %8s %9s %6s %6s %7s %9s\n" "domain" "ops" "acquires" "runs"
+          "lanes" "steals" "busy";
+        Array.iter
+          (fun (t : PR.domain_tally) ->
+            Printf.printf "  %-7d %8d %9d %6d %6d %7d %8.1fms\n" t.PR.domain t.PR.ops_executed
+              t.PR.acquires_executed t.PR.runs_executed t.PR.lanes_started t.PR.steals
+              (1e3 *. t.PR.busy))
+          r.PR.tallies;
+        let s = r.PR.stats in
+        Printf.printf
+          "\n\
+          \  fast ratio: %.1f%%   contention inflations: %d   contended episodes: %d\n\
+          \  wait inflations: %d   overflow inflations: %d   deflations: %d\n"
+          (100.0 *. PR.fast_ratio s)
+          s.Tl_core.Lock_stats.inflations_contention s.Tl_core.Lock_stats.contended_episodes
+          s.Tl_core.Lock_stats.inflations_wait s.Tl_core.Lock_stats.inflations_overflow
+          s.Tl_core.Lock_stats.deflations;
+        if expect && contended r = 0 then begin
+          Printf.eprintf "expected contention but every attempt replayed contention-free\n";
+          exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "replay-par"
+       ~doc:"Replay a macro trace across N domains through the work-stealing scheduler")
+    Term.(
+      const run $ benchmark_arg $ domains_arg $ shuffle_arg $ scheme_arg $ work_arg
+      $ tick_every_arg $ interleave_arg $ expect_contention_arg $ max_syncs_arg $ seed_arg)
+
+let trace_diff_cmd =
+  let file_arg pos_idx docv =
+    let doc = "Event-stream file (as written by 'thinlocks events -o')." in
+    Arg.(required & pos pos_idx (some file) None & info [] ~docv ~doc)
+  in
+  let run a b =
+    let parse path =
+      try Tl_events.Codec.of_string (In_channel.with_open_bin path In_channel.input_all)
+      with Tl_events.Codec.Parse_error msg ->
+        Printf.eprintf "%s: not a thinlocks event stream: %s\n" path msg;
+        exit 2
+    in
+    let report = Tl_events.Diff.compare (parse a) (parse b) in
+    Format.printf "%a@." Tl_events.Diff.pp report;
+    if not (Tl_events.Diff.identical report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace-diff"
+       ~doc:"Compare two serialized event streams; exit 1 on the first divergence")
+    Term.(const run $ file_arg 0 "LEFT" $ file_arg 1 "RIGHT")
 
 let all_cmd =
   let run max_syncs seed iterations =
@@ -380,5 +524,5 @@ let () =
           [
             table1_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig6_cmd; characterize_cmd;
             ablation_cmd; micro_cmd; sim_cmd; stress_cmd; trace_cmd; replay_cmd;
-            events_cmd; policy_lab_cmd; all_cmd;
+            replay_par_cmd; events_cmd; policy_lab_cmd; trace_diff_cmd; all_cmd;
           ]))

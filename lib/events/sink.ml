@@ -58,6 +58,13 @@ let emit t ~tid ~kind ~arg =
 
 let emitted t = Atomic.get t.next_seq
 
+let active_tids t =
+  let acc = ref [] in
+  for tid = Array.length t.rings - 1 downto 0 do
+    if Atomic.get t.rings.(tid) <> None then acc := tid :: !acc
+  done;
+  !acc
+
 type drained = { events : Event.t array; dropped : (int * int) list }
 
 let empty = { events = [||]; dropped = [] }

@@ -48,6 +48,11 @@ val emit : t -> tid:int -> kind:Event.kind -> arg:int -> unit
 val emitted : t -> int
 (** Order tickets issued so far (= recorded + dropped). *)
 
+val active_tids : t -> int list
+(** Thread ids that have emitted at least one event (ring created),
+    ascending — one per replay domain plus the system stream in a
+    multi-domain run.  Empty for {!disabled}. *)
+
 type drained = { events : Event.t array; dropped : (int * int) list }
 (** A merged stream: [events] sorted by [seq]; [dropped] the non-zero
     per-tid overflow counts, sorted by tid. *)

@@ -134,6 +134,17 @@ let stop t =
 let on_quiescence ?policy ?(every = 1) runtime ctx =
   if every < 1 then invalid_arg "Reaper.on_quiescence: every";
   let announcements = Atomic.make 0 in
+  (* Single-flight: multi-domain replays announce quiescence from every
+     domain, and overlapping scans are worse than useless — each walk
+     calls [observe_idle], so two racing scans reset each other's
+     consecutive-idle counts and starve hysteresis policies.  A scan
+     already in flight turns later announcements into no-ops (counted,
+     so reports can show the collapse rate). *)
+  let in_flight = Atomic.make false in
   Tl_runtime.Runtime.on_quiescence runtime (fun () ->
       if Atomic.fetch_and_add announcements 1 mod every = every - 1 then
-        ignore (scan_once ?policy ctx))
+        if Atomic.compare_and_set in_flight false true then
+          Fun.protect
+            ~finally:(fun () -> Atomic.set in_flight false)
+            (fun () -> ignore (scan_once ?policy ctx))
+        else Lock_stats.add_extra (Thin.stats ctx) "reaper.collapsed_scans" 1)

@@ -52,6 +52,12 @@ val on_quiescence :
   ?policy:Policy.t -> ?every:int -> Tl_runtime.Runtime.t -> Tl_core.Thin.ctx -> unit
 (** Register a quiescence hook running {!scan_once} at every [every]-th
     announcement (default 1) — the stop-the-world-adjacent mode: scans
-    happen on a mutator thread at a point it declared safe.  The hook
-    cannot be unregistered (see [Runtime.on_quiescence]); stop
+    happen on a mutator thread at a point it declared safe.  Scans are
+    {e single-flight}: when several domains announce concurrently (the
+    parallel replay engine does), an announcement that finds a scan
+    already running skips instead of stacking a redundant census walk —
+    overlapping walks would race on [Fatlock.observe_idle] and reset
+    each other's consecutive-idle counts, starving hysteresis policies.
+    Skips are counted under the ["reaper.collapsed_scans"] extra.  The
+    hook cannot be unregistered (see [Runtime.on_quiescence]); stop
     announcing, or let the runtime drop. *)

@@ -1,0 +1,86 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr f =
+  match Float.classify_float f with
+  | FP_nan | FP_infinite -> "null"
+  | _ ->
+      let s = Printf.sprintf "%.6g" f in
+      (* "%.6g" can yield "1e+06" etc. — valid JSON — but a bare
+         integer-looking float stays a float for round-tripping. *)
+      if String.contains s '.' || String.contains s 'e' || String.contains s 'n' then s
+      else s ^ ".0"
+
+let to_string ?(indent = 2) v =
+  let buf = Buffer.create 1024 in
+  let pad level = if indent > 0 then Buffer.add_string buf (String.make (level * indent) ' ') in
+  let newline () = if indent > 0 then Buffer.add_char buf '\n' in
+  let rec go level = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_repr f)
+    | Str s -> escape buf s
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+        Buffer.add_char buf '[';
+        newline ();
+        List.iteri
+          (fun i item ->
+            if i > 0 then begin
+              Buffer.add_char buf ',';
+              newline ()
+            end;
+            pad (level + 1);
+            go (level + 1) item)
+          items;
+        newline ();
+        pad level;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj members ->
+        Buffer.add_char buf '{';
+        newline ();
+        List.iteri
+          (fun i (key, value) ->
+            if i > 0 then begin
+              Buffer.add_char buf ',';
+              newline ()
+            end;
+            pad (level + 1);
+            escape buf key;
+            Buffer.add_string buf (if indent > 0 then ": " else ":");
+            go (level + 1) value)
+          members;
+        newline ();
+        pad level;
+        Buffer.add_char buf '}'
+  in
+  go 0 v;
+  if indent > 0 then Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let to_file ?indent path v =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string ?indent v))

@@ -1,0 +1,25 @@
+(** Minimal JSON emission — just enough to persist machine-readable
+    bench results ([BENCH.json]) without an external dependency.
+
+    Output is deterministic: object members print in the order given,
+    numbers via [%d] / [%.6g], strings escaped per RFC 8259.  Floats
+    that JSON cannot represent (nan, ±infinity) print as [null], so a
+    degenerate benchmark cell never produces an unparsable file. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Render [t].  With [indent] (spaces per level, default 2) the output
+    is pretty-printed with a trailing newline; pass [indent:0] for a
+    compact single line (no trailing newline). *)
+
+val to_file : ?indent:int -> string -> t -> unit
+(** [to_file path v] writes [to_string v] to [path] atomically enough
+    for our purposes (truncate + write). *)

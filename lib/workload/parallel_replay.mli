@@ -1,0 +1,124 @@
+(** Parallel trace replay: partition a macro trace across OCaml domains
+    and replay it through a work-stealing scheduler.
+
+    The sequential {!Replay} measures the {e uncontended} tax, which is
+    the paper's headline; this engine measures the {e contended} story
+    — inflation on contention, fat-path residency, deflation-policy
+    behaviour under concurrent pressure — and the throughput scaling of
+    the protocol itself.
+
+    {b Decomposition.}  A trace is cut into {e runs}: maximal balanced
+    acquire/release slices of a single object (for generated traces,
+    exactly the episodes {!Tracegen} emitted).  Runs of one object, in
+    trace order, form that object's {e lane}.  The lane is the
+    scheduling unit: whoever holds a lane executes its runs in order,
+    so per-object program order — and hence the per-object acquire
+    order — is preserved no matter how lanes migrate.
+
+    {b Affinity mode.}  Lanes are sharded to domains by object id
+    ([obj mod domains]).  Each domain works its own shard LIFO from a
+    {!Ws_deque}; an idle domain steals a {e whole lane} FIFO from a
+    victim.  Because the thief takes every remaining run of the object,
+    thin-lock ownership locality survives migration: the new executor's
+    first acquire CASes an unlocked word, and every later one is a
+    nested fast path — no contention is ever manufactured by the
+    scheduler itself.  A lane is re-exposed to thieves every
+    [slice_runs] runs, so one giant hot-object lane cannot strand the
+    other domains.
+
+    {b Shuffle mode.}  Every run becomes its own single-run lane and
+    runs are dealt round-robin to domains {e ignoring} the object —
+    consecutive episodes of the same hot object land on different
+    domains on purpose.  Per-object cross-run order is deliberately
+    broken (each run is still balanced, so lock discipline holds); this
+    is the mode that manufactures real contention: overlapping episodes
+    force contention inflation and queued fat acquires.
+
+    {b Statistics.}  The scheme's [Lock_stats] counters are reset once
+    before the domains start and snapshot once after they all join —
+    never per domain, which would double-count the shared atomic
+    counters (the racy pattern this module exists to replace).
+    Replay-local counters (ops, acquires, runs, steals, per-domain
+    time) are tallied in plain per-domain records, each written by
+    exactly one domain and merged after the join. *)
+
+type mode = Affinity | Shuffle
+
+val mode_name : mode -> string
+
+type run = { obj : int;  (** 0-based pool index *) ops : int array }
+(** One balanced slice of a single object's operations (same [+n]/[-n]
+    encoding as {!Tracegen.t.ops}). *)
+
+type lane = { lane_obj : int; runs : run array; mutable next_run : int }
+(** An object's runs in program order.  [next_run] is the cursor; it is
+    only ever touched by the lane's current executor, and lanes change
+    hands only through the deque (whose atomics provide the
+    happens-before edge). *)
+
+val decompose : Tracegen.t -> lane array
+(** Cut a trace into per-object lanes, objects in first-touch order.
+    Total ops across all lanes equal the trace's ops; runs concatenate
+    to each object's subsequence of the trace.  An unbalanced tail
+    (impossible for generated or validated traces) becomes a final
+    unbalanced run rather than an error. *)
+
+type config = {
+  domains : int;  (** worker domains to spawn (>= 1) *)
+  mode : mode;
+  work_per_op : int;  (** {!Replay.spin_work} iterations per op *)
+  slice_runs : int;
+      (** runs executed per deque interaction before an unfinished lane
+          is re-pushed (and so re-exposed to thieves); default 8 *)
+  tick_every : int;
+      (** ops between [tick] callbacks on each domain; 0 = never *)
+}
+
+val default_config : config
+(** [{ domains = 1; mode = Affinity; work_per_op = 0; slice_runs = 8;
+      tick_every = 0 }] *)
+
+type domain_tally = {
+  domain : int;
+  ops_executed : int;
+  acquires_executed : int;
+  runs_executed : int;
+  lanes_started : int;  (** lanes this domain popped or stole *)
+  steals : int;  (** lanes it took from a victim's deque *)
+  busy : float;  (** seconds from worker start to worker finish *)
+}
+
+type result = {
+  elapsed : float;  (** wall-clock seconds, spawn to last join *)
+  ops : int;
+  acquires : int;
+  ops_per_sec : float;
+  lanes : int;
+  runs : int;
+  steals : int;  (** total across domains *)
+  tallies : domain_tally array;  (** index = domain *)
+  stats : Tl_core.Lock_stats.snapshot;
+      (** one post-join snapshot of the scheme's (shared, atomic)
+          counters — see the module comment on why it is taken once *)
+}
+
+val run :
+  ?config:config ->
+  ?tick:(Tl_runtime.Runtime.env -> unit) ->
+  scheme:Tl_core.Scheme_intf.packed ->
+  runtime:Tl_runtime.Runtime.t ->
+  Tracegen.t ->
+  result
+(** Replay the trace across [config.domains] domains ([Domain_backend]
+    workers registered on [runtime]; the scheme must have been created
+    on the same runtime).  [tick] (default: nothing) runs on the
+    executing domain every [config.tick_every] ops — the policy lab
+    hangs quiescence announcements (and, on few-core hosts, a voluntary
+    deschedule) off it.  Idle domains steal; when no steal lands they
+    back off with the runtime's yield-then-sleep policy, so starvation
+    cannot livelock the box.  [domains = 1] still spawns one worker
+    domain, keeping the measurement shape uniform across counts. *)
+
+val fast_ratio : Tl_core.Lock_stats.snapshot -> float
+(** Thin fast + nested acquires over all acquires (1.0 when there were
+    none) — the headline ratio reported by benches and BENCH.json. *)

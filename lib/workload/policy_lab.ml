@@ -71,6 +71,7 @@ type score = {
   deflations : int;
   aborted : int;
   reinflations : int;
+  contended : int;
   thrash : float;
   fat_residency : float;
   dropped : int;
@@ -84,7 +85,7 @@ let lab_score s = (100.0 *. (1.0 -. s.fast_ratio)) +. s.thrash
 let score_stream ~policy (d : Sink.drained) =
   let acquires = ref 0 and fast = ref 0 in
   let inflations = ref 0 and deflations = ref 0 and aborted = ref 0 in
-  let reinflations = ref 0 in
+  let reinflations = ref 0 and contended = ref 0 in
   let deflated_once = Hashtbl.create 64 in
   let live = ref 0 in
   let area = ref 0.0 in
@@ -109,8 +110,9 @@ let score_stream ~policy (d : Sink.drained) =
           decr live;
           Hashtbl.replace deflated_once e.Event.arg ()
       | Event.Deflate_aborted -> incr aborted
+      | Event.Contended_begin -> incr contended
       | Event.Release_fast | Event.Release_nested | Event.Release_fat
-      | Event.Contended_begin | Event.Contended_end | Event.Wait_op | Event.Notify_op
+      | Event.Contended_end | Event.Wait_op | Event.Notify_op
       | Event.Notify_all_op | Event.Reaper_scan | Event.Quiescence ->
           ())
     d.Sink.events;
@@ -127,6 +129,7 @@ let score_stream ~policy (d : Sink.drained) =
     deflations = !deflations;
     aborted = !aborted;
     reinflations = !reinflations;
+    contended = !contended;
     thrash =
       (if !acquires = 0 then 0.0
        else 1000.0 *. float_of_int !reinflations /. float_of_int !acquires);
@@ -196,4 +199,121 @@ let table ?(max_syncs = 20_000) ?(seed = 1998) ?(benchmarks = default_benchmarks
   Buffer.add_string buf
     "(zero-contended-episodes tracks always-idle here: single-threaded replays never\n\
      queue, so every monitor has zero contended episodes.)\n";
+  Buffer.contents buf
+
+(* Multi-domain lab: the same trace, policy set and stream scoring, but
+   replayed through the parallel scheduler so contention is real —
+   which is the only setting where [zero_contended_episodes] can
+   diverge from [always_idle].  The quiescence announcements that drive
+   the reaper ride the scheduler's per-domain tick. *)
+
+let replay_traced_par ?(count_width = 1) ?(quiescence_every = 64) ?(interleave = false)
+    ~domains ~mode ~policy (trace : Tracegen.t) =
+  let ops = trace.Tracegen.ops in
+  let sink = Sink.create ~ring_capacity:((4 * Array.length ops) + 4096) () in
+  let runtime = Runtime.create () in
+  Runtime.set_event_sink runtime sink;
+  let config = { Thin.default_config with count_width } in
+  let ctx = Thin.create_with ~config ~events:sink runtime in
+  Reaper.on_quiescence ~policy runtime ctx;
+  let scheme = Scheme_intf.pack (module Thin) ctx in
+  let tick env =
+    Runtime.quiescence_point ~env runtime;
+    (* Voluntary deschedule: on hosts with fewer cores than domains the
+       OS would otherwise run each domain's episodes back-to-back and
+       no two lock episodes would ever overlap.  A tiny sleep mid-trace
+       hands the core over exactly as involuntary preemption would on a
+       loaded machine, so contended inflation is exercised even on the
+       one-core CI box. *)
+    if interleave then Unix.sleepf 5e-5
+  in
+  let pconfig =
+    {
+      Parallel_replay.default_config with
+      Parallel_replay.domains;
+      mode;
+      tick_every = quiescence_every;
+    }
+  in
+  let result = Parallel_replay.run ~config:pconfig ~tick ~scheme ~runtime trace in
+  (* Settle announcements from the main thread so hysteresis policies
+     can still drain monitors left fat at trace end. *)
+  let env = Runtime.main_env runtime in
+  for _ = 1 to 16 do
+    Runtime.quiescence_point ~env runtime
+  done;
+  (result, Sink.drain sink)
+
+let run_one_par ?count_width ?quiescence_every ?interleave ~domains ~mode ~policy trace =
+  let result, drained =
+    replay_traced_par ?count_width ?quiescence_every ?interleave ~domains ~mode ~policy trace
+  in
+  (result, score_stream ~policy drained)
+
+let table_par ?(max_syncs = 20_000) ?(seed = 1998) ?(benchmarks = default_benchmarks)
+    ?(interleave = true) ~domains ~mode () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Policy lab, parallel: macro traces replayed across %d domains (%s mode)\n\
+        under each deflation policy (1-bit nest count; quiescence announced\n\
+        every 64 ops per domain drives the reaper%s; %d ops per trace, seed %d).\n\
+        lab score = slow-path %% + re-inflations per 1000 acquires (lower is better).\n\n"
+       domains
+       (Parallel_replay.mode_name mode)
+       (if interleave then ", with interleave ticks" else "")
+       max_syncs seed);
+  List.iter
+    (fun bench ->
+      let profile =
+        match Profiles.find bench with
+        | Some p -> p
+        | None ->
+            invalid_arg (Printf.sprintf "Policy_lab.table_par: unknown benchmark %S" bench)
+      in
+      let trace = Tracegen.generate ~seed ~max_syncs profile in
+      let scores =
+        List.map
+          (fun policy ->
+            let _result, s = run_one_par ~interleave ~domains ~mode ~policy trace in
+            s)
+          shipped_policies
+      in
+      let rows =
+        List.map
+          (fun s ->
+            [
+              s.policy;
+              Printf.sprintf "%.1f" (100.0 *. s.fast_ratio);
+              Printf.sprintf "%.1f" s.fat_residency;
+              string_of_int s.contended;
+              string_of_int s.inflations;
+              string_of_int s.deflations;
+              string_of_int s.aborted;
+              string_of_int s.reinflations;
+              Printf.sprintf "%.2f" s.thrash;
+              Printf.sprintf "%.2f" (lab_score s);
+            ])
+          scores
+      in
+      Buffer.add_string buf
+        (T.render
+           ~title:(Printf.sprintf "%s (%d acquires)" bench (Tracegen.acquire_count trace))
+           ~header:
+             [
+               "policy"; "fast %"; "fat-res"; "cont"; "infl"; "defl"; "abort"; "re-infl";
+               "thrash/1k"; "score";
+             ]
+           ~align:
+             T.[ Left; Right; Right; Right; Right; Right; Right; Right; Right; Right ]
+           rows);
+      let ranked = List.sort (fun a b -> compare (lab_score a) (lab_score b)) scores in
+      Buffer.add_string buf
+        (Printf.sprintf "ranking: %s\n\n"
+           (String.concat " < " (List.map (fun s -> s.policy) ranked))))
+    benchmarks;
+  Buffer.add_string buf
+    "(contended episodes give zero-contended-episodes something to protect: monitors\n\
+     that queued threads stay fat under it, while always-idle deflates them and\n\
+     pays the re-inflation.)\n";
   Buffer.contents buf

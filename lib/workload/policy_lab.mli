@@ -46,6 +46,7 @@ type score = {
   deflations : int;
   aborted : int;  (** aborted deflation handshakes *)
   reinflations : int;
+  contended : int;  (** contended thin-lock episodes ([Contended_begin]) *)
   thrash : float;  (** re-inflations per 1000 acquires *)
   fat_residency : float;
   dropped : int;  (** ring-overflow losses — 0 in lab replays *)
@@ -71,3 +72,54 @@ val table : ?max_syncs:int -> ?seed:int -> ?benchmarks:string list -> unit -> st
 (** Render the comparison: one table per benchmark trace (default
     {!default_benchmarks}, 20k ops each) with every shipped policy's
     metrics, followed by a lab-score ranking line. *)
+
+(** {1 Multi-domain lab}
+
+    The single-threaded lab can never produce a contended episode, so
+    [zero_contended_episodes] is indistinguishable from [always_idle]
+    there.  The parallel lab replays the trace through
+    {!Parallel_replay} (real domains, work stealing), with the reaper's
+    quiescence announcements riding the scheduler's per-domain tick —
+    in shuffle mode, overlapping episodes of hot objects queue for
+    real, and the policies separate. *)
+
+val replay_traced_par :
+  ?count_width:int ->
+  ?quiescence_every:int ->
+  ?interleave:bool ->
+  domains:int ->
+  mode:Parallel_replay.mode ->
+  policy:Tl_lifecycle.Policy.t ->
+  Tracegen.t ->
+  Parallel_replay.result * Tl_events.Sink.drained
+(** Replay one trace across [domains] domains under [policy], tracing
+    into a no-drop sink.  Quiescence is announced from each domain
+    every [quiescence_every] ops (default 64).  [interleave] (default
+    [false]) adds a 50 µs voluntary deschedule to each announcement —
+    the stand-in for involuntary preemption that makes lock episodes
+    overlap even when the host has fewer cores than domains. *)
+
+val run_one_par :
+  ?count_width:int ->
+  ?quiescence_every:int ->
+  ?interleave:bool ->
+  domains:int ->
+  mode:Parallel_replay.mode ->
+  policy:Tl_lifecycle.Policy.t ->
+  Tracegen.t ->
+  Parallel_replay.result * score
+(** {!replay_traced_par} then {!score_stream}. *)
+
+val table_par :
+  ?max_syncs:int ->
+  ?seed:int ->
+  ?benchmarks:string list ->
+  ?interleave:bool ->
+  domains:int ->
+  mode:Parallel_replay.mode ->
+  unit ->
+  string
+(** The parallel counterpart of {!table}: one table per benchmark with
+    a contended-episode column, [interleave] on by default.  Shuffle
+    mode is the interesting one — it is where the contended column goes
+    non-zero and the ranking can reorder. *)

@@ -2,7 +2,9 @@ open Tl_core
 
 type result = { elapsed : float; acquires : int; stats : Lock_stats.snapshot }
 
-(* Opaque integer work the optimiser cannot delete. *)
+(* Opaque integer work the optimiser cannot delete.  Shared with the
+   parallel engine so both replay flavours model application compute
+   identically. *)
 let spin_work iterations =
   let acc = ref 0 in
   for i = 1 to iterations do

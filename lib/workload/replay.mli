@@ -20,7 +20,20 @@ val run :
   result
 (** Single-threaded replay (the paper's macro-benchmarks are
     single-threaded; this is the point — measuring the tax on programs
-    with no contention). *)
+    with no contention).
+
+    {b Statistics contract.}  [run] resets the scheme's (ctx-global,
+    atomic) [Lock_stats] on entry and snapshots them on exit, so two
+    concurrent [run]s on one scheme would clobber and double-count each
+    other.  Never call it from several threads on a shared scheme — the
+    multi-domain path is {!Parallel_replay.run}, which resets once
+    before its workers start, tallies replay-local counters in plain
+    per-domain records, and snapshots once after the join. *)
+
+val spin_work : int -> unit
+(** [spin_work n]: [n] iterations of opaque integer work the optimiser
+    cannot delete — the per-op compute model shared by both replay
+    engines. *)
 
 val calibrate_work :
   cost_fast:float -> cost_slow:float -> target_speedup:float -> float

@@ -1,0 +1,42 @@
+(** Chase–Lev work-stealing deque (fixed capacity).
+
+    One {e owner} thread pushes and pops at the bottom (LIFO — it keeps
+    working on what it most recently deferred, which is what preserves
+    locality); any number of {e thief} threads steal from the top (FIFO
+    — they take the oldest, coldest item).  This is the scheduler
+    substrate of {!Parallel_replay}: items are whole per-object run
+    queues, so a steal migrates an object's remaining work wholesale
+    and never splits a run.
+
+    The implementation is the classic Chase–Lev algorithm over a
+    fixed-size circular buffer of atomic slots: [push]/[pop] touch only
+    the bottom index; thieves race each other and the owner's final pop
+    on a compare-and-swap of the top index, which only ever increases,
+    so there is no ABA.  Capacity is fixed at creation (the replay
+    scheduler knows its item count up front); [push] raises {!Full}
+    rather than resizing. *)
+
+type 'a t
+
+exception Full
+
+val create : capacity:int -> 'a t
+(** Capacity is rounded up to a power of two; at most that many items
+    may be in the deque at once. *)
+
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** Owner only.  @raise Full when the deque holds [capacity] items. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: take the most recently pushed item (LIFO).  [None] when
+    empty. *)
+
+val steal : 'a t -> [ `Stolen of 'a | `Empty | `Retry ]
+(** Any thread: take the oldest item (FIFO).  [`Retry] means the CAS
+    lost to the owner or a rival thief — the deque may or may not still
+    hold work, so sweep on. *)
+
+val size : 'a t -> int
+(** Racy estimate (bottom - top); exact when quiesced. *)

@@ -318,6 +318,63 @@ let test_untraced_ctx_stays_silent () =
   Thin.release ctx env obj;
   check_int "nothing recorded anywhere" 0 (Sink.emitted Sink.disabled)
 
+(* --- diff --- *)
+
+let drained_of_emits emits =
+  let sink = Sink.create ~ring_capacity:64 () in
+  List.iter (fun (tid, kind, arg) -> Sink.emit sink ~tid ~kind ~arg) emits;
+  Sink.drain sink
+
+let test_diff_identical () =
+  let emits =
+    [
+      (1, Event.Acquire_fast, 7); (1, Event.Release_fast, 7); (2, Event.Inflate_overflow, 9);
+    ]
+  in
+  let report = Diff.compare (drained_of_emits emits) (drained_of_emits emits) in
+  check "identical" true (Diff.identical report);
+  check "no divergence" true (report.Diff.divergence = None);
+  check "no deltas" true (report.Diff.kind_deltas = []);
+  check "pp says identical" true
+    (let s = Format.asprintf "%a" Diff.pp report in
+     String.length s >= 17 && String.sub s 0 17 = "streams identical")
+
+let test_diff_locates_divergence () =
+  let left =
+    drained_of_emits
+      [ (1, Event.Acquire_fast, 7); (1, Event.Release_fast, 7); (1, Event.Acquire_fast, 7) ]
+  in
+  let right =
+    drained_of_emits
+      [ (1, Event.Acquire_fast, 7); (1, Event.Release_fat, 7); (1, Event.Acquire_fast, 7) ]
+  in
+  let report = Diff.compare left right in
+  check "diverges" false (Diff.identical report);
+  (match report.Diff.divergence with
+  | Some d ->
+      check_int "index of first mismatch" 1 d.Diff.index;
+      check "left kind" true
+        (match d.Diff.left with Some e -> e.Event.kind = Event.Release_fast | None -> false);
+      check "right kind" true
+        (match d.Diff.right with Some e -> e.Event.kind = Event.Release_fat | None -> false)
+  | None -> Alcotest.fail "expected a divergence");
+  check "delta for release-fast" true
+    (List.mem (Event.Release_fast, 1, 0) report.Diff.kind_deltas);
+  check "delta for release-fat" true
+    (List.mem (Event.Release_fat, 0, 1) report.Diff.kind_deltas)
+
+let test_diff_length_mismatch () =
+  let left = drained_of_emits [ (1, Event.Acquire_fast, 7); (1, Event.Release_fast, 7) ] in
+  let right = drained_of_emits [ (1, Event.Acquire_fast, 7) ] in
+  let report = Diff.compare left right in
+  check "diverges" false (Diff.identical report);
+  match report.Diff.divergence with
+  | Some d ->
+      check_int "diverges at the shorter stream's end" 1 d.Diff.index;
+      check "left present" true (d.Diff.left <> None);
+      check "right exhausted" true (d.Diff.right = None)
+  | None -> Alcotest.fail "expected a divergence"
+
 let () =
   Alcotest.run "events"
     [
@@ -353,5 +410,11 @@ let () =
           Alcotest.test_case "wait and notify events" `Quick test_thin_emits_wait_and_notify;
           Alcotest.test_case "runtime and reaper events" `Quick test_runtime_and_reaper_events;
           Alcotest.test_case "untraced ctx stays silent" `Quick test_untraced_ctx_stays_silent;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "identical streams" `Quick test_diff_identical;
+          Alcotest.test_case "first divergence located" `Quick test_diff_locates_divergence;
+          Alcotest.test_case "length mismatch" `Quick test_diff_length_mismatch;
         ] );
     ]

@@ -1,0 +1,285 @@
+(* Parallel replay: the Chase-Lev deque (sequential model + concurrent
+   no-lost/no-duplicate stealing), trace decomposition invariants, and
+   the scheduler itself — op/acquire conservation, single
+   reset/snapshot stats accounting, and per-object replay determinism
+   across domain counts in affinity mode. *)
+
+open Tl_workload
+module Runtime = Tl_runtime.Runtime
+module Thin = Tl_core.Thin
+module Scheme_intf = Tl_core.Scheme_intf
+module Lock_stats = Tl_core.Lock_stats
+module Sink = Tl_events.Sink
+module Event = Tl_events.Event
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Ws_deque: sequential semantics --- *)
+
+let test_deque_lifo_owner () =
+  let dq = Ws_deque.create ~capacity:8 in
+  List.iter (Ws_deque.push dq) [ 1; 2; 3 ];
+  check "owner pops LIFO" true (Ws_deque.pop dq = Some 3);
+  check "owner pops LIFO" true (Ws_deque.pop dq = Some 2);
+  Ws_deque.push dq 4;
+  check "interleaved push" true (Ws_deque.pop dq = Some 4);
+  check "down to first" true (Ws_deque.pop dq = Some 1);
+  check "empty" true (Ws_deque.pop dq = None)
+
+let test_deque_fifo_thief () =
+  let dq = Ws_deque.create ~capacity:8 in
+  List.iter (Ws_deque.push dq) [ 1; 2; 3; 4 ];
+  check "thief steals FIFO" true (Ws_deque.steal dq = `Stolen 1);
+  check "thief steals FIFO" true (Ws_deque.steal dq = `Stolen 2);
+  check "owner still LIFO" true (Ws_deque.pop dq = Some 4);
+  check "thief gets the last" true (Ws_deque.steal dq = `Stolen 3);
+  check "thief sees empty" true (Ws_deque.steal dq = `Empty)
+
+let test_deque_capacity () =
+  let dq = Ws_deque.create ~capacity:3 in
+  check_int "rounds up to a power of two" 4 (Ws_deque.capacity dq);
+  for i = 1 to 4 do
+    Ws_deque.push dq i
+  done;
+  (match Ws_deque.push dq 5 with
+  | () -> Alcotest.fail "push beyond capacity must raise"
+  | exception Ws_deque.Full -> ());
+  (* stealing frees room at the top *)
+  check "steal" true (Ws_deque.steal dq = `Stolen 1);
+  Ws_deque.push dq 5;
+  check "size estimate" true (Ws_deque.size dq = 4)
+
+(* Random push/pop/steal sequence against a list model: the deque is a
+   double-ended queue with the owner at the bottom and thieves at the
+   top, so the model is a plain list with pops at the back and steals
+   at the front. *)
+let prop_deque_matches_model =
+  let op_gen =
+    QCheck.Gen.(
+      frequency [ (3, return `Push); (2, return `Pop); (2, return `Steal) ] |> list_size (1 -- 200))
+  in
+  let arb =
+    QCheck.make op_gen
+      ~print:(fun ops ->
+        String.concat ""
+          (List.map (function `Push -> "u" | `Pop -> "o" | `Steal -> "s") ops))
+  in
+  QCheck.Test.make ~name:"deque matches a two-ended list model" ~count:200 arb (fun ops ->
+      let dq = Ws_deque.create ~capacity:256 in
+      let model = ref [] in
+      let next = ref 0 in
+      List.for_all
+        (function
+          | `Push ->
+              let x = !next in
+              incr next;
+              Ws_deque.push dq x;
+              model := !model @ [ x ];
+              true
+          | `Pop -> (
+              let expected =
+                match List.rev !model with
+                | [] -> None
+                | last :: rest_rev ->
+                    model := List.rev rest_rev;
+                    Some last
+              in
+              Ws_deque.pop dq = expected)
+          | `Steal -> (
+              match !model with
+              | [] -> Ws_deque.steal dq = `Empty
+              | first :: rest ->
+                  model := rest;
+                  Ws_deque.steal dq = `Stolen first))
+        ops)
+
+(* Two thief domains race the owner for every item; each item must be
+   taken exactly once, whoever wins. *)
+let test_deque_concurrent_steals () =
+  let n = 20_000 in
+  let dq = Ws_deque.create ~capacity:n in
+  for i = 0 to n - 1 do
+    Ws_deque.push dq i
+  done;
+  let stop = Atomic.make false in
+  let thief () =
+    let taken = ref [] in
+    let rec go () =
+      match Ws_deque.steal dq with
+      | `Stolen x ->
+          taken := x :: !taken;
+          go ()
+      | `Retry -> go ()
+      | `Empty -> if not (Atomic.get stop) then go ()
+    in
+    go ();
+    !taken
+  in
+  let thieves = [ Domain.spawn thief; Domain.spawn thief ] in
+  let mine = ref [] in
+  let rec pop_all () =
+    match Ws_deque.pop dq with
+    | Some x ->
+        mine := x :: !mine;
+        pop_all ()
+    | None -> ()
+  in
+  pop_all ();
+  Atomic.set stop true;
+  let stolen = List.concat_map Domain.join thieves in
+  let all = List.sort compare (!mine @ stolen) in
+  check_int "every item taken exactly once" n (List.length all);
+  check "items are 0..n-1" true (List.mapi (fun i x -> i = x) all |> List.for_all Fun.id)
+
+(* --- decompose --- *)
+
+let profile_arb =
+  QCheck.make
+    (QCheck.Gen.oneofl Profiles.all)
+    ~print:(fun (p : Profiles.t) -> p.Profiles.name)
+
+let prop_decompose_preserves_trace =
+  QCheck.Test.make ~name:"decompose preserves per-object subsequences" ~count:18 profile_arb
+    (fun p ->
+      let trace = Tracegen.generate ~max_syncs:4_000 p in
+      let lanes = Parallel_replay.decompose trace in
+      let total =
+        Array.fold_left
+          (fun acc (l : Parallel_replay.lane) ->
+            Array.fold_left (fun a (r : Parallel_replay.run) -> a + Array.length r.ops) acc
+              l.runs)
+          0 lanes
+      in
+      total = Array.length trace.Tracegen.ops
+      && Array.for_all
+           (fun (l : Parallel_replay.lane) ->
+             (* concatenated runs = the object's subsequence of the trace *)
+             let concat =
+               Array.to_list l.runs
+               |> List.concat_map (fun (r : Parallel_replay.run) ->
+                      Array.to_list r.ops)
+             in
+             let expected =
+               Array.to_list trace.Tracegen.ops
+               |> List.filter (fun op -> abs op - 1 = l.lane_obj)
+             in
+             concat = expected
+             && (* every run is balanced and properly nested *)
+             Array.for_all
+               (fun (r : Parallel_replay.run) ->
+                 let depth = ref 0 and ok = ref true in
+                 Array.iter
+                   (fun op ->
+                     depth := !depth + (if op > 0 then 1 else -1);
+                     if !depth < 0 then ok := false)
+                   r.ops;
+                 !ok && !depth = 0)
+               l.runs)
+           lanes)
+
+(* --- the scheduler --- *)
+
+let replay ~domains ~mode trace =
+  let runtime = Runtime.create () in
+  let scheme = Tl_baselines.Registry.find_exn "thin" runtime in
+  let config = { Parallel_replay.default_config with Parallel_replay.domains; mode } in
+  Parallel_replay.run ~config ~scheme ~runtime trace
+
+let test_parallel_replay_conserves_ops () =
+  let profile = Option.get (Profiles.find "javacup") in
+  let trace = Tracegen.generate ~seed:7 ~max_syncs:6_000 profile in
+  let acquires = Tracegen.acquire_count trace in
+  List.iter
+    (fun (domains, mode) ->
+      let r = replay ~domains ~mode trace in
+      check_int "all ops executed" (Array.length trace.Tracegen.ops) r.Parallel_replay.ops;
+      check_int "all acquires executed" acquires r.Parallel_replay.acquires;
+      (* Satellite fix under test: the single post-join snapshot must
+         agree with the trace — a per-domain snapshot/reset pattern
+         would double-count the shared atomic counters. *)
+      check_int "stats acquires counted once" acquires
+        (Lock_stats.total_acquires r.Parallel_replay.stats);
+      let tallied =
+        Array.fold_left
+          (fun acc (t : Parallel_replay.domain_tally) -> acc + t.Parallel_replay.ops_executed)
+          0 r.Parallel_replay.tallies
+      in
+      check_int "per-domain tallies sum to total" r.Parallel_replay.ops tallied)
+    [
+      (1, Parallel_replay.Affinity);
+      (3, Parallel_replay.Affinity);
+      (2, Parallel_replay.Shuffle);
+      (4, Parallel_replay.Shuffle);
+    ]
+
+(* Affinity-mode determinism: per-object program order is preserved by
+   construction (whole-lane stealing), so the sequence of lock-path
+   event kinds each object sees must be identical for any domain
+   count. *)
+let per_object_kind_sequences ~domains trace =
+  let sink =
+    Sink.create ~ring_capacity:((4 * Array.length trace.Tracegen.ops) + 4096) ()
+  in
+  let runtime = Runtime.create () in
+  let config = { Thin.default_config with Thin.count_width = 1 } in
+  let ctx = Thin.create_with ~config ~events:sink runtime in
+  let scheme = Scheme_intf.pack (module Thin) ctx in
+  let pconfig = { Parallel_replay.default_config with Parallel_replay.domains } in
+  ignore (Parallel_replay.run ~config:pconfig ~scheme ~runtime trace);
+  let d = Sink.drain sink in
+  check "no events dropped" true (d.Sink.dropped = []);
+  let tbl : (int, Event.kind list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun (e : Event.t) ->
+      match e.Event.kind with
+      | Event.Acquire_fast | Event.Acquire_nested | Event.Acquire_fat
+      | Event.Acquire_fat_queued | Event.Release_fast | Event.Release_nested
+      | Event.Release_fat | Event.Inflate_contention | Event.Inflate_wait
+      | Event.Inflate_overflow ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt tbl e.Event.arg) in
+          Hashtbl.replace tbl e.Event.arg (e.Event.kind :: prev)
+      | _ -> ())
+    d.Sink.events;
+  tbl
+
+let test_affinity_replay_is_deterministic () =
+  let profile = Option.get (Profiles.find "javalex") in
+  let trace = Tracegen.generate ~seed:42 ~max_syncs:4_000 profile in
+  let reference = per_object_kind_sequences ~domains:1 trace in
+  List.iter
+    (fun domains ->
+      let got = per_object_kind_sequences ~domains trace in
+      check_int
+        (Printf.sprintf "same object set at %d domains" domains)
+        (Hashtbl.length reference) (Hashtbl.length got);
+      Hashtbl.iter
+        (fun obj expected ->
+          check
+            (Printf.sprintf "object %d kind sequence at %d domains" obj domains)
+            true
+            (Hashtbl.find_opt got obj = Some expected))
+        reference)
+    [ 2; 4 ]
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "ws_deque",
+        [
+          Alcotest.test_case "owner is LIFO" `Quick test_deque_lifo_owner;
+          Alcotest.test_case "thief is FIFO" `Quick test_deque_fifo_thief;
+          Alcotest.test_case "capacity and Full" `Quick test_deque_capacity;
+          QCheck_alcotest.to_alcotest prop_deque_matches_model;
+          Alcotest.test_case "concurrent steals lose nothing" `Quick
+            test_deque_concurrent_steals;
+        ] );
+      ("decompose", [ QCheck_alcotest.to_alcotest prop_decompose_preserves_trace ]);
+      ( "scheduler",
+        [
+          Alcotest.test_case "ops and stats conserved" `Quick
+            test_parallel_replay_conserves_ops;
+          Alcotest.test_case "affinity replay deterministic" `Quick
+            test_affinity_replay_is_deterministic;
+        ] );
+    ]

@@ -38,7 +38,45 @@ dune runtest
 echo "== event-codec golden test"
 dune exec test/test_events.exe -- test codec
 
-echo "== bench smoke pass (includes events-overhead)"
+echo "== bench smoke pass (includes events-overhead and replay-par)"
 dune exec bench/main.exe -- smoke
+
+echo "== BENCH.json is valid and carries the replay-par scenario"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+d = json.load(open("BENCH.json"))
+assert d["schema"] == "thinlocks-bench-v1", d.get("schema")
+assert d["cores"] >= 1
+rows = d["scenarios"]["replay_par"]
+assert rows, "replay_par section is empty"
+for r in rows:
+    assert r["ops_per_sec"] > 0 and r["domains"] >= 1 and 0.0 <= r["fast_ratio"] <= 1.0
+print("BENCH.json: %d replay-par rows, cores=%d" % (len(rows), d["cores"]))
+EOF
+else
+  grep -q '"thinlocks-bench-v1"' BENCH.json
+  grep -q '"replay_par"' BENCH.json
+  grep -q '"ops_per_sec"' BENCH.json
+  echo "BENCH.json: key smoke (python3 unavailable)"
+fi
+
+echo "== parallel replay smoke (2 domains, shuffle, must contend)"
+dune exec bin/thinlocks.exe -- replay-par -b javacup --domains 2 --shuffle \
+  --interleave --max-syncs 8000 --expect-contention
+
+echo "== trace-diff: identical replays produce identical streams"
+tmpdir=$(mktemp -d)
+dune exec bin/thinlocks.exe -- events -b javalex --max-syncs 2000 -o "$tmpdir/a.ev" >/dev/null
+dune exec bin/thinlocks.exe -- events -b javalex --max-syncs 2000 -o "$tmpdir/b.ev" >/dev/null
+dune exec bin/thinlocks.exe -- trace-diff "$tmpdir/a.ev" "$tmpdir/b.ev"
+dune exec bin/thinlocks.exe -- events -b javalex --max-syncs 2000 -p always-idle \
+  -o "$tmpdir/c.ev" >/dev/null
+if dune exec bin/thinlocks.exe -- trace-diff "$tmpdir/a.ev" "$tmpdir/c.ev" >/dev/null; then
+  rm -rf "$tmpdir"
+  echo "FAIL: trace-diff did not flag diverging policies." >&2
+  exit 1
+fi
+rm -rf "$tmpdir"
 
 echo "ok."
