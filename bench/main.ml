@@ -511,6 +511,63 @@ let bench_events_overhead () =
          ("events_dropped", J.Int dropped);
        ])
 
+(* Oracle overhead: what a post-hoc verification pass costs relative
+   to producing the stream.  One traced javacup replay, then the
+   protocol oracle (both modes) and the online residency monitor are
+   each timed over the same drained stream.  The oracle must come back
+   clean — a violation here means the replay path itself regressed, so
+   it fails the bench run loudly rather than recording garbage ns. *)
+let bench_oracle_overhead () =
+  section "Protocol-oracle and residency-monitor overhead (ns per event)";
+  let max_syncs = if quick then 8_000 else 60_000 in
+  let profile =
+    match Tl_workload.Profiles.find "javacup" with
+    | Some p -> p
+    | None -> failwith "bench_oracle_overhead: javacup profile missing"
+  in
+  let trace = Tl_workload.Tracegen.generate ~seed:1998 ~max_syncs profile in
+  let policy =
+    match Tl_workload.Policy_lab.policy_of_string "always-idle" with
+    | Some p -> p
+    | None -> failwith "bench_oracle_overhead: always-idle policy missing"
+  in
+  let t0 = Unix.gettimeofday () in
+  let _ctx, drained = Tl_workload.Policy_lab.replay_traced ~policy trace in
+  let replay_s = Unix.gettimeofday () -. t0 in
+  let events = Array.length drained.Tl_events.Sink.events in
+  let per_event seconds = 1e9 *. seconds /. float_of_int (max 1 events) in
+  let time_pass f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let check mode () = Tl_events.Oracle.check ~mode ~count_width:1 drained in
+  let strict_s, strict_report = time_pass (check Tl_events.Oracle.Strict) in
+  let relaxed_s, relaxed_report = time_pass (check Tl_events.Oracle.Relaxed) in
+  let residency_s, summary = time_pass (fun () -> Tl_events.Residency.of_drained drained) in
+  if not (Tl_events.Oracle.ok strict_report && Tl_events.Oracle.ok relaxed_report) then begin
+    Format.printf "%a@." Tl_events.Oracle.pp strict_report;
+    failwith "bench_oracle_overhead: oracle rejected a clean replay stream"
+  end;
+  Printf.printf "  stream: javacup, %d events (traced replay took %.1f ns/event)\n\n" events
+    (per_event replay_s);
+  Printf.printf "  %-26s %8.1f ns/event\n" "oracle, strict" (per_event strict_s);
+  Printf.printf "  %-26s %8.1f ns/event\n" "oracle, relaxed" (per_event relaxed_s);
+  Printf.printf "  %-26s %8.1f ns/event\n" "residency monitor" (per_event residency_s);
+  Printf.printf
+    "\n  (verification is clean on this stream; fat residency %.3f over %d objects)\n\n%!"
+    summary.Tl_events.Residency.fat_residency strict_report.Tl_events.Oracle.objects;
+  add_json "oracle_overhead"
+    (J.Obj
+       [
+         ("events", J.Int events);
+         ("replay_ns_per_event", J.Float (per_event replay_s));
+         ("strict_ns_per_event", J.Float (per_event strict_s));
+         ("relaxed_ns_per_event", J.Float (per_event relaxed_s));
+         ("residency_ns_per_event", J.Float (per_event residency_s));
+         ("violations", J.Int 0);
+       ])
+
 (* Parallel trace replay: the tentpole scaling scenario.  One macro
    trace, replayed through the work-stealing scheduler at increasing
    domain counts, in both decomposition modes, thin against the
@@ -660,6 +717,7 @@ let run_smoke () =
   bench_reaper ();
   bench_deflation ();
   bench_events_overhead ();
+  bench_oracle_overhead ();
   bench_replay_par ();
   write_bench_json ();
   Printf.printf "\ndone (smoke).\n"
@@ -685,6 +743,7 @@ let () =
   bench_churn_stability ();
   bench_backoff ();
   bench_events_overhead ();
+  bench_oracle_overhead ();
   bench_replay_par ();
   bench_vm_macros ();
 

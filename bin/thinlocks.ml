@@ -161,7 +161,13 @@ let replay_cmd =
     let doc = "Locking scheme." in
     Arg.(value & opt string "thin" & info [ "scheme"; "s" ] ~docv:"SCHEME" ~doc)
   in
-  let run file scheme_name =
+  let oracle_arg =
+    let doc = "After the timed replay, re-replay the trace with event tracing on \
+               (thin scheme, 1-bit nest count) and verify the stream with the \
+               protocol oracle; exit 1 on violation." in
+    Arg.(value & flag & info [ "oracle" ] ~doc)
+  in
+  let run file scheme_name oracle =
     let trace = Tl_workload.Trace_io.load file in
     let runtime = Tl_runtime.Runtime.create () in
     let scheme = Tl_baselines.Registry.find_exn scheme_name runtime in
@@ -173,11 +179,20 @@ let replay_cmd =
       scheme_name
       (result.Tl_workload.Replay.elapsed *. 1e9
       /. float_of_int (max 1 (2 * result.Tl_workload.Replay.acquires)));
-    Format.printf "%a@." Tl_core.Lock_stats.pp result.Tl_workload.Replay.stats
+    Format.printf "%a@." Tl_core.Lock_stats.pp result.Tl_workload.Replay.stats;
+    if oracle then begin
+      let policy = Option.get (Tl_workload.Policy_lab.policy_of_string "never") in
+      let _ctx, drained = Tl_workload.Policy_lab.replay_traced ~policy trace in
+      let report =
+        Tl_events.Oracle.check ~mode:Tl_events.Oracle.Strict ~count_width:1 drained
+      in
+      Format.printf "%a@." Tl_events.Oracle.pp report;
+      if not (Tl_events.Oracle.ok report) then exit 1
+    end
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Replay a serialized trace under a scheme")
-    Term.(const run $ file_arg $ scheme_arg)
+    Term.(const run $ file_arg $ scheme_arg $ oracle_arg)
 
 let stress_cmd =
   let scheme_arg =
@@ -404,8 +419,15 @@ let replay_par_cmd =
                this to assert the parallel path really contends." in
     Arg.(value & flag & info [ "expect-contention" ] ~doc)
   in
-  let run benchmark domains shuffle scheme_name work tick_every interleave expect max_syncs
-      seed =
+  let oracle_arg =
+    let doc = "After the timed replay, re-replay the trace with event tracing on \
+               (thin scheme, 1-bit nest count, same domains and decomposition) and \
+               verify the drained stream with the protocol oracle — strict for one \
+               domain, relaxed above; exit 1 on violation." in
+    Arg.(value & flag & info [ "oracle" ] ~doc)
+  in
+  let run benchmark domains shuffle scheme_name work tick_every interleave expect oracle
+      max_syncs seed =
     match Tl_workload.Profiles.find benchmark with
     | None ->
         Printf.eprintf "unknown benchmark %S\n" benchmark;
@@ -463,6 +485,19 @@ let replay_par_cmd =
         if expect && contended r = 0 then begin
           Printf.eprintf "expected contention but every attempt replayed contention-free\n";
           exit 1
+        end;
+        if oracle then begin
+          let policy = Option.get (Tl_workload.Policy_lab.policy_of_string "never") in
+          let _r, drained =
+            Tl_workload.Policy_lab.replay_traced_par ~interleave ~domains ~mode ~policy
+              trace
+          in
+          let omode =
+            if domains <= 1 then Tl_events.Oracle.Strict else Tl_events.Oracle.Relaxed
+          in
+          let report = Tl_events.Oracle.check ~mode:omode ~count_width:1 drained in
+          Format.printf "%a@." Tl_events.Oracle.pp report;
+          if not (Tl_events.Oracle.ok report) then exit 1
         end
   in
   Cmd.v
@@ -470,7 +505,14 @@ let replay_par_cmd =
        ~doc:"Replay a macro trace across N domains through the work-stealing scheduler")
     Term.(
       const run $ benchmark_arg $ domains_arg $ shuffle_arg $ scheme_arg $ work_arg
-      $ tick_every_arg $ interleave_arg $ expect_contention_arg $ max_syncs_arg $ seed_arg)
+      $ tick_every_arg $ interleave_arg $ expect_contention_arg $ oracle_arg
+      $ max_syncs_arg $ seed_arg)
+
+let load_event_stream path =
+  try Tl_events.Codec.of_string (In_channel.with_open_bin path In_channel.input_all)
+  with Tl_events.Codec.Parse_error msg ->
+    Printf.eprintf "%s: not a thinlocks event stream: %s\n" path msg;
+    exit 2
 
 let trace_diff_cmd =
   let file_arg pos_idx docv =
@@ -478,13 +520,7 @@ let trace_diff_cmd =
     Arg.(required & pos pos_idx (some file) None & info [] ~docv ~doc)
   in
   let run a b =
-    let parse path =
-      try Tl_events.Codec.of_string (In_channel.with_open_bin path In_channel.input_all)
-      with Tl_events.Codec.Parse_error msg ->
-        Printf.eprintf "%s: not a thinlocks event stream: %s\n" path msg;
-        exit 2
-    in
-    let report = Tl_events.Diff.compare (parse a) (parse b) in
+    let report = Tl_events.Diff.compare (load_event_stream a) (load_event_stream b) in
     Format.printf "%a@." Tl_events.Diff.pp report;
     if not (Tl_events.Diff.identical report) then exit 1
   in
@@ -492,6 +528,55 @@ let trace_diff_cmd =
     (Cmd.info "trace-diff"
        ~doc:"Compare two serialized event streams; exit 1 on the first divergence")
     Term.(const run $ file_arg 0 "LEFT" $ file_arg 1 "RIGHT")
+
+let verify_trace_cmd =
+  let file_arg =
+    let doc = "Event-stream file (as written by 'thinlocks events -o')." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let relaxed_arg =
+    let doc = "Verify feasibility under the bounded emit-window skew of multi-domain \
+               streams instead of exact ticket order." in
+    Arg.(value & flag & info [ "relaxed" ] ~doc)
+  in
+  let count_width_arg =
+    let doc = "Nest-count field width (1-8) of the replay that produced the stream; \
+               arms the thin-depth ceiling check.  Omitted, the ceiling check is off." in
+    Arg.(value & opt (some int) None & info [ "count-width" ] ~docv:"BITS" ~doc)
+  in
+  let allow_held_arg =
+    let doc = "Do not flag objects still held at end of stream (for mid-run ring \
+               drains, which may cut an episode in half)." in
+    Arg.(value & flag & info [ "allow-held-end" ] ~doc)
+  in
+  let run file relaxed count_width allow_held =
+    let drained = load_event_stream file in
+    let mode = if relaxed then Tl_events.Oracle.Relaxed else Tl_events.Oracle.Strict in
+    let report =
+      Tl_events.Oracle.check ~mode ?count_width ~require_unlocked_end:(not allow_held)
+        drained
+    in
+    Format.printf "%a@." Tl_events.Oracle.pp report;
+    if not (Tl_events.Oracle.ok report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify-trace"
+       ~doc:"Replay an event stream through the protocol oracle; exit 1 on violation")
+    Term.(const run $ file_arg $ relaxed_arg $ count_width_arg $ allow_held_arg)
+
+let residency_cmd =
+  let file_arg =
+    let doc = "Event-stream file (as written by 'thinlocks events -o')." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    let drained = load_event_stream file in
+    Format.printf "%a@." Tl_events.Residency.pp (Tl_events.Residency.of_drained drained)
+  in
+  Cmd.v
+    (Cmd.info "residency"
+       ~doc:"Fold an event stream through the online residency monitor and summarize")
+    Term.(const run $ file_arg)
 
 let all_cmd =
   let run max_syncs seed iterations =
@@ -524,5 +609,6 @@ let () =
           [
             table1_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig6_cmd; characterize_cmd;
             ablation_cmd; micro_cmd; sim_cmd; stress_cmd; trace_cmd; replay_cmd;
-            replay_par_cmd; events_cmd; policy_lab_cmd; trace_diff_cmd; all_cmd;
+            replay_par_cmd; events_cmd; policy_lab_cmd; trace_diff_cmd; verify_trace_cmd;
+            residency_cmd; all_cmd;
           ]))

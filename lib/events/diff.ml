@@ -30,6 +30,7 @@ let compare (l : Sink.drained) (r : Sink.drained) =
   { left_events = nl; right_events = nr; divergence = first_divergence 0; kind_deltas }
 
 let identical r = r.divergence = None && r.kind_deltas = []
+let exit_code r = if identical r then 0 else 1
 
 let pp_side ppf = function
   | None -> Format.pp_print_string ppf "<end of stream>"

@@ -30,6 +30,11 @@ val compare : Sink.drained -> Sink.drained -> report
 
 val identical : report -> bool
 
+val exit_code : report -> int
+(** Process exit status for [thinlocks trace-diff]: 0 when
+    {!identical}, 1 on any divergence.  (Exit 2 is reserved by the CLI
+    for codec parse errors.) *)
+
 val pp : Format.formatter -> report -> unit
 (** Human-readable report: the verdict, the first diverging event from
     each side, and the per-kind count deltas. *)

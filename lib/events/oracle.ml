@@ -1,0 +1,613 @@
+module IntMap = Map.Make (Int)
+
+type violation_class =
+  | Unlock_without_lock
+  | Ownership_violation
+  | Count_error
+  | Reinflation_of_retired
+  | Lost_wakeup
+  | Deflation_without_handshake
+  | Stale_handle
+  | Stream_malformed
+
+let class_name = function
+  | Unlock_without_lock -> "unlock-without-lock"
+  | Ownership_violation -> "ownership-violation"
+  | Count_error -> "count-error"
+  | Reinflation_of_retired -> "reinflation-of-retired"
+  | Lost_wakeup -> "lost-wakeup"
+  | Deflation_without_handshake -> "deflation-without-handshake"
+  | Stale_handle -> "stale-handle"
+  | Stream_malformed -> "stream-malformed"
+
+type violation = {
+  cls : violation_class;
+  seq : int;
+  tid : int;
+  obj_id : int;
+  detail : string;
+}
+
+type mode = Strict | Relaxed
+
+type report = {
+  mode : mode;
+  events : int;
+  objects : int;
+  violations : violation list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The per-object reference automaton.                                *)
+(* ------------------------------------------------------------------ *)
+
+(* [depth] counts how many times the owner holds the lock (the paper's
+   count field stores [depth - 1]).  [Inflating] covers the window
+   between an [Inflate_contention]/[Inflate_overflow] event and the
+   same thread's confirming [Acquire_fat] — the inflater has published
+   the fat word but not yet reported entering the monitor.
+   [Inflate_wait] needs no confirmation: the waiter's next event is its
+   [Wait_op]. *)
+type lstate =
+  | Flat
+  | Thin of int * int  (* owner, depth *)
+  | Inflating of int * int  (* owner, depth carried into the monitor *)
+  | Fat of int * int  (* owner (0 = unowned), depth *)
+
+type ostate = {
+  st : lstate;
+  waiters : int IntMap.t;  (* tid -> depth saved at Wait_op *)
+  signals : int;  (* undelivered notify credits *)
+  cb : int IntMap.t;  (* tid -> open contended-begin depth *)
+}
+
+let initial =
+  { st = Flat; waiters = IntMap.empty; signals = 0; cb = IntMap.empty }
+
+let describe = function
+  | Flat -> "flat"
+  | Thin (o, d) -> Printf.sprintf "thin(owner=%d, depth=%d)" o d
+  | Inflating (o, _) -> Printf.sprintf "inflating(by=%d)" o
+  | Fat (0, _) -> "fat(unowned)"
+  | Fat (o, d) -> Printf.sprintf "fat(owner=%d, depth=%d)" o d
+
+(* A waiter's internal resumption (reacquire after notify / timeout)
+   emits no event, so the automaton resumes a parked thread implicitly
+   the first time it acts as owner while the monitor is unowned,
+   consuming a notify credit when one is outstanding (a resume without
+   a credit is a timed-wait expiry). *)
+let resume st t =
+  match st.st with
+  | Fat (0, _) -> (
+      match IntMap.find_opt t st.waiters with
+      | Some saved ->
+          Some
+            {
+              st with
+              st = Fat (t, saved);
+              waiters = IntMap.remove t st.waiters;
+              signals = (if st.signals > 0 then st.signals - 1 else 0);
+            }
+      | None -> None)
+  | _ -> None
+
+let err cls detail = Error (cls, detail)
+
+let rec step ~max_thin st (e : Event.t) =
+  let t = e.tid in
+  match e.kind with
+  | Event.Acquire_fast -> (
+      match st.st with
+      | Flat -> Ok { st with st = Thin (t, 1) }
+      | Thin (o, _) when o = t ->
+          err Count_error "fast acquire while already holding (expected nested)"
+      | (Thin _ | Inflating _ | Fat _) as s ->
+          err Ownership_violation
+            (Printf.sprintf "fast acquire of a %s object" (describe s)))
+  | Event.Acquire_nested -> (
+      match st.st with
+      | Thin (o, d) when o = t ->
+          if d >= max_thin then
+            err Count_error
+              (Printf.sprintf
+                 "nested acquire past depth %d without overflow inflation"
+                 max_thin)
+          else Ok { st with st = Thin (t, d + 1) }
+      | Flat -> err Count_error "nested acquire with no thin lock held"
+      | Thin _ -> err Ownership_violation "nested acquire of another thread's thin lock"
+      | Inflating _ | Fat _ ->
+          err Ownership_violation "thin nested acquire on an inflated object")
+  | Event.Acquire_fat | Event.Acquire_fat_queued -> (
+      match st.st with
+      | Inflating (o, d) when o = t && e.kind = Event.Acquire_fat ->
+          Ok { st with st = Fat (t, d) }  (* confirming entry, depth carried *)
+      | Inflating _ ->
+          err Ownership_violation "fat acquire on an object mid-inflation"
+      | Fat (0, _) -> (
+          match resume st t with
+          | Some st' -> (
+              match st'.st with
+              | Fat (_, d) -> Ok { st' with st = Fat (t, d + 1) }
+              | _ -> assert false)
+          | None -> Ok { st with st = Fat (t, 1) })
+      | Fat (o, d) when o = t ->
+          if e.kind = Event.Acquire_fat_queued then
+            err Ownership_violation "queued fat acquire while already owning the monitor"
+          else Ok { st with st = Fat (t, d + 1) }
+      | Fat _ ->
+          err Ownership_violation "fat acquire while another thread owns the monitor"
+      | Flat | Thin _ -> err Stale_handle "fat acquire with no live monitor")
+  | Event.Release_fast -> (
+      match st.st with
+      | Thin (o, 1) when o = t -> Ok { st with st = Flat }
+      | Thin (o, d) when o = t ->
+          err Count_error
+            (Printf.sprintf "fast release at depth %d (expected nested)" d)
+      | Flat -> err Unlock_without_lock "release of an unlocked object"
+      | Thin _ -> err Ownership_violation "fast release of another thread's thin lock"
+      | Inflating _ | Fat _ ->
+          err Ownership_violation "thin release of an inflated object")
+  | Event.Release_nested -> (
+      match st.st with
+      | Thin (o, d) when o = t && d >= 2 -> Ok { st with st = Thin (t, d - 1) }
+      | Thin (o, _) when o = t ->
+          err Count_error "nested release at depth 1 (expected fast)"
+      | Flat -> err Unlock_without_lock "release of an unlocked object"
+      | Thin _ -> err Ownership_violation "nested release of another thread's thin lock"
+      | Inflating _ | Fat _ ->
+          err Ownership_violation "thin release of an inflated object")
+  | Event.Release_fat -> (
+      match st.st with
+      | Fat (o, d) when o = t ->
+          Ok { st with st = (if d > 1 then Fat (t, d - 1) else Fat (0, 0)) }
+      | Fat (0, _) -> (
+          match resume st t with
+          | Some st' -> step ~max_thin st' e
+          | None -> err Unlock_without_lock "fat release of an unowned monitor")
+      | Fat _ -> err Ownership_violation "fat release by a non-owner"
+      | Inflating _ -> err Ownership_violation "fat release on an object mid-inflation"
+      | Flat -> err Unlock_without_lock "release of an unlocked object"
+      | Thin _ -> err Stale_handle "fat release on a thin-locked object")
+  | Event.Inflate_contention -> (
+      match st.st with
+      | Flat -> Ok { st with st = Inflating (t, 1) }
+      | Thin _ ->
+          err Ownership_violation
+            "contention inflation while the thin lock is held (inflater must seize the unlocked word first)"
+      | Inflating _ | Fat _ ->
+          err Reinflation_of_retired "inflation of an already-inflated object")
+  | Event.Inflate_overflow -> (
+      match st.st with
+      | Thin (o, d) when o = t -> Ok { st with st = Inflating (t, d + 1) }
+      | Thin _ ->
+          err Ownership_violation "overflow inflation of another thread's thin lock"
+      | Flat -> err Count_error "overflow inflation with no held thin lock"
+      | Inflating _ | Fat _ ->
+          err Reinflation_of_retired "inflation of an already-inflated object")
+  | Event.Inflate_wait -> (
+      match st.st with
+      | Thin (o, d) when o = t -> Ok { st with st = Fat (t, d) }
+      | Thin _ ->
+          err Ownership_violation "wait inflation of another thread's thin lock"
+      | Flat -> err Ownership_violation "wait inflation with no lock held"
+      | Inflating _ | Fat _ ->
+          err Reinflation_of_retired "inflation of an already-inflated object")
+  | Event.Wait_op -> (
+      match st.st with
+      | Fat (o, d) when o = t ->
+          Ok { st with st = Fat (0, 0); waiters = IntMap.add t d st.waiters }
+      | Fat (0, _) -> (
+          match resume st t with
+          | Some st' -> step ~max_thin st' e
+          | None -> err Ownership_violation "wait by a thread not owning the monitor")
+      | Fat _ -> err Ownership_violation "wait by a non-owner"
+      | Inflating _ -> err Ownership_violation "wait on an object mid-inflation"
+      | Flat | Thin _ -> err Stale_handle "wait outside a fat monitor")
+  | Event.Notify_op | Event.Notify_all_op -> (
+      match st.st with
+      | Thin (o, _) when o = t -> Ok st  (* no waiters possible on a thin lock *)
+      | Fat (o, _) when o = t ->
+          let w = IntMap.cardinal st.waiters in
+          let signals =
+            if e.kind = Event.Notify_all_op then w else min w (st.signals + 1)
+          in
+          Ok { st with signals }
+      | Fat (0, _) -> (
+          match resume st t with
+          | Some st' -> step ~max_thin st' e
+          | None -> err Ownership_violation "notify by a thread not owning the monitor")
+      | Fat _ -> err Ownership_violation "notify by a non-owner"
+      | Inflating _ -> err Ownership_violation "notify on an object mid-inflation"
+      | Flat | Thin _ -> err Ownership_violation "notify without holding the lock")
+  | Event.Deflate_quiescent | Event.Deflate_concurrent -> (
+      match st.st with
+      | Fat (0, _) when IntMap.is_empty st.waiters ->
+          Ok { st with st = Flat; signals = 0 }
+      | Fat (0, _) ->
+          err Deflation_without_handshake "deflation of a monitor with parked waiters"
+      | Fat _ -> err Deflation_without_handshake "deflation of an owned monitor"
+      | Inflating _ ->
+          err Deflation_without_handshake "deflation of a monitor mid-inflation"
+      | Flat | Thin _ ->
+          err Deflation_without_handshake "deflation of an object with no live monitor")
+  | Event.Deflate_aborted -> (
+      match st.st with
+      | Fat _ | Inflating _ -> Ok st
+      | Flat | Thin _ ->
+          err Stale_handle "aborted deflation handshake with no live monitor")
+  | Event.Contended_begin ->
+      let d = Option.value ~default:0 (IntMap.find_opt t st.cb) in
+      Ok { st with cb = IntMap.add t (d + 1) st.cb }
+  | Event.Contended_end -> (
+      match IntMap.find_opt t st.cb with
+      | Some d when d > 0 ->
+          let cb =
+            if d = 1 then IntMap.remove t st.cb else IntMap.add t (d - 1) st.cb
+          in
+          Ok { st with cb }
+      | _ ->
+          err Stream_malformed "contended-end without a matching contended-begin")
+  | Event.Reaper_scan | Event.Quiescence -> Ok st
+
+(* ------------------------------------------------------------------ *)
+(* Routing and structural checks.                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Events whose [arg] is an object id and which drive the automaton.
+   Reaper scans and quiescence announcements are global. *)
+let is_object_event = function
+  | Event.Reaper_scan | Event.Quiescence -> false
+  | _ -> true
+
+(* Events only a mutator thread can emit: a tid-0 instance means a
+   thread-path event landed on the system stream. *)
+let is_thread_path = function
+  | Event.Acquire_fast | Event.Acquire_nested | Event.Acquire_fat
+  | Event.Acquire_fat_queued | Event.Release_fast | Event.Release_nested
+  | Event.Release_fat | Event.Inflate_contention | Event.Inflate_wait
+  | Event.Inflate_overflow | Event.Contended_begin | Event.Contended_end
+  | Event.Wait_op | Event.Notify_op | Event.Notify_all_op ->
+      true
+  | Event.Deflate_quiescent | Event.Deflate_concurrent | Event.Deflate_aborted
+  | Event.Reaper_scan | Event.Quiescence ->
+      false
+
+(* A thread-path event on tid 0 is excluded from the automaton (owner 0
+   doubles as "unowned" there); the structural pass has already flagged
+   the stream. *)
+let routable (e : Event.t) =
+  is_object_event e.kind && not (is_thread_path e.kind && e.tid = 0)
+
+let structural (d : Sink.drained) push =
+  let events = d.Sink.events in
+  let n = Array.length events in
+  let monotone = ref true in
+  (try
+     for i = 1 to n - 1 do
+       if events.(i).Event.seq <= events.(i - 1).Event.seq then begin
+         monotone := false;
+         push
+           {
+             cls = Stream_malformed;
+             seq = events.(i).Event.seq;
+             tid = events.(i).Event.tid;
+             obj_id = -1;
+             detail = "seq not strictly increasing (duplicated or reordered event)";
+           };
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  (* A drop-free drain is dense from 0: every ticket issued was
+     recorded, so a gap means an event went missing after the fact. *)
+  if !monotone && d.Sink.dropped = [] && n > 0 then begin
+    let first = events.(0).Event.seq and last = events.(n - 1).Event.seq in
+    if first <> 0 then
+      push
+        {
+          cls = Stream_malformed;
+          seq = first;
+          tid = events.(0).Event.tid;
+          obj_id = -1;
+          detail = "stream does not start at seq 0 yet records no drops";
+        }
+    else if last <> n - 1 then
+      push
+        {
+          cls = Stream_malformed;
+          seq = last;
+          tid = events.(n - 1).Event.tid;
+          obj_id = -1;
+          detail = "seq gap with no recorded drops (event missing)";
+        }
+  end;
+  try
+    Array.iter
+      (fun (e : Event.t) ->
+        if e.tid = 0 && is_thread_path e.kind then begin
+          push
+            {
+              cls = Stream_malformed;
+              seq = e.seq;
+              tid = 0;
+              obj_id = e.arg;
+              detail =
+                Printf.sprintf "thread-path event %s on the system stream (tid 0)"
+                  (Event.kind_name e.kind);
+            };
+          raise Exit
+        end)
+      events
+  with Exit -> ()
+
+let finish_object ~require_unlocked_end push id (st : ostate) =
+  (if require_unlocked_end then
+     match st.st with
+     | Thin (o, d) ->
+         push
+           {
+             cls = Stream_malformed;
+             seq = -1;
+             tid = o;
+             obj_id = id;
+             detail =
+               Printf.sprintf
+                 "object still thin-held (owner %d, depth %d) at end of stream" o d;
+           }
+     | Inflating (o, _) ->
+         push
+           {
+             cls = Stream_malformed;
+             seq = -1;
+             tid = o;
+             obj_id = id;
+             detail = "object still mid-inflation at end of stream";
+           }
+     | Fat (o, d) when o <> 0 ->
+         push
+           {
+             cls = Stream_malformed;
+             seq = -1;
+             tid = o;
+             obj_id = id;
+             detail =
+               Printf.sprintf
+                 "monitor still owned (owner %d, depth %d) at end of stream" o d;
+           }
+     | Flat | Fat _ -> ());
+  if st.signals > 0 && not (IntMap.is_empty st.waiters) then begin
+    let tid, _ = IntMap.min_binding st.waiters in
+    push
+      {
+        cls = Lost_wakeup;
+        seq = -1;
+        tid;
+        obj_id = id;
+        detail =
+          Printf.sprintf
+            "%d waiter(s) never exited wait despite %d undelivered notification(s)"
+            (IntMap.cardinal st.waiters) st.signals;
+      }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Strict engine: events applied in seq order.                        *)
+(* ------------------------------------------------------------------ *)
+
+type entry = { mutable st : ostate; mutable dead : bool }
+
+let run_strict ~max_thin ~require_unlocked_end (d : Sink.drained) push =
+  let tbl : (int, entry) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun (e : Event.t) ->
+      if routable e then begin
+        let entry =
+          match Hashtbl.find_opt tbl e.arg with
+          | Some en -> en
+          | None ->
+              let en = { st = initial; dead = false } in
+              Hashtbl.add tbl e.arg en;
+              en
+        in
+        if not entry.dead then
+          match step ~max_thin entry.st e with
+          | Ok st' -> entry.st <- st'
+          | Error (cls, detail) ->
+              entry.dead <- true;
+              push { cls; seq = e.seq; tid = e.tid; obj_id = e.arg; detail }
+      end)
+    d.Sink.events;
+  let ids = Hashtbl.fold (fun id _ acc -> id :: acc) tbl [] in
+  List.iter
+    (fun id ->
+      let entry = Hashtbl.find tbl id in
+      if not entry.dead then finish_object ~require_unlocked_end push id entry.st)
+    (List.sort compare ids);
+  Hashtbl.length tbl
+
+(* ------------------------------------------------------------------ *)
+(* Relaxed engine: per-object, per-thread queues linearised greedily  *)
+(* by smallest enabled seq, with bounded backtracking.                *)
+(* ------------------------------------------------------------------ *)
+
+type frame = { f_idx : int array; f_state : ostate; mutable f_alts : int list }
+
+let verify_object_relaxed ~max_thin (queues : Event.t array array) =
+  let nq = Array.length queues in
+  let idx = Array.make nq 0 in
+  let total = Array.fold_left (fun a q -> a + Array.length q) 0 queues in
+  let fuel = ref ((total * 64) + 1024) in
+  let stack = ref [] in
+  let state = ref initial in
+  (* queue indices with events remaining, smallest head seq first *)
+  let heads () =
+    let hs = ref [] in
+    for i = nq - 1 downto 0 do
+      if idx.(i) < Array.length queues.(i) then hs := i :: !hs
+    done;
+    List.sort
+      (fun a b ->
+        compare queues.(a).(idx.(a)).Event.seq queues.(b).(idx.(b)).Event.seq)
+      !hs
+  in
+  let budget_exceeded (e : Event.t) =
+    Error (e, Stream_malformed, "relaxed verification budget exceeded")
+  in
+  let rec loop () =
+    let hs = heads () in
+    match hs with
+    | [] -> Ok !state
+    | first :: _ -> (
+        let enabled =
+          List.filter_map
+            (fun i ->
+              match step ~max_thin !state queues.(i).(idx.(i)) with
+              | Ok st' -> Some (i, st')
+              | Error _ -> None)
+            hs
+        in
+        match enabled with
+        | [] -> backtrack hs
+        | (i, st') :: alts ->
+            if !fuel <= 0 then budget_exceeded queues.(first).(idx.(first))
+            else begin
+              decr fuel;
+              if alts <> [] then
+                stack :=
+                  {
+                    f_idx = Array.copy idx;
+                    f_state = !state;
+                    f_alts = List.map fst alts;
+                  }
+                  :: !stack;
+              state := st';
+              idx.(i) <- idx.(i) + 1;
+              loop ()
+            end)
+  and backtrack hs =
+    match !stack with
+    | [] -> blocked hs
+    | frame :: frames -> (
+        if !fuel <= 0 then
+          let i = List.hd hs in
+          budget_exceeded queues.(i).(idx.(i))
+        else
+          match frame.f_alts with
+          | [] ->
+              stack := frames;
+              backtrack hs
+          | a :: rest -> (
+              decr fuel;
+              Array.blit frame.f_idx 0 idx 0 nq;
+              state := frame.f_state;
+              frame.f_alts <- rest;
+              if rest = [] then stack := frames;
+              match step ~max_thin !state queues.(a).(idx.(a)) with
+              | Ok st' ->
+                  state := st';
+                  idx.(a) <- idx.(a) + 1;
+                  loop ()
+              | Error _ ->
+                  (* the alternative was enabled when the frame was
+                     pushed, from the very state just restored *)
+                  assert false))
+  and blocked hs =
+    (* dead end with no alternatives left: no interleaving of the
+       per-thread subsequences satisfies the automaton.  Report the
+       smallest-seq blocked head — the event ticket order says came
+       first. *)
+    let i = List.hd hs in
+    let e = queues.(i).(idx.(i)) in
+    match step ~max_thin !state e with
+    | Error (cls, detail) -> Error (e, cls, detail)
+    | Ok _ -> assert false
+  in
+  loop ()
+
+let run_relaxed ~max_thin ~require_unlocked_end (d : Sink.drained) push =
+  (* Group per object, preserving per-thread order (the input is seq
+     sorted, so consing then reversing keeps each thread's
+     subsequence). *)
+  let tbl : (int, (int, Event.t list ref) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  Array.iter
+    (fun (e : Event.t) ->
+      if routable e then begin
+        let per_tid =
+          match Hashtbl.find_opt tbl e.arg with
+          | Some h -> h
+          | None ->
+              let h = Hashtbl.create 8 in
+              Hashtbl.add tbl e.arg h;
+              h
+        in
+        match Hashtbl.find_opt per_tid e.tid with
+        | Some l -> l := e :: !l
+        | None -> Hashtbl.add per_tid e.tid (ref [ e ])
+      end)
+    d.Sink.events;
+  let ids = Hashtbl.fold (fun id _ acc -> id :: acc) tbl [] in
+  List.iter
+    (fun id ->
+      let per_tid = Hashtbl.find tbl id in
+      let tids = Hashtbl.fold (fun tid _ acc -> tid :: acc) per_tid [] in
+      let queues =
+        List.sort compare tids
+        |> List.map (fun tid ->
+               Array.of_list (List.rev !(Hashtbl.find per_tid tid)))
+        |> Array.of_list
+      in
+      match verify_object_relaxed ~max_thin queues with
+      | Ok st -> finish_object ~require_unlocked_end push id st
+      | Error (e, cls, detail) ->
+          push { cls; seq = e.Event.seq; tid = e.Event.tid; obj_id = id; detail })
+    (List.sort compare ids);
+  Hashtbl.length tbl
+
+(* ------------------------------------------------------------------ *)
+(* Entry points.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let check ?(mode = Strict) ?count_width ?(require_unlocked_end = true)
+    (d : Sink.drained) =
+  let max_thin =
+    match count_width with
+    | None -> max_int
+    | Some w ->
+        if w < 1 || w > 8 then invalid_arg "Oracle.check: count_width"
+        else 1 lsl w
+  in
+  let violations = ref [] in
+  let push v = violations := v :: !violations in
+  structural d push;
+  let objects =
+    match mode with
+    | Strict -> run_strict ~max_thin ~require_unlocked_end d push
+    | Relaxed -> run_relaxed ~max_thin ~require_unlocked_end d push
+  in
+  let key v = if v.seq < 0 then max_int else v.seq in
+  let violations =
+    List.stable_sort (fun a b -> compare (key a) (key b)) (List.rev !violations)
+  in
+  { mode; events = Array.length d.Sink.events; objects; violations }
+
+let ok r = r.violations = []
+let exit_code r = if ok r then 0 else 1
+let find r cls = List.find_opt (fun v -> v.cls = cls) r.violations
+
+let pp ppf (r : report) =
+  let mode = match r.mode with Strict -> "strict" | Relaxed -> "relaxed" in
+  if ok r then
+    Format.fprintf ppf "clean: %d events over %d objects verified (%s mode)"
+      r.events r.objects mode
+  else begin
+    Format.fprintf ppf "%d violation(s) in %d events over %d objects (%s mode):"
+      (List.length r.violations) r.events r.objects mode;
+    List.iter
+      (fun v ->
+        let seq = if v.seq < 0 then "end" else string_of_int v.seq in
+        Format.fprintf ppf "@\n  [%s] seq %s tid %d obj %d: %s"
+          (class_name v.cls) seq v.tid v.obj_id v.detail)
+      r.violations
+  end

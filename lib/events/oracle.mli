@@ -1,0 +1,94 @@
+(** Streaming lock-protocol oracle.
+
+    Folds a drained, seq-ordered event stream through a per-object
+    reference automaton of the thin-lock protocol —
+
+    {v flat -> thin(owner,count) -> inflating -> fat -> flat v}
+
+    — and reports every event the automaton cannot explain.  The
+    automaton encodes the paper's invariants (only the owner writes the
+    lock word; inflation is one-way within an episode; deflation
+    requires the DIP handshake and an idle monitor) plus the stream's
+    own structural contract (dense, strictly increasing [seq] when
+    nothing was dropped).  It is deliberately independent of
+    [lib/core]: it re-derives legality from the event stream alone, so
+    a bug shared by the implementation and its instrumentation still
+    has to fool a second, much simpler state machine.
+
+    Two verification modes:
+
+    - {!Strict} replays events in [seq] order.  Sound for streams whose
+      ticket order {e is} the linearisation order: single-domain
+      replays, and simulator schedules (the model emits at the
+      linearisation point).
+    - {!Relaxed} admits the bounded emit-window skew of multi-domain
+      streams: [seq] tickets are taken at emit time, shortly after the
+      operation's linearisation point, so two threads' events may be
+      inverted within that window even though per-thread order is
+      exact.  Relaxed mode therefore checks whether {e some}
+      interleaving of the per-thread subsequences (preferring ticket
+      order, with bounded backtracking) satisfies the automaton —
+      i.e. the stream is feasible, not merely ticket-ordered. *)
+
+type violation_class =
+  | Unlock_without_lock  (** release of an object nobody holds *)
+  | Ownership_violation  (** a thread acted on another thread's lock *)
+  | Count_error
+      (** recursion-count over/underflow without the overflow inflation
+          the protocol demands *)
+  | Reinflation_of_retired
+      (** inflation of an object whose monitor is already live *)
+  | Lost_wakeup  (** a notified waiter never exited its wait *)
+  | Deflation_without_handshake
+      (** a monitor deflated while owned, waited-on, or absent — the
+          DIP handshake cannot have run *)
+  | Stale_handle  (** a fat-path operation on an object with no live
+                      monitor (generation-escaped handle) *)
+  | Stream_malformed
+      (** the stream itself is broken: seq gap or duplicate, unmatched
+          contended-end, thread-path event on the system stream, or an
+          object left held at end of stream *)
+
+type violation = {
+  cls : violation_class;
+  seq : int;  (** offending event's seq; [-1] for end-of-stream findings *)
+  tid : int;
+  obj_id : int;  (** [-1] when not tied to one object *)
+  detail : string;
+}
+
+type mode = Strict | Relaxed
+
+type report = {
+  mode : mode;
+  events : int;
+  objects : int;  (** distinct object ids routed through the automaton *)
+  violations : violation list;  (** sorted by seq, end-of-stream last *)
+}
+
+val check :
+  ?mode:mode ->
+  ?count_width:int ->
+  ?require_unlocked_end:bool ->
+  Sink.drained ->
+  report
+(** Verify one drained stream.  [count_width] (the replay's nest-count
+    field width, 1–8) arms the thin-depth ceiling check: depth may not
+    exceed [2^count_width] without an overflow inflation; omitted, the
+    ceiling check is off.  [require_unlocked_end] (default [true])
+    flags objects still held when the stream ends — replays release
+    everything they acquire, so a held object at end of stream means a
+    truncated or tampered stream.  At most one violation is reported
+    per object (the automaton stops there); structural findings are
+    reported once per stream. *)
+
+val ok : report -> bool
+val exit_code : report -> int  (** 0 clean, 1 violations *)
+
+val class_name : violation_class -> string
+(** Stable kebab-case name, e.g. ["deflation-without-handshake"]. *)
+
+val find : report -> violation_class -> violation option
+(** First reported violation of one class, if any. *)
+
+val pp : Format.formatter -> report -> unit

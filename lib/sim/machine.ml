@@ -202,3 +202,48 @@ let sample ?(max_depth = 100_000) ?(seed_mem = []) ?(final = fun _ -> None) ~sch
           }
   in
   loop schedules
+
+type traced = { t_mem : int array; t_labels : string list; t_steps : int }
+
+let run_random ?(max_depth = 200_000) ?(seed_mem = []) ~seed ~mem_size programs =
+  let prng = Tl_util.Prng.create seed in
+  let mem = Array.make mem_size 0 in
+  apply_seed_mem seed_mem mem;
+  let counts = ref zero_counts in
+  let labels = ref [] in
+  (* Like [skim], but collect labels: a [Label] in continuation
+     position right after a memory step is processed within the same
+     scheduling turn, so a label placed immediately after its
+     operation's linearising access is atomic with it — the collected
+     label list is in exact linearisation order. *)
+  let rec skim_collect s =
+    match s with
+    | Label (l, k) ->
+        labels := l :: !labels;
+        skim_collect (k ())
+    | Alu (_, _) ->
+        let next, _ = apply mem counts s in
+        skim_collect next
+    | s -> s
+  in
+  let states = Array.map (fun p -> skim_collect (p ())) programs in
+  let steps = ref 0 in
+  let rec loop depth =
+    let enabled =
+      Array.to_list states
+      |> List.mapi (fun i s -> (i, s))
+      |> List.filter (fun (_, s) -> s <> Done)
+    in
+    match enabled with
+    | [] -> ()
+    | _ when depth >= max_depth ->
+        failwith "Machine.run_random: depth budget exceeded"
+    | enabled ->
+        let i, s = List.nth enabled (Tl_util.Prng.int prng (List.length enabled)) in
+        let next, _ = apply mem counts s in
+        states.(i) <- skim_collect next;
+        incr steps;
+        loop (depth + 1)
+  in
+  loop 0;
+  { t_mem = mem; t_labels = List.rev !labels; t_steps = !steps }

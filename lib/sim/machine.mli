@@ -103,3 +103,30 @@ val sample :
     memory), checking the same invariants.  Spin
     loops are fine here — random schedulers are fair with probability
     1 — but [max_depth] still guards against livelock. *)
+
+(** {1 Single random schedule with label collection} *)
+
+type traced = {
+  t_mem : int array;  (** final memory *)
+  t_labels : string list;  (** every {!Label} crossed, in execution order *)
+  t_steps : int;  (** scheduling steps taken *)
+}
+
+val run_random :
+  ?max_depth:int ->
+  ?seed_mem:(int * int) list ->
+  seed:int ->
+  mem_size:int ->
+  program array ->
+  traced
+(** Run the programs under one uniformly-random schedule
+    (deterministic in [seed]) to completion, collecting every label
+    crossed.  A [Label] placed in continuation position immediately
+    after a memory access executes within the same scheduling turn as
+    that access, so model programs that label their linearisation
+    points yield label sequences in exact linearisation order — which
+    is what makes the collected stream checkable by a strict-order
+    oracle.  Unlike {!sample} there is no invariant: the point is to
+    extract the execution trace and judge it externally.
+    @raise Failure if the schedule exceeds [max_depth] (default
+    200_000) steps. *)

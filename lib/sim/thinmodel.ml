@@ -27,18 +27,32 @@ let deflater_token = 15
 
 let give_up ~tid = Store (Addr.gave_up_flag ~tid, 1, fun () -> Done)
 
-let fat_release ~tid k =
-  ignore tid;
+(* Protocol-event marker, mirroring the instrumentation in
+   [Tl_core.Thin]: ["ev <tid> <kind-name>"], parseable back into
+   [Tl_events.Event] records (the single model object is id 1).  Each
+   marker sits in continuation position immediately after the memory
+   access that linearises the operation, so [Machine.run_random]
+   collects the labels in exact linearisation order and a strict-order
+   oracle can judge the stream. *)
+let ev ~trace ~tid name k : step =
+  if trace then Label (Printf.sprintf "ev %d %s" tid name, k) else k ()
+
+let fat_release ~trace ~tid k =
   Load
     ( Addr.fat_count,
-      fun c -> if c > 1 then Store (Addr.fat_count, c - 1, k) else Store (Addr.fat_owner, 0, k)
-    )
+      fun c ->
+        if c > 1 then
+          Store (Addr.fat_count, c - 1, fun () -> ev ~trace ~tid "release-fat" k)
+        else Store (Addr.fat_owner, 0, fun () -> ev ~trace ~tid "release-fat" k) )
 
 (* Inflate a thin lock we own: install the model fat monitor
    (owner/count, with the retired tombstone of any previous incarnation
    cleared — a fresh fat lock) and publish the inflated word.  [locks]
-   is the total lock count to transfer. *)
-let inflate_owned ~tid ~locks k =
+   is the total lock count to transfer.  [cause] is the inflation
+   event to emit ("inflate-overflow" or "inflate-contention"),
+   followed — as in [Thin.inflate_owned] — by the confirming
+   acquire-fat. *)
+let inflate_owned ~trace ~cause ~tid ~locks k =
   Store
     ( Addr.fat_retired,
       0,
@@ -57,7 +71,9 @@ let inflate_owned ~tid ~locks k =
                           Store
                             ( Addr.lockword,
                               Header.inflated_word ~hdr:(Header.hdr_bits word) ~monitor_index:1,
-                              k ) ) ) ) )
+                              fun () ->
+                                ev ~trace ~tid cause (fun () ->
+                                    ev ~trace ~tid "acquire-fat" k) ) ) ) ) )
 
 (* --- the thin-lock protocol, mirroring Tl_core.Thin.acquire ---
 
@@ -68,37 +84,48 @@ let inflate_owned ~tid ~locks k =
    returning [`Retired]; both bounce back to a fresh read of the lock
    word, which the deflater rewrites right after retiring. *)
 
-let rec fat_acquire ~tid ~budget k =
+let rec fat_acquire ?(trace = false) ~tid ~budget k =
   Load
     ( Addr.fat_retired,
       fun r ->
-        if r = 1 then restart ~tid ~budget k
+        if r = 1 then restart ~trace ~tid ~budget k
         else
           Cas
             ( Addr.fat_owner,
               0,
               tid,
               fun ok ->
-                if ok then Store (Addr.fat_count, 1, k)
+                if ok then
+                  ev ~trace ~tid "acquire-fat" (fun () -> Store (Addr.fat_count, 1, k))
                 else
                   Load
                     ( Addr.fat_owner,
                       fun owner ->
                         if owner = tid then
-                          Load (Addr.fat_count, fun c -> Store (Addr.fat_count, c + 1, k))
+                          Load
+                            ( Addr.fat_count,
+                              fun c ->
+                                Store
+                                  ( Addr.fat_count,
+                                    c + 1,
+                                    fun () -> ev ~trace ~tid "acquire-fat" k ) )
                         else
                           Load
                             ( Addr.fat_retired,
                               fun r ->
-                                if r = 1 then restart ~tid ~budget k
+                                if r = 1 then restart ~trace ~tid ~budget k
                                 else if budget <= 0 then give_up ~tid
-                                else Alu (1, fun () -> fat_acquire ~tid ~budget:(budget - 1) k)
+                                else
+                                  Alu
+                                    ( 1,
+                                      fun () ->
+                                        fat_acquire ~trace ~tid ~budget:(budget - 1) k )
                             ) ) ) )
 
-and restart ~tid ~budget k =
-  if budget <= 0 then give_up ~tid else acquire ~tid ~budget:(budget - 1) k
+and restart ~trace ~tid ~budget k =
+  if budget <= 0 then give_up ~tid else acquire ~trace ~tid ~budget:(budget - 1) k
 
-and acquire ~tid ~budget k =
+and acquire ?(trace = false) ~tid ~budget k =
   Load
     ( Addr.lockword,
       fun word ->
@@ -110,29 +137,41 @@ and acquire ~tid ~budget k =
                 ( Addr.lockword,
                   unlocked,
                   unlocked lor shifted tid,
-                  fun ok -> if ok then k () else acquire_slow ~tid ~budget word k ) ) )
+                  fun ok ->
+                    if ok then ev ~trace ~tid "acquire-fast" k
+                    else acquire_slow ~trace ~tid ~budget word k ) ) )
 
-and acquire_slow ~tid ~budget stale k =
+and acquire_slow ~trace ~tid ~budget stale k =
   ignore stale;
   Load
     ( Addr.lockword,
       fun word ->
         let x = word lxor shifted tid in
         if x < Header.nested_limit then
-          Alu (2, fun () -> Store (Addr.lockword, word + Header.count_increment, k))
-        else if Header.is_inflated word then fat_acquire ~tid ~budget k
+          Alu
+            ( 2,
+              fun () ->
+                Store
+                  ( Addr.lockword,
+                    word + Header.count_increment,
+                    fun () -> ev ~trace ~tid "acquire-nested" k ) )
+        else if Header.is_inflated word then fat_acquire ~trace ~tid ~budget k
         else if Header.is_unlocked word then
-          if budget <= 0 then give_up ~tid else acquire ~tid ~budget:(budget - 1) k
+          if budget <= 0 then give_up ~tid else acquire ~trace ~tid ~budget:(budget - 1) k
         else if Header.thin_owner word = tid then
           (* count overflow *)
-          inflate_owned ~tid ~locks:(Header.thin_count word + 2) k
-        else contended ~tid ~budget k )
+          inflate_owned ~trace ~cause:"inflate-overflow" ~tid
+            ~locks:(Header.thin_count word + 2) k
+        else
+          ev ~trace ~tid "contended-begin" (fun () ->
+              contended ~trace ~tid ~budget (fun () ->
+                  ev ~trace ~tid "contended-end" k)) )
 
-and contended ~tid ~budget k =
+and contended ~trace ~tid ~budget k =
   Load
     ( Addr.lockword,
       fun word ->
-        if Header.is_inflated word then fat_acquire ~tid ~budget k
+        if Header.is_inflated word then fat_acquire ~trace ~tid ~budget k
         else
           let unlocked = Header.hdr_bits word in
           if Header.is_unlocked word then
@@ -141,21 +180,34 @@ and contended ~tid ~budget k =
                 unlocked,
                 unlocked lor shifted tid,
                 fun ok ->
-                  if ok then inflate_owned ~tid ~locks:1 k
+                  if ok then inflate_owned ~trace ~cause:"inflate-contention" ~tid ~locks:1 k
                   else if budget <= 0 then give_up ~tid
-                  else contended ~tid ~budget:(budget - 1) k )
+                  else contended ~trace ~tid ~budget:(budget - 1) k )
           else if budget <= 0 then give_up ~tid
-          else Alu (1, fun () -> contended ~tid ~budget:(budget - 1) k) )
+          else Alu (1, fun () -> contended ~trace ~tid ~budget:(budget - 1) k) )
 
-let release ?(lenient = false) ~tid k =
+let release ?(lenient = false) ?(trace = false) ~tid k =
   Load
     ( Addr.lockword,
       fun word ->
         let held_once = Header.hdr_bits word lor shifted tid in
-        if word = held_once then Alu (1, fun () -> Store (Addr.lockword, Header.hdr_bits word, k))
+        if word = held_once then
+          Alu
+            ( 1,
+              fun () ->
+                Store
+                  ( Addr.lockword,
+                    Header.hdr_bits word,
+                    fun () -> ev ~trace ~tid "release-fast" k ) )
         else if word lxor shifted tid < 1 lsl Header.tid_offset then
-          Alu (1, fun () -> Store (Addr.lockword, word - Header.count_increment, k))
-        else if Header.is_inflated word then fat_release ~tid k
+          Alu
+            ( 1,
+              fun () ->
+                Store
+                  ( Addr.lockword,
+                    word - Header.count_increment,
+                    fun () -> ev ~trace ~tid "release-nested" k ) )
+        else if Header.is_inflated word then fat_release ~trace ~tid k
         else if lenient then k ()
           (* buggy-variant worlds reach states where the "owner" was
              already dispossessed; exploration must go on *)
@@ -169,20 +221,22 @@ let release ?(lenient = false) ~tid k =
 let critical_section ~tid k =
   Store (Addr.cs_flag ~tid, 1, fun () -> Store (Addr.cs_flag ~tid, 0, k))
 
-let rec lock_n ~tid ~budget n k =
-  if n = 0 then k () else acquire ~tid ~budget (fun () -> lock_n ~tid ~budget (n - 1) k)
+let rec lock_n ?trace ~tid ~budget n k =
+  if n = 0 then k ()
+  else acquire ?trace ~tid ~budget (fun () -> lock_n ?trace ~tid ~budget (n - 1) k)
 
-let rec release_n ?lenient ~tid n k =
-  if n = 0 then k () else release ?lenient ~tid (fun () -> release_n ?lenient ~tid (n - 1) k)
+let rec release_n ?lenient ?trace ~tid n k =
+  if n = 0 then k ()
+  else release ?lenient ?trace ~tid (fun () -> release_n ?lenient ?trace ~tid (n - 1) k)
 
-let worker ~tid ~iterations ?(nesting = 1) ?lenient ~spin_budget () : program =
+let worker ~tid ~iterations ?(nesting = 1) ?lenient ?trace ~spin_budget () : program =
  fun () ->
   let rec iter i =
     if i = 0 then Store (Addr.done_flag ~tid, 1, fun () -> Done)
     else
-      lock_n ~tid ~budget:spin_budget nesting (fun () ->
+      lock_n ?trace ~tid ~budget:spin_budget nesting (fun () ->
           critical_section ~tid (fun () ->
-              release_n ?lenient ~tid nesting (fun () -> iter (i - 1))))
+              release_n ?lenient ?trace ~tid nesting (fun () -> iter (i - 1))))
   in
   iter iterations
 
@@ -197,7 +251,7 @@ let worker ~tid ~iterations ?(nesting = 1) ?lenient ~spin_budget () : program =
    a protocol violation, flagged at [Addr.protocol_error] for the
    invariant to see. *)
 
-let deflater () : program =
+let deflater ?(trace = false) () : program =
  fun () ->
   Load
     ( Addr.lockword,
@@ -230,8 +284,11 @@ let deflater () : program =
                               1,
                               fun () ->
                                 finish (Header.hdr_bits word) (fun () ->
-                                    Store (Addr.deflated_flag, 1, fun () -> Done)) )
-                        else finish word (fun () -> Done) ) ) )
+                                    ev ~trace ~tid:0 "deflate-concurrent" (fun () ->
+                                        Store (Addr.deflated_flag, 1, fun () -> Done))) )
+                        else
+                          finish word (fun () ->
+                              ev ~trace ~tid:0 "deflate-aborted" (fun () -> Done)) ) ) )
 
 (* The no-handshake deflater: checks idleness with a plain load and
    rewrites the lock word with a plain store — the check-then-act race
@@ -240,7 +297,7 @@ let deflater () : program =
    thread in beside it (mutual-exclusion violation), and the first
    worker's release finds a word it no longer owns (completion
    violation). *)
-let buggy_no_handshake_deflater () : program =
+let buggy_no_handshake_deflater ?(trace = false) () : program =
  fun () ->
   Load
     ( Addr.lockword,
@@ -255,7 +312,9 @@ let buggy_no_handshake_deflater () : program =
                   Store
                     ( Addr.lockword,
                       Header.hdr_bits word,
-                      fun () -> Store (Addr.deflated_flag, 1, fun () -> Done) ) ) )
+                      fun () ->
+                        ev ~trace ~tid:0 "deflate-concurrent" (fun () ->
+                            Store (Addr.deflated_flag, 1, fun () -> Done)) ) ) )
 
 (* --- broken variants --- *)
 
@@ -274,6 +333,34 @@ let buggy_blind_release_worker ~tid ~iterations ~spin_budget () : program =
       acquire ~tid ~budget:spin_budget (fun () ->
           critical_section ~tid (fun () ->
               release ~lenient:true ~tid (fun () -> blind_release (fun () -> iter (i - 1)))))
+  in
+  iter iterations
+
+(* Owner-skip unlock: after its correct iterations, one extra release
+   executed without checking (or holding) ownership — the unlock
+   analogue of the non-owner inflate bug below.  The blind store either
+   unlocks an object nobody holds, dispossesses whoever does hold it,
+   or flattens a live monitor; whichever way the schedule falls, the
+   release-fast event it reports cannot be explained by any automaton
+   run, so a stream-level oracle flags every schedule. *)
+let buggy_owner_skip_unlock_worker ?(trace = false) ~tid ~iterations ~spin_budget () :
+    program =
+ fun () ->
+  let skip_release k =
+    Load
+      ( Addr.lockword,
+        fun word ->
+          Store
+            ( Addr.lockword,
+              Header.hdr_bits word,
+              fun () -> ev ~trace ~tid "release-fast" k ) )
+  in
+  let rec iter i =
+    if i = 0 then skip_release (fun () -> Store (Addr.done_flag ~tid, 1, fun () -> Done))
+    else
+      acquire ~trace ~tid ~budget:spin_budget (fun () ->
+          critical_section ~tid (fun () ->
+              release ~lenient:true ~trace ~tid (fun () -> iter (i - 1))))
   in
   iter iterations
 

@@ -50,6 +50,7 @@ val worker :
   iterations:int ->
   ?nesting:int ->
   ?lenient:bool ->
+  ?trace:bool ->
   spin_budget:int ->
   unit ->
   Machine.program
@@ -59,9 +60,18 @@ val worker :
     runs out the thread bumps [gave_up] and stops — exploration stays
     finite.  [lenient] makes release tolerate a word it does not own
     (needed in buggy-variant worlds, where dispossession is the bug
-    under test). *)
+    under test).
 
-val deflater : unit -> Machine.program
+    [trace] (default [false]) emits a [Machine.Label] of the form
+    ["ev <tid> <kind-name>"] immediately after each protocol
+    operation's linearising memory access — the same event vocabulary
+    as [Tl_core.Thin]'s instrumentation ([Tl_events.Event]), the
+    single model object being id 1.  Collected by
+    [Machine.run_random], the labels form a stream in exact
+    linearisation order, checkable by [Tl_events.Oracle] in strict
+    mode. *)
+
+val deflater : ?trace:bool -> unit -> Machine.program
 (** One shot of the real deflation handshake
     ([Tl_core.Thin.deflate_lockword]): claim the
     deflation-in-progress bit, CAS-retire the monitor if idle, rewrite
@@ -72,7 +82,7 @@ val deflater : unit -> Machine.program
 (** Deliberately broken variants, used to demonstrate that the checker
     has teeth: each must yield a violation. *)
 
-val buggy_no_handshake_deflater : unit -> Machine.program
+val buggy_no_handshake_deflater : ?trace:bool -> unit -> Machine.program
 (** Deflates with a plain idleness load and a plain lock-word store —
     no deflation-in-progress bit, no atomic retire.  A worker entering
     between check and act keeps the monitor while the freshly
@@ -82,6 +92,15 @@ val buggy_blind_release_worker :
   tid:int -> iterations:int -> spin_budget:int -> unit -> Machine.program
 (** Releases by storing the unlocked pattern without checking
     ownership. *)
+
+val buggy_owner_skip_unlock_worker :
+  ?trace:bool -> tid:int -> iterations:int -> spin_budget:int -> unit -> Machine.program
+(** Behaves correctly for [iterations] rounds, then performs one extra
+    release that skips the ownership check entirely — blindly storing
+    the unlocked pattern (and reporting a fast release).  Every
+    schedule yields an event stream the protocol automaton rejects:
+    the extra unlock hits either an unlocked object, another thread's
+    thin lock, or a live monitor. *)
 
 val buggy_nonowner_inflate_worker :
   tid:int -> iterations:int -> spin_budget:int -> unit -> Machine.program

@@ -363,6 +363,52 @@ let test_diff_locates_divergence () =
   check "delta for release-fat" true
     (List.mem (Event.Release_fat, 0, 1) report.Diff.kind_deltas)
 
+let test_diff_empty_vs_empty () =
+  let report = Diff.compare Sink.empty Sink.empty in
+  check "identical" true (Diff.identical report);
+  check_int "exit code 0" 0 (Diff.exit_code report);
+  check_int "left events" 0 report.Diff.left_events;
+  check_int "right events" 0 report.Diff.right_events
+
+let test_diff_one_event_prefix_truncation () =
+  (* right is the empty prefix of a one-event left: the divergence is
+     at index 0, where right is already exhausted *)
+  let left = drained_of_emits [ (1, Event.Acquire_fast, 7) ] in
+  let report = Diff.compare left Sink.empty in
+  check "not identical" false (Diff.identical report);
+  check_int "exit code 1" 1 (Diff.exit_code report);
+  (match report.Diff.divergence with
+  | Some d ->
+      check_int "diverges at index 0" 0 d.Diff.index;
+      check "left present" true (d.Diff.left <> None);
+      check "right exhausted" true (d.Diff.right = None)
+  | None -> Alcotest.fail "expected a divergence");
+  check "delta for the truncated kind" true
+    (List.mem (Event.Acquire_fast, 1, 0) report.Diff.kind_deltas)
+
+let test_diff_arg_only_difference () =
+  (* same kinds, same tids, same length — only an arg differs.  The
+     divergence is located, but the per-kind census agrees, so
+     kind_deltas must stay empty (and exit still signals a diff). *)
+  let left =
+    drained_of_emits [ (1, Event.Acquire_fast, 7); (1, Event.Release_fast, 7) ]
+  in
+  let right =
+    drained_of_emits [ (1, Event.Acquire_fast, 7); (1, Event.Release_fast, 8) ]
+  in
+  let report = Diff.compare left right in
+  check "not identical" false (Diff.identical report);
+  check_int "exit code 1" 1 (Diff.exit_code report);
+  (match report.Diff.divergence with
+  | Some d ->
+      check_int "diverges at the arg mismatch" 1 d.Diff.index;
+      check "left arg" true
+        (match d.Diff.left with Some e -> e.Event.arg = 7 | None -> false);
+      check "right arg" true
+        (match d.Diff.right with Some e -> e.Event.arg = 8 | None -> false)
+  | None -> Alcotest.fail "expected a divergence");
+  check "no kind deltas" true (report.Diff.kind_deltas = [])
+
 let test_diff_length_mismatch () =
   let left = drained_of_emits [ (1, Event.Acquire_fast, 7); (1, Event.Release_fast, 7) ] in
   let right = drained_of_emits [ (1, Event.Acquire_fast, 7) ] in
@@ -416,5 +462,9 @@ let () =
           Alcotest.test_case "identical streams" `Quick test_diff_identical;
           Alcotest.test_case "first divergence located" `Quick test_diff_locates_divergence;
           Alcotest.test_case "length mismatch" `Quick test_diff_length_mismatch;
+          Alcotest.test_case "empty vs empty" `Quick test_diff_empty_vs_empty;
+          Alcotest.test_case "one-event prefix truncation" `Quick
+            test_diff_one_event_prefix_truncation;
+          Alcotest.test_case "arg-only difference" `Quick test_diff_arg_only_difference;
         ] );
     ]

@@ -1,0 +1,649 @@
+(* The streaming protocol oracle: hand-written unit streams for every
+   violation class, clean-stream acceptance (hand-written, generated,
+   and real replay streams single- and multi-domain), the adversarial
+   mutation property, the oracle against lib/sim's seeded protocol
+   bugs, the online residency monitor (units + exact cross-check
+   against Policy_lab's offline integral), and the stream-level entry
+   points in Tl_core.Validate. *)
+
+open Tl_events
+open Tl_workload
+module Machine = Tl_sim.Machine
+module Thinmodel = Tl_sim.Thinmodel
+module Stream_gen = Tl_test_helpers.Stream_gen
+module Validate = Tl_core.Validate
+module Header = Tl_heap.Header
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let ev seq tid kind arg = { Event.seq; tid; kind; arg }
+
+let dr evs = { Sink.events = Array.of_list evs; dropped = [] }
+
+(* seq-dense stream from (tid, kind, arg) triples *)
+let stream triples =
+  dr (List.mapi (fun i (tid, kind, arg) -> ev i tid kind arg) triples)
+
+let report_str r = Format.asprintf "%a" Oracle.pp r
+
+let assert_clean ?mode ?count_width ?require_unlocked_end d =
+  let r = Oracle.check ?mode ?count_width ?require_unlocked_end d in
+  if not (Oracle.ok r) then Alcotest.failf "expected clean, got: %s" (report_str r);
+  check_int "exit code 0" 0 (Oracle.exit_code r)
+
+let assert_class ?mode ?count_width ?seq cls d =
+  let r = Oracle.check ?mode ?count_width d in
+  check_int "exit code 1" 1 (Oracle.exit_code r);
+  match Oracle.find r cls with
+  | None ->
+      Alcotest.failf "expected %s, got: %s" (Oracle.class_name cls) (report_str r)
+  | Some v -> (
+      match seq with
+      | None -> ()
+      | Some s -> check_int ("seq of " ^ Oracle.class_name cls) s v.Oracle.seq)
+
+(* --- one unit stream per violation class --- *)
+
+let test_unlock_without_lock () =
+  assert_class ~seq:0 Oracle.Unlock_without_lock
+    (stream [ (1, Event.Release_fast, 9) ])
+
+let test_ownership_violation () =
+  assert_class ~seq:1 Oracle.Ownership_violation
+    (stream [ (1, Event.Acquire_fast, 7); (2, Event.Release_fast, 7) ])
+
+let test_count_overflow_without_inflation () =
+  (* count_width 1 caps thin depth at 2: the third acquire must
+     overflow-inflate, not keep nesting *)
+  assert_class ~count_width:1 ~seq:2 Oracle.Count_error
+    (stream
+       [
+         (1, Event.Acquire_fast, 2);
+         (1, Event.Acquire_nested, 2);
+         (1, Event.Acquire_nested, 2);
+       ])
+
+let test_count_error_fast_reacquire () =
+  assert_class ~seq:1 Oracle.Count_error
+    (stream [ (1, Event.Acquire_fast, 2); (1, Event.Acquire_fast, 2) ])
+
+let test_count_underflow () =
+  (* a nested release at depth 1 would drive the count below zero —
+     the release must take the fast path *)
+  assert_class ~seq:1 Oracle.Count_error
+    (stream [ (1, Event.Acquire_fast, 2); (1, Event.Release_nested, 2) ])
+
+let test_reinflation_of_retired () =
+  assert_class ~seq:3 Oracle.Reinflation_of_retired
+    (stream
+       [
+         (1, Event.Acquire_fast, 4);
+         (1, Event.Inflate_overflow, 4);
+         (1, Event.Acquire_fat, 4);
+         (1, Event.Inflate_overflow, 4);
+       ])
+
+let test_lost_wakeup () =
+  (* t1 parks with one undelivered notification outstanding and never
+     exits: flagged at end of stream (seq -1) *)
+  assert_class ~seq:(-1) Oracle.Lost_wakeup
+    (stream
+       [
+         (1, Event.Acquire_fast, 5);
+         (1, Event.Inflate_wait, 5);
+         (1, Event.Wait_op, 5);
+         (2, Event.Acquire_fat, 5);
+         (2, Event.Notify_op, 5);
+         (2, Event.Release_fat, 5);
+       ])
+
+let test_deflation_without_handshake () =
+  assert_class ~seq:2 Oracle.Deflation_without_handshake
+    (stream
+       [
+         (1, Event.Acquire_fast, 3);
+         (1, Event.Inflate_wait, 3);
+         (0, Event.Deflate_quiescent, 3);
+       ])
+
+let test_deflation_with_waiters () =
+  assert_class ~seq:3 Oracle.Deflation_without_handshake
+    (stream
+       [
+         (1, Event.Acquire_fast, 3);
+         (1, Event.Inflate_wait, 3);
+         (1, Event.Wait_op, 3);
+         (0, Event.Deflate_concurrent, 3);
+       ])
+
+let test_stale_handle () =
+  assert_class ~seq:0 Oracle.Stale_handle (stream [ (1, Event.Acquire_fat, 6) ])
+
+let test_malformed_seq_gap () =
+  assert_class Oracle.Stream_malformed
+    (dr [ ev 0 1 Event.Acquire_fast 1; ev 2 1 Event.Release_fast 1 ])
+
+let test_malformed_duplicate_seq () =
+  assert_class Oracle.Stream_malformed
+    (dr [ ev 0 1 Event.Acquire_fast 1; ev 0 1 Event.Release_fast 1 ])
+
+let test_malformed_tid0_thread_path () =
+  assert_class ~seq:0 Oracle.Stream_malformed
+    (stream [ (0, Event.Acquire_fast, 1) ])
+
+let test_malformed_held_at_end () =
+  let d = stream [ (1, Event.Acquire_fast, 1) ] in
+  assert_class ~seq:(-1) Oracle.Stream_malformed d;
+  (* tolerated when the stream is declared a prefix *)
+  assert_clean ~require_unlocked_end:false d
+
+(* --- clean streams the automaton must accept --- *)
+
+let test_accepts_thin_cycle () =
+  let d =
+    stream
+      [
+        (1, Event.Acquire_fast, 1);
+        (1, Event.Acquire_nested, 1);
+        (1, Event.Notify_op, 1);
+        (1, Event.Release_nested, 1);
+        (1, Event.Release_fast, 1);
+        (2, Event.Acquire_fast, 1);
+        (2, Event.Release_fast, 1);
+      ]
+  in
+  assert_clean d;
+  assert_clean ~mode:Oracle.Relaxed d
+
+let test_accepts_full_lifecycle () =
+  (* inflate for contention, wait/notify with the invisible resume,
+     deflate once idle, re-inflate fresh *)
+  let d =
+    stream
+      [
+        (1, Event.Acquire_fast, 1);
+        (2, Event.Contended_begin, 1);
+        (1, Event.Release_fast, 1);
+        (2, Event.Inflate_contention, 1);
+        (2, Event.Acquire_fat, 1);
+        (2, Event.Contended_end, 1);
+        (2, Event.Wait_op, 1);
+        (3, Event.Acquire_fat, 1);
+        (3, Event.Notify_all_op, 1);
+        (3, Event.Release_fat, 1);
+        (2, Event.Release_fat, 1);
+        (* waiter 2 resumed invisibly, exits its wait *)
+        (0, Event.Deflate_quiescent, 1);
+        (1, Event.Acquire_fast, 1);
+        (1, Event.Release_fast, 1);
+        (0, Event.Reaper_scan, 1);
+        (1, Event.Quiescence, 1);
+      ]
+  in
+  assert_clean d;
+  assert_clean ~mode:Oracle.Relaxed d
+
+let test_accepts_timed_wait_expiry () =
+  (* the waiter resumes without any notify credit: a timeout, legal *)
+  assert_clean
+    (stream
+       [
+         (1, Event.Acquire_fast, 1);
+         (1, Event.Inflate_wait, 1);
+         (1, Event.Wait_op, 1);
+         (1, Event.Release_fat, 1);
+       ])
+
+let test_relaxed_absorbs_emit_window_skew () =
+  (* t2's ticket predates t1's although t1's episode linearised first:
+     strict rejects, relaxed finds the valid interleaving *)
+  let d =
+    dr
+      [
+        ev 0 2 Event.Acquire_fast 1;
+        ev 1 1 Event.Acquire_fast 1;
+        ev 2 1 Event.Release_fast 1;
+        ev 3 2 Event.Release_fast 1;
+      ]
+  in
+  assert_class ~mode:Oracle.Strict Oracle.Ownership_violation d;
+  assert_clean ~mode:Oracle.Relaxed d
+
+let test_empty_stream_is_clean () =
+  assert_clean Sink.empty;
+  let r = Oracle.check Sink.empty in
+  check_int "no objects" 0 r.Oracle.objects
+
+(* --- generated streams: acceptance + mutation property --- *)
+
+let spec_gen =
+  QCheck.Gen.(
+    map
+      (fun (threads, objects, steps, seed) ->
+        { Stream_gen.threads; objects; steps; seed })
+      (quad (int_range 1 4) (int_range 1 6) (int_range 0 80)
+         (int_bound 1_000_000)))
+
+let spec_print (s : Stream_gen.spec) =
+  Printf.sprintf "{threads=%d; objects=%d; steps=%d; seed=%d}" s.threads
+    s.objects s.steps s.seed
+
+let spec_arb = QCheck.make ~print:spec_print spec_gen
+
+let prop_generated_streams_accepted =
+  QCheck.Test.make ~count:250 ~name:"oracle accepts every well-formed stream"
+    spec_arb (fun spec ->
+      let g = Stream_gen.generate spec in
+      let d = Stream_gen.drained g in
+      Oracle.ok (Oracle.check ~mode:Oracle.Strict d)
+      && Oracle.ok (Oracle.check ~mode:Oracle.Relaxed d))
+
+let prop_mutations_flagged =
+  QCheck.Test.make ~count:500
+    ~name:"oracle flags every mutation with the expected class" spec_arb
+    (fun spec ->
+      let g = Stream_gen.generate spec in
+      match Stream_gen.mutate ~seed:(spec.Stream_gen.seed + 1) g with
+      | None -> true (* no mutation site (empty stream) *)
+      | Some m ->
+          let r = Oracle.check m.Stream_gen.m_stream in
+          (match Oracle.find r m.Stream_gen.m_expected with
+          | Some _ -> true
+          | None ->
+              QCheck.Test.fail_reportf "mutation %s: expected %s, got %s"
+                m.Stream_gen.m_name
+                (Oracle.class_name m.Stream_gen.m_expected)
+                (report_str r)))
+
+let test_mutation_catalogue_covers_all_classes () =
+  (* walk seeds until every violation class has been produced by some
+     mutation — the property above then checks each is detected *)
+  let seen = Hashtbl.create 8 in
+  let all =
+    [
+      Oracle.Unlock_without_lock;
+      Oracle.Ownership_violation;
+      Oracle.Count_error;
+      Oracle.Reinflation_of_retired;
+      Oracle.Lost_wakeup;
+      Oracle.Deflation_without_handshake;
+      Oracle.Stale_handle;
+      Oracle.Stream_malformed;
+    ]
+  in
+  let seed = ref 0 in
+  while Hashtbl.length seen < List.length all && !seed < 4_000 do
+    let spec =
+      { Stream_gen.threads = 3; objects = 4; steps = 70; seed = !seed }
+    in
+    let g = Stream_gen.generate spec in
+    (match Stream_gen.mutate ~seed:(!seed * 7 + 1) g with
+    | None -> ()
+    | Some m -> Hashtbl.replace seen m.Stream_gen.m_expected ());
+    incr seed
+  done;
+  List.iter
+    (fun cls ->
+      check ("catalogue produces " ^ Oracle.class_name cls) true
+        (Hashtbl.mem seen cls))
+    all
+
+(* --- the oracle against lib/sim's seeded bugs --- *)
+
+let inflated_idle_seed =
+  [ (Thinmodel.Addr.lockword, Header.inflated_word ~hdr:0 ~monitor_index:1) ]
+
+(* model labels are "ev <tid> <kind-name>" on the single model object
+   (id 1); an optional prefix brings the automaton to the seeded
+   start state *)
+let sim_stream ?(prefix = []) labels =
+  let evs = ref [] in
+  let n = ref 0 in
+  let push tid kind =
+    evs := ev !n tid kind 1 :: !evs;
+    incr n
+  in
+  List.iter (fun (tid, kind) -> push tid kind) prefix;
+  List.iter
+    (fun l ->
+      match String.split_on_char ' ' l with
+      | [ "ev"; tid; name ] -> (
+          match Event.kind_of_name name with
+          | Some kind -> push (int_of_string tid) kind
+          | None -> Alcotest.failf "unknown event in label %S" l)
+      | _ -> Alcotest.failf "unparseable label %S" l)
+    labels;
+  dr (List.rev !evs)
+
+(* the seeded world starts with a live idle monitor: a synthetic
+   inflate-confirm-release by a pseudo thread reproduces that state *)
+let fat_seed_prefix =
+  [
+    (9, Event.Inflate_contention);
+    (9, Event.Acquire_fat);
+    (9, Event.Release_fat);
+  ]
+
+let test_sim_correct_deflater_streams_clean () =
+  for seed = 0 to 149 do
+    let t =
+      Machine.run_random ~seed ~mem_size:Thinmodel.Addr.mem_size
+        ~seed_mem:inflated_idle_seed
+        [|
+          Thinmodel.worker ~tid:1 ~iterations:2 ~trace:true ~spin_budget:6 ();
+          Thinmodel.worker ~tid:2 ~iterations:2 ~trace:true ~spin_budget:6 ();
+          Thinmodel.deflater ~trace:true ();
+        |]
+    in
+    let d = sim_stream ~prefix:fat_seed_prefix t.Machine.t_labels in
+    let r = Oracle.check d in
+    if not (Oracle.ok r) then
+      Alcotest.failf "seed %d rejected: %s" seed (report_str r)
+  done
+
+let test_sim_buggy_deflater_flagged () =
+  let flagged = ref 0 and handshake = ref 0 and stale = ref 0 in
+  for seed = 0 to 299 do
+    let t =
+      Machine.run_random ~seed ~mem_size:Thinmodel.Addr.mem_size
+        ~seed_mem:inflated_idle_seed
+        [|
+          Thinmodel.worker ~tid:1 ~iterations:2 ~lenient:true ~trace:true
+            ~spin_budget:6 ();
+          Thinmodel.worker ~tid:2 ~iterations:2 ~lenient:true ~trace:true
+            ~spin_budget:6 ();
+          Thinmodel.buggy_no_handshake_deflater ~trace:true ();
+        |]
+    in
+    let d = sim_stream ~prefix:fat_seed_prefix t.Machine.t_labels in
+    let r = Oracle.check d in
+    if not (Oracle.ok r) then begin
+      incr flagged;
+      List.iter
+        (fun (v : Oracle.violation) ->
+          match v.Oracle.cls with
+          | Oracle.Deflation_without_handshake -> incr handshake
+          | Oracle.Stale_handle -> incr stale
+          | c ->
+              Alcotest.failf "seed %d: unexpected class %s in %s" seed
+                (Oracle.class_name c) (report_str r))
+        r.Oracle.violations
+    end
+  done;
+  check "some schedules flagged" true (!flagged > 0);
+  check "deflation-without-handshake observed" true (!handshake > 0)
+
+let test_sim_owner_skip_unlock_flagged_every_schedule () =
+  let classes = [ Oracle.Unlock_without_lock; Oracle.Ownership_violation ] in
+  for seed = 0 to 199 do
+    let t =
+      Machine.run_random ~seed ~mem_size:Thinmodel.Addr.mem_size
+        [|
+          Thinmodel.buggy_owner_skip_unlock_worker ~tid:1 ~iterations:2
+            ~trace:true ~spin_budget:6 ();
+          Thinmodel.buggy_owner_skip_unlock_worker ~tid:2 ~iterations:2
+            ~trace:true ~spin_budget:6 ();
+        |]
+    in
+    let d = sim_stream t.Machine.t_labels in
+    let r = Oracle.check d in
+    if Oracle.ok r then Alcotest.failf "seed %d: owner-skip stream accepted" seed;
+    if not (List.exists (fun c -> Oracle.find r c <> None) classes) then
+      Alcotest.failf "seed %d: no unlock/ownership finding in %s" seed
+        (report_str r)
+  done
+
+let test_sim_owner_skip_solo_is_unlock_without_lock () =
+  let t =
+    Machine.run_random ~seed:5 ~mem_size:Thinmodel.Addr.mem_size
+      [|
+        Thinmodel.buggy_owner_skip_unlock_worker ~tid:1 ~iterations:1
+          ~trace:true ~spin_budget:4 ();
+      |]
+  in
+  assert_class Oracle.Unlock_without_lock (sim_stream t.Machine.t_labels)
+
+(* --- real replay streams: acceptance + residency cross-check --- *)
+
+let policy name = Option.get (Policy_lab.policy_of_string name)
+
+let trace_of name =
+  Tracegen.generate ~seed:1998 ~max_syncs:6_000
+    (Option.get (Profiles.find name))
+
+let test_replay_stream_accepted name () =
+  let _ctx, d =
+    Policy_lab.replay_traced ~policy:(policy "always-idle") (trace_of name)
+  in
+  check "no drops" true (d.Sink.dropped = []);
+  let r = Oracle.check ~count_width:1 d in
+  if not (Oracle.ok r) then
+    Alcotest.failf "%s replay rejected: %s" name (report_str r)
+
+let test_replay_par_stream_accepted name domains mode () =
+  let _res, d =
+    Policy_lab.replay_traced_par ~domains ~mode ~policy:(policy "always-idle")
+      (trace_of name)
+  in
+  check "no drops" true (d.Sink.dropped = []);
+  let omode = if domains > 1 then Oracle.Relaxed else Oracle.Strict in
+  let r = Oracle.check ~mode:omode ~count_width:1 d in
+  if not (Oracle.ok r) then
+    Alcotest.failf "%s par replay (%d domains) rejected: %s" name domains
+      (report_str r)
+
+let test_residency_matches_policy_lab name pname () =
+  let p = policy pname in
+  let _ctx, d = Policy_lab.replay_traced ~policy:p (trace_of name) in
+  let score = Policy_lab.score_stream ~policy:p d in
+  let s = Residency.of_drained d in
+  (* bit-for-bit equality: the online integral replicates the offline
+     accumulation order exactly *)
+  check
+    (Printf.sprintf "%s/%s fat residency exact" name pname)
+    true
+    (score.Policy_lab.fat_residency = s.Residency.fat_residency);
+  check_int "inflations" score.Policy_lab.inflations s.Residency.inflations;
+  check_int "deflations" score.Policy_lab.deflations s.Residency.deflations;
+  check_int "aborted handshakes" score.Policy_lab.aborted s.Residency.aborted;
+  check_int "reinflations" score.Policy_lab.reinflations s.Residency.reinflations;
+  check_int "contended episodes" score.Policy_lab.contended
+    s.Residency.contended_episodes
+
+(* --- residency monitor units --- *)
+
+let test_residency_empty () =
+  let s = Residency.of_drained Sink.empty in
+  check_int "events" 0 s.Residency.events;
+  check "no area" true (s.Residency.fat_area = 0.0);
+  check "no residency" true (s.Residency.fat_residency = 0.0);
+  check_int "live" 0 s.Residency.live_now;
+  check "no hottest" true (s.Residency.hottest = None)
+
+let test_residency_integral_and_dwell () =
+  (* one monitor live from seq 1 to seq 5 over a span of 6: area 4,
+     residency 4/6; dwell 4 lands in bucket 2 = [4, 8) *)
+  let s =
+    Residency.of_drained
+      (stream
+         [
+           (1, Event.Acquire_fast, 1);
+           (1, Event.Inflate_wait, 1);
+           (1, Event.Wait_op, 1);
+           (2, Event.Acquire_fat, 1);
+           (2, Event.Notify_all_op, 1);
+           (0, Event.Deflate_concurrent, 1);
+           (1, Event.Quiescence, 1);
+         ])
+  in
+  check_int "events" 7 s.Residency.events;
+  check_int "span" 6 s.Residency.span;
+  check "area" true (s.Residency.fat_area = 4.0);
+  check "residency" true (s.Residency.fat_residency = 4.0 /. 6.0);
+  check_int "inflations" 1 s.Residency.inflations;
+  check_int "deflations" 1 s.Residency.deflations;
+  check_int "live now" 0 s.Residency.live_now;
+  check_int "live peak" 1 s.Residency.live_peak;
+  check_int "dwell bucket 2" 1 s.Residency.dwell.(2);
+  check_int "dwell total" 1 (Array.fold_left ( + ) 0 s.Residency.dwell)
+
+let test_residency_peak_reinflation_hottest () =
+  let s =
+    Residency.of_drained
+      (stream
+         [
+           (1, Event.Acquire_fast, 1);
+           (1, Event.Inflate_overflow, 1);
+           (1, Event.Acquire_fat, 1);
+           (2, Event.Contended_begin, 2);
+           (2, Event.Contended_begin, 2);
+           (3, Event.Contended_begin, 3);
+           (1, Event.Inflate_contention, 2);
+           (1, Event.Acquire_fat, 2);
+           (0, Event.Deflate_aborted, 1);
+           (1, Event.Release_fat, 2);
+           (1, Event.Release_fat, 1);
+           (0, Event.Deflate_quiescent, 1);
+           (1, Event.Inflate_contention, 1);
+           (1, Event.Acquire_fat, 1);
+         ])
+  in
+  check_int "live peak" 2 s.Residency.live_peak;
+  check_int "live now" 2 s.Residency.live_now;
+  check_int "reinflations" 1 s.Residency.reinflations;
+  check_int "aborted" 1 s.Residency.aborted;
+  check_int "contended objects" 2 s.Residency.contended_objects;
+  check_int "contended episodes" 3 s.Residency.contended_episodes;
+  check "hottest is object 2" true (s.Residency.hottest = Some (2, 2));
+  check_int "open monitors" 2 (List.length s.Residency.open_monitors)
+
+(* --- stream-level validation entry points --- *)
+
+let test_validate_check_stream () =
+  let good =
+    Validate.check_stream
+      (stream [ (1, Event.Acquire_fast, 1); (1, Event.Release_fast, 1) ])
+  in
+  check_int "clean events" 2 good.Validate.stream_events;
+  check_int "clean objects" 1 good.Validate.stream_objects;
+  check "clean" true (good.Validate.stream_violations = []);
+  let bad = Validate.check_stream (stream [ (1, Event.Release_fast, 1) ]) in
+  (match bad.Validate.stream_violations with
+  | [ (0, msg) ] ->
+      check "rendered class" true
+        (String.length msg > 0
+        &&
+        let has_sub sub =
+          let n = String.length msg and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+          go 0
+        in
+        has_sub "unlock-without-lock")
+  | _ -> Alcotest.fail "expected exactly one violation at seq 0");
+  match
+    Validate.assert_stream_clean (stream [ (1, Event.Acquire_fast, 1) ])
+  with
+  | () -> Alcotest.fail "held-at-end stream must raise"
+  | exception Validate.Violation _ -> ()
+
+let () =
+  Alcotest.run "oracle"
+    [
+      ( "violation classes",
+        [
+          Alcotest.test_case "unlock without lock" `Quick test_unlock_without_lock;
+          Alcotest.test_case "ownership violation" `Quick test_ownership_violation;
+          Alcotest.test_case "count overflow without inflation" `Quick
+            test_count_overflow_without_inflation;
+          Alcotest.test_case "fast reacquire while holding" `Quick
+            test_count_error_fast_reacquire;
+          Alcotest.test_case "count underflow" `Quick test_count_underflow;
+          Alcotest.test_case "reinflation of a live monitor" `Quick
+            test_reinflation_of_retired;
+          Alcotest.test_case "lost wakeup" `Quick test_lost_wakeup;
+          Alcotest.test_case "deflation of an owned monitor" `Quick
+            test_deflation_without_handshake;
+          Alcotest.test_case "deflation with parked waiters" `Quick
+            test_deflation_with_waiters;
+          Alcotest.test_case "stale handle" `Quick test_stale_handle;
+          Alcotest.test_case "seq gap" `Quick test_malformed_seq_gap;
+          Alcotest.test_case "duplicate seq" `Quick test_malformed_duplicate_seq;
+          Alcotest.test_case "thread-path event on tid 0" `Quick
+            test_malformed_tid0_thread_path;
+          Alcotest.test_case "held at end of stream" `Quick
+            test_malformed_held_at_end;
+        ] );
+      ( "acceptance",
+        [
+          Alcotest.test_case "thin cycle" `Quick test_accepts_thin_cycle;
+          Alcotest.test_case "full lifecycle" `Quick test_accepts_full_lifecycle;
+          Alcotest.test_case "timed-wait expiry" `Quick
+            test_accepts_timed_wait_expiry;
+          Alcotest.test_case "relaxed absorbs emit-window skew" `Quick
+            test_relaxed_absorbs_emit_window_skew;
+          Alcotest.test_case "empty stream" `Quick test_empty_stream_is_clean;
+        ] );
+      ( "adversarial generator",
+        [
+          QCheck_alcotest.to_alcotest prop_generated_streams_accepted;
+          QCheck_alcotest.to_alcotest prop_mutations_flagged;
+          Alcotest.test_case "catalogue covers every class" `Quick
+            test_mutation_catalogue_covers_all_classes;
+        ] );
+      ( "seeded sim bugs",
+        [
+          Alcotest.test_case "correct deflater world stays clean" `Quick
+            test_sim_correct_deflater_streams_clean;
+          Alcotest.test_case "no-handshake deflater flagged" `Quick
+            test_sim_buggy_deflater_flagged;
+          Alcotest.test_case "owner-skip unlock flagged on every schedule" `Quick
+            test_sim_owner_skip_unlock_flagged_every_schedule;
+          Alcotest.test_case "owner-skip solo is unlock-without-lock" `Quick
+            test_sim_owner_skip_solo_is_unlock_without_lock;
+        ] );
+      ( "replay streams",
+        [
+          Alcotest.test_case "javalex accepted" `Quick
+            (test_replay_stream_accepted "javalex");
+          Alcotest.test_case "javacup accepted" `Quick
+            (test_replay_stream_accepted "javacup");
+          Alcotest.test_case "mocha accepted" `Quick
+            (test_replay_stream_accepted "mocha");
+          Alcotest.test_case "javacup par 1 domain (affinity)" `Quick
+            (test_replay_par_stream_accepted "javacup" 1
+               Parallel_replay.Affinity);
+          Alcotest.test_case "javacup par 2 domains (affinity)" `Quick
+            (test_replay_par_stream_accepted "javacup" 2
+               Parallel_replay.Affinity);
+          Alcotest.test_case "javacup par 4 domains (shuffle)" `Quick
+            (test_replay_par_stream_accepted "javacup" 4
+               Parallel_replay.Shuffle);
+          Alcotest.test_case "javalex par 2 domains (shuffle)" `Quick
+            (test_replay_par_stream_accepted "javalex" 2
+               Parallel_replay.Shuffle);
+          Alcotest.test_case "mocha par 4 domains (affinity)" `Quick
+            (test_replay_par_stream_accepted "mocha" 4 Parallel_replay.Affinity);
+        ] );
+      ( "residency",
+        [
+          Alcotest.test_case "empty" `Quick test_residency_empty;
+          Alcotest.test_case "integral and dwell histogram" `Quick
+            test_residency_integral_and_dwell;
+          Alcotest.test_case "peak, reinflation, hottest" `Quick
+            test_residency_peak_reinflation_hottest;
+          Alcotest.test_case "javalex online = offline" `Quick
+            (test_residency_matches_policy_lab "javalex" "always-idle");
+          Alcotest.test_case "javacup online = offline" `Quick
+            (test_residency_matches_policy_lab "javacup" "idle-for-4");
+          Alcotest.test_case "mocha online = offline" `Quick
+            (test_residency_matches_policy_lab "mocha" "always-idle");
+          Alcotest.test_case "javacup online = offline (never deflate)" `Quick
+            (test_residency_matches_policy_lab "javacup" "never");
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "check_stream and assert_stream_clean" `Quick
+            test_validate_check_stream;
+        ] );
+    ]

@@ -41,7 +41,7 @@ dune exec test/test_events.exe -- test codec
 echo "== bench smoke pass (includes events-overhead and replay-par)"
 dune exec bench/main.exe -- smoke
 
-echo "== BENCH.json is valid and carries the replay-par scenario"
+echo "== BENCH.json is valid and carries the replay-par and oracle scenarios"
 if command -v python3 >/dev/null 2>&1; then
   python3 - <<'EOF'
 import json
@@ -52,11 +52,18 @@ rows = d["scenarios"]["replay_par"]
 assert rows, "replay_par section is empty"
 for r in rows:
     assert r["ops_per_sec"] > 0 and r["domains"] >= 1 and 0.0 <= r["fast_ratio"] <= 1.0
-print("BENCH.json: %d replay-par rows, cores=%d" % (len(rows), d["cores"]))
+oh = d["scenarios"]["oracle_overhead"]
+assert oh["events"] > 0
+assert oh["violations"] == 0, "oracle flagged a clean replay stream"
+for key in ("strict_ns_per_event", "relaxed_ns_per_event", "residency_ns_per_event"):
+    assert oh[key] >= 0.0, key
+print("BENCH.json: %d replay-par rows, oracle over %d events, cores=%d"
+      % (len(rows), oh["events"], d["cores"]))
 EOF
 else
   grep -q '"thinlocks-bench-v1"' BENCH.json
   grep -q '"replay_par"' BENCH.json
+  grep -q '"oracle_overhead"' BENCH.json
   grep -q '"ops_per_sec"' BENCH.json
   echo "BENCH.json: key smoke (python3 unavailable)"
 fi
@@ -77,6 +84,32 @@ if dune exec bin/thinlocks.exe -- trace-diff "$tmpdir/a.ev" "$tmpdir/c.ev" >/dev
   echo "FAIL: trace-diff did not flag diverging policies." >&2
   exit 1
 fi
+rm -rf "$tmpdir"
+
+echo "== protocol oracle over replay-par streams (affinity + shuffle, 1/2/4 domains)"
+for domains in 1 2 4; do
+  dune exec bin/thinlocks.exe -- replay-par -b javacup --domains "$domains" \
+    --max-syncs 6000 --oracle >/dev/null
+  dune exec bin/thinlocks.exe -- replay-par -b javacup --domains "$domains" \
+    --shuffle --interleave --max-syncs 6000 --oracle >/dev/null
+  echo "  oracle clean at $domains domain(s), both decompositions"
+done
+
+echo "== verify-trace: accepts a clean dump, flags a tampered one"
+tmpdir=$(mktemp -d)
+dune exec bin/thinlocks.exe -- events -b javalex --max-syncs 2000 -p always-idle \
+  -o "$tmpdir/clean.ev" >/dev/null
+dune exec bin/thinlocks.exe -- verify-trace "$tmpdir/clean.ev" --count-width 1
+# Retag the stream's first release as a second fast acquire: still a
+# well-formed file, but a protocol violation the oracle must catch.
+sed '0,/release-fast/{s/release-fast/acquire-fast/}' "$tmpdir/clean.ev" \
+  >"$tmpdir/tampered.ev"
+if dune exec bin/thinlocks.exe -- verify-trace "$tmpdir/tampered.ev" >/dev/null; then
+  rm -rf "$tmpdir"
+  echo "FAIL: verify-trace accepted a tampered stream." >&2
+  exit 1
+fi
+dune exec bin/thinlocks.exe -- residency "$tmpdir/clean.ev" >/dev/null
 rm -rf "$tmpdir"
 
 echo "ok."
