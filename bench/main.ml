@@ -472,9 +472,19 @@ let bench_reaper () =
 (* Tracing overhead: the identical private-object lock/unlock loop
    with the event sink disabled vs enabled.  Disabled must be free —
    the ctx caches the enabled bit, so the fast path pays one load and
-   an untaken branch; enabled pays two fetch-and-adds per event.  The
-   ring is sized to hold the whole run so drops never skew the enabled
-   number. *)
+   an untaken branch.  Enabled is now an epoch-stamped single-writer
+   ring append with no atomic read-modify-write (the old global order
+   ticket serialized every emitting domain through one cache line);
+   [enabled_ns] reports the overhead *delta* (enabled − disabled,
+   clamped at 0), the number the always-on gate in tools/check.sh
+   bounds, with the raw loop time kept as [enabled_total_ns].  Each
+   loop is timed best-of-3: a delta of two timed loops is noise the
+   min mostly cancels.  The ring is sized to hold the whole run so
+   drops never skew the enabled number.
+
+   The same scenario also records what a stream costs at rest — bytes
+   per event under the text and binary codecs — and what the sampling
+   modes keep, both measured over one small traced replay. *)
 let bench_events_overhead () =
   section "Lock-event tracing overhead (thin fast path, ns per lock+unlock)";
   let pairs = if quick then 50_000 else 250_000 in
@@ -484,6 +494,11 @@ let bench_events_overhead () =
     let heap = Tl_heap.Heap.create () in
     let obj = Tl_heap.Heap.alloc heap in
     let env = Runtime.main_env runtime in
+    (* warm-up pair: the first emit lazily allocates and zeroes the
+       tid's ring — page-fault cost that belongs to sink creation, not
+       to the per-event path being measured *)
+    Tl_core.Thin.acquire ctx env obj;
+    Tl_core.Thin.release ctx env obj;
     let t0 = Unix.gettimeofday () in
     for _ = 1 to pairs do
       Tl_core.Thin.acquire ctx env obj;
@@ -491,24 +506,81 @@ let bench_events_overhead () =
     done;
     1e9 *. (Unix.gettimeofday () -. t0) /. float_of_int pairs
   in
-  let off = measure Tl_events.Sink.disabled in
-  let sink = Tl_events.Sink.create ~ring_capacity:((2 * pairs) + 1024) () in
-  let on = measure sink in
-  let drained = Tl_events.Sink.drain sink in
+  let best_of_3 f =
+    let a = f () and b = f () and c = f () in
+    min a (min b c)
+  in
+  let off = best_of_3 (fun () -> measure Tl_events.Sink.disabled) in
+  (* a fresh sink per repetition: rings are append-only *)
+  let last_sink = ref None in
+  let on =
+    best_of_3 (fun () ->
+        let sink = Tl_events.Sink.create ~ring_capacity:((2 * pairs) + 1024) () in
+        last_sink := Some sink;
+        measure sink)
+  in
+  let drained =
+    match !last_sink with Some s -> Tl_events.Sink.drain s | None -> assert false
+  in
   let recorded = Array.length drained.Tl_events.Sink.events in
   let dropped = List.fold_left (fun a (_, n) -> a + n) 0 drained.Tl_events.Sink.dropped in
+  (* the gated number: tracing overhead per *event* (each pair emits
+     two), as the enabled-minus-disabled loop delta *)
+  let delta_ev = Float.max 0.0 (on -. off) /. 2.0 in
   Printf.printf "  tracing disabled: %8.1f ns per lock+unlock\n" off;
   Printf.printf "  tracing enabled:  %8.1f ns per lock+unlock (%d events recorded, %d dropped)\n"
     on recorded dropped;
-  Printf.printf "  overhead: %+.1f ns (%+.0f%%)\n\n%!" (on -. off)
+  Printf.printf "  overhead: %+.1f ns per pair, %.1f ns per event (%+.0f%%)\n\n%!" (on -. off)
+    delta_ev
     (if off > 0.0 then 100.0 *. (on -. off) /. off else 0.0);
+  (* codec sizes and sampling keep-ratios over one traced replay *)
+  let profile =
+    match Tl_workload.Profiles.find "javalex" with
+    | Some p -> p
+    | None -> failwith "bench_events_overhead: javalex profile missing"
+  in
+  let trace =
+    Tl_workload.Tracegen.generate ~seed:77 ~max_syncs:(if quick then 3_000 else 8_000)
+      profile
+  in
+  let policy =
+    match Tl_workload.Policy_lab.policy_of_string "always-idle" with
+    | Some p -> p
+    | None -> failwith "bench_events_overhead: always-idle policy missing"
+  in
+  let stream ?sampling () =
+    snd (Tl_workload.Policy_lab.replay_traced ?sampling ~policy trace)
+  in
+  let full = stream () in
+  let n_full = max 1 (Array.length full.Tl_events.Sink.events) in
+  let text_per =
+    float_of_int (String.length (Tl_events.Codec.to_string full)) /. float_of_int n_full
+  in
+  let bin_per =
+    float_of_int (String.length (Tl_events.Codec_bin.to_bytes full)) /. float_of_int n_full
+  in
+  let ratio d =
+    float_of_int (Array.length d.Tl_events.Sink.events) /. float_of_int n_full
+  in
+  let sampled_ratio = ratio (stream ~sampling:(Tl_events.Sink.One_in_n 8) ()) in
+  let contended_ratio = ratio (stream ~sampling:Tl_events.Sink.Contended_only ()) in
+  Printf.printf "  stream at rest (javalex, %d events):\n" n_full;
+  Printf.printf "    text codec:   %6.1f bytes/event\n" text_per;
+  Printf.printf "    binary codec: %6.1f bytes/event\n" bin_per;
+  Printf.printf "    1-in-8 object sampling keeps %.1f%%, contended-only keeps %.1f%%\n\n%!"
+    (100.0 *. sampled_ratio) (100.0 *. contended_ratio);
   add_json "events_overhead"
     (J.Obj
        [
          ("disabled_ns", J.Float off);
-         ("enabled_ns", J.Float on);
+         ("enabled_ns", J.Float delta_ev);
+         ("enabled_total_ns", J.Float on);
          ("events_recorded", J.Int recorded);
          ("events_dropped", J.Int dropped);
+         ("text_bytes_per_event", J.Float text_per);
+         ("bin_bytes_per_event", J.Float bin_per);
+         ("sampled_ratio_1_in_8", J.Float sampled_ratio);
+         ("contended_only_ratio", J.Float contended_ratio);
        ])
 
 (* Oracle overhead: what a post-hoc verification pass costs relative

@@ -306,15 +306,46 @@ let events_cmd =
     let doc = "Print a per-kind census instead of the full stream." in
     Arg.(value & flag & info [ "summary" ] ~doc)
   in
-  let run benchmark policy_name output summary max_syncs seed =
+  let binary_arg =
+    let doc = "Encode the dump with the compact binary codec instead of text \
+               (trace-diff/verify-trace/residency auto-detect either)." in
+    Arg.(value & flag & info [ "binary" ] ~doc)
+  in
+  let sample_arg =
+    let doc = "Record a stable hash-selected 1-in-N of objects (whole per-object \
+               histories survive, so the stream stays oracle-checkable); \
+               non-object events are always kept." in
+    Arg.(value & opt int 1 & info [ "sample" ] ~docv:"N" ~doc)
+  in
+  let contended_arg =
+    let doc = "Record only contended episodes: suppress the uncontended thin-path \
+               acquire/release events, keep inflations, deflations, wait/notify \
+               and system events." in
+    Arg.(value & flag & info [ "contended-only" ] ~doc)
+  in
+  let run benchmark policy_name output summary binary sample contended max_syncs seed =
     match Tl_workload.Policy_lab.policy_of_string policy_name with
     | None -> Printf.eprintf "unknown policy %S\n" policy_name
     | Some policy -> (
         match Tl_workload.Profiles.find benchmark with
         | None -> Printf.eprintf "unknown benchmark %S\n" benchmark
         | Some profile ->
+            let sampling =
+              match (sample, contended) with
+              | n, _ when n < 1 ->
+                  Printf.eprintf "--sample must be >= 1\n";
+                  exit 2
+              | n, true when n > 1 ->
+                  Printf.eprintf "--sample and --contended-only are exclusive\n";
+                  exit 2
+              | _, true -> Some Tl_events.Sink.Contended_only
+              | 1, false -> None
+              | n, false -> Some (Tl_events.Sink.One_in_n n)
+            in
             let trace = Tl_workload.Tracegen.generate ~seed ~max_syncs profile in
-            let _ctx, drained = Tl_workload.Policy_lab.replay_traced ~policy trace in
+            let _ctx, drained =
+              Tl_workload.Policy_lab.replay_traced ?sampling ~policy trace
+            in
             if summary then begin
               Printf.printf "%d events (%d dropped) from %s under %s:\n"
                 (Array.length drained.Tl_events.Sink.events)
@@ -328,21 +359,25 @@ let events_cmd =
                 Tl_events.Event.all_kinds
             end
             else
-              let text = Tl_events.Codec.to_string drained in
+              let text =
+                if binary then Tl_events.Codec_bin.to_bytes drained
+                else Tl_events.Codec.to_string drained
+              in
               (match output with
               | Some path ->
                   Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc text);
-                  Printf.printf "wrote %d events to %s\n"
+                  Printf.printf "wrote %d events to %s (%d bytes, %s)\n"
                     (Array.length drained.Tl_events.Sink.events)
-                    path
+                    path (String.length text)
+                    (if binary then "binary" else "text")
               | None -> print_string text))
   in
   Cmd.v
     (Cmd.info "events"
        ~doc:"Replay a benchmark trace with lock-event tracing on and dump the stream")
     Term.(
-      const run $ benchmark_arg $ policy_arg $ output_arg $ summary_arg $ max_syncs_arg
-      $ seed_arg)
+      const run $ benchmark_arg $ policy_arg $ output_arg $ summary_arg $ binary_arg
+      $ sample_arg $ contended_arg $ max_syncs_arg $ seed_arg)
 
 let policy_lab_cmd =
   let benchmarks_arg =
@@ -508,8 +543,10 @@ let replay_par_cmd =
       $ tick_every_arg $ interleave_arg $ expect_contention_arg $ oracle_arg
       $ max_syncs_arg $ seed_arg)
 
+(* Auto-detect on the format tag: text and binary dumps both start
+   with a distinctive magic line. *)
 let load_event_stream path =
-  try Tl_events.Codec.of_string (In_channel.with_open_bin path In_channel.input_all)
+  try Tl_events.Codec_bin.of_string_auto (In_channel.with_open_bin path In_channel.input_all)
   with Tl_events.Codec.Parse_error msg ->
     Printf.eprintf "%s: not a thinlocks event stream: %s\n" path msg;
     exit 2

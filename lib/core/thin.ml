@@ -47,6 +47,8 @@ let create_with ?(config = default_config) ?(events = Tl_events.Sink.disabled) r
   Lock_stats.register_gauge stats "monitors.live" (fun () -> Montable.live montable);
   Lock_stats.register_gauge stats "monitors.allocated" (fun () -> Montable.allocated montable);
   Lock_stats.register_gauge stats "monitors.slot_reuses" (fun () -> Montable.reuses montable);
+  Lock_stats.register_gauge stats "events.tid_clamped" (fun () ->
+      Tl_events.Sink.tid_clamped events);
   {
     runtime;
     montable;
@@ -67,7 +69,12 @@ let events ctx = ctx.events
 
 (* Every call site is guarded by [if ctx.tracing] so a disabled sink
    costs nothing beyond the branch. *)
-let emit ctx ~tid kind ~arg = Tl_events.Sink.emit ctx.events ~tid ~kind ~arg
+let[@inline] emit ctx ~tid kind ~arg = Tl_events.Sink.emit ctx.events ~tid ~kind ~arg
+
+(* Deflater-side events carry no env; they go to the system stream
+   (tid 0) via the ticketed path so they order exactly against the
+   releases that made the deflation legal. *)
+let emit_system ctx kind ~arg = Tl_events.Sink.emit_system ctx.events ~kind ~arg
 let lock_word obj = Atomic.get (Obj_model.lockword obj)
 
 (* Stand-in for the PowerPC isync/sync pair of the MP Sync variant: a
@@ -362,7 +369,7 @@ let deflate_lockword ctx ~cause lw =
              monitor table); events go to the system stream, tid 0, with
              the monitor's tag recovering the object id. *)
           if ctx.tracing then
-            emit ctx ~tid:0
+            emit_system ctx
               (match cause with
               | `Quiescent -> Ev.Deflate_quiescent
               | `Concurrent -> Ev.Deflate_concurrent)
@@ -373,7 +380,7 @@ let deflate_lockword ctx ~cause lw =
           finish word;
           if ctx.config.record_stats then
             Lock_stats.add_extra ctx.stats "deflation.aborted_handshakes" 1;
-          if ctx.tracing then emit ctx ~tid:0 Ev.Deflate_aborted ~arg:(Fatlock.tag fat);
+          if ctx.tracing then emit_system ctx Ev.Deflate_aborted ~arg:(Fatlock.tag fat);
           `Busy
         end
   end

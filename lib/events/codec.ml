@@ -98,6 +98,12 @@ let of_string s =
             let seq = int_of_token !lineno seq in
             let tid = int_of_token !lineno tid in
             let arg = int_of_token !lineno arg in
+            (* args may be negative (they round-trip), but a negative
+               seq or tid is never emitted by any sink — reject rather
+               than parse something [to_string] would reproduce yet no
+               drain could have produced. *)
+            if seq < 0 then fail "line %d: negative seq" !lineno;
+            if tid < 0 then fail "line %d: negative tid" !lineno;
             let kind =
               match Event.kind_of_name name with
               | Some k -> k

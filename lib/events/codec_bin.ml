@@ -1,0 +1,158 @@
+(* Compact binary codec for drained event streams.
+
+   Layout (after a printable magic line so [file]/[head] still say what
+   the blob is, and so auto-detection is one prefix compare):
+
+     "# thinlocks-events bin v1\n"
+     uvarint  event count
+     uvarint  drop-entry count
+     per drop entry:  uvarint tid   uvarint count      (tids ascending,
+                                                        count >= 1)
+     per event:       uvarint seq delta                (first event: the
+                      u8      kind                      seq itself; later
+                      uvarint tid                       ones: seq - prev,
+                      svarint arg (zigzag)              which must be >= 1)
+
+   Varints are LEB128: 7 payload bits per byte, high bit = continue,
+   at most 9 bytes (63-bit ints).  Signed args are zigzag-mapped first
+   so small negatives stay small.  A typical event is 4-6 bytes against
+   ~24 of text.
+
+   Like the text codec, the format is canonical —
+   [to_bytes (of_bytes s) = s] — which [of_bytes] buys by being strict:
+   minimal varints only, kind bytes in range, drop tids ascending,
+   seq deltas positive, counts that match, no trailing bytes. *)
+
+exception Parse_error = Codec.Parse_error
+
+let magic = "# thinlocks-events bin v1\n"
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Parse_error msg)) fmt
+
+(* --- varints ------------------------------------------------------ *)
+
+(* [v] is treated as an unsigned 63-bit pattern: [lsr] is logical, so
+   the loop terminates even for patterns with the top bit set (zigzagged
+   negatives). *)
+let add_uvarint buf v =
+  let v = ref v in
+  while !v < 0 || !v >= 0x80 do
+    Buffer.add_char buf (Char.chr (0x80 lor (!v land 0x7f)));
+    v := !v lsr 7
+  done;
+  Buffer.add_char buf (Char.chr !v)
+
+let read_uvarint s pos =
+  let len = String.length s in
+  let rec go acc shift n =
+    if !pos >= len then fail "offset %d: truncated varint" !pos;
+    let b = Char.code s.[!pos] in
+    incr pos;
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 <> 0 then begin
+      if n + 1 >= 9 then fail "offset %d: varint longer than 9 bytes" !pos;
+      go acc (shift + 7) (n + 1)
+    end
+    else begin
+      if n > 0 && b = 0 then fail "offset %d: non-minimal varint" !pos;
+      acc
+    end
+  in
+  go 0 0 0
+
+let zigzag n = (n lsl 1) lxor (n asr 62)
+let unzigzag z = (z lsr 1) lxor (-(z land 1))
+let add_svarint buf v = add_uvarint buf (zigzag v)
+let read_svarint s pos = unzigzag (read_uvarint s pos)
+
+(* --- encode ------------------------------------------------------- *)
+
+let to_bytes (d : Sink.drained) =
+  let events = d.Sink.events in
+  let buf = Buffer.create (String.length magic + 16 + (Array.length events * 6)) in
+  Buffer.add_string buf magic;
+  add_uvarint buf (Array.length events);
+  add_uvarint buf (List.length d.Sink.dropped);
+  ignore
+    (List.fold_left
+       (fun last (tid, n) ->
+         if tid <= last then invalid_arg "Codec_bin.to_bytes: dropped tids out of order";
+         if n <= 0 then invalid_arg "Codec_bin.to_bytes: non-positive drop count";
+         add_uvarint buf tid;
+         add_uvarint buf n;
+         tid)
+       (-1) d.Sink.dropped);
+  let prev = ref (-1) in
+  Array.iter
+    (fun (e : Event.t) ->
+      (* delta coding needs strictly increasing seqs — true of every
+         drain, and of anything the strict parsers accept *)
+      if e.Event.seq <= !prev then
+        invalid_arg "Codec_bin.to_bytes: seqs not strictly increasing";
+      add_uvarint buf (if !prev < 0 then e.Event.seq else e.Event.seq - !prev);
+      prev := e.Event.seq;
+      Buffer.add_char buf (Char.chr (Event.kind_to_int e.Event.kind));
+      if e.Event.tid < 0 then invalid_arg "Codec_bin.to_bytes: negative tid";
+      add_uvarint buf e.Event.tid;
+      add_svarint buf e.Event.arg)
+    events;
+  Buffer.contents buf
+
+(* --- decode ------------------------------------------------------- *)
+
+let of_bytes s =
+  let mlen = String.length magic in
+  if String.length s < mlen || String.sub s 0 mlen <> magic then
+    fail "bad magic (expected %S)" (String.trim magic);
+  let pos = ref mlen in
+  let count = read_uvarint s pos in
+  if count < 0 then fail "event count overflows";
+  let ndrops = read_uvarint s pos in
+  if ndrops < 0 then fail "drop count overflows";
+  let dropped = ref [] in
+  let last_tid = ref (-1) in
+  for _ = 1 to ndrops do
+    let tid = read_uvarint s pos in
+    let n = read_uvarint s pos in
+    if tid <= !last_tid then fail "offset %d: dropped tids out of order" !pos;
+    if n <= 0 then fail "offset %d: non-positive drop count" !pos;
+    last_tid := tid;
+    dropped := (tid, n) :: !dropped
+  done;
+  let prev = ref (-1) in
+  let events =
+    Array.init count (fun _ ->
+        let delta = read_uvarint s pos in
+        let seq =
+          if !prev < 0 then delta
+          else begin
+            if delta < 1 then fail "offset %d: zero seq delta" !pos;
+            !prev + delta
+          end
+        in
+        if seq < 0 then fail "offset %d: seq overflow" !pos;
+        prev := seq;
+        if !pos >= String.length s then fail "offset %d: truncated event" !pos;
+        let kb = Char.code s.[!pos] in
+        incr pos;
+        let kind =
+          match Event.kind_of_int kb with
+          | Some k -> k
+          | None -> fail "offset %d: unknown kind byte %d" !pos kb
+        in
+        let tid = read_uvarint s pos in
+        let arg = read_svarint s pos in
+        { Event.seq; tid; kind; arg })
+  in
+  if !pos <> String.length s then
+    fail "offset %d: %d trailing bytes" !pos (String.length s - !pos);
+  { Sink.events; dropped = List.rev !dropped }
+
+(* --- auto-detection ----------------------------------------------- *)
+
+let looks_binary s =
+  let mlen = String.length magic in
+  String.length s >= mlen && String.sub s 0 mlen = magic
+
+let of_string_auto s =
+  if looks_binary s then of_bytes s else Codec.of_string s

@@ -56,6 +56,26 @@ let kind_to_int = function
   | Reaper_scan -> 18
   | Quiescence -> 19
 
+let n_kinds = List.length all_kinds
+
+(* Wide enough for every kind; rings pack [stamp lsl kind_bits lor kind]
+   into one int, so this is part of the on-ring representation. *)
+let kind_bits = 5
+
+let carries_object = function Reaper_scan | Quiescence -> false | _ -> true
+
+let fast_path = function
+  | Acquire_fast | Acquire_nested | Release_fast | Release_nested -> true
+  | _ -> false
+
+let mask_of pred =
+  List.fold_left
+    (fun m k -> if pred k then m lor (1 lsl kind_to_int k) else m)
+    0 all_kinds
+
+let object_kind_mask = mask_of carries_object
+let fast_path_kind_mask = mask_of fast_path
+
 let kind_table = Array.of_list all_kinds
 
 let kind_of_int i =

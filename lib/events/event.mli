@@ -36,14 +36,35 @@ type kind =
   | Quiescence  (** a quiescence point announced; [arg] = running count *)
 
 type t = { seq : int; tid : int; kind : kind; arg : int }
-(** [seq] is the global order ticket issued by the sink — merging the
-    per-thread rings on [seq] reconstructs one totally-ordered
-    stream. *)
+(** [seq] is assigned by the sink's drain-time merge: dense, starting
+    at 0, a total order compatible with every thread's program order
+    (see [Sink]). *)
 
 val all_kinds : kind list
 
+val n_kinds : int
+(** Number of kinds; [kind_to_int] is dense in [0, n_kinds). *)
+
+val kind_bits : int
+(** Bits needed to store a kind int; the ring packs
+    [stamp lsl kind_bits lor kind] into a single word. *)
+
 val kind_to_int : kind -> int
 val kind_of_int : int -> kind option
+
+val carries_object : kind -> bool
+(** [arg] is an object id for this kind ([Reaper_scan] and [Quiescence]
+    are the only kinds whose arg is a count instead).  The oracle's
+    per-object partitioning and the sink's 1-in-N object sampling both
+    key off this predicate. *)
+
+val object_kind_mask : int
+(** Bit [kind_to_int k] set iff [carries_object k]. *)
+
+val fast_path_kind_mask : int
+(** Bit set for the four uncontended thin-path kinds
+    (acquire/release, fast/nested) — the ones contended-only sampling
+    suppresses. *)
 
 val kind_name : kind -> string
 (** Stable wire name (e.g. ["acquire-fast"]) used by the text codec. *)

@@ -253,11 +253,10 @@ let rec step ~max_thin st (e : Event.t) =
 (* Routing and structural checks.                                     *)
 (* ------------------------------------------------------------------ *)
 
-(* Events whose [arg] is an object id and which drive the automaton.
-   Reaper scans and quiescence announcements are global. *)
-let is_object_event = function
-  | Event.Reaper_scan | Event.Quiescence -> false
-  | _ -> true
+(* Events whose [arg] is an object id and which drive the automaton —
+   the same predicate the sink's 1-in-N object sampling keys on, so a
+   sampled stream keeps whole per-object histories. *)
+let is_object_event = Event.carries_object
 
 (* Events only a mutator thread can emit: a tid-0 instance means a
    thread-path event landed on the system stream. *)
@@ -319,6 +318,33 @@ let structural (d : Sink.drained) push =
           tid = events.(n - 1).Event.tid;
           obj_id = -1;
           detail = "seq gap with no recorded drops (event missing)";
+        }
+  end
+  else if !monotone && d.Sink.dropped <> [] && n > 0 then begin
+    (* Drops excuse holes — but only as many as were honestly counted.
+       (The sink's own drains renumber densely, so any holes here come
+       from external tools editing a dump.) *)
+    let total = List.fold_left (fun acc (_, k) -> acc + k) 0 d.Sink.dropped in
+    let first = events.(0).Event.seq and last = events.(n - 1).Event.seq in
+    if first < 0 then
+      push
+        {
+          cls = Stream_malformed;
+          seq = first;
+          tid = events.(0).Event.tid;
+          obj_id = -1;
+          detail = "negative seq";
+        }
+    else if last + 1 - n > total then
+      push
+        {
+          cls = Stream_malformed;
+          seq = last;
+          tid = events.(n - 1).Event.tid;
+          obj_id = -1;
+          detail =
+            Printf.sprintf "%d seq holes but only %d recorded drops"
+              (last + 1 - n) total;
         }
   end;
   try

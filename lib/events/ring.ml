@@ -1,56 +1,61 @@
-(* Bounded event buffer, lock-free on the producer side.
+(* Bounded event buffer, single-writer.
 
-   Writers reserve a slot with one fetch-and-add and write the event
-   into four unboxed int arrays; reservations past the capacity are
-   counted as drops instead of overwriting (a trace with a hole at the
-   *end* and an honest drop count is more useful than one silently
-   missing its middle).  There is no consumer-side synchronisation:
-   [drain] is only meaningful once every producer has quiesced
-   (joined, or parked at a barrier) — which the harness guarantees by
-   draining after workloads complete. *)
+   Exactly one thread appends to a ring (the sink keys rings by thread
+   id and serialises the system ring behind a mutex), so the head is a
+   plain mutable int and an append is two stores into unboxed int
+   arrays plus the head bump — no atomic read-modify-write anywhere on
+   the path.  Appends past the capacity are counted as drops instead of
+   overwriting (a trace with a hole at the *end* and an honest drop
+   count is more useful than one silently missing its middle).
+
+   Each slot packs [stamp lsl Event.kind_bits lor kind] next to the
+   arg; the stamp is the sink's epoch (or a system-stream ticket), not
+   a per-event sequence number — dense seqs are reconstructed at drain
+   time.  There is no consumer-side synchronisation: [fold]/[written]
+   are only meaningful once the producer has quiesced (joined, or
+   parked at a barrier), which the harness guarantees by draining after
+   workloads complete. *)
 
 type t = {
   capacity : int;
-  seqs : int array;
-  tids : int array;
-  kinds : int array; (* Event.kind_to_int *)
+  meta : int array; (* stamp lsl Event.kind_bits lor Event.kind_to_int *)
   args : int array;
-  head : int Atomic.t; (* total reservations ever; may exceed capacity *)
+  mutable head : int; (* total appends ever; may exceed capacity *)
 }
+
+let kind_mask = (1 lsl Event.kind_bits) - 1
 
 let create capacity =
   if capacity < 1 then invalid_arg "Ring.create: capacity";
   {
     capacity;
-    seqs = Array.make capacity 0;
-    tids = Array.make capacity 0;
-    kinds = Array.make capacity 0;
+    meta = Array.make capacity 0;
     args = Array.make capacity 0;
-    head = Atomic.make 0;
+    head = 0;
   }
 
-let emit t ~seq ~tid ~kind ~arg =
-  let i = Atomic.fetch_and_add t.head 1 in
+let emit t ~stamp ~kind ~arg =
+  let i = t.head in
   if i < t.capacity then begin
-    t.seqs.(i) <- seq;
-    t.tids.(i) <- tid;
-    t.kinds.(i) <- Event.kind_to_int kind;
-    t.args.(i) <- arg
-  end
+    Array.unsafe_set t.meta i ((stamp lsl Event.kind_bits) lor Event.kind_to_int kind);
+    Array.unsafe_set t.args i arg
+  end;
+  t.head <- i + 1
 
-let written t = min (Atomic.get t.head) t.capacity
-let dropped t = max 0 (Atomic.get t.head - t.capacity)
+let written t = min t.head t.capacity
+let dropped t = max 0 (t.head - t.capacity)
 let capacity t = t.capacity
 
 let fold f acc t =
   let n = written t in
   let acc = ref acc in
   for i = 0 to n - 1 do
+    let m = t.meta.(i) in
     let kind =
-      match Event.kind_of_int t.kinds.(i) with
+      match Event.kind_of_int (m land kind_mask) with
       | Some k -> k
       | None -> assert false (* only [emit] writes, and it writes valid kinds *)
     in
-    acc := f !acc { Event.seq = t.seqs.(i); tid = t.tids.(i); kind; arg = t.args.(i) }
+    acc := f !acc ~stamp:(m lsr Event.kind_bits) ~kind ~arg:t.args.(i)
   done;
   !acc

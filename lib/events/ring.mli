@@ -1,24 +1,38 @@
 (** One bounded event buffer (normally: one per thread id).
 
-    Producers are lock-free: a slot is reserved with a single
-    fetch-and-add and filled with plain stores into unboxed int arrays.
-    When the buffer is full, further events are {e dropped} (and
-    counted), never overwritten — the surviving prefix stays intact and
-    the loss is reported, rather than silently corrupting the middle of
-    the stream.
+    {b Single writer.}  Exactly one thread may append to a given ring;
+    the sink guarantees this by keying rings on thread id and putting a
+    mutex in front of the shared system ring (tid 0).  Under that
+    discipline an append is branch + two plain stores + head bump —
+    no atomic read-modify-write.  When the buffer is full, further
+    events are {e dropped} (and counted), never overwritten — the
+    surviving prefix stays intact and the loss is reported, rather than
+    silently corrupting the middle of the stream.
 
-    Reading ([fold]/[written]) must not race with producers: the
-    reservation index is visible before the slot's stores are, so a
-    concurrent reader could see a reserved-but-unwritten slot.  The
-    sink drains only after producers have quiesced (thread join or
-    barrier), which establishes the necessary happens-before. *)
+    Each slot holds an ordering {e stamp} (the sink's epoch, or a
+    system-stream ticket — not a dense sequence number) packed with the
+    kind, plus the arg.  Dense [seq]s are reconstructed by
+    [Sink.drain]'s merge.
 
-type t
+    Reading ([fold]/[written]) must not race with the producer: the
+    head bump is a plain store, so a concurrent reader has no
+    happens-before edge to the slot's contents.  The sink drains only
+    after producers have quiesced (thread join or barrier). *)
+
+type t = {
+  capacity : int;
+  meta : int array; (* stamp lsl Event.kind_bits lor Event.kind_to_int *)
+  args : int array;
+  mutable head : int;
+}
+(** Exposed so [Sink.emit] can inline the append on its hot path.
+    Outside [lib/events], treat as read-only. *)
 
 val create : int -> t
 (** [create capacity].  @raise Invalid_argument if [capacity < 1]. *)
 
-val emit : t -> seq:int -> tid:int -> kind:Event.kind -> arg:int -> unit
+val emit : t -> stamp:int -> kind:Event.kind -> arg:int -> unit
+(** Append one event (single writer only). *)
 
 val written : t -> int
 (** Events actually stored (≤ capacity). *)
@@ -28,5 +42,6 @@ val dropped : t -> int
 
 val capacity : t -> int
 
-val fold : ('a -> Event.t -> 'a) -> 'a -> t -> 'a
-(** Fold over stored events in write order (producers quiesced). *)
+val fold :
+  ('a -> stamp:int -> kind:Event.kind -> arg:int -> 'a) -> 'a -> t -> 'a
+(** Fold over stored events in write order (producer quiesced). *)

@@ -1,4 +1,5 @@
-(** The event sink: per-thread rings behind one global order ticket.
+(** The event sink: per-thread single-writer rings, epoch-stamped at
+    emit time, merged into one dense-seq stream at drain time.
 
     A sink is either {e enabled} — it owns one {!Ring} per thread id,
     created lazily on the thread's first event — or the shared
@@ -8,14 +9,28 @@
     tracing is off, so the disabled cost is one load and one untaken
     branch per operation.
 
-    {b Ordering guarantees.}  Every recorded event carries a [seq]
-    ticket from a single global counter, taken {e at emit time}; the
-    merged stream from {!drain} is sorted by it.  [seq] order is
-    therefore a total order consistent with each thread's program
-    order, and consistent with real time up to the tiny window between
-    taking the ticket and the instrumented operation's linearisation
-    point.  Drops (ring overflow) lose a suffix of one thread's events,
-    never a middle slice, and are reported per thread id.
+    {b Ordering guarantees.}  There is no longer a global order ticket
+    on the emit path.  Each mutator event is stamped with a plain load
+    of the sink's {e epoch}; {!advance_epoch} bumps it at every
+    quiescence point.  {!drain} sorts by (stamp, tid, ring position)
+    and reassigns dense [seq]s (0, 1, …, n−1), which gives:
+
+    - {e per-tid program order is exact} — one thread's events keep
+      their emit order;
+    - {e cross-thread order is exact across epochs} — an event emitted
+      before a quiescence point sorts before any event emitted after
+      it; within one epoch, threads may interleave arbitrarily.  The
+      skew is bounded by the emit window between epoch advances, which
+      is exactly what the relaxed oracle tolerates;
+    - {e system events (tid 0) are totally ordered against everything}
+      — {!emit_system} takes a fetch-and-add ticket stamp under a
+      mutex, so a deflation sorts after every event already emitted
+      and before post-bump mutator events.  Single-domain replays
+      therefore still satisfy the strict oracle.
+
+    Drops (ring overflow) lose a suffix of one thread's events, never a
+    middle slice, and are reported per thread id; drained [seq]s stay
+    dense regardless (the merge numbers what survived).
 
     {!drain} must only run once producers have quiesced (joined
     threads, or a barrier such as a quiescence point); see {!Ring}. *)
@@ -30,11 +45,23 @@ val default_capacity : int
 (** Per-ring default: 65536 events. *)
 
 val max_tids : int
-(** Thread-id space per sink (matches [Tl_runtime.Tid.bits]); events
-    emitted with a tid outside [0, max_tids) fold onto the system
-    stream, tid 0. *)
+(** Thread-id space per sink (matches [Tl_runtime.Tid.bits]).  Valid
+    mutator tids are [1, max_tids) — index 0 is the system stream,
+    reserved for {!emit_system}. *)
 
-val create : ?ring_capacity:int -> unit -> t
+type sampling =
+  | Every_event  (** record everything (default) *)
+  | One_in_n of int
+      (** keep a stable hash-selected 1-in-N of {e objects} — whole
+          per-object histories survive, so the per-object oracle stays
+          sound on the sampled stream; non-object events
+          (reaper scans, quiescence points) are always kept *)
+  | Contended_only
+      (** suppress the four uncontended thin-path kinds; inflations,
+          deflations, contended episodes, wait/notify and system events
+          are kept *)
+
+val create : ?ring_capacity:int -> ?sampling:sampling -> unit -> t
 (** An enabled sink whose rings each hold [ring_capacity] events
     (default {!default_capacity}).  Size it to the workload when drops
     matter: roughly [2×ops + inflations + extras] per thread. *)
@@ -42,11 +69,29 @@ val create : ?ring_capacity:int -> unit -> t
 val enabled : t -> bool
 
 val emit : t -> tid:int -> kind:Event.kind -> arg:int -> unit
-(** Record one event on [tid]'s ring (no-op when disabled).  Lock-free;
-    safe from any thread. *)
+(** Record one event on [tid]'s ring (no-op when disabled).  Requires
+    [1 <= tid < max_tids]; out-of-range tids are counted in
+    {!tid_clamped} and dropped — never folded onto the system stream,
+    where they would masquerade as deflater/reaper actions.  At most
+    one thread may emit per tid at a time (guaranteed by Tid leasing). *)
+
+val emit_system : t -> kind:Event.kind -> arg:int -> unit
+(** Record one event on the system stream (tid 0): deflations, reaper
+    scans, quiescence announcements made outside any registered thread.
+    Serialised by a mutex and stamped with a fresh ticket, so system
+    events order exactly against all mutator events; safe from any
+    thread, including concurrently with itself. *)
+
+val advance_epoch : t -> unit
+(** Bump the ordering epoch.  Called from quiescence points; bounds the
+    cross-thread merge skew to one emit window. *)
+
+val tid_clamped : t -> int
+(** Events rejected because their tid was outside [1, max_tids). *)
 
 val emitted : t -> int
-(** Order tickets issued so far (= recorded + dropped). *)
+(** Events accepted so far (= recorded + dropped to ring overflow);
+    excludes events suppressed by sampling or {!tid_clamped}. *)
 
 val active_tids : t -> int list
 (** Thread ids that have emitted at least one event (ring created),
@@ -54,15 +99,17 @@ val active_tids : t -> int list
     multi-domain run.  Empty for {!disabled}. *)
 
 type drained = { events : Event.t array; dropped : (int * int) list }
-(** A merged stream: [events] sorted by [seq]; [dropped] the non-zero
-    per-tid overflow counts, sorted by tid. *)
+(** A merged stream: [events] carry dense drain-assigned [seq]s
+    (0…n−1); [dropped] the non-zero per-tid overflow counts, sorted by
+    tid. *)
 
 val empty : drained
 
 val drain : t -> drained
-(** Merge every ring into one globally-ordered stream.  Requires
-    producers to have quiesced; may be called repeatedly (it reads,
-    never consumes). *)
+(** Merge every ring into one ordered stream (see the ordering
+    guarantees above).  Requires producers to have quiesced; may be
+    called repeatedly (it reads, never consumes) and is deterministic:
+    two drains of a quiesced sink yield identical streams. *)
 
 val total_dropped : t -> int
 

@@ -66,7 +66,7 @@ let scan_once ?(policy = Policy.always_idle) ctx =
   Lock_stats.add_extra stats "reaper.scan_us" (int_of_float (elapsed *. 1e6));
   let events = Thin.events ctx in
   if Tl_events.Sink.enabled events then
-    Tl_events.Sink.emit events ~tid:0 ~kind:Tl_events.Event.Reaper_scan ~arg:!deflated;
+    Tl_events.Sink.emit_system events ~kind:Tl_events.Event.Reaper_scan ~arg:!deflated;
   {
     scanned = !scanned;
     candidates = !candidates;

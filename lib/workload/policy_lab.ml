@@ -35,13 +35,15 @@ let shipped_policies =
 let policy_of_string name =
   List.find_opt (fun p -> p.Policy.name = name) shipped_policies
 
-let replay_traced ?(count_width = 1) ?(quiescence_every = 64) ~policy
+let replay_traced ?(count_width = 1) ?(quiescence_every = 64) ?sampling ~policy
     (trace : Tracegen.t) =
   let ops = trace.Tracegen.ops in
   (* Room for one acquire + one release event per op, plus inflations,
      deflations, scans and quiescence marks: no drops, so the scores
      see the whole run. *)
-  let sink = Sink.create ~ring_capacity:((4 * Array.length ops) + 4096) () in
+  let sink =
+    Sink.create ~ring_capacity:((4 * Array.length ops) + 4096) ?sampling ()
+  in
   let runtime = Runtime.create () in
   Runtime.set_event_sink runtime sink;
   let config = { Thin.default_config with count_width } in

@@ -30,13 +30,15 @@ val policy_of_string : string -> Tl_lifecycle.Policy.t option
 val replay_traced :
   ?count_width:int ->
   ?quiescence_every:int ->
+  ?sampling:Tl_events.Sink.sampling ->
   policy:Tl_lifecycle.Policy.t ->
   Tracegen.t ->
   Tl_core.Thin.ctx * Tl_events.Sink.drained
 (** Replay one trace on a fresh runtime/heap under [policy]
     ([count_width] default 1, [quiescence_every] default 64), tracing
-    every lock event into a sink sized so nothing drops; returns the
-    ctx (for counter inspection) and the drained stream. *)
+    every lock event into a sink sized so nothing drops; [sampling]
+    (default every event) spot-checks production-style sampled streams.
+    Returns the ctx (for counter inspection) and the drained stream. *)
 
 type score = {
   policy : string;

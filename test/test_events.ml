@@ -1,7 +1,9 @@
-(* tl_events: event kinds, the lock-free ring, sink merge ordering,
-   the canonical text codec (golden + qcheck round trips — the suite
-   tools/check.sh pins), and end-to-end instrumentation through Thin,
-   the reaper and the runtime's quiescence points. *)
+(* tl_events: event kinds, the single-writer ring, the sink's
+   epoch-stamped merge (dense seq reconstruction, system-stream
+   ordering, drop honesty, tid clamping, sampling), both codecs
+   (golden + qcheck round trips — the suite tools/check.sh pins), and
+   end-to-end instrumentation through Thin, the reaper and the
+   runtime's quiescence points. *)
 
 open Tl_events
 module Runtime = Tl_runtime.Runtime
@@ -21,7 +23,9 @@ let test_kind_int_roundtrip () =
       check "int roundtrip" true (Event.kind_of_int (Event.kind_to_int k) = Some k))
     Event.all_kinds;
   check "below range" true (Event.kind_of_int (-1) = None);
-  check "above range" true (Event.kind_of_int (List.length Event.all_kinds) = None)
+  check "above range" true (Event.kind_of_int (List.length Event.all_kinds) = None);
+  check_int "n_kinds matches" (List.length Event.all_kinds) Event.n_kinds;
+  check "kinds fit kind_bits" true (Event.n_kinds <= 1 lsl Event.kind_bits)
 
 let test_kind_name_roundtrip () =
   let seen = Hashtbl.create 32 in
@@ -34,19 +38,46 @@ let test_kind_name_roundtrip () =
     Event.all_kinds;
   check "unknown name" true (Event.kind_of_name "acquire-bogus" = None)
 
+let test_kind_masks () =
+  List.iter
+    (fun k ->
+      let bit m = (m lsr Event.kind_to_int k) land 1 = 1 in
+      check "object mask matches predicate" (Event.carries_object k)
+        (bit Event.object_kind_mask);
+      check "fast mask only on thin fast/nested paths"
+        (match k with
+        | Event.Acquire_fast | Event.Acquire_nested | Event.Release_fast
+        | Event.Release_nested ->
+            true
+        | _ -> false)
+        (bit Event.fast_path_kind_mask))
+    Event.all_kinds;
+  check "reaper arg is a count" false (Event.carries_object Event.Reaper_scan);
+  check "quiescence arg is a count" false (Event.carries_object Event.Quiescence)
+
 (* --- ring --- *)
 
 let test_ring_overflow_drops_suffix () =
   let ring = Ring.create 8 in
   for i = 0 to 10 do
-    Ring.emit ring ~seq:i ~tid:1 ~kind:Event.Acquire_fast ~arg:(100 + i)
+    Ring.emit ring ~stamp:i ~kind:Event.Acquire_fast ~arg:(100 + i)
   done;
   check_int "written caps at capacity" 8 (Ring.written ring);
   check_int "overflow counted" 3 (Ring.dropped ring);
   check_int "capacity" 8 (Ring.capacity ring);
   (* the surviving prefix is intact and in write order *)
-  let seqs = List.rev (Ring.fold (fun acc e -> e.Event.seq :: acc) [] ring) in
-  check "prefix, in order" true (seqs = [ 0; 1; 2; 3; 4; 5; 6; 7 ])
+  let stamps =
+    List.rev (Ring.fold (fun acc ~stamp ~kind:_ ~arg:_ -> stamp :: acc) [] ring)
+  in
+  check "prefix, in order" true (stamps = [ 0; 1; 2; 3; 4; 5; 6; 7 ])
+
+let test_ring_packs_wide_stamps () =
+  let ring = Ring.create 4 in
+  let big = 1 lsl 50 in
+  Ring.emit ring ~stamp:big ~kind:Event.Quiescence ~arg:(-3);
+  let got = Ring.fold (fun _ ~stamp ~kind ~arg -> Some (stamp, kind, arg)) None ring in
+  check "stamp/kind/arg survive packing" true
+    (got = Some (big, Event.Quiescence, -3))
 
 let test_ring_rejects_zero_capacity () =
   match Ring.create 0 with
@@ -58,34 +89,53 @@ let test_ring_rejects_zero_capacity () =
 let test_sink_disabled_is_inert () =
   check "disabled" false (Sink.enabled Sink.disabled);
   Sink.emit Sink.disabled ~tid:1 ~kind:Event.Acquire_fast ~arg:0;
-  check_int "no tickets" 0 (Sink.emitted Sink.disabled);
+  Sink.emit_system Sink.disabled ~kind:Event.Reaper_scan ~arg:0;
+  Sink.advance_epoch Sink.disabled;
+  check_int "nothing accepted" 0 (Sink.emitted Sink.disabled);
+  check_int "nothing clamped" 0 (Sink.tid_clamped Sink.disabled);
   let d = Sink.drain Sink.disabled in
   check_int "no events" 0 (Array.length d.Sink.events);
   check "no drops" true (d.Sink.dropped = [])
 
-let test_sink_merges_in_seq_order () =
+(* Within one epoch the merge groups by tid; an epoch advance is a
+   hard cross-thread order boundary. *)
+let test_sink_merge_within_and_across_epochs () =
   let sink = Sink.create ~ring_capacity:64 () in
-  (* interleave three tids; seq tickets are issued in emit order *)
   List.iter
     (fun (tid, arg) -> Sink.emit sink ~tid ~kind:Event.Acquire_fast ~arg)
-    [ (3, 30); (1, 10); (2, 20); (1, 11); (3, 31) ];
+    [ (3, 30); (1, 10); (2, 20); (1, 11) ];
+  Sink.advance_epoch sink;
+  (* after the boundary, even the smallest tid sorts later *)
+  Sink.emit sink ~tid:1 ~kind:Event.Acquire_fast ~arg:12;
+  Sink.emit sink ~tid:3 ~kind:Event.Acquire_fast ~arg:31;
   let d = Sink.drain sink in
-  check_int "all recorded" 5 (Array.length d.Sink.events);
-  Array.iteri (fun i e -> check_int "seq = emit order" i e.Event.seq) d.Sink.events;
-  check "args follow emit order" true
-    (Array.map (fun e -> e.Event.arg) d.Sink.events = [| 30; 10; 20; 11; 31 |]);
-  check "tids preserved" true
-    (Array.map (fun e -> e.Event.tid) d.Sink.events = [| 3; 1; 2; 1; 3 |]);
-  (* drain reads, never consumes *)
-  check_int "drain is repeatable" 5 (Array.length (Sink.drain sink).Sink.events)
+  check_int "all recorded" 6 (Array.length d.Sink.events);
+  Array.iteri (fun i e -> check_int "seq dense from 0" i e.Event.seq) d.Sink.events;
+  check "epoch 0 grouped by tid, epoch 1 after" true
+    (Array.map (fun e -> e.Event.arg) d.Sink.events = [| 10; 11; 20; 30; 12; 31 |]);
+  check "tids follow the merge" true
+    (Array.map (fun e -> e.Event.tid) d.Sink.events = [| 1; 1; 2; 3; 1; 3 |]);
+  (* drain reads, never consumes, and is deterministic *)
+  check "drain is repeatable and identical" true (Sink.drain sink = d)
 
-let test_sink_out_of_range_tid_folds_to_system () =
+(* Regression (tid-0 misattribution): out-of-range tids used to fold
+   onto the system stream, where they would masquerade as
+   deflater/reaper actions.  They must be counted and dropped. *)
+let test_sink_rejects_out_of_range_tids () =
   let sink = Sink.create ~ring_capacity:8 () in
   Sink.emit sink ~tid:Sink.max_tids ~kind:Event.Quiescence ~arg:1;
-  Sink.emit sink ~tid:(-7) ~kind:Event.Quiescence ~arg:2;
+  Sink.emit sink ~tid:(-7) ~kind:Event.Wait_op ~arg:2;
+  Sink.emit sink ~tid:0 ~kind:Event.Wait_op ~arg:3 (* 0 is emit_system's *);
   let d = Sink.drain sink in
-  check_int "both recorded" 2 (Array.length d.Sink.events);
-  Array.iter (fun e -> check_int "folded to tid 0" 0 e.Event.tid) d.Sink.events
+  check_int "nothing recorded" 0 (Array.length d.Sink.events);
+  check_int "rejections counted" 3 (Sink.tid_clamped sink);
+  check "no ring created (system stream untouched)" true (Sink.active_tids sink = []);
+  check_int "not counted as emitted" 0 (Sink.emitted sink);
+  (* the boundary tids are fine *)
+  Sink.emit sink ~tid:1 ~kind:Event.Acquire_fast ~arg:4;
+  Sink.emit sink ~tid:(Sink.max_tids - 1) ~kind:Event.Acquire_fast ~arg:5;
+  check_int "boundary tids accepted" 2 (Array.length (Sink.drain sink).Sink.events);
+  check_int "no further clamps" 3 (Sink.tid_clamped sink)
 
 let test_sink_reports_drops_per_tid () =
   let sink = Sink.create ~ring_capacity:16 () in
@@ -94,10 +144,77 @@ let test_sink_reports_drops_per_tid () =
   done;
   Sink.emit sink ~tid:2 ~kind:Event.Quiescence ~arg:0;
   let d = Sink.drain sink in
-  check_int "tickets = recorded + dropped" 101 (Sink.emitted sink);
+  check_int "accepted = recorded + dropped" 101 (Sink.emitted sink);
   check "per-tid drop counts" true (d.Sink.dropped = [ (5, 84) ]);
   check_int "total_dropped" 84 (Sink.total_dropped sink);
   check_int "count_kind sees survivors" 16 (Sink.count_kind d Event.Release_fast)
+
+(* Regression (drop-induced seq holes): the old global ticket was
+   consumed even when the ring dropped the event, so streams with drops
+   carried seq holes.  The drain-time merge numbers survivors densely,
+   and the oracle accepts the stream with its honest drop count. *)
+let test_drops_leave_no_seq_holes () =
+  let sink = Sink.create ~ring_capacity:2 () in
+  Sink.emit sink ~tid:1 ~kind:Event.Acquire_fast ~arg:5;
+  Sink.emit sink ~tid:1 ~kind:Event.Release_fast ~arg:5;
+  Sink.emit sink ~tid:1 ~kind:Event.Acquire_fast ~arg:5 (* dropped *);
+  Sink.emit sink ~tid:1 ~kind:Event.Release_fast ~arg:5 (* dropped *);
+  Sink.emit sink ~tid:2 ~kind:Event.Acquire_fast ~arg:9;
+  Sink.emit sink ~tid:2 ~kind:Event.Release_fast ~arg:9;
+  let d = Sink.drain sink in
+  check_int "four survivors" 4 (Array.length d.Sink.events);
+  check "honest drop count" true (d.Sink.dropped = [ (1, 2) ]);
+  Array.iteri (fun i e -> check_int "seq dense despite drops" i e.Event.seq) d.Sink.events;
+  let report = Oracle.check ~mode:Oracle.Strict ~count_width:8 d in
+  check "oracle accepts drops without seq holes" true (Oracle.ok report)
+
+let test_sink_one_slot_ring_satisfies_oracle () =
+  let sink = Sink.create ~ring_capacity:1 () in
+  for i = 1 to 6 do
+    Sink.emit sink ~tid:1 ~kind:Event.Quiescence ~arg:i
+  done;
+  let d = Sink.drain sink in
+  check_int "one survivor" 1 (Array.length d.Sink.events);
+  check_int "survivor renumbered to 0" 0 d.Sink.events.(0).Event.seq;
+  check "five drops recorded" true (d.Sink.dropped = [ (1, 5) ]);
+  check "oracle accepts the honest stream" true (Oracle.ok (Oracle.check d))
+
+(* The oracle's density check is drop-aware, not drop-blind: declared
+   drops excuse exactly that many holes, no more. *)
+let test_oracle_drop_aware_density () =
+  let ev seq = { Event.seq; tid = 1; kind = Event.Quiescence; arg = seq } in
+  let holes_ok = { Sink.events = [| ev 0; ev 2 |]; dropped = [ (1, 1) ] } in
+  check "1 hole, 1 drop: accepted" true (Oracle.ok (Oracle.check holes_ok));
+  let holes_bad = { Sink.events = [| ev 0; ev 5 |]; dropped = [ (1, 1) ] } in
+  let report = Oracle.check holes_bad in
+  check "4 holes, 1 drop: malformed" true
+    (Oracle.find report Oracle.Stream_malformed <> None)
+
+let test_system_events_interleave_exactly () =
+  let sink = Sink.create ~ring_capacity:64 () in
+  Sink.emit sink ~tid:1 ~kind:Event.Acquire_fast ~arg:5;
+  Sink.emit sink ~tid:1 ~kind:Event.Inflate_overflow ~arg:5;
+  Sink.emit sink ~tid:1 ~kind:Event.Acquire_fat ~arg:5;
+  Sink.emit sink ~tid:1 ~kind:Event.Release_fat ~arg:5;
+  Sink.emit sink ~tid:1 ~kind:Event.Release_fat ~arg:5;
+  (* the deflater runs with no env: its ticket stamp must sort it after
+     the release that made the monitor idle... *)
+  Sink.emit_system sink ~kind:Event.Deflate_quiescent ~arg:5;
+  (* ...and before anything a mutator emits afterwards *)
+  Sink.emit sink ~tid:1 ~kind:Event.Acquire_fast ~arg:5;
+  Sink.emit sink ~tid:1 ~kind:Event.Release_fast ~arg:5;
+  let d = Sink.drain sink in
+  let kinds = Array.map (fun e -> e.Event.kind) d.Sink.events in
+  check "system event lands exactly between release and re-acquire" true
+    (kinds
+    = [|
+        Event.Acquire_fast; Event.Inflate_overflow; Event.Acquire_fat;
+        Event.Release_fat; Event.Release_fat; Event.Deflate_quiescent;
+        Event.Acquire_fast; Event.Release_fast;
+      |]);
+  check_int "on the system stream" 0 d.Sink.events.(5).Event.tid;
+  check "strict oracle accepts the interleaving" true
+    (Oracle.ok (Oracle.check ~mode:Oracle.Strict d))
 
 let test_sink_multithreaded_emit () =
   let sink = Sink.create ~ring_capacity:4096 () in
@@ -115,8 +232,7 @@ let test_sink_multithreaded_emit () =
   let d = Sink.drain sink in
   check_int "nothing lost" (threads * per_thread) (Array.length d.Sink.events);
   check "no drops" true (d.Sink.dropped = []);
-  (* the merged stream is strictly seq-sorted, and each thread's events
-     keep their program order (args ascending per tid) *)
+  (* dense reconstructed seqs; each thread's events keep program order *)
   let last_seq = ref (-1) in
   let last_arg = Hashtbl.create 8 in
   Array.iter
@@ -126,29 +242,152 @@ let test_sink_multithreaded_emit () =
       let prev = Option.value ~default:(-1) (Hashtbl.find_opt last_arg e.Event.tid) in
       check "per-thread program order" true (e.Event.arg > prev);
       Hashtbl.replace last_arg e.Event.tid e.Event.arg)
-    d.Sink.events
+    d.Sink.events;
+  check "double drain deterministic" true (Sink.drain sink = d)
 
-(* --- codec (the golden suite tools/check.sh runs) --- *)
+(* --- sampling --- *)
+
+let test_sampling_one_in_n_keeps_whole_objects () =
+  let sink = Sink.create ~ring_capacity:4096 ~sampling:(Sink.One_in_n 4) () in
+  let objects = 200 in
+  for obj = 1 to objects do
+    Sink.emit sink ~tid:1 ~kind:Event.Acquire_fast ~arg:obj;
+    Sink.emit sink ~tid:1 ~kind:Event.Release_fast ~arg:obj
+  done;
+  Sink.emit_system sink ~kind:Event.Reaper_scan ~arg:0;
+  let d = Sink.drain sink in
+  let per_obj = Hashtbl.create 64 in
+  let reaper = ref 0 in
+  Array.iter
+    (fun e ->
+      if Event.carries_object e.Event.kind then
+        Hashtbl.replace per_obj e.Event.arg
+          (1 + Option.value ~default:0 (Hashtbl.find_opt per_obj e.Event.arg))
+      else incr reaper)
+    d.Sink.events;
+  let kept = Hashtbl.length per_obj in
+  check "a proper subset of objects survives" true (kept > 0 && kept < objects);
+  Hashtbl.iter
+    (fun _ n -> check_int "whole per-object history survives" 2 n)
+    per_obj;
+  check_int "non-object events always kept" 1 !reaper;
+  (* sampled per-object histories are still oracle-checkable *)
+  check "oracle ok on sampled stream" true (Oracle.ok (Oracle.check d));
+  (* the selection is a stable function of the object id *)
+  let sink2 = Sink.create ~ring_capacity:4096 ~sampling:(Sink.One_in_n 4) () in
+  for obj = 1 to objects do
+    Sink.emit sink2 ~tid:1 ~kind:Event.Acquire_fast ~arg:obj;
+    Sink.emit sink2 ~tid:1 ~kind:Event.Release_fast ~arg:obj
+  done;
+  let objs d =
+    Array.to_list d.Sink.events
+    |> List.filter_map (fun (e : Event.t) ->
+           if Event.carries_object e.Event.kind then Some e.Event.arg else None)
+    |> List.sort_uniq compare
+  in
+  check "same objects selected across sinks" true
+    (objs d = objs (Sink.drain sink2))
+
+let test_sampling_contended_only () =
+  let sink = Sink.create ~ring_capacity:64 ~sampling:Sink.Contended_only () in
+  Sink.emit sink ~tid:1 ~kind:Event.Acquire_fast ~arg:5 (* suppressed *);
+  Sink.emit sink ~tid:1 ~kind:Event.Release_nested ~arg:5 (* suppressed *);
+  Sink.emit sink ~tid:1 ~kind:Event.Inflate_contention ~arg:5;
+  Sink.emit sink ~tid:2 ~kind:Event.Contended_begin ~arg:5;
+  Sink.emit sink ~tid:2 ~kind:Event.Contended_end ~arg:5;
+  Sink.emit_system sink ~kind:Event.Reaper_scan ~arg:1;
+  let d = Sink.drain sink in
+  check_int "fast-path kinds suppressed" 4 (Array.length d.Sink.events);
+  check_int "no fast acquires" 0 (Sink.count_kind d Event.Acquire_fast);
+  check_int "inflation kept" 1 (Sink.count_kind d Event.Inflate_contention);
+  check_int "episode boundaries kept" 2
+    (Sink.count_kind d Event.Contended_begin + Sink.count_kind d Event.Contended_end);
+  check_int "system events kept" 1 (Sink.count_kind d Event.Reaper_scan)
+
+(* --- linearisation property (qcheck) --- *)
+
+(* Random multi-thread emission schedules over disjoint objects, with
+   the main thread racing epoch advances: the reconstructed stream must
+   be dense, keep each thread's program order exactly, satisfy the
+   relaxed oracle, and drain deterministically. *)
+let prop_drain_reconstruction_is_legal =
+  let gen = QCheck.Gen.(list_size (int_range 1 4) (int_range 0 40)) in
+  let arb = QCheck.make gen ~print:QCheck.Print.(list int) in
+  QCheck.Test.make ~name:"drain reconstruction is a legal linearisation" ~count:15
+    arb (fun counts ->
+      let sink = Sink.create ~ring_capacity:4096 () in
+      let handles =
+        List.mapi
+          (fun t n ->
+            Thread.create
+              (fun () ->
+                let obj = 1000 + t in
+                for _ = 1 to n do
+                  Sink.emit sink ~tid:(t + 1) ~kind:Event.Acquire_fast ~arg:obj;
+                  Sink.emit sink ~tid:(t + 1) ~kind:Event.Release_fast ~arg:obj
+                done)
+              ())
+          counts
+      in
+      (* race the epoch forward while emitters run *)
+      for _ = 1 to 20 do
+        Sink.advance_epoch sink;
+        Thread.yield ()
+      done;
+      List.iter Thread.join handles;
+      let d = Sink.drain sink in
+      let total = 2 * List.fold_left ( + ) 0 counts in
+      let dense = ref true in
+      Array.iteri (fun i e -> if e.Event.seq <> i then dense := false) d.Sink.events;
+      (* per-tid projection = that thread's exact program order *)
+      let per_tid_ok = ref true in
+      List.iteri
+        (fun t n ->
+          let mine =
+            Array.to_list d.Sink.events
+            |> List.filter (fun (e : Event.t) -> e.Event.tid = t + 1)
+            |> List.map (fun (e : Event.t) -> e.Event.kind)
+          in
+          let expect =
+            List.concat
+              (List.init n (fun _ -> [ Event.Acquire_fast; Event.Release_fast ]))
+          in
+          if mine <> expect then per_tid_ok := false)
+        counts;
+      Array.length d.Sink.events = total
+      && d.Sink.dropped = []
+      && !dense && !per_tid_ok
+      && Oracle.ok (Oracle.check ~mode:Oracle.Relaxed ~count_width:8 d)
+      && Sink.drain sink = d)
+
+(* --- text codec (the golden suite tools/check.sh runs) --- *)
 
 let golden_stream () =
   let sink = Sink.create ~ring_capacity:8 () in
   Sink.emit sink ~tid:1 ~kind:Event.Acquire_fast ~arg:7;
   Sink.emit sink ~tid:1 ~kind:Event.Inflate_overflow ~arg:7;
+  Sink.advance_epoch sink;
   Sink.emit sink ~tid:2 ~kind:Event.Acquire_fat_queued ~arg:7;
+  Sink.advance_epoch sink;
   Sink.emit sink ~tid:1 ~kind:Event.Release_fat ~arg:7;
-  Sink.emit sink ~tid:0 ~kind:Event.Deflate_quiescent ~arg:7;
-  Sink.emit sink ~tid:0 ~kind:Event.Reaper_scan ~arg:1;
+  Sink.emit_system sink ~kind:Event.Deflate_quiescent ~arg:7;
+  Sink.emit_system sink ~kind:Event.Reaper_scan ~arg:1;
+  (* boundary values: negative arg, max tid, max-int arg *)
+  Sink.emit sink ~tid:3 ~kind:Event.Notify_op ~arg:(-42);
+  Sink.emit sink ~tid:(Sink.max_tids - 1) ~kind:Event.Wait_op ~arg:max_int;
   Sink.drain sink
 
 let golden_text =
   "# thinlocks-events v1\n\
-   events 6\n\
+   events 8\n\
    0 1 acquire-fast 7\n\
    1 1 inflate-overflow 7\n\
    2 2 acquire-fat-queued 7\n\
    3 1 release-fat 7\n\
    4 0 deflate-quiescent 7\n\
-   5 0 reaper-scan 1\n"
+   5 0 reaper-scan 1\n\
+   6 3 notify -42\n\
+   7 32767 wait 4611686018427387903\n"
 
 let test_codec_golden () =
   check_str "golden encoding" golden_text (Codec.to_string (golden_stream ()))
@@ -170,6 +409,22 @@ let test_codec_roundtrip_is_canonical () =
   let empty = Codec.to_string Sink.empty in
   check_str "empty stream" "# thinlocks-events v1\nevents 0\n" empty;
   check_str "empty roundtrip" empty (Codec.to_string (Codec.of_string empty))
+
+let test_codec_boundary_args_roundtrip () =
+  (* min_int exercises the sign edge in text and the zigzag edge in
+     binary; both codecs must agree with the original stream *)
+  let ev seq tid arg = { Event.seq; tid; kind = Event.Wait_op; arg } in
+  let d =
+    {
+      Sink.events =
+        [| ev 0 1 max_int; ev 1 (Sink.max_tids - 1) min_int; ev 2 3 (-1); ev 3 4 0 |];
+      dropped = [];
+    }
+  in
+  let via_text = Codec.of_string (Codec.to_string d) in
+  check "text boundary round trip" true (via_text = d);
+  let via_bin = Codec_bin.of_bytes (Codec_bin.to_bytes d) in
+  check "binary boundary round trip" true (via_bin = d)
 
 let test_codec_parse_errors () =
   let expect_parse_error text =
@@ -195,7 +450,12 @@ let test_codec_parse_errors () =
   expect_parse_error "# thinlocks-events v1\nevents 0\ndropped 2 0\n"
     (* zero drop count *);
   expect_parse_error "# thinlocks-events v1\nevents 0\ndropped 2 -3\n"
-    (* negative drop count *)
+    (* negative drop count *);
+  (* no sink ever emits these; the parser must not invent them either *)
+  expect_parse_error "# thinlocks-events v1\nevents 1\n-1 1 acquire-fast 7\n"
+    (* negative seq *);
+  expect_parse_error "# thinlocks-events v1\nevents 1\n0 -1 acquire-fast 7\n"
+    (* negative tid *)
 
 let drained_arb =
   let open QCheck.Gen in
@@ -207,7 +467,9 @@ let drained_arb =
       array_repeat n
         (let* tid = int_range 0 50 in
          let* k = kind in
-         let* arg = int_range 0 100_000 in
+         let* arg =
+           oneof [ int_range (-100_000) 100_000; oneofl [ max_int; min_int; 0 ] ]
+         in
          return (tid, k, arg))
     in
     (* seqs strictly increasing, as drain produces *)
@@ -224,13 +486,57 @@ let drained_arb =
   QCheck.make gen ~print:Codec.to_string
 
 let prop_codec_roundtrip =
-  QCheck.Test.make ~name:"codec round trips any drained stream" ~count:100 drained_arb
-    (fun d ->
+  QCheck.Test.make ~name:"text codec round trips any drained stream" ~count:100
+    drained_arb (fun d ->
       let text = Codec.to_string d in
       let back = Codec.of_string text in
       back.Sink.events = d.Sink.events
       && back.Sink.dropped = d.Sink.dropped
       && String.equal (Codec.to_string back) text)
+
+(* --- binary codec --- *)
+
+let prop_codec_bin_roundtrip =
+  QCheck.Test.make ~name:"binary codec round trips any drained stream" ~count:100
+    drained_arb (fun d ->
+      let bytes = Codec_bin.to_bytes d in
+      let back = Codec_bin.of_bytes bytes in
+      back.Sink.events = d.Sink.events
+      && back.Sink.dropped = d.Sink.dropped
+      && String.equal (Codec_bin.to_bytes back) bytes
+      (* the auto-detecting entry point must agree with both parsers *)
+      && Codec_bin.of_string_auto bytes = back
+      && Codec_bin.of_string_auto (Codec.to_string d) = back)
+
+let test_codec_bin_golden_empty () =
+  check_str "empty binary stream" (Codec_bin.magic ^ "\x00\x00")
+    (Codec_bin.to_bytes Sink.empty)
+
+let test_codec_bin_compact () =
+  let d = golden_stream () in
+  let bytes = Codec_bin.to_bytes d in
+  check "binary beats text" true (String.length bytes < String.length golden_text);
+  check "binary round trip of the golden stream" true (Codec_bin.of_bytes bytes = d)
+
+let test_codec_bin_parse_errors () =
+  let expect_error bytes =
+    match Codec_bin.of_bytes bytes with
+    | _ -> Alcotest.failf "expected binary parse error on %S" bytes
+    | exception Codec_bin.Parse_error _ -> ()
+  in
+  let bin s = Codec_bin.magic ^ s in
+  expect_error "";
+  expect_error "# thinlocks-events v1\nevents 0\n" (* text magic *);
+  expect_error (bin "") (* truncated counts *);
+  expect_error (bin "\x00\x00\x00") (* trailing byte *);
+  expect_error (bin "\x80\x00") (* non-minimal varint *);
+  expect_error (bin "\x01\x00\x00\x14") (* kind byte out of range (20) *);
+  expect_error (bin "\x02\x00\x00\x00\x01\x00\x00") (* zero seq delta *);
+  expect_error (bin "\x00\x02\x03\x01\x02\x01") (* drop tids out of order *);
+  expect_error (bin "\x00\x01\x02\x00") (* zero drop count *);
+  let valid = Codec_bin.to_bytes (golden_stream ()) in
+  expect_error (String.sub valid 0 (String.length valid - 1)) (* truncated *);
+  expect_error (valid ^ "\x00") (* trailing bytes *)
 
 (* --- end-to-end instrumentation --- *)
 
@@ -268,7 +574,17 @@ let test_thin_emits_protocol_events () =
           check_int "deflation arg = monitor tag" (Tl_heap.Obj_model.id obj) e.Event.arg;
           check_int "deflation on system stream" 0 e.Event.tid
       | _ -> ())
-    d.Sink.events
+    d.Sink.events;
+  (* the deflation's ticket stamp must order it after the last release *)
+  let seq_of kind =
+    Array.fold_left
+      (fun acc (e : Event.t) -> if e.Event.kind = kind then e.Event.seq else acc)
+      (-1) d.Sink.events
+  in
+  check "deflation sorts after the last fat release" true
+    (seq_of Event.Deflate_quiescent > seq_of Event.Release_fat);
+  check "strict oracle accepts the single-domain stream" true
+    (Oracle.ok (Oracle.check ~mode:Oracle.Strict ~count_width:1 d))
 
 let test_thin_emits_wait_and_notify () =
   let runtime = Runtime.create () in
@@ -428,27 +744,53 @@ let () =
         [
           Alcotest.test_case "int roundtrip" `Quick test_kind_int_roundtrip;
           Alcotest.test_case "name roundtrip" `Quick test_kind_name_roundtrip;
+          Alcotest.test_case "kind masks" `Quick test_kind_masks;
         ] );
       ( "ring",
         [
           Alcotest.test_case "overflow drops a suffix" `Quick test_ring_overflow_drops_suffix;
+          Alcotest.test_case "wide stamps survive packing" `Quick test_ring_packs_wide_stamps;
           Alcotest.test_case "zero capacity rejected" `Quick test_ring_rejects_zero_capacity;
         ] );
       ( "sink",
         [
           Alcotest.test_case "disabled is inert" `Quick test_sink_disabled_is_inert;
-          Alcotest.test_case "merge in seq order" `Quick test_sink_merges_in_seq_order;
-          Alcotest.test_case "out-of-range tid folds" `Quick
-            test_sink_out_of_range_tid_folds_to_system;
+          Alcotest.test_case "merge within and across epochs" `Quick
+            test_sink_merge_within_and_across_epochs;
+          Alcotest.test_case "out-of-range tids rejected" `Quick
+            test_sink_rejects_out_of_range_tids;
           Alcotest.test_case "drops reported per tid" `Quick test_sink_reports_drops_per_tid;
+          Alcotest.test_case "drops leave no seq holes" `Quick test_drops_leave_no_seq_holes;
+          Alcotest.test_case "one-slot ring satisfies oracle" `Quick
+            test_sink_one_slot_ring_satisfies_oracle;
+          Alcotest.test_case "oracle density is drop-aware" `Quick
+            test_oracle_drop_aware_density;
+          Alcotest.test_case "system events interleave exactly" `Quick
+            test_system_events_interleave_exactly;
           Alcotest.test_case "multithreaded emit" `Quick test_sink_multithreaded_emit;
+          QCheck_alcotest.to_alcotest prop_drain_reconstruction_is_legal;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "1-in-N keeps whole objects" `Quick
+            test_sampling_one_in_n_keeps_whole_objects;
+          Alcotest.test_case "contended-only" `Quick test_sampling_contended_only;
         ] );
       ( "codec",
         [
           Alcotest.test_case "golden encoding" `Quick test_codec_golden;
           Alcotest.test_case "canonical roundtrip" `Quick test_codec_roundtrip_is_canonical;
+          Alcotest.test_case "boundary args round trip" `Quick
+            test_codec_boundary_args_roundtrip;
           Alcotest.test_case "parse errors" `Quick test_codec_parse_errors;
           QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+        ] );
+      ( "codec-bin",
+        [
+          Alcotest.test_case "golden empty" `Quick test_codec_bin_golden_empty;
+          Alcotest.test_case "compact vs text" `Quick test_codec_bin_compact;
+          Alcotest.test_case "parse errors" `Quick test_codec_bin_parse_errors;
+          QCheck_alcotest.to_alcotest prop_codec_bin_roundtrip;
         ] );
       ( "instrumentation",
         [

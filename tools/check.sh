@@ -57,8 +57,18 @@ assert oh["events"] > 0
 assert oh["violations"] == 0, "oracle flagged a clean replay stream"
 for key in ("strict_ns_per_event", "relaxed_ns_per_event", "residency_ns_per_event"):
     assert oh[key] >= 0.0, key
+ev = d["scenarios"]["events_overhead"]
+assert ev["enabled_ns"] < 25.0, \
+    "tracing overhead %.1f ns/event blows the always-on budget" % ev["enabled_ns"]
+assert ev["events_dropped"] == 0, "overhead loop overran its ring"
+assert 0.0 < ev["bin_bytes_per_event"] < ev["text_bytes_per_event"], \
+    "binary codec is not smaller than text"
+for key in ("sampled_ratio_1_in_8", "contended_only_ratio"):
+    assert 0.0 < ev[key] < 1.0, "%s=%r not a proper sampling ratio" % (key, ev.get(key))
 print("BENCH.json: %d replay-par rows, oracle over %d events, cores=%d"
       % (len(rows), oh["events"], d["cores"]))
+print("  tracing: %.1f ns/event enabled overhead; %.1f text vs %.1f bin bytes/event"
+      % (ev["enabled_ns"], ev["text_bytes_per_event"], ev["bin_bytes_per_event"]))
 EOF
 else
   grep -q '"thinlocks-bench-v1"' BENCH.json
@@ -84,6 +94,29 @@ if dune exec bin/thinlocks.exe -- trace-diff "$tmpdir/a.ev" "$tmpdir/c.ev" >/dev
   echo "FAIL: trace-diff did not flag diverging policies." >&2
   exit 1
 fi
+rm -rf "$tmpdir"
+
+echo "== binary codec: macro trace round-trips against the text dump"
+tmpdir=$(mktemp -d)
+dune exec bin/thinlocks.exe -- events -b javacup --max-syncs 4000 \
+  -o "$tmpdir/t.ev" >/dev/null
+dune exec bin/thinlocks.exe -- events -b javacup --max-syncs 4000 --binary \
+  -o "$tmpdir/t.bin" >/dev/null
+dune exec bin/thinlocks.exe -- trace-diff "$tmpdir/t.ev" "$tmpdir/t.bin"
+text_sz=$(wc -c <"$tmpdir/t.ev"); bin_sz=$(wc -c <"$tmpdir/t.bin")
+if [ "$bin_sz" -ge "$text_sz" ]; then
+  rm -rf "$tmpdir"
+  echo "FAIL: binary dump ($bin_sz B) is not smaller than text ($text_sz B)." >&2
+  exit 1
+fi
+echo "  binary $bin_sz B vs text $text_sz B for the same stream"
+rm -rf "$tmpdir"
+
+echo "== oracle over a sampled stream (1-in-4 objects, whole histories kept)"
+tmpdir=$(mktemp -d)
+dune exec bin/thinlocks.exe -- events -b javalex --max-syncs 2000 --sample 4 \
+  -o "$tmpdir/s.ev" >/dev/null
+dune exec bin/thinlocks.exe -- verify-trace "$tmpdir/s.ev" --count-width 1
 rm -rf "$tmpdir"
 
 echo "== protocol oracle over replay-par streams (affinity + shuffle, 1/2/4 domains)"
