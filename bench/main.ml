@@ -724,6 +724,101 @@ let bench_replay_par () =
     \   fewer cores than domains, scaling saturates at the core count and the\n\
     \   interesting signal is the contention columns under shuffle)\n\n%!"
 
+(* The fiber storm: the acceptance workload for the effects-based M:N
+   scheduler — open-loop fiber admission against Zipf-popular locks,
+   reporting throughput and the acquire-latency tail.  The smaller
+   runs trace and verify with the relaxed oracle; the million-fiber
+   run is untraced for a pure throughput number. *)
+let bench_fiber_storm () =
+  section "Fiber storm: lightweight threads under thin locks (M:N scheduler)";
+  let module FS = Tl_workload.Fiber_storm in
+  let rows = ref [] in
+  Printf.printf "  %-9s %8s %12s %9s %9s %9s %7s %7s\n" "fibers" "domains" "ops/sec"
+    "p50us" "p99us" "p999us" "tids" "oracle";
+  List.iter
+    (fun (fibers, traced) ->
+      let config = { FS.default_config with FS.fibers } in
+      let r = FS.run ~trace:traced ~oracle:traced config in
+      let clean =
+        match r.FS.oracle with Some rep -> Tl_events.Oracle.ok rep | None -> true
+      in
+      Printf.printf "  %-9d %8d %12.0f %9.1f %9.1f %9.1f %7d %7s\n%!" fibers
+        config.FS.domains r.FS.ops_per_sec r.FS.p50_us r.FS.p99_us r.FS.p999_us
+        r.FS.distinct_tids
+        (match r.FS.oracle with
+        | Some _ -> if clean then "clean" else "VIOLATION"
+        | None -> "-");
+      rows :=
+        J.Obj
+          [
+            ("scenario", J.Str "fiber-storm");
+            ("fibers", J.Int fibers);
+            ("domains", J.Int config.FS.domains);
+            ("ops", J.Int r.FS.ops);
+            ("ops_per_sec", J.Float r.FS.ops_per_sec);
+            ("p50_us", J.Float r.FS.p50_us);
+            ("p99_us", J.Float r.FS.p99_us);
+            ("p999_us", J.Float r.FS.p999_us);
+            ("max_us", J.Float r.FS.max_us);
+            ("completed", J.Int r.FS.completed);
+            ("distinct_tids", J.Int r.FS.distinct_tids);
+            ("overflow_waits", J.Int r.FS.overflow_waits);
+            ("events", J.Int r.FS.events);
+            ("dropped", J.Int r.FS.dropped);
+            ("traced", J.Bool traced);
+            ("oracle_clean", J.Bool clean);
+          ]
+        :: !rows)
+    [ (10_000, true); (100_000, true); (1_000_000, false) ];
+  add_json "fiber_storm" (J.List (List.rev !rows));
+  Printf.printf
+    "  (latency tail includes scheduler queueing: a fiber that parks on an\n\
+    \   inflated monitor pays the wait until its holder resumes and releases;\n\
+    \   distinct tids stay near the admission window because leases recycle)\n\n%!"
+
+(* Tid lease churn: allocate/release cost as a function of how many
+   indices are already live.  The free list is O(1), so the line
+   should be flat — this is the regression gate for satellite work on
+   the allocator. *)
+let bench_tid_churn () =
+  section "Tid lease churn: allocate+release cost vs live indices (ns/cycle)";
+  let module Tid = Tl_runtime.Tid in
+  let cycles = if quick then 200_000 else 1_000_000 in
+  let rows = ref [] in
+  Printf.printf "  %-12s %12s\n" "live" "ns/cycle";
+  List.iter
+    (fun live ->
+      let t = Tid.create_table () in
+      let held =
+        Array.init live (fun i -> Tid.allocate t ~name:(Printf.sprintf "held-%d" i))
+      in
+      (* prime the free list so the loop exercises recycle, not fresh *)
+      let d0 = Tid.allocate t ~name:"churn" in
+      Tid.release t d0;
+      let t0 = Tl_util.Timer.now () in
+      for _ = 1 to cycles do
+        let d = Tid.allocate t ~name:"churn" in
+        Tid.release t d
+      done;
+      let dt = Tl_util.Timer.now () -. t0 in
+      let ns = 1e9 *. dt /. float_of_int cycles in
+      Printf.printf "  %-12d %12.1f\n%!" live ns;
+      Array.iter (fun d -> Tid.release t d) held;
+      rows :=
+        J.Obj
+          [
+            ("scenario", J.Str "tid-churn");
+            ("live", J.Int live);
+            ("cycles", J.Int cycles);
+            ("ns_per_cycle", J.Float ns);
+          ]
+        :: !rows)
+    [ 0; 1_000; 8_000; Tid.max_index - 1 ];
+  add_json "tid_churn" (J.List (List.rev !rows));
+  Printf.printf
+    "  (flat line = O(1) allocate: a FIFO free list and an epoch bump,\n\
+    \   independent of how many of the 2^15 indices are currently leased)\n\n%!"
+
 (* Contention-handling ablation: backoff policy under competing
    threads (wall-clock: needs real threads). *)
 let bench_backoff () =
@@ -791,6 +886,8 @@ let run_smoke () =
   bench_events_overhead ();
   bench_oracle_overhead ();
   bench_replay_par ();
+  bench_tid_churn ();
+  bench_fiber_storm ();
   write_bench_json ();
   Printf.printf "\ndone (smoke).\n"
 
@@ -817,6 +914,8 @@ let () =
   bench_events_overhead ();
   bench_oracle_overhead ();
   bench_replay_par ();
+  bench_tid_churn ();
+  bench_fiber_storm ();
   bench_vm_macros ();
 
   section "Table 1: macro-benchmark characterization";

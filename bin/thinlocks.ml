@@ -379,6 +379,23 @@ let events_cmd =
       const run $ benchmark_arg $ policy_arg $ output_arg $ summary_arg $ binary_arg
       $ sample_arg $ contended_arg $ max_syncs_arg $ seed_arg)
 
+let backend_arg =
+  let doc =
+    "Worker substrate for parallel replay: $(b,domains) runs each worker on its \
+     own OCaml domain; $(b,fibers) runs the same workers as fibers of the \
+     effects scheduler multiplexed over that many carrier domains."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("domains", Tl_workload.Parallel_replay.Os_domains);
+             ("fibers", Tl_workload.Parallel_replay.Fibers);
+           ])
+        Tl_workload.Parallel_replay.Os_domains
+    & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
 let policy_lab_cmd =
   let benchmarks_arg =
     let doc = "Traces to replay (comma-separated benchmark names)." in
@@ -401,19 +418,23 @@ let policy_lab_cmd =
                default shuffle (contention-manufacturing) decomposition." in
     Arg.(value & flag & info [ "affinity" ] ~doc)
   in
-  let run max_syncs seed benchmarks domains affinity =
+  let run max_syncs seed benchmarks domains affinity backend =
     if domains <= 1 then print (Tl_workload.Policy_lab.table ~max_syncs ~seed ~benchmarks ())
     else
       let mode =
         if affinity then Tl_workload.Parallel_replay.Affinity
         else Tl_workload.Parallel_replay.Shuffle
       in
-      print (Tl_workload.Policy_lab.table_par ~max_syncs ~seed ~benchmarks ~domains ~mode ())
+      print
+        (Tl_workload.Policy_lab.table_par ~max_syncs ~seed ~benchmarks ~backend
+           ~domains ~mode ())
   in
   Cmd.v
     (Cmd.info "policy-lab"
        ~doc:"Score every deflation policy against macro traces via the event stream")
-    Term.(const run $ lab_max_syncs_arg $ seed_arg $ benchmarks_arg $ domains_arg $ affinity_arg)
+    Term.(
+      const run $ lab_max_syncs_arg $ seed_arg $ benchmarks_arg $ domains_arg
+      $ affinity_arg $ backend_arg)
 
 let replay_par_cmd =
   let module PR = Tl_workload.Parallel_replay in
@@ -462,7 +483,7 @@ let replay_par_cmd =
     Arg.(value & flag & info [ "oracle" ] ~doc)
   in
   let run benchmark domains shuffle scheme_name work tick_every interleave expect oracle
-      max_syncs seed =
+      backend max_syncs seed =
     match Tl_workload.Profiles.find benchmark with
     | None ->
         Printf.eprintf "unknown benchmark %S\n" benchmark;
@@ -475,10 +496,20 @@ let replay_par_cmd =
           let scheme = Tl_baselines.Registry.find_exn scheme_name runtime in
           let tick env =
             Tl_runtime.Runtime.quiescence_point ~env runtime;
-            if interleave then Unix.sleepf 5e-5
+            if interleave then
+              match backend with
+              | PR.Os_domains -> Unix.sleepf 5e-5
+              | PR.Fibers -> Tl_fiber.Scheduler.sleep 5e-5
           in
           let config =
-            { PR.default_config with PR.domains; mode; work_per_op = work; tick_every }
+            {
+              PR.default_config with
+              PR.domains;
+              mode;
+              work_per_op = work;
+              tick_every;
+              backend;
+            }
           in
           PR.run ~config ~tick ~scheme ~runtime trace
         in
@@ -496,7 +527,10 @@ let replay_par_cmd =
         let r = go 4 (attempt ()) in
         Printf.printf "replayed %s under %s: %d ops (%d acquires), %d lanes / %d runs\n"
           benchmark scheme_name r.PR.ops r.PR.acquires r.PR.lanes r.PR.runs;
-        Printf.printf "%d domains, %s mode: %.0f ops/sec in %s; %d steals\n\n" domains
+        Printf.printf "%d %s, %s mode: %.0f ops/sec in %s; %d steals\n\n" domains
+          (match backend with
+          | PR.Os_domains -> "domains"
+          | PR.Fibers -> "fiber-carrier domains")
           (PR.mode_name mode) r.PR.ops_per_sec
           (Tl_util.Timer.seconds_to_string r.PR.elapsed)
           r.PR.steals;
@@ -524,8 +558,8 @@ let replay_par_cmd =
         if oracle then begin
           let policy = Option.get (Tl_workload.Policy_lab.policy_of_string "never") in
           let _r, drained =
-            Tl_workload.Policy_lab.replay_traced_par ~interleave ~domains ~mode ~policy
-              trace
+            Tl_workload.Policy_lab.replay_traced_par ~interleave ~backend ~domains
+              ~mode ~policy trace
           in
           let omode =
             if domains <= 1 then Tl_events.Oracle.Strict else Tl_events.Oracle.Relaxed
@@ -541,7 +575,86 @@ let replay_par_cmd =
     Term.(
       const run $ benchmark_arg $ domains_arg $ shuffle_arg $ scheme_arg $ work_arg
       $ tick_every_arg $ interleave_arg $ expect_contention_arg $ oracle_arg
-      $ max_syncs_arg $ seed_arg)
+      $ backend_arg $ max_syncs_arg $ seed_arg)
+
+let fiber_storm_cmd =
+  let module FS = Tl_workload.Fiber_storm in
+  let fibers_arg =
+    let doc = "Total fibers admitted over the run." in
+    Arg.(value & opt int 100_000 & info [ "fibers" ] ~docv:"N" ~doc)
+  in
+  let domains_arg =
+    let doc = "Carrier domains the scheduler multiplexes fibers over." in
+    Arg.(value & opt int 1 & info [ "domains"; "d" ] ~docv:"N" ~doc)
+  in
+  let objects_arg =
+    let doc = "Shared lock objects." in
+    Arg.(value & opt int 1024 & info [ "objects" ] ~docv:"N" ~doc)
+  in
+  let zipf_arg =
+    let doc = "Zipf popularity exponent over the objects (0 = uniform)." in
+    Arg.(value & opt float 0.99 & info [ "zipf" ] ~docv:"THETA" ~doc)
+  in
+  let ops_arg =
+    let doc = "Lock episodes per fiber." in
+    Arg.(value & opt int 1 & info [ "ops" ] ~docv:"N" ~doc)
+  in
+  let in_flight_arg =
+    let doc = "Admission window: maximum concurrently-live worker fibers (also \
+               bounds the distinct tid indices a run leases)." in
+    Arg.(value & opt int 4096 & info [ "in-flight" ] ~docv:"N" ~doc)
+  in
+  let rate_arg =
+    let doc = "Poisson admission rate (fibers/sec); 0 = window-limited open loop." in
+    Arg.(value & opt float 0.0 & info [ "arrival-rate" ] ~docv:"R" ~doc)
+  in
+  let no_yield_arg =
+    let doc = "Do not suspend inside the critical section (less parking, more \
+               fast-path)." in
+    Arg.(value & flag & info [ "no-yield-in-cs" ] ~doc)
+  in
+  let no_trace_arg =
+    let doc = "Run untraced (no event sink, no oracle): pure throughput numbers." in
+    Arg.(value & flag & info [ "no-trace" ] ~doc)
+  in
+  let no_oracle_arg =
+    let doc = "Trace but skip the relaxed-oracle verification of the drained stream." in
+    Arg.(value & flag & info [ "no-oracle" ] ~doc)
+  in
+  let run fibers domains objects zipf ops in_flight rate no_yield no_trace no_oracle
+      seed =
+    let config =
+      {
+        FS.default_config with
+        FS.fibers;
+        domains;
+        objects;
+        zipf;
+        ops_per_fiber = ops;
+        in_flight;
+        arrival_rate = rate;
+        yield_in_cs = not no_yield;
+        seed;
+      }
+    in
+    let r = FS.run ~trace:(not no_trace) ~oracle:(not (no_trace || no_oracle)) config in
+    Format.printf "%a@." FS.pp r;
+    if r.FS.completed <> fibers then begin
+      Printf.eprintf "storm lost fibers: %d of %d completed\n" r.FS.completed fibers;
+      exit 1
+    end;
+    match r.FS.oracle with
+    | Some rep when not (Tl_events.Oracle.ok rep) -> exit 1
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "fiber-storm"
+       ~doc:"Storm N lightweight fibers over thin locks on a fixed domain pool, \
+             reporting throughput and the acquire-latency tail")
+    Term.(
+      const run $ fibers_arg $ domains_arg $ objects_arg $ zipf_arg $ ops_arg
+      $ in_flight_arg $ rate_arg $ no_yield_arg $ no_trace_arg $ no_oracle_arg
+      $ seed_arg)
 
 (* Auto-detect on the format tag: text and binary dumps both start
    with a distinctive magic line. *)
@@ -646,6 +759,6 @@ let () =
           [
             table1_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig6_cmd; characterize_cmd;
             ablation_cmd; micro_cmd; sim_cmd; stress_cmd; trace_cmd; replay_cmd;
-            replay_par_cmd; events_cmd; policy_lab_cmd; trace_diff_cmd; verify_trace_cmd;
-            residency_cmd; all_cmd;
+            replay_par_cmd; fiber_storm_cmd; events_cmd; policy_lab_cmd; trace_diff_cmd;
+            verify_trace_cmd; residency_cmd; all_cmd;
           ]))

@@ -183,7 +183,10 @@ and acquire ctx env obj =
     else begin
       (* Scenario 4/5: held by another thread. *)
       if ctx.tracing then emit ctx ~tid:(my_index env) Ev.Contended_begin ~arg:(Obj_model.id obj);
-      contended ctx env obj (Backoff.create ~policy:ctx.config.backoff_policy ());
+      contended ctx env obj
+        (Backoff.create ~policy:ctx.config.backoff_policy
+           ~yield:(fun () -> Parker.yield env.Runtime.parker)
+           ());
       if ctx.tracing then emit ctx ~tid:(my_index env) Ev.Contended_end ~arg:(Obj_model.id obj)
     end
 
@@ -206,8 +209,10 @@ and fat_acquire ctx env obj monitor_ref =
         if ctx.config.record_stats then
           Lock_stats.add_extra ctx.stats "deflation.retired_monitor_retries" 1;
         (* The deflater is between retiring and rewriting the word; give
-           it the processor rather than spinning through the latch. *)
-        Thread.yield ();
+           it the processor rather than spinning through the latch.
+           Through the parker, so a fiber yields its carrier domain's
+           run queue instead of the bare OS thread. *)
+        Parker.yield env.Runtime.parker;
         acquire ctx env obj
       in
       match Fatlock.try_acquire_live env fat with

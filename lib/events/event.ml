@@ -23,6 +23,7 @@ type kind =
   | Notify_all_op
   | Reaper_scan
   | Quiescence
+  | Tid_overflow
 
 type t = { seq : int; tid : int; kind : kind; arg : int }
 
@@ -31,7 +32,7 @@ let all_kinds =
     Acquire_fast; Acquire_nested; Acquire_fat; Acquire_fat_queued; Release_fast;
     Release_nested; Release_fat; Inflate_contention; Inflate_wait; Inflate_overflow;
     Deflate_quiescent; Deflate_concurrent; Deflate_aborted; Contended_begin; Contended_end;
-    Wait_op; Notify_op; Notify_all_op; Reaper_scan; Quiescence;
+    Wait_op; Notify_op; Notify_all_op; Reaper_scan; Quiescence; Tid_overflow;
   ]
 
 let kind_to_int = function
@@ -55,6 +56,7 @@ let kind_to_int = function
   | Notify_all_op -> 17
   | Reaper_scan -> 18
   | Quiescence -> 19
+  | Tid_overflow -> 20
 
 let n_kinds = List.length all_kinds
 
@@ -62,7 +64,9 @@ let n_kinds = List.length all_kinds
    into one int, so this is part of the on-ring representation. *)
 let kind_bits = 5
 
-let carries_object = function Reaper_scan | Quiescence -> false | _ -> true
+let carries_object = function
+  | Reaper_scan | Quiescence | Tid_overflow -> false
+  | _ -> true
 
 let fast_path = function
   | Acquire_fast | Acquire_nested | Release_fast | Release_nested -> true
@@ -102,6 +106,7 @@ let kind_name = function
   | Notify_all_op -> "notify-all"
   | Reaper_scan -> "reaper-scan"
   | Quiescence -> "quiescence"
+  | Tid_overflow -> "tid-overflow"
 
 let kind_of_name =
   let table = Hashtbl.create 32 in

@@ -34,6 +34,11 @@ type kind =
   | Notify_all_op
   | Reaper_scan  (** one census scan completed; [arg] = deflated count *)
   | Quiescence  (** a quiescence point announced; [arg] = running count *)
+  | Tid_overflow
+      (** the thread-index lease pool was exhausted and a fiber took
+          the overflow path (suspended until an index is released)
+          instead of failing; system stream, [arg] = running count of
+          overflow episodes *)
 
 type t = { seq : int; tid : int; kind : kind; arg : int }
 (** [seq] is assigned by the sink's drain-time merge: dense, starting
@@ -53,8 +58,9 @@ val kind_to_int : kind -> int
 val kind_of_int : int -> kind option
 
 val carries_object : kind -> bool
-(** [arg] is an object id for this kind ([Reaper_scan] and [Quiescence]
-    are the only kinds whose arg is a count instead).  The oracle's
+(** [arg] is an object id for this kind ([Reaper_scan], [Quiescence]
+    and [Tid_overflow] are the only kinds whose arg is a count
+    instead).  The oracle's
     per-object partitioning and the sink's 1-in-N object sampling both
     key off this predicate. *)
 

@@ -247,7 +247,7 @@ let rec step ~max_thin st (e : Event.t) =
           Ok { st with cb }
       | _ ->
           err Stream_malformed "contended-end without a matching contended-begin")
-  | Event.Reaper_scan | Event.Quiescence -> Ok st
+  | Event.Reaper_scan | Event.Quiescence | Event.Tid_overflow -> Ok st
 
 (* ------------------------------------------------------------------ *)
 (* Routing and structural checks.                                     *)
@@ -268,7 +268,7 @@ let is_thread_path = function
   | Event.Wait_op | Event.Notify_op | Event.Notify_all_op ->
       true
   | Event.Deflate_quiescent | Event.Deflate_concurrent | Event.Deflate_aborted
-  | Event.Reaper_scan | Event.Quiescence ->
+  | Event.Reaper_scan | Event.Quiescence | Event.Tid_overflow ->
       false
 
 (* A thread-path event on tid 0 is excluded from the automaton (owner 0
@@ -458,7 +458,188 @@ let run_strict ~max_thin ~require_unlocked_end (d : Sink.drained) push =
 
 type frame = { f_idx : int array; f_state : ostate; mutable f_alts : int list }
 
-let verify_object_relaxed ~max_thin (queues : Event.t array array) =
+(* Greedy fast path.  The backtracking search below recomputes and
+   sorts the whole head set at every step — fine for replay streams
+   with a handful of threads per object, but quadratic when a fiber
+   storm funnels tens of thousands of recycled tids through one hot
+   object.  Clean streams almost never need backtracking, so first try
+   to linearise greedily, and do it the way a real scheduler would:
+   blocked heads {e park} instead of being rescanned.
+
+   Active heads live in a min-heap by seq; the smallest head is
+   stepped, and on failure parks in a wake bucket chosen by what the
+   head is waiting for.  Inspection of [step] shows every
+   blocked-now-enabled-later case needs one of exactly two things
+   another thread can provide:
+
+   - the object becoming [Flat] — fast acquires, contention inflation;
+   - the monitor becoming unowned ([Fat (0, _)]), or its
+     signals/waiters changing — fat acquires, the implicit-resume
+     paths of [Release_fat]/[Wait_op]/[Notify_op], and deflations.
+
+   Everything else ([Acquire_nested], thin releases, overflow/wait
+   inflation, [Contended_end]) is a precondition only the head's own
+   earlier events could have established, so no other queue's step can
+   enable it: those heads park in [limbo] and are only reconsidered by
+   the rescue scan.  After each successful step, a transition into
+   [Flat] wakes one head of the flat bucket and a change of the
+   unowned/signals/waiters gate wakes one of the fat bucket (one
+   suffices: consuming a woken head re-fires the wake, walking any
+   chain).  Woken heads rejoin the heap, so seq order still decides
+   when they run.  Should the heap drain with heads still parked — a
+   missed wake is possible since buckets are rotated, not scanned — a
+   full rescue scan re-tests every parked head; only when that finds
+   nothing enabled is this a dead end, and the exhaustive search
+   decides.  Success exhibits a feasible interleaving of the
+   per-thread subsequences — exactly the relaxed-mode obligation — in
+   O(events · log queues) for well-formed streams of any width. *)
+let greedy_linearise ~max_thin (queues : Event.t array array) =
+  let nq = Array.length queues in
+  let idx = Array.make nq 0 in
+  let heap = Array.make (max nq 1) 0 in
+  let heap_n = ref 0 in
+  let seq_of qi = queues.(qi).(idx.(qi)).Event.seq in
+  let swap i j =
+    let t = heap.(i) in
+    heap.(i) <- heap.(j);
+    heap.(j) <- t
+  in
+  let rec up i =
+    if i > 0 then begin
+      let p = (i - 1) / 2 in
+      if seq_of heap.(i) < seq_of heap.(p) then begin
+        swap i p;
+        up p
+      end
+    end
+  in
+  let rec down i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let m = ref i in
+    if l < !heap_n && seq_of heap.(l) < seq_of heap.(!m) then m := l;
+    if r < !heap_n && seq_of heap.(r) < seq_of heap.(!m) then m := r;
+    if !m <> i then begin
+      swap i !m;
+      down !m
+    end
+  in
+  let push qi =
+    heap.(!heap_n) <- qi;
+    incr heap_n;
+    up (!heap_n - 1)
+  in
+  let pop () =
+    let q = heap.(0) in
+    decr heap_n;
+    heap.(0) <- heap.(!heap_n);
+    if !heap_n > 0 then down 0;
+    q
+  in
+  for qi = 0 to nq - 1 do
+    if Array.length queues.(qi) > 0 then push qi
+  done;
+  let state = ref initial in
+  let parked_flat = Queue.create () in
+  let parked_fat = Queue.create () in
+  let limbo = ref [] in
+  let parked_n = ref 0 in
+  let park qi =
+    incr parked_n;
+    match queues.(qi).(idx.(qi)).Event.kind with
+    | Event.Acquire_fast | Event.Inflate_contention ->
+        Queue.push qi parked_flat
+    | Event.Acquire_fat | Event.Acquire_fat_queued | Event.Release_fat
+    | Event.Wait_op | Event.Notify_op | Event.Notify_all_op
+    | Event.Deflate_quiescent | Event.Deflate_concurrent
+    | Event.Deflate_aborted ->
+        Queue.push qi parked_fat
+    | _ -> limbo := qi :: !limbo
+  in
+  (* Rotate the bucket until an enabled head rejoins the heap.  On the
+     transitions that fire a wake, the bucket front is normally exactly
+     the kind of head the transition unblocked, so this is O(1); heads
+     blocked for another reason (e.g. a resume without its waiter
+     registered yet) cycle to the back. *)
+  let wake_one bucket =
+    let n = Queue.length bucket in
+    let found = ref false in
+    let i = ref 0 in
+    while (not !found) && !i < n do
+      incr i;
+      let qi = Queue.pop bucket in
+      match step ~max_thin !state queues.(qi).(idx.(qi)) with
+      | Ok _ ->
+          decr parked_n;
+          push qi;
+          found := true
+      | Error _ -> Queue.push qi bucket
+    done
+  in
+  let is_flat (st : ostate) = match st.st with Flat -> true | _ -> false in
+  let fat_unowned (st : ostate) =
+    match st.st with Fat (0, _) -> true | _ -> false
+  in
+  let after_step old_st =
+    let st' = !state in
+    if is_flat st' && not (is_flat old_st) then wake_one parked_flat;
+    if
+      fat_unowned st'
+      && ((not (fat_unowned old_st))
+         || st'.signals <> old_st.signals
+         || IntMap.cardinal st'.waiters <> IntMap.cardinal old_st.waiters)
+    then wake_one parked_fat
+  in
+  let rescue_bucket rescued bucket =
+    let n = Queue.length bucket in
+    for _ = 1 to n do
+      let qi = Queue.pop bucket in
+      match step ~max_thin !state queues.(qi).(idx.(qi)) with
+      | Ok _ ->
+          decr parked_n;
+          incr rescued;
+          push qi
+      | Error _ -> Queue.push qi bucket
+    done
+  in
+  let result = ref None in
+  let give_up = ref false in
+  while (not !give_up) && !result = None do
+    if !heap_n > 0 then begin
+      let qi = pop () in
+      match step ~max_thin !state queues.(qi).(idx.(qi)) with
+      | Ok st' ->
+          let old_st = !state in
+          state := st';
+          idx.(qi) <- idx.(qi) + 1;
+          if idx.(qi) < Array.length queues.(qi) then push qi;
+          after_step old_st
+      | Error _ -> park qi
+    end
+    else if !parked_n = 0 then result := Some !state
+    else begin
+      (* Heap drained with heads still parked: rescue scan.  Every
+         currently-enabled parked head rejoins the heap; if none is,
+         this path is a genuine dead end. *)
+      let rescued = ref 0 in
+      rescue_bucket rescued parked_flat;
+      rescue_bucket rescued parked_fat;
+      let keep = ref [] in
+      List.iter
+        (fun qi ->
+          match step ~max_thin !state queues.(qi).(idx.(qi)) with
+          | Ok _ ->
+              decr parked_n;
+              incr rescued;
+              push qi
+          | Error _ -> keep := qi :: !keep)
+        !limbo;
+      limbo := !keep;
+      if !rescued = 0 then give_up := true
+    end
+  done;
+  !result
+
+let verify_object_search ~max_thin (queues : Event.t array array) =
   let nq = Array.length queues in
   let idx = Array.make nq 0 in
   let total = Array.fold_left (fun a q -> a + Array.length q) 0 queues in
@@ -549,6 +730,11 @@ let verify_object_relaxed ~max_thin (queues : Event.t array array) =
     | Ok _ -> assert false
   in
   loop ()
+
+let verify_object_relaxed ~max_thin (queues : Event.t array array) =
+  match greedy_linearise ~max_thin queues with
+  | Some st -> Ok st
+  | None -> verify_object_search ~max_thin queues
 
 let run_relaxed ~max_thin ~require_unlocked_end (d : Sink.drained) push =
   (* Group per object, preserving per-thread order (the input is seq

@@ -101,7 +101,8 @@ let feed t (e : Event.t) =
   | Event.Acquire_fast | Event.Acquire_nested | Event.Acquire_fat
   | Event.Acquire_fat_queued | Event.Release_fast | Event.Release_nested
   | Event.Release_fat | Event.Contended_end | Event.Wait_op | Event.Notify_op
-  | Event.Notify_all_op | Event.Reaper_scan | Event.Quiescence ->
+  | Event.Notify_all_op | Event.Reaper_scan | Event.Quiescence
+  | Event.Tid_overflow ->
       ()
 
 let summary t =

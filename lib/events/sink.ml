@@ -42,6 +42,7 @@ type sampling = Every_event | One_in_n of int | Contended_only
 type t = {
   enabled : bool;
   ring_capacity : int;
+  system_capacity : int; (* ring 0 may need more room than mutator rings *)
   epoch : int Atomic.t;
   rings : Ring.t Atomic.t array; (* index = tid; [||] when disabled *)
   kind_mask : int; (* bit per kind: record this kind at all? *)
@@ -60,6 +61,7 @@ let disabled =
   {
     enabled = false;
     ring_capacity = 0;
+    system_capacity = 0;
     epoch = Atomic.make 0;
     rings = [||];
     kind_mask = 0;
@@ -71,8 +73,11 @@ let disabled =
 let default_capacity = 1 lsl 16
 let all_kinds_mask = (1 lsl Event.n_kinds) - 1
 
-let create ?(ring_capacity = default_capacity) ?(sampling = Every_event) () =
+let create ?(ring_capacity = default_capacity) ?system_capacity
+    ?(sampling = Every_event) () =
   if ring_capacity < 1 then invalid_arg "Sink.create: ring_capacity";
+  let system_capacity = Option.value ~default:ring_capacity system_capacity in
+  if system_capacity < 1 then invalid_arg "Sink.create: system_capacity";
   let kind_mask, sample_n =
     match sampling with
     | Every_event -> (all_kinds_mask, 0)
@@ -84,6 +89,7 @@ let create ?(ring_capacity = default_capacity) ?(sampling = Every_event) () =
   {
     enabled = true;
     ring_capacity;
+    system_capacity;
     epoch = Atomic.make 0;
     rings = Array.init max_tids (fun _ -> Atomic.make no_ring);
     kind_mask;
@@ -98,7 +104,7 @@ let advance_epoch t = if t.enabled then Atomic.incr t.epoch
 
 let[@inline never] ring_slow t tid =
   let cell = t.rings.(tid) in
-  let ring = Ring.create t.ring_capacity in
+  let ring = Ring.create (if tid = 0 then t.system_capacity else t.ring_capacity) in
   if Atomic.compare_and_set cell no_ring ring then ring
   else
     (* lost the race; a cell never goes back to the sentinel *)

@@ -61,10 +61,15 @@ type sampling =
           deflations, contended episodes, wait/notify and system events
           are kept *)
 
-val create : ?ring_capacity:int -> ?sampling:sampling -> unit -> t
+val create :
+  ?ring_capacity:int -> ?system_capacity:int -> ?sampling:sampling -> unit -> t
 (** An enabled sink whose rings each hold [ring_capacity] events
     (default {!default_capacity}).  Size it to the workload when drops
-    matter: roughly [2×ops + inflations + extras] per thread. *)
+    matter: roughly [2×ops + inflations + extras] per thread.
+    [system_capacity] (default [ring_capacity]) sizes ring 0 alone —
+    fiber storms keep mutator rings small (events spread over 32 k
+    recycled tids) while the system stream absorbs every deflation,
+    reaper scan and overflow mark of the run. *)
 
 val enabled : t -> bool
 

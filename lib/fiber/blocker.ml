@@ -1,0 +1,65 @@
+(* A one-permit suspension cell: the meeting point between a fiber
+   that wants to block and whoever will wake it.
+
+   The cell is a three-state machine in one atomic:
+
+     Empty  --install w-->  Parked w     (fiber suspends, leaves waker)
+     Empty  --unpark----->  Permit       (wakeup arrived first; banked)
+     Permit --try_consume-> Empty        (fiber absorbs the banked wakeup)
+     Parked w --unpark---> Empty         (waker handed back to resume w)
+     Parked w --cancel w-> Empty         (timed park gave up; waker dead)
+
+   Exactly one side wins each transition via CAS, so a permit is never
+   lost and a waker is never invoked twice: [unpark] either banks a
+   permit (at most one — extra unparks coalesce, same as Parker) or
+   extracts the parked waker exactly once.  [cancel] only succeeds on
+   the *identical* closure it installed, so a cancel can never destroy
+   a permit banked by a racing unpark — the race's loser sees the
+   state the winner left.
+
+   The waker takes a bool: [true] for a real unpark, [false] for a
+   timeout — the resumed fiber learns which, mirroring
+   [Parker.park_timeout]'s return value. *)
+
+type state = Empty | Permit | Parked of (bool -> unit)
+type t = state Atomic.t
+
+let create () = Atomic.make Empty
+
+let try_consume t =
+  (* Only the owning fiber calls this, so Permit -> Empty cannot race
+     another consume; it can race unpark's Empty -> Permit, which just
+     means the permit arrives after this returns false. *)
+  Atomic.get t == Permit && Atomic.compare_and_set t Permit Empty
+
+let has_permit t = Atomic.get t == Permit
+
+let rec install t w =
+  match Atomic.get t with
+  | Empty ->
+      if Atomic.compare_and_set t Empty (Parked w) then true else install t w
+  | Permit ->
+      (* A wakeup raced in between the fiber's last consume check and
+         its suspension: absorb it and tell the caller to resume
+         immediately rather than park. *)
+      if Atomic.compare_and_set t Permit Empty then false else install t w
+  | Parked _ -> invalid_arg "Blocker.install: already parked"
+
+let rec unpark t =
+  match Atomic.get t with
+  | Parked w as seen ->
+      if Atomic.compare_and_set t seen Empty then Some w else unpark t
+  | Empty ->
+      if Atomic.compare_and_set t Empty Permit then None else unpark t
+  | Permit -> None (* permits coalesce *)
+
+let cancel t w =
+  (* Physical equality against the exact installed closure: succeeds
+     only if no unpark claimed the waker first.  On failure the waker
+     has been (or is being) extracted by an unpark — the timeout lost
+     the race and the fiber will be resumed with [true].  The CAS is
+     against the *read* state block, not a fresh [Parked w] (which
+     would never be physically equal). *)
+  match Atomic.get t with
+  | Parked w' as seen when w' == w -> Atomic.compare_and_set t seen Empty
+  | _ -> false

@@ -1,0 +1,55 @@
+(** A one-permit suspension cell — the fiber-side analogue of
+    {!Tl_runtime.Parker}'s permit protocol, split into its primitive
+    transitions so the {!Scheduler} can compose them with effect
+    capture.
+
+    A blocker holds at most one {e permit}.  The suspending fiber first
+    calls {!try_consume} (fast path: a wakeup already arrived); if that
+    fails it captures its continuation and {!install}s a {e waker}
+    closure that, when invoked, makes the fiber runnable again.  Any
+    thread — another fiber's carrier, a plain OS thread, the timer
+    sweep — calls {!unpark}: it either banks a permit (the fiber wasn't
+    parked yet; its install will see the permit and decline to park) or
+    hands back the installed waker for the caller to run.  Extra
+    unparks coalesce into the single banked permit, exactly like
+    [Parker.unpark].
+
+    The waker's [bool] argument distinguishes a real wakeup ([true])
+    from a timeout ([false]), mirroring [Parker.park_timeout]'s result.
+
+    Safe for one suspender and many wakers; a blocker is reusable
+    (park/unpark cycles) but never holds two permits. *)
+
+type t
+
+val create : unit -> t
+
+val try_consume : t -> bool
+(** Absorb a banked permit if present.  Owner (suspending) fiber only. *)
+
+val has_permit : t -> bool
+(** Racy peek: a permit is currently banked.  For spin loops that want
+    to avoid suspension cost when the wakeup is imminent. *)
+
+val install : t -> (bool -> unit) -> bool
+(** Park: publish the waker.  Returns [true] if the waker is installed
+    and the fiber must stay suspended; [false] if a permit raced in —
+    the permit is absorbed and the caller must resume the fiber itself
+    (the waker will never be invoked).  Owner fiber only; at most one
+    installed waker at a time.
+    @raise Invalid_argument if already parked. *)
+
+val unpark : t -> (bool -> unit) option
+(** Wake: returns [Some waker] exactly once per installed waker — the
+    caller must then invoke it (typically [waker true], via a scheduler
+    enqueue).  Returns [None] when no waker was parked; a permit is
+    banked instead (coalescing with any permit already there).  Any
+    thread. *)
+
+val cancel : t -> (bool -> unit) -> bool
+(** Timed-park expiry: atomically withdraw the {e exact} waker closure
+    previously installed.  [true] — the waker was withdrawn and will
+    never run; the canceller should resume the fiber with a timeout
+    result.  [false] — an unpark already claimed it; the real wakeup
+    wins and the fiber will be resumed with [true].  Never destroys a
+    banked permit. *)

@@ -1,0 +1,87 @@
+(* Chase–Lev work-stealing deque over a fixed circular buffer.
+
+   Indices [top] and [bottom] increase monotonically; live items are
+   the half-open range [top, bottom).  The owner writes [bottom]; both
+   sides read both.  Slots are atomic options: a slot is written by
+   [push] strictly before the bottom index that publishes it, and a
+   slot at index [i] is only rewritten once [top] has moved past [i]
+   (enforced by the capacity check in [push]), so a thief that read
+   [top = i] and then wins the CAS [i -> i+1] is guaranteed the value
+   it read from slot [i] was the live one.
+
+   The one delicate race is the last item, where the popping owner and
+   a thief meet: both settle it with a CAS on [top], which exactly one
+   wins.  The loser observed [top] advance and reports empty/retry. *)
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  slots : 'a option Atomic.t array;
+  mask : int;
+}
+
+exception Full
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Ws_deque.create: capacity";
+  let cap = next_pow2 capacity in
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    slots = Array.init cap (fun _ -> Atomic.make None);
+    mask = cap - 1;
+  }
+
+let capacity t = t.mask + 1
+
+let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+
+let push t x =
+  let b = Atomic.get t.bottom in
+  if b - Atomic.get t.top > t.mask then raise Full;
+  Atomic.set t.slots.(b land t.mask) (Some x);
+  Atomic.set t.bottom (b + 1)
+
+let take_slot t i =
+  match Atomic.exchange t.slots.(i land t.mask) None with
+  | Some _ as r -> r
+  | None -> assert false (* protocol: the claimant of an index owns its slot *)
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  (* Announce the shrink first so thieves stop claiming index [b]. *)
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* Already empty; restore the canonical empty shape. *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else if b > tp then
+    (* At least two items: index [b] is unreachable by thieves (they
+       need top < bottom = b, i.e. can claim at most b-1). *)
+    take_slot t b
+  else begin
+    (* Single item: race the thieves for index [tp]. *)
+    let won = Atomic.compare_and_set t.top tp (tp + 1) in
+    Atomic.set t.bottom (tp + 1);
+    if won then take_slot t b else None
+  end
+
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then `Empty
+  else
+    (* Read the value before claiming: once the CAS wins, the slot's
+       content at the time [top = tp] held is ours (slots are not
+       recycled until top passes them).  The owner clears slots with
+       [exchange], so a concurrent pop of this very index can leave
+       [None] — claim lost, retry. *)
+    match Atomic.get t.slots.(tp land t.mask) with
+    | None -> `Retry
+    | Some x -> if Atomic.compare_and_set t.top tp (tp + 1) then `Stolen x else `Retry

@@ -3,10 +3,11 @@
     One {e owner} thread pushes and pops at the bottom (LIFO — it keeps
     working on what it most recently deferred, which is what preserves
     locality); any number of {e thief} threads steal from the top (FIFO
-    — they take the oldest, coldest item).  This is the scheduler
-    substrate of {!Parallel_replay}: items are whole per-object run
-    queues, so a steal migrates an object's remaining work wholesale
-    and never splits a run.
+    — they take the oldest, coldest item).  This is the run-queue
+    substrate of both the fiber {!Scheduler} (items are runnable
+    fibers) and [Workload.Parallel_replay] (items are whole per-object
+    run queues, so a steal migrates an object's remaining work
+    wholesale and never splits a run).
 
     The implementation is the classic Chase–Lev algorithm over a
     fixed-size circular buffer of atomic slots: [push]/[pop] touch only

@@ -1,8 +1,9 @@
 type policy = Busy | Yield | Yield_sleep
 
-type t = { policy : policy; mutable step : int }
+type t = { policy : policy; yield : unit -> unit; mutable step : int }
 
-let create ?(policy = Yield_sleep) () = { policy; step = 0 }
+let create ?(policy = Yield_sleep) ?(yield = Thread.yield) () =
+  { policy; yield; step = 0 }
 
 let spin_batch = 32
 let yield_steps = 8
@@ -20,10 +21,10 @@ let once t =
   t.step <- step + 1;
   match t.policy with
   | Busy -> busy_spin ()
-  | Yield -> if step < 2 then busy_spin () else Thread.yield ()
+  | Yield -> if step < 2 then busy_spin () else t.yield ()
   | Yield_sleep ->
       if step < 2 then busy_spin ()
-      else if step < 2 + yield_steps then Thread.yield ()
+      else if step < 2 + yield_steps then t.yield ()
       else begin
         let exponent = min (step - 2 - yield_steps) 10 in
         let d = Float.min max_sleep (1e-6 *. float_of_int (1 lsl exponent)) in

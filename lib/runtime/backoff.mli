@@ -14,8 +14,13 @@ type policy =
 
 type t
 
-val create : ?policy:policy -> unit -> t
-(** Fresh backoff state for one waiting episode. *)
+val create : ?policy:policy -> ?yield:(unit -> unit) -> unit -> t
+(** Fresh backoff state for one waiting episode.  [yield] (default
+    [Thread.yield]) is what the [Yield]/[Yield_sleep] policies call to
+    give up the processor; fiber contexts pass [Parker.yield] so a spin
+    on a lock held by a fiber queued on this very carrier domain lets
+    the holder run instead of yielding an OS thread that has nothing
+    else to do. *)
 
 val once : t -> unit
 (** Wait a little, escalating on each call. *)

@@ -4,7 +4,9 @@
     environment" (§2.3.1) — carrying its thread index both plain and
     pre-shifted into lock-word position, plus its parker.  Lock
     operations take the env explicitly, so finding "my index" is one
-    field load, exactly as in the paper. *)
+    field load, exactly as in the paper.  Because the env is explicit
+    (no thread-local lookup) and the parker is pluggable, the same
+    lock code runs on OS threads, domains, and fibers. *)
 
 type t
 (** A runtime instance: thread-index table plus bookkeeping.  Distinct
@@ -25,18 +27,37 @@ val create : unit -> t
 
 val tid_table : t -> Tid.table
 
-val register_current : t -> name:string -> env
+val register_current : ?parker:Parker.t -> t -> name:string -> env
 (** Allocate an index and environment for the calling thread.  The
     caller is responsible for {!unregister} when the thread is done
-    using the runtime. *)
+    using the runtime.  [parker] (default a fresh OS-thread parker)
+    lets fiber schedulers register envs whose blocking suspends the
+    fiber instead of the carrier thread.
+    @raise Tid.Exhausted when all indices are live. *)
+
+val try_register : ?parker:Parker.t -> t -> name:string -> env option
+(** Like {!register_current} but returns [None] on index exhaustion
+    instead of raising — the fiber scheduler's overflow path parks the
+    fiber and retries when an index is released.  When the leased
+    index is a recycled one and tracing is on, the sink epoch is
+    advanced, so the new holder's event stream is stamped strictly
+    after the previous holder's. *)
 
 val unregister : env -> unit
+(** Release the env's index (making it leasable again) and fire the
+    index-released hook, if any. *)
+
+val set_index_released_hook : t -> (unit -> unit) option -> unit
+(** Install (or clear, with [None]) a hook that runs after every
+    {!unregister}.  The fiber scheduler uses it to wake one fiber
+    waiting out lease exhaustion.  Single slot — installing replaces
+    the previous hook. *)
 
 val main_env : t -> env
 (** The lazily-created environment of the runtime's founding thread.
     Call it from that thread only. *)
 
-type backend = Thread_backend | Domain_backend
+type backend = Thread_backend | Domain_backend | Fiber_backend
 
 type handle
 
@@ -45,10 +66,22 @@ val spawn : ?name:string -> ?backend:backend -> t -> (env -> unit) -> handle
     when the body returns or raises).  The default backend is
     [Thread_backend]: OCaml systhreads — appropriate on this one-core
     testbed; [Domain_backend] uses [Domain.spawn] for real
-    parallelism. *)
+    parallelism; [Fiber_backend] hands the body to the currently
+    running [Fiber.Scheduler] as a lightweight fiber (raising
+    [Invalid_argument] when no scheduler is active on this
+    runtime). *)
+
+val set_fiber_spawner : t -> (string -> (env -> unit) -> unit -> unit) option -> unit
+(** Injection point for [Fiber_backend], installed by
+    [Fiber.Scheduler.run] and cleared when it returns.  The spawner
+    takes a name and a body, starts the fiber (leasing its env itself,
+    with the suspension-based overflow path on exhaustion), and
+    returns a join thunk that re-raises the body's exception. *)
 
 val join : handle -> unit
-(** Wait for completion; re-raises the body's exception, if any. *)
+(** Wait for completion; re-raises the body's exception, if any.
+    Joining a fiber handle from inside a fiber suspends the joining
+    fiber; from an OS thread it blocks the thread. *)
 
 val run_parallel :
   ?name_prefix:string -> ?backend:backend -> t -> int -> (int -> env -> unit) -> unit

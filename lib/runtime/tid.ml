@@ -1,9 +1,10 @@
-type descriptor = { index : int; name : string }
+type descriptor = { index : int; epoch : int; name : string }
 
 type table = {
   mutex : Mutex.t;
   mutable live : descriptor option array; (* slot i holds index i; slot 0 unused *)
-  mutable free : int list; (* recycled indices, smallest first *)
+  free : int Queue.t; (* recycled indices, oldest release first *)
+  mutable epochs : int array; (* per-index lease count, grown with [live] *)
   mutable next_fresh : int; (* never-used indices start here *)
   mutable live_count : int;
 }
@@ -14,7 +15,14 @@ let bits = 15
 let max_index = (1 lsl bits) - 1
 
 let create_table () =
-  { mutex = Mutex.create (); live = Array.make 64 None; free = []; next_fresh = 1; live_count = 0 }
+  {
+    mutex = Mutex.create ();
+    live = Array.make 64 None;
+    free = Queue.create ();
+    epochs = Array.make 64 0;
+    next_fresh = 1;
+    live_count = 0;
+  }
 
 let with_lock t f =
   Mutex.lock t.mutex;
@@ -23,36 +31,47 @@ let with_lock t f =
 let ensure_capacity t index =
   let n = Array.length t.live in
   if index >= n then begin
-    let bigger = Array.make (min (max_index + 1) (max (index + 1) (2 * n))) None in
+    let cap = min (max_index + 1) (max (index + 1) (2 * n)) in
+    let bigger = Array.make cap None in
     Array.blit t.live 0 bigger 0 n;
-    t.live <- bigger
+    t.live <- bigger;
+    let epochs = Array.make cap 0 in
+    Array.blit t.epochs 0 epochs 0 n;
+    t.epochs <- epochs
   end
 
-let allocate t ~name =
+let lease t ~name =
   with_lock t (fun () ->
       let index =
-        match t.free with
-        | i :: rest ->
-            t.free <- rest;
-            i
-        | [] ->
-            if t.next_fresh > max_index then raise Exhausted;
+        if Queue.is_empty t.free then
+          if t.next_fresh > max_index then None
+          else begin
             let i = t.next_fresh in
             t.next_fresh <- i + 1;
-            i
+            Some i
+          end
+        else Some (Queue.pop t.free)
       in
-      let d = { index; name } in
-      ensure_capacity t index;
-      t.live.(index) <- Some d;
-      t.live_count <- t.live_count + 1;
-      d)
+      match index with
+      | None -> None
+      | Some index ->
+          ensure_capacity t index;
+          let epoch = t.epochs.(index) in
+          t.epochs.(index) <- epoch + 1;
+          let d = { index; epoch; name } in
+          t.live.(index) <- Some d;
+          t.live_count <- t.live_count + 1;
+          Some d)
+
+let allocate t ~name =
+  match lease t ~name with Some d -> d | None -> raise Exhausted
 
 let release t d =
   with_lock t (fun () ->
       match t.live.(d.index) with
       | Some live when live == d ->
           t.live.(d.index) <- None;
-          t.free <- List.merge compare [ d.index ] t.free;
+          Queue.push d.index t.free;
           t.live_count <- t.live_count - 1
       | Some _ | None -> invalid_arg "Tid.release: descriptor not live")
 

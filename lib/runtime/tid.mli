@@ -3,14 +3,28 @@
     The thin-lock word stores a 15-bit thread index, not a pointer
     (paper §2.3): index 0 means "unlocked", so live indices are
     1..32767.  The table maps indices back to thread descriptors and
-    recycles indices of exited threads through a free list. *)
+    {e leases} indices: an exited thread's (or finished fiber's) index
+    goes onto a FIFO free queue and is reissued to a later comer with a
+    bumped {!descriptor.epoch}.  FIFO recycling spreads reuse evenly
+    across the index space — under a fiber storm cycling millions of
+    fibers through 32 k indices, every index carries a similar number
+    of leases (which also balances per-tid event-ring usage).
+
+    Both {!lease} and {!release} are O(1): the free list is a queue,
+    not a sorted list, so churn cost is flat no matter how many indices
+    are live (see the [tid_churn] benchmark). *)
 
 type table
 
-type descriptor = { index : int; name : string }
+type descriptor = { index : int; epoch : int; name : string }
+(** [epoch] is the lease generation of [index]: 0 for the first holder
+    ever, incremented each time the index is reissued.  Two descriptors
+    can share an index only across disjoint lifetimes, and then always
+    differ in epoch — which is what keeps recycled per-tid event
+    streams attributable. *)
 
 exception Exhausted
-(** Raised when all 32767 indices are live. *)
+(** Raised by {!allocate} when all 32767 indices are live. *)
 
 val bits : int
 (** Width of an index: 15. *)
@@ -20,13 +34,21 @@ val max_index : int
 
 val create_table : unit -> table
 
+val lease : table -> name:string -> descriptor option
+(** Take an index: the oldest recycled one if any, else a fresh one.
+    [None] when all 32767 are live — callers with a suspension
+    facility (the fiber scheduler) use this to take an explicit
+    overflow path instead of unwinding mid-protocol.  Thread-safe,
+    O(1). *)
+
 val allocate : table -> name:string -> descriptor
-(** Allocates the smallest free index.  Thread-safe.
+(** {!lease}, raising on exhaustion — for callers (OS threads) that
+    have no way to wait for an index.
     @raise Exhausted if no index is free. *)
 
 val release : table -> descriptor -> unit
-(** Returns the index to the free list.  Releasing an index that is not
-    live raises [Invalid_argument]. *)
+(** Return the index to the free queue (O(1)).  Releasing an index
+    that is not live raises [Invalid_argument]. *)
 
 val lookup : table -> int -> descriptor option
 (** [lookup table index] is the live descriptor at [index], if any. *)

@@ -1,0 +1,262 @@
+(* The fiber storm: an open-loop workload that pushes the fiber
+   runtime to a million lightweight threads contending for thin locks.
+
+   A generator fiber admits up to [in_flight] worker fibers at a time
+   (an admission window — completions return their slot and unpark the
+   generator), optionally pacing admissions as a Poisson process.
+   Each worker fiber picks objects by Zipf popularity, acquires,
+   optionally burns critical-section work and {e yields while holding}
+   — parking contenders on the inflated monitor and exercising
+   cross-suspension lock handoff — then releases and thinks.
+
+   Every acquire is individually timed into a preallocated flat array
+   (one fetch-and-add per op), so the run reports not just throughput
+   but the acquire-latency tail (p50/p99/p999), which is where a
+   scheduler that livelocks or a lock that convoys shows up first.
+
+   Tracing a storm needs asymmetric ring sizing: lease recycling keeps
+   the set of distinct tids near the admission window (the free list
+   is FIFO, so roughly [in_flight] indices cycle), each hosting
+   [fibers / in_flight] lease segments.  [ring_capacity_for] sizes the
+   mutator rings to that product with headroom, while the system ring
+   absorbs every quiescence announcement and overflow mark of the
+   run. *)
+
+open Tl_runtime
+module Scheduler = Tl_fiber.Scheduler
+module Sink = Tl_events.Sink
+module Event = Tl_events.Event
+module Oracle = Tl_events.Oracle
+module Thin = Tl_core.Thin
+
+type config = {
+  fibers : int;  (** total fibers over the whole run *)
+  domains : int;  (** carrier domains *)
+  objects : int;  (** shared lock objects *)
+  zipf : float;  (** popularity skew exponent; 0 = uniform *)
+  ops_per_fiber : int;  (** lock/unlock episodes per fiber *)
+  critical_work : int;  (** spin units while holding *)
+  think_work : int;  (** spin units between episodes *)
+  yield_in_cs : bool;  (** suspend while holding (manufactures parking) *)
+  arrival_rate : float;  (** admissions/sec, Poisson; 0 = window-limited *)
+  in_flight : int;  (** admission window: max live worker fibers *)
+  count_width : int;  (** thin nest-count width, for lock + oracle *)
+  quiescence_every : int;  (** announce every N admissions; 0 = auto *)
+  seed : int;
+}
+
+let default_config =
+  {
+    fibers = 100_000;
+    domains = 1;
+    objects = 1024;
+    zipf = 0.99;
+    ops_per_fiber = 1;
+    critical_work = 32;
+    think_work = 64;
+    yield_in_cs = true;
+    arrival_rate = 0.0;
+    in_flight = 4096;
+    count_width = 8;
+    quiescence_every = 0;
+    seed = 0x57084;
+  }
+
+type result = {
+  config : config;
+  elapsed : float;
+  ops : int;
+  ops_per_sec : float;
+  p50_us : float;
+  p99_us : float;
+  p999_us : float;
+  max_us : float;
+  completed : int;
+  overflow_waits : int;
+  distinct_tids : int;
+  events : int;
+  dropped : int;
+  oracle : Oracle.report option;
+}
+
+let validate c =
+  if c.fibers < 1 then invalid_arg "Fiber_storm: fibers";
+  if c.domains < 1 then invalid_arg "Fiber_storm: domains";
+  if c.objects < 1 then invalid_arg "Fiber_storm: objects";
+  if c.ops_per_fiber < 1 then invalid_arg "Fiber_storm: ops_per_fiber";
+  if c.in_flight < 1 then invalid_arg "Fiber_storm: in_flight";
+  if c.zipf < 0.0 then invalid_arg "Fiber_storm: zipf"
+
+(* Zipf sampling over [n] ranks via the precomputed CDF and a binary
+   search per draw — [Prng.categorical] is a linear scan, far too slow
+   for millions of draws over a thousand objects. *)
+let zipf_cdf ~theta n =
+  let w = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** theta)) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let acc = ref 0.0 in
+  Array.map
+    (fun x ->
+      acc := !acc +. (x /. total);
+      !acc)
+    w
+
+let sample_cdf cdf u =
+  let n = Array.length cdf in
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+(* Events per mutator ring: [fibers / in_flight] lease segments each of
+   [ops] episodes, up to ~8 events per contended episode, doubled for
+   headroom against recycling imbalance. *)
+let ring_capacity_for c =
+  let segments = (c.fibers / max 1 c.in_flight) + 1 in
+  let per_segment = (c.ops_per_fiber * 8) + 4 in
+  next_pow2 (max 256 (2 * segments * per_segment))
+
+let system_capacity_for c = next_pow2 (max 65536 (c.fibers / 8))
+
+let run ?(trace = true) ?(oracle = true) config =
+  validate config;
+  let runtime = Runtime.create () in
+  let sink =
+    if trace then
+      Sink.create
+        ~ring_capacity:(ring_capacity_for config)
+        ~system_capacity:(system_capacity_for config)
+        ()
+    else Sink.disabled
+  in
+  (* the runtime-level sink is where overflow marks land *)
+  Runtime.set_event_sink runtime sink;
+  let thin_config =
+    {
+      Thin.default_config with
+      count_width = config.count_width;
+      (* never put a carrier domain to sleep while fibers are runnable *)
+      backoff_policy = Backoff.Yield;
+    }
+  in
+  let heap = Tl_heap.Heap.create () in
+  let total_ops = config.fibers * config.ops_per_fiber in
+  let latencies = Array.make total_ops 0.0 in
+  let lat_n = Atomic.make 0 in
+  let completed = Atomic.make 0 in
+  let cdf = zipf_cdf ~theta:config.zipf config.objects in
+  let elapsed, overflow_waits =
+    Scheduler.run ~domains:config.domains runtime (fun genv ->
+        let ctx = Thin.create_with ~config:thin_config ~events:sink runtime in
+        let objs = Tl_heap.Heap.alloc_many heap config.objects in
+        let slots = Atomic.make config.in_flight in
+        let gen_parker = genv.Runtime.parker in
+        let storm_fiber i env =
+          let prng = Tl_util.Prng.create (config.seed lxor (i * 0x9E3779B1)) in
+          for _ = 1 to config.ops_per_fiber do
+            let o = objs.(sample_cdf cdf (Tl_util.Prng.float prng 1.0)) in
+            if config.think_work > 0 then Replay.spin_work config.think_work;
+            let t0 = Tl_util.Timer.now () in
+            Thin.acquire ctx env o;
+            let dt = Tl_util.Timer.now () -. t0 in
+            latencies.(Atomic.fetch_and_add lat_n 1) <- dt;
+            if config.critical_work > 0 then
+              Replay.spin_work config.critical_work;
+            if config.yield_in_cs then Scheduler.yield ();
+            Thin.release ctx env o
+          done;
+          Atomic.incr completed;
+          (* return the admission slot and wake the generator *)
+          Atomic.incr slots;
+          Parker.unpark gen_parker
+        in
+        let quiescence_every =
+          if config.quiescence_every > 0 then config.quiescence_every
+          else max 1024 (config.fibers / 64)
+        in
+        let arrival = Tl_util.Prng.create (config.seed lxor 0x5bf0a8) in
+        let t0 = Tl_util.Timer.now () in
+        let next_arrival = ref t0 in
+        for i = 0 to config.fibers - 1 do
+          (* admission window *)
+          while Atomic.get slots <= 0 do
+            Parker.park gen_parker
+          done;
+          Atomic.decr slots;
+          (* Poisson pacing (exponential inter-arrivals) *)
+          if config.arrival_rate > 0.0 then begin
+            let u = Tl_util.Prng.float arrival 1.0 in
+            next_arrival :=
+              !next_arrival +. (-.log (1.0 -. u) /. config.arrival_rate);
+            let delay = !next_arrival -. Tl_util.Timer.now () in
+            if delay > 0.0 then Scheduler.sleep delay
+          end;
+          ignore (Scheduler.spawn ~name:"storm" (storm_fiber i) : unit -> unit);
+          if (i + 1) mod quiescence_every = 0 then
+            Runtime.quiescence_point ~env:genv runtime
+        done;
+        (* wait out the tail: every completion unparks us *)
+        while Atomic.get completed < config.fibers do
+          Parker.park gen_parker
+        done;
+        let elapsed = Tl_util.Timer.now () -. t0 in
+        Runtime.quiescence_point ~env:genv runtime;
+        (elapsed, Scheduler.overflow_waits ()))
+  in
+  let ops = Atomic.get lat_n in
+  let lat = if ops = Array.length latencies then latencies else Array.sub latencies 0 ops in
+  Array.sort Float.compare lat;
+  let pct p =
+    if ops = 0 then 0.0 else 1e6 *. Tl_util.Stats.percentile lat p
+  in
+  let drained = if trace then Sink.drain sink else Sink.empty in
+  let report =
+    if trace && oracle then
+      Some
+        (Oracle.check ~mode:Oracle.Relaxed ~count_width:config.count_width
+           drained)
+    else None
+  in
+  {
+    config;
+    elapsed;
+    ops;
+    ops_per_sec = (if elapsed > 0.0 then float_of_int ops /. elapsed else 0.0);
+    p50_us = pct 50.0;
+    p99_us = pct 99.0;
+    p999_us = pct 99.9;
+    max_us = (if ops = 0 then 0.0 else 1e6 *. lat.(ops - 1));
+    completed = Atomic.get completed;
+    overflow_waits;
+    distinct_tids = List.length (Sink.active_tids sink);
+    events = Array.length drained.Sink.events;
+    dropped =
+      List.fold_left (fun a (_, n) -> a + n) 0 drained.Sink.dropped;
+    oracle = report;
+  }
+
+let pp ppf (r : result) =
+  Format.fprintf ppf
+    "fiber-storm: %d fibers x %d op(s) on %d domain(s), %d object(s) (zipf \
+     %.2f)@\n\
+    \  completed    %d fiber(s) in %.3fs@\n\
+    \  throughput   %.0f ops/sec@\n\
+    \  acquire lat  p50 %.1fus  p99 %.1fus  p999 %.1fus  max %.1fus@\n\
+    \  tid leases   %d distinct indices, %d overflow wait(s)"
+    r.config.fibers r.config.ops_per_fiber r.config.domains r.config.objects
+    r.config.zipf r.completed r.elapsed r.ops_per_sec r.p50_us r.p99_us
+    r.p999_us r.max_us r.distinct_tids r.overflow_waits;
+  if r.events > 0 || r.dropped > 0 then
+    Format.fprintf ppf "@\n  trace        %d event(s), %d dropped" r.events
+      r.dropped;
+  match r.oracle with
+  | Some rep ->
+      Format.fprintf ppf "@\n  oracle       %s"
+        (if Oracle.ok rep then "clean (relaxed)"
+         else Format.asprintf "@[%a@]" Oracle.pp rep)
+  | None -> ()

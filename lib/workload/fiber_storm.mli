@@ -1,0 +1,72 @@
+(** The fiber storm: open-loop million-fiber lock workload.
+
+    A generator fiber admits worker fibers through a bounded window
+    ([in_flight]), optionally pacing admissions as a Poisson process
+    ([arrival_rate]); each worker locks Zipf-popular objects, optionally
+    yielding {e while holding} so contenders park on inflated monitors
+    and resume across suspensions.  Every acquire is timed, so the
+    result reports the latency tail (p50/p99/p999) alongside
+    throughput.
+
+    Total fibers is bounded only by memory: tid indices are leased and
+    recycled, and if the window exceeds the 15-bit index space the
+    spawner takes the oracle-visible overflow path
+    ([Event.Tid_overflow] on the system stream) instead of failing.
+
+    Traced runs verify with the {e relaxed} oracle — fibers emit into
+    per-tid rings whose cross-thread order is only epoch-bounded. *)
+
+type config = {
+  fibers : int;  (** total fibers over the whole run *)
+  domains : int;  (** carrier domains *)
+  objects : int;  (** shared lock objects *)
+  zipf : float;  (** popularity skew exponent; 0 = uniform *)
+  ops_per_fiber : int;  (** lock/unlock episodes per fiber *)
+  critical_work : int;  (** spin units while holding *)
+  think_work : int;  (** spin units between episodes *)
+  yield_in_cs : bool;  (** suspend while holding (manufactures parking) *)
+  arrival_rate : float;  (** admissions/sec, Poisson; 0 = window-limited *)
+  in_flight : int;  (** admission window: max live worker fibers *)
+  count_width : int;  (** thin nest-count width, for lock + oracle *)
+  quiescence_every : int;  (** announce every N admissions; 0 = auto *)
+  seed : int;
+}
+
+val default_config : config
+(** 100k fibers, 1 domain, 1024 objects at Zipf 0.99, one episode per
+    fiber with yield-in-critical-section, window 4096. *)
+
+type result = {
+  config : config;
+  elapsed : float;  (** admission of first fiber to completion of last *)
+  ops : int;
+  ops_per_sec : float;
+  p50_us : float;
+      (** acquire latency percentiles, microseconds.  Timestamps come
+          from the wall clock (µs resolution), so an uncontended
+          fast-path acquire reads as 0 — the percentiles resolve the
+          parked tail, not the fast path. *)
+  p99_us : float;
+  p999_us : float;
+  max_us : float;
+  completed : int;
+  overflow_waits : int;  (** tid-lease overflow episodes *)
+  distinct_tids : int;  (** indices that ever emitted (trace only) *)
+  events : int;
+  dropped : int;
+  oracle : Tl_events.Oracle.report option;
+}
+
+val run : ?trace:bool -> ?oracle:bool -> config -> result
+(** Run one storm on a fresh runtime and scheduler.  [trace] (default
+    true) attaches an event sink with storm-appropriate asymmetric ring
+    sizing; [oracle] (default true, requires [trace]) verifies the
+    drained stream in relaxed mode.  Untraced runs are the
+    configuration for pure throughput numbers. *)
+
+val ring_capacity_for : config -> int
+(** The mutator ring sizing rule (exposed for the benchmark harness):
+    roughly [2 × (fibers/in_flight) × (8×ops + 4)], min 256, rounded to
+    a power of two. *)
+
+val pp : Format.formatter -> result -> unit

@@ -6,6 +6,10 @@ type mode = Affinity | Shuffle
 
 let mode_name = function Affinity -> "affinity" | Shuffle -> "shuffle"
 
+type backend = Os_domains | Fibers
+
+let backend_name = function Os_domains -> "domains" | Fibers -> "fibers"
+
 type run = { obj : int; ops : int array }
 
 type lane = { lane_obj : int; runs : run array; mutable next_run : int }
@@ -52,10 +56,18 @@ type config = {
   work_per_op : int;
   slice_runs : int;
   tick_every : int;
+  backend : backend;
 }
 
 let default_config =
-  { domains = 1; mode = Affinity; work_per_op = 0; slice_runs = 8; tick_every = 0 }
+  {
+    domains = 1;
+    mode = Affinity;
+    work_per_op = 0;
+    slice_runs = 8;
+    tick_every = 0;
+    backend = Os_domains;
+  }
 
 type domain_tally = {
   domain : int;
@@ -191,7 +203,16 @@ let run ?(config = default_config) ?(tick = fun _ -> ()) ~(scheme : Scheme_intf.
       done;
       if lane.next_run < Array.length lane.runs then Ws_deque.push dq lane
     in
-    let backoff = Backoff.create ~policy:Backoff.Yield_sleep () in
+    let backoff =
+      match config.backend with
+      | Os_domains -> Backoff.create ~policy:Backoff.Yield_sleep ()
+      | Fibers ->
+          (* Never sleep a carrier: yielding through the env parker
+             reschedules this fiber and runs whoever else is ready. *)
+          Backoff.create ~policy:Backoff.Yield
+            ~yield:(fun () -> Tl_runtime.Parker.yield env.Runtime.parker)
+            ()
+    in
     let rec drive () =
       match Ws_deque.pop dq with
       | Some lane ->
@@ -231,8 +252,18 @@ let run ?(config = default_config) ?(tick = fun _ -> ()) ~(scheme : Scheme_intf.
       }
   in
   let t0 = Tl_util.Timer.now () in
-  Runtime.run_parallel ~name_prefix:"replay" ~backend:Runtime.Domain_backend runtime
-    config.domains (fun d env -> worker d env);
+  (match config.backend with
+  | Os_domains ->
+      Runtime.run_parallel ~name_prefix:"replay" ~backend:Runtime.Domain_backend
+        runtime config.domains (fun d env -> worker d env)
+  | Fibers ->
+      (* The workers become fibers multiplexed over [config.domains]
+         carrier domains: same scheme, same deques, but lock-side
+         blocking suspends a fiber instead of an OS thread. *)
+      Tl_fiber.Scheduler.run ~domains:config.domains runtime (fun _env ->
+          Runtime.run_parallel ~name_prefix:"replay"
+            ~backend:Runtime.Fiber_backend runtime config.domains (fun d env ->
+              worker d env)));
   let elapsed = Tl_util.Timer.now () -. t0 in
   let sum f = Array.fold_left (fun acc (t : domain_tally) -> acc + f t) 0 tallies in
   let ops = sum (fun t -> t.ops_executed) in

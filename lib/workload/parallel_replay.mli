@@ -46,6 +46,17 @@ type mode = Affinity | Shuffle
 
 val mode_name : mode -> string
 
+type backend = Os_domains | Fibers
+(** What a worker {e is}.  [Os_domains] spawns [config.domains] OCaml
+    domains ([Domain_backend]).  [Fibers] runs the same workers as
+    fibers of a {!Tl_fiber.Scheduler} multiplexed over [config.domains]
+    carrier domains — the locks, stealing and tallies are untouched;
+    only the blocking substrate changes (a contended worker suspends
+    its fiber, and idle backoff yields through the env parker instead
+    of sleeping the carrier). *)
+
+val backend_name : backend -> string
+
 type run = { obj : int;  (** 0-based pool index *) ops : int array }
 (** One balanced slice of a single object's operations (same [+n]/[-n]
     encoding as {!Tracegen.t.ops}). *)
@@ -72,11 +83,12 @@ type config = {
           is re-pushed (and so re-exposed to thieves); default 8 *)
   tick_every : int;
       (** ops between [tick] callbacks on each domain; 0 = never *)
+  backend : backend;  (** what carries a worker; default [Os_domains] *)
 }
 
 val default_config : config
 (** [{ domains = 1; mode = Affinity; work_per_op = 0; slice_runs = 8;
-      tick_every = 0 }] *)
+      tick_every = 0; backend = Os_domains }] *)
 
 type domain_tally = {
   domain : int;

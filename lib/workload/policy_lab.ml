@@ -115,7 +115,8 @@ let score_stream ~policy (d : Sink.drained) =
       | Event.Contended_begin -> incr contended
       | Event.Release_fast | Event.Release_nested | Event.Release_fat
       | Event.Contended_end | Event.Wait_op | Event.Notify_op
-      | Event.Notify_all_op | Event.Reaper_scan | Event.Quiescence ->
+      | Event.Notify_all_op | Event.Reaper_scan | Event.Quiescence
+      | Event.Tid_overflow ->
           ())
     d.Sink.events;
   let span =
@@ -210,7 +211,8 @@ let table ?(max_syncs = 20_000) ?(seed = 1998) ?(benchmarks = default_benchmarks
    the reaper ride the scheduler's per-domain tick. *)
 
 let replay_traced_par ?(count_width = 1) ?(quiescence_every = 64) ?(interleave = false)
-    ~domains ~mode ~policy (trace : Tracegen.t) =
+    ?(backend = Parallel_replay.Os_domains) ~domains ~mode ~policy
+    (trace : Tracegen.t) =
   let ops = trace.Tracegen.ops in
   let sink = Sink.create ~ring_capacity:((4 * Array.length ops) + 4096) () in
   let runtime = Runtime.create () in
@@ -226,8 +228,12 @@ let replay_traced_par ?(count_width = 1) ?(quiescence_every = 64) ?(interleave =
        no two lock episodes would ever overlap.  A tiny sleep mid-trace
        hands the core over exactly as involuntary preemption would on a
        loaded machine, so contended inflation is exercised even on the
-       one-core CI box. *)
-    if interleave then Unix.sleepf 5e-5
+       one-core CI box.  Under the fiber backend the deschedule is a
+       fiber sleep — the carrier stays busy running other workers. *)
+    if interleave then
+      match backend with
+      | Parallel_replay.Os_domains -> Unix.sleepf 5e-5
+      | Parallel_replay.Fibers -> Tl_fiber.Scheduler.sleep 5e-5
   in
   let pconfig =
     {
@@ -235,6 +241,7 @@ let replay_traced_par ?(count_width = 1) ?(quiescence_every = 64) ?(interleave =
       Parallel_replay.domains;
       mode;
       tick_every = quiescence_every;
+      backend;
     }
   in
   let result = Parallel_replay.run ~config:pconfig ~tick ~scheme ~runtime trace in
@@ -246,22 +253,27 @@ let replay_traced_par ?(count_width = 1) ?(quiescence_every = 64) ?(interleave =
   done;
   (result, Sink.drain sink)
 
-let run_one_par ?count_width ?quiescence_every ?interleave ~domains ~mode ~policy trace =
+let run_one_par ?count_width ?quiescence_every ?interleave ?backend ~domains ~mode
+    ~policy trace =
   let result, drained =
-    replay_traced_par ?count_width ?quiescence_every ?interleave ~domains ~mode ~policy trace
+    replay_traced_par ?count_width ?quiescence_every ?interleave ?backend ~domains
+      ~mode ~policy trace
   in
   (result, score_stream ~policy drained)
 
 let table_par ?(max_syncs = 20_000) ?(seed = 1998) ?(benchmarks = default_benchmarks)
-    ?(interleave = true) ~domains ~mode () =
+    ?(interleave = true) ?(backend = Parallel_replay.Os_domains) ~domains ~mode () =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (Printf.sprintf
-       "Policy lab, parallel: macro traces replayed across %d domains (%s mode)\n\
+       "Policy lab, parallel: macro traces replayed across %d %s (%s mode)\n\
         under each deflation policy (1-bit nest count; quiescence announced\n\
         every 64 ops per domain drives the reaper%s; %d ops per trace, seed %d).\n\
         lab score = slow-path %% + re-inflations per 1000 acquires (lower is better).\n\n"
        domains
+       (match backend with
+       | Parallel_replay.Os_domains -> "domains"
+       | Parallel_replay.Fibers -> "fiber-carrier domains")
        (Parallel_replay.mode_name mode)
        (if interleave then ", with interleave ticks" else "")
        max_syncs seed);
@@ -277,7 +289,9 @@ let table_par ?(max_syncs = 20_000) ?(seed = 1998) ?(benchmarks = default_benchm
       let scores =
         List.map
           (fun policy ->
-            let _result, s = run_one_par ~interleave ~domains ~mode ~policy trace in
+            let _result, s =
+              run_one_par ~interleave ~backend ~domains ~mode ~policy trace
+            in
             s)
           shipped_policies
       in

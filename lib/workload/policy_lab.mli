@@ -89,6 +89,7 @@ val replay_traced_par :
   ?count_width:int ->
   ?quiescence_every:int ->
   ?interleave:bool ->
+  ?backend:Parallel_replay.backend ->
   domains:int ->
   mode:Parallel_replay.mode ->
   policy:Tl_lifecycle.Policy.t ->
@@ -99,12 +100,16 @@ val replay_traced_par :
     every [quiescence_every] ops (default 64).  [interleave] (default
     [false]) adds a 50 µs voluntary deschedule to each announcement —
     the stand-in for involuntary preemption that makes lock episodes
-    overlap even when the host has fewer cores than domains. *)
+    overlap even when the host has fewer cores than domains (a fiber
+    sleep under the [Fibers] backend, so carriers stay busy).
+    [backend] (default [Os_domains]) selects what carries a worker —
+    see {!Parallel_replay.backend}. *)
 
 val run_one_par :
   ?count_width:int ->
   ?quiescence_every:int ->
   ?interleave:bool ->
+  ?backend:Parallel_replay.backend ->
   domains:int ->
   mode:Parallel_replay.mode ->
   policy:Tl_lifecycle.Policy.t ->
@@ -117,6 +122,7 @@ val table_par :
   ?seed:int ->
   ?benchmarks:string list ->
   ?interleave:bool ->
+  ?backend:Parallel_replay.backend ->
   domains:int ->
   mode:Parallel_replay.mode ->
   unit ->

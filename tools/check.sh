@@ -52,6 +52,25 @@ rows = d["scenarios"]["replay_par"]
 assert rows, "replay_par section is empty"
 for r in rows:
     assert r["ops_per_sec"] > 0 and r["domains"] >= 1 and 0.0 <= r["fast_ratio"] <= 1.0
+fs = d["scenarios"]["fiber_storm"]
+assert fs, "fiber_storm section is empty"
+for r in fs:
+    assert r["completed"] == r["fibers"], "storm lost fibers"
+    assert r["ops_per_sec"] > 0 and r["domains"] >= 1
+    # p50 can be 0: uncontended acquires finish below the us timer
+    # resolution; the tail is where contention shows up.
+    assert 0.0 <= r["p50_us"] <= r["p99_us"] <= r["p999_us"], "latency tail not ordered"
+    assert r["p999_us"] > 0.0, "no acquire ever waited -- storm did not contend"
+    assert r["oracle_clean"], "fiber storm stream failed the relaxed oracle"
+    if r["traced"]:
+        assert r["dropped"] == 0, "storm trace dropped events"
+tc = d["scenarios"]["tid_churn"]
+assert tc, "tid_churn section is empty"
+base = tc[0]["ns_per_cycle"]
+for r in tc:
+    assert r["ns_per_cycle"] > 0.0
+    assert r["ns_per_cycle"] < 20.0 * base + 1000.0, \
+        "tid allocate/release cost grew with live count (%r)" % r
 oh = d["scenarios"]["oracle_overhead"]
 assert oh["events"] > 0
 assert oh["violations"] == 0, "oracle flagged a clean replay stream"
@@ -65,18 +84,27 @@ assert 0.0 < ev["bin_bytes_per_event"] < ev["text_bytes_per_event"], \
     "binary codec is not smaller than text"
 for key in ("sampled_ratio_1_in_8", "contended_only_ratio"):
     assert 0.0 < ev[key] < 1.0, "%s=%r not a proper sampling ratio" % (key, ev.get(key))
-print("BENCH.json: %d replay-par rows, oracle over %d events, cores=%d"
-      % (len(rows), oh["events"], d["cores"]))
+print("BENCH.json: %d replay-par rows, %d fiber-storm rows, oracle over %d events, cores=%d"
+      % (len(rows), len(fs), oh["events"], d["cores"]))
+print("  fiber storm peak: %d fibers at %.0f ops/sec (p99 %.0f us)"
+      % (max(r["fibers"] for r in fs),
+         max(r["ops_per_sec"] for r in fs if r["fibers"] == max(x["fibers"] for x in fs)),
+         fs[-1]["p99_us"]))
 print("  tracing: %.1f ns/event enabled overhead; %.1f text vs %.1f bin bytes/event"
       % (ev["enabled_ns"], ev["text_bytes_per_event"], ev["bin_bytes_per_event"]))
 EOF
 else
   grep -q '"thinlocks-bench-v1"' BENCH.json
   grep -q '"replay_par"' BENCH.json
+  grep -q '"fiber_storm"' BENCH.json
+  grep -q '"tid_churn"' BENCH.json
   grep -q '"oracle_overhead"' BENCH.json
   grep -q '"ops_per_sec"' BENCH.json
   echo "BENCH.json: key smoke (python3 unavailable)"
 fi
+
+echo "== fiber storm smoke (100k fibers, 1 domain, relaxed oracle must be clean)"
+dune exec bin/thinlocks.exe -- fiber-storm --fibers 100000 --domains 1
 
 echo "== parallel replay smoke (2 domains, shuffle, must contend)"
 dune exec bin/thinlocks.exe -- replay-par -b javacup --domains 2 --shuffle \
@@ -127,6 +155,14 @@ for domains in 1 2 4; do
     --shuffle --interleave --max-syncs 6000 --oracle >/dev/null
   echo "  oracle clean at $domains domain(s), both decompositions"
 done
+
+echo "== fiber backend: replay-par and policy-lab run the same workers as fibers"
+dune exec bin/thinlocks.exe -- replay-par -b javacup --domains 2 --shuffle \
+  --interleave --backend fibers --max-syncs 6000 --oracle >/dev/null
+echo "  replay-par --backend fibers: oracle clean"
+dune exec bin/thinlocks.exe -- policy-lab --domains 2 --backend fibers \
+  --max-syncs 3000 --benchmarks javalex >/dev/null
+echo "  policy-lab --backend fibers: ran"
 
 echo "== verify-trace: accepts a clean dump, flags a tampered one"
 tmpdir=$(mktemp -d)
