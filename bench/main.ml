@@ -652,7 +652,10 @@ let bench_replay_par () =
   let module PR = Tl_workload.Parallel_replay in
   let max_syncs = if quick then 8_000 else 60_000 in
   let domain_counts = if quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ] in
-  let schemes = if quick then [ "thin"; "fat" ] else [ "thin"; "fat"; "jdk111"; "ibm112" ] in
+  let schemes =
+    if quick then [ "thin"; "fat"; "cjm" ]
+    else [ "thin"; "fat"; "jdk111"; "ibm112"; "cjm" ]
+  in
   let profile =
     match Tl_workload.Profiles.find "javacup" with
     | Some p -> p
@@ -730,21 +733,21 @@ let bench_replay_par () =
    runs trace and verify with the relaxed oracle; the million-fiber
    run is untraced for a pure throughput number. *)
 let bench_fiber_storm () =
-  section "Fiber storm: lightweight threads under thin locks (M:N scheduler)";
+  section "Fiber storm: lightweight threads under thin and cjm locks (M:N scheduler)";
   let module FS = Tl_workload.Fiber_storm in
   let rows = ref [] in
-  Printf.printf "  %-9s %8s %12s %9s %9s %9s %7s %7s\n" "fibers" "domains" "ops/sec"
-    "p50us" "p99us" "p999us" "tids" "oracle";
+  Printf.printf "  %-6s %-9s %8s %12s %9s %9s %9s %7s %7s\n" "scheme" "fibers"
+    "domains" "ops/sec" "p50us" "p99us" "p999us" "tids" "oracle";
   List.iter
-    (fun (fibers, traced) ->
-      let config = { FS.default_config with FS.fibers } in
+    (fun (scheme, fibers, traced) ->
+      let config = { FS.default_config with FS.fibers; scheme } in
       let r = FS.run ~trace:traced ~oracle:traced config in
       let clean =
         match r.FS.oracle with Some rep -> Tl_events.Oracle.ok rep | None -> true
       in
-      Printf.printf "  %-9d %8d %12.0f %9.1f %9.1f %9.1f %7d %7s\n%!" fibers
-        config.FS.domains r.FS.ops_per_sec r.FS.p50_us r.FS.p99_us r.FS.p999_us
-        r.FS.distinct_tids
+      Printf.printf "  %-6s %-9d %8d %12.0f %9.1f %9.1f %9.1f %7d %7s\n%!"
+        scheme fibers config.FS.domains r.FS.ops_per_sec r.FS.p50_us
+        r.FS.p99_us r.FS.p999_us r.FS.distinct_tids
         (match r.FS.oracle with
         | Some _ -> if clean then "clean" else "VIOLATION"
         | None -> "-");
@@ -752,6 +755,7 @@ let bench_fiber_storm () =
         J.Obj
           [
             ("scenario", J.Str "fiber-storm");
+            ("scheme", J.Str scheme);
             ("fibers", J.Int fibers);
             ("domains", J.Int config.FS.domains);
             ("ops", J.Int r.FS.ops);
@@ -765,16 +769,100 @@ let bench_fiber_storm () =
             ("overflow_waits", J.Int r.FS.overflow_waits);
             ("events", J.Int r.FS.events);
             ("dropped", J.Int r.FS.dropped);
+            ("leaked_entries", J.Int r.FS.leaked_entries);
             ("traced", J.Bool traced);
             ("oracle_clean", J.Bool clean);
           ]
         :: !rows)
-    [ (10_000, true); (100_000, true); (1_000_000, false) ];
+    [
+      ("thin", 10_000, true);
+      ("thin", 100_000, true);
+      ("thin", 1_000_000, false);
+      ("cjm", 10_000, true);
+      ("cjm", 100_000, true);
+      ("cjm", 1_000_000, false);
+    ];
   add_json "fiber_storm" (J.List (List.rev !rows));
   Printf.printf
     "  (latency tail includes scheduler queueing: a fiber that parks on an\n\
     \   inflated monitor pays the wait until its holder resumes and releases;\n\
     \   distinct tids stay near the admission window because leases recycle)\n\n%!"
+
+(* CJM head-to-head: the headline table for the headerless scheme.
+   Fig. 5/6-style micro kernels timed wall-clock across thin, fat and
+   cjm — thin pays a header CAS per pair, fat an OS-monitor call, cjm
+   a striped hash-table claim — plus an inflate-cycle kernel that
+   prices each scheme's monitor lifecycle (thin: contention inflation
+   + quiescent deflation; cjm: create + evaporate through the table).
+   Wall-clock loops rather than Bechamel so the section is cheap
+   enough for the smoke pass: BENCH.json must always carry the cjm
+   cells (tools/check.sh validates them). *)
+let bench_cjm_micro () =
+  section "CJM head-to-head: headerless table vs header word (ns per op)";
+  let iters = if quick then 200_000 else 2_000_000 in
+  let schemes = [ "thin"; "fat"; "cjm" ] in
+  let kernels = [ "sync"; "nestedsync"; "mixedsync" ] in
+  let rows = ref [] in
+  Printf.printf "  %-12s %10s %10s %10s\n" "kernel" "thin" "fat" "cjm";
+  List.iter
+    (fun kernel ->
+      let cells =
+        List.map
+          (fun scheme_name ->
+            let runtime = Runtime.create () in
+            let scheme = Registry.find_exn scheme_name runtime in
+            let env = Runtime.main_env runtime in
+            let heap = Tl_heap.Heap.create () in
+            let obj = Tl_heap.Heap.alloc heap in
+            let op =
+              match kernel with
+              | "sync" ->
+                  fun () ->
+                    scheme.Scheme.acquire env obj;
+                    scheme.Scheme.release env obj
+              | "nestedsync" ->
+                  scheme.Scheme.acquire env obj;
+                  fun () ->
+                    scheme.Scheme.acquire env obj;
+                    scheme.Scheme.release env obj
+              | _ ->
+                  fun () ->
+                    scheme.Scheme.acquire env obj;
+                    scheme.Scheme.acquire env obj;
+                    scheme.Scheme.release env obj;
+                    scheme.Scheme.release env obj
+            in
+            for _ = 1 to 1_000 do
+              op ()
+            done;
+            let t0 = Tl_util.Timer.now () in
+            for _ = 1 to iters do
+              op ()
+            done;
+            let ns =
+              1e9 *. (Tl_util.Timer.now () -. t0) /. float_of_int iters
+            in
+            rows :=
+              J.Obj
+                [
+                  ("kernel", J.Str kernel);
+                  ("scheme", J.Str scheme_name);
+                  ("ns_per_op", J.Float ns);
+                ]
+              :: !rows;
+            ns)
+          schemes
+      in
+      match cells with
+      | [ a; b; c ] ->
+          Printf.printf "  %-12s %10.1f %10.1f %10.1f\n%!" kernel a b c
+      | _ -> assert false)
+    kernels;
+  add_json "cjm_micro" (J.List (List.rev !rows));
+  Printf.printf
+    "  (the header-footprint tradeoff in numbers: cjm spends zero object\n\
+    \   header bits and pays the table claim on every pair; thin spends 24\n\
+    \   header bits and pays one CAS; fat pays the monitor call outright)\n\n%!"
 
 (* Tid lease churn: allocate/release cost as a function of how many
    indices are already live.  The free list is O(1), so the line
@@ -886,6 +974,7 @@ let run_smoke () =
   bench_events_overhead ();
   bench_oracle_overhead ();
   bench_replay_par ();
+  bench_cjm_micro ();
   bench_tid_churn ();
   bench_fiber_storm ();
   write_bench_json ();
@@ -914,6 +1003,7 @@ let () =
   bench_events_overhead ();
   bench_oracle_overhead ();
   bench_replay_par ();
+  bench_cjm_micro ();
   bench_tid_churn ();
   bench_fiber_storm ();
   bench_vm_macros ();

@@ -163,8 +163,10 @@ let replay_cmd =
   in
   let oracle_arg =
     let doc = "After the timed replay, re-replay the trace with event tracing on \
-               (thin scheme, 1-bit nest count) and verify the stream with the \
-               protocol oracle; exit 1 on violation." in
+               and verify the stream with the protocol oracle; exit 1 on \
+               violation.  The traced re-replay runs the thin scheme (1-bit \
+               nest count) unless --scheme is cjm, which re-replays CJM and \
+               checks the no-deflation-handshake protocol variant." in
     Arg.(value & flag & info [ "oracle" ] ~doc)
   in
   let run file scheme_name oracle =
@@ -181,10 +183,17 @@ let replay_cmd =
       /. float_of_int (max 1 (2 * result.Tl_workload.Replay.acquires)));
     Format.printf "%a@." Tl_core.Lock_stats.pp result.Tl_workload.Replay.stats;
     if oracle then begin
-      let policy = Option.get (Tl_workload.Policy_lab.policy_of_string "never") in
-      let _ctx, drained = Tl_workload.Policy_lab.replay_traced ~policy trace in
       let report =
-        Tl_events.Oracle.check ~mode:Tl_events.Oracle.Strict ~count_width:1 drained
+        if String.equal scheme_name "cjm" then begin
+          let _ctx, drained = Tl_workload.Policy_lab.replay_traced_cjm trace in
+          Tl_events.Oracle.check ~mode:Tl_events.Oracle.Strict
+            ~protocol:Tl_events.Oracle.Cjm drained
+        end
+        else begin
+          let policy = Option.get (Tl_workload.Policy_lab.policy_of_string "never") in
+          let _ctx, drained = Tl_workload.Policy_lab.replay_traced ~policy trace in
+          Tl_events.Oracle.check ~mode:Tl_events.Oracle.Strict ~count_width:1 drained
+        end
       in
       Format.printf "%a@." Tl_events.Oracle.pp report;
       if not (Tl_events.Oracle.ok report) then exit 1
@@ -418,8 +427,15 @@ let policy_lab_cmd =
                default shuffle (contention-manufacturing) decomposition." in
     Arg.(value & flag & info [ "affinity" ] ~doc)
   in
-  let run max_syncs seed benchmarks domains affinity backend =
-    if domains <= 1 then print (Tl_workload.Policy_lab.table ~max_syncs ~seed ~benchmarks ())
+  let lab_scheme_arg =
+    let doc = "Lock under the lab: 'thin' (default; one table row per deflation \
+               policy) or 'cjm' (the headerless transient monitor table — no \
+               policy dimension, one head-to-head row per trace)." in
+    Arg.(value & opt string "thin" & info [ "scheme" ] ~docv:"SCHEME" ~doc)
+  in
+  let run max_syncs seed benchmarks domains affinity backend scheme =
+    if domains <= 1 then
+      print (Tl_workload.Policy_lab.table ~max_syncs ~seed ~benchmarks ~scheme ())
     else
       let mode =
         if affinity then Tl_workload.Parallel_replay.Affinity
@@ -427,14 +443,14 @@ let policy_lab_cmd =
       in
       print
         (Tl_workload.Policy_lab.table_par ~max_syncs ~seed ~benchmarks ~backend
-           ~domains ~mode ())
+           ~scheme ~domains ~mode ())
   in
   Cmd.v
     (Cmd.info "policy-lab"
        ~doc:"Score every deflation policy against macro traces via the event stream")
     Term.(
       const run $ lab_max_syncs_arg $ seed_arg $ benchmarks_arg $ domains_arg
-      $ affinity_arg $ backend_arg)
+      $ affinity_arg $ backend_arg $ lab_scheme_arg)
 
 let replay_par_cmd =
   let module PR = Tl_workload.Parallel_replay in
@@ -477,9 +493,12 @@ let replay_par_cmd =
   in
   let oracle_arg =
     let doc = "After the timed replay, re-replay the trace with event tracing on \
-               (thin scheme, 1-bit nest count, same domains and decomposition) and \
-               verify the drained stream with the protocol oracle — strict for one \
-               domain, relaxed above; exit 1 on violation." in
+               (same domains and decomposition) and verify the drained stream with \
+               the protocol oracle — strict for one domain, relaxed above; exit 1 \
+               on violation.  The traced re-replay runs the thin scheme (1-bit \
+               nest count) unless --scheme is cjm, which re-replays CJM, checks \
+               the no-deflation-handshake protocol variant, and asserts the \
+               monitor table drained." in
     Arg.(value & flag & info [ "oracle" ] ~doc)
   in
   let run benchmark domains shuffle scheme_name work tick_every interleave expect oracle
@@ -556,15 +575,34 @@ let replay_par_cmd =
           exit 1
         end;
         if oracle then begin
-          let policy = Option.get (Tl_workload.Policy_lab.policy_of_string "never") in
-          let _r, drained =
-            Tl_workload.Policy_lab.replay_traced_par ~interleave ~backend ~domains
-              ~mode ~policy trace
-          in
           let omode =
             if domains <= 1 then Tl_events.Oracle.Strict else Tl_events.Oracle.Relaxed
           in
-          let report = Tl_events.Oracle.check ~mode:omode ~count_width:1 drained in
+          let report =
+            if String.equal scheme_name "cjm" then begin
+              let _r, ctx, drained =
+                Tl_workload.Policy_lab.replay_traced_par_cjm ~interleave ~backend
+                  ~domains ~mode trace
+              in
+              let leaked = Tl_cjm.Cjm.live_entries ctx in
+              if leaked <> 0 then begin
+                Printf.eprintf "cjm: %d table entries leaked after the replay drained\n"
+                  leaked;
+                exit 1
+              end;
+              Tl_events.Oracle.check ~mode:omode ~protocol:Tl_events.Oracle.Cjm drained
+            end
+            else begin
+              let policy =
+                Option.get (Tl_workload.Policy_lab.policy_of_string "never")
+              in
+              let _r, drained =
+                Tl_workload.Policy_lab.replay_traced_par ~interleave ~backend ~domains
+                  ~mode ~policy trace
+              in
+              Tl_events.Oracle.check ~mode:omode ~count_width:1 drained
+            end
+          in
           Format.printf "%a@." Tl_events.Oracle.pp report;
           if not (Tl_events.Oracle.ok report) then exit 1
         end
@@ -621,8 +659,15 @@ let fiber_storm_cmd =
     let doc = "Trace but skip the relaxed-oracle verification of the drained stream." in
     Arg.(value & flag & info [ "no-oracle" ] ~doc)
   in
+  let storm_scheme_arg =
+    let doc =
+      "Locking scheme under the storm: $(b,thin) (header lock word) or \
+       $(b,cjm) (headerless transient monitor table)."
+    in
+    Arg.(value & opt string "thin" & info [ "scheme" ] ~docv:"SCHEME" ~doc)
+  in
   let run fibers domains objects zipf ops in_flight rate no_yield no_trace no_oracle
-      seed =
+      scheme seed =
     let config =
       {
         FS.default_config with
@@ -634,6 +679,7 @@ let fiber_storm_cmd =
         in_flight;
         arrival_rate = rate;
         yield_in_cs = not no_yield;
+        scheme;
         seed;
       }
     in
@@ -643,18 +689,23 @@ let fiber_storm_cmd =
       Printf.eprintf "storm lost fibers: %d of %d completed\n" r.FS.completed fibers;
       exit 1
     end;
+    if r.FS.leaked_entries > 0 then begin
+      Printf.eprintf "cjm table leak: %d entries live after drain\n"
+        r.FS.leaked_entries;
+      exit 1
+    end;
     match r.FS.oracle with
     | Some rep when not (Tl_events.Oracle.ok rep) -> exit 1
     | _ -> ()
   in
   Cmd.v
     (Cmd.info "fiber-storm"
-       ~doc:"Storm N lightweight fibers over thin locks on a fixed domain pool, \
-             reporting throughput and the acquire-latency tail")
+       ~doc:"Storm N lightweight fibers over thin or cjm locks on a fixed \
+             domain pool, reporting throughput and the acquire-latency tail")
     Term.(
       const run $ fibers_arg $ domains_arg $ objects_arg $ zipf_arg $ ops_arg
       $ in_flight_arg $ rate_arg $ no_yield_arg $ no_trace_arg $ no_oracle_arg
-      $ seed_arg)
+      $ storm_scheme_arg $ seed_arg)
 
 (* Auto-detect on the format tag: text and binary dumps both start
    with a distinctive magic line. *)

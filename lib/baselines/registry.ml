@@ -40,6 +40,9 @@ let table : (string * string * (Tl_runtime.Runtime.t -> Scheme_intf.packed)) lis
     ( "ibm112",
       "IBM JDK 1.1.2: 32 hot locks over a monitor cache",
       fun runtime -> Scheme_intf.pack (module Ibm112) (Ibm112.create runtime) );
+    ( "cjm",
+      "Compact Java Monitors: headerless, transient hash-table monitors",
+      fun runtime -> Scheme_intf.pack (module Tl_cjm.Cjm) (Tl_cjm.Cjm.create runtime) );
     ( "fat",
       "always-inflated control: a dedicated fat monitor per object",
       fun runtime -> Scheme_intf.pack (module Fat_only) (Fat_only.create runtime) );

@@ -24,6 +24,8 @@ type kind =
   | Reaper_scan
   | Quiescence
   | Tid_overflow
+  | Cjm_monitor_create
+  | Cjm_monitor_evaporate
 
 type t = { seq : int; tid : int; kind : kind; arg : int }
 
@@ -33,6 +35,7 @@ let all_kinds =
     Release_nested; Release_fat; Inflate_contention; Inflate_wait; Inflate_overflow;
     Deflate_quiescent; Deflate_concurrent; Deflate_aborted; Contended_begin; Contended_end;
     Wait_op; Notify_op; Notify_all_op; Reaper_scan; Quiescence; Tid_overflow;
+    Cjm_monitor_create; Cjm_monitor_evaporate;
   ]
 
 let kind_to_int = function
@@ -57,6 +60,8 @@ let kind_to_int = function
   | Reaper_scan -> 18
   | Quiescence -> 19
   | Tid_overflow -> 20
+  | Cjm_monitor_create -> 21
+  | Cjm_monitor_evaporate -> 22
 
 let n_kinds = List.length all_kinds
 
@@ -107,6 +112,8 @@ let kind_name = function
   | Reaper_scan -> "reaper-scan"
   | Quiescence -> "quiescence"
   | Tid_overflow -> "tid-overflow"
+  | Cjm_monitor_create -> "cjm-monitor-create"
+  | Cjm_monitor_evaporate -> "cjm-monitor-evaporate"
 
 let kind_of_name =
   let table = Hashtbl.create 32 in

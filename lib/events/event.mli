@@ -39,6 +39,15 @@ type kind =
           the overflow path (suspended until an index is released)
           instead of failing; system stream, [arg] = running count of
           overflow episodes *)
+  | Cjm_monitor_create
+      (** CJM scheme: a transient table monitor materialised for an
+          object (first contention, or a wait on an inline-held lock);
+          [arg] = object id.  Emitted by the mutator that creates the
+          monitor — CJM has no system-stream deflater. *)
+  | Cjm_monitor_evaporate
+      (** CJM scheme: the table entry drained to zero owner/waiters and
+          its monitor evaporated — no handshake, the unpinning mutator
+          removes it directly; [arg] = object id *)
 
 type t = { seq : int; tid : int; kind : kind; arg : int }
 (** [seq] is assigned by the sink's drain-time merge: dense, starting

@@ -30,6 +30,15 @@ type violation = {
 
 type mode = Strict | Relaxed
 
+(* Which locking protocol the stream claims to follow.  [Thin_lock] is
+   the paper's automaton (inflation events, Tasuki deflation
+   handshake); [Cjm] is the Compact-Java-Monitors variant: monitors
+   materialise with [Cjm_monitor_create] (no Inflate_* step) and vanish
+   with [Cjm_monitor_evaporate] — legal only on an unowned, waiter-free
+   monitor, with no handshake events at all.  Each mode treats the
+   other protocol's lifecycle kinds as malformed. *)
+type protocol = Thin_lock | Cjm
+
 type report = {
   mode : mode;
   events : int;
@@ -59,10 +68,23 @@ type ostate = {
   waiters : int IntMap.t;  (* tid -> depth saved at Wait_op *)
   signals : int;  (* undelivered notify credits *)
   cb : int IntMap.t;  (* tid -> open contended-begin depth *)
+  pending_entry : int option;
+      (* CJM: the contender that materialised the live monitor but has
+         not yet reported entering it.  The creator holds a pin from
+         inflation until after its queued acquire, so the monitor
+         cannot evaporate while this is set — a protocol invariant the
+         relaxed lineariser leans on to pair epoch-skewed creations
+         and evaporations with the right generation. *)
 }
 
 let initial =
-  { st = Flat; waiters = IntMap.empty; signals = 0; cb = IntMap.empty }
+  {
+    st = Flat;
+    waiters = IntMap.empty;
+    signals = 0;
+    cb = IntMap.empty;
+    pending_entry = None;
+  }
 
 let describe = function
   | Flat -> "flat"
@@ -93,7 +115,7 @@ let resume st t =
 
 let err cls detail = Error (cls, detail)
 
-let rec step ~max_thin st (e : Event.t) =
+let rec step ~max_thin ~cjm st (e : Event.t) =
   let t = e.tid in
   match e.kind with
   | Event.Acquire_fast -> (
@@ -118,6 +140,12 @@ let rec step ~max_thin st (e : Event.t) =
       | Inflating _ | Fat _ ->
           err Ownership_violation "thin nested acquire on an inflated object")
   | Event.Acquire_fat | Event.Acquire_fat_queued -> (
+      (* The creating contender's first fat acquire discharges its
+         pending-entry obligation (see [pending_entry]). *)
+      let st =
+        if st.pending_entry = Some t then { st with pending_entry = None }
+        else st
+      in
       match st.st with
       | Inflating (o, d) when o = t && e.kind = Event.Acquire_fat ->
           Ok { st with st = Fat (t, d) }  (* confirming entry, depth carried *)
@@ -162,13 +190,15 @@ let rec step ~max_thin st (e : Event.t) =
           Ok { st with st = (if d > 1 then Fat (t, d - 1) else Fat (0, 0)) }
       | Fat (0, _) -> (
           match resume st t with
-          | Some st' -> step ~max_thin st' e
+          | Some st' -> step ~max_thin ~cjm st' e
           | None -> err Unlock_without_lock "fat release of an unowned monitor")
       | Fat _ -> err Ownership_violation "fat release by a non-owner"
       | Inflating _ -> err Ownership_violation "fat release on an object mid-inflation"
       | Flat -> err Unlock_without_lock "release of an unlocked object"
       | Thin _ -> err Stale_handle "fat release on a thin-locked object")
   | Event.Inflate_contention -> (
+      if cjm then err Stream_malformed "thin-lock inflation event in a cjm stream"
+      else
       match st.st with
       | Flat -> Ok { st with st = Inflating (t, 1) }
       | Thin _ ->
@@ -177,6 +207,8 @@ let rec step ~max_thin st (e : Event.t) =
       | Inflating _ | Fat _ ->
           err Reinflation_of_retired "inflation of an already-inflated object")
   | Event.Inflate_overflow -> (
+      if cjm then err Stream_malformed "thin-lock inflation event in a cjm stream"
+      else
       match st.st with
       | Thin (o, d) when o = t -> Ok { st with st = Inflating (t, d + 1) }
       | Thin _ ->
@@ -185,6 +217,8 @@ let rec step ~max_thin st (e : Event.t) =
       | Inflating _ | Fat _ ->
           err Reinflation_of_retired "inflation of an already-inflated object")
   | Event.Inflate_wait -> (
+      if cjm then err Stream_malformed "thin-lock inflation event in a cjm stream"
+      else
       match st.st with
       | Thin (o, d) when o = t -> Ok { st with st = Fat (t, d) }
       | Thin _ ->
@@ -198,7 +232,7 @@ let rec step ~max_thin st (e : Event.t) =
           Ok { st with st = Fat (0, 0); waiters = IntMap.add t d st.waiters }
       | Fat (0, _) -> (
           match resume st t with
-          | Some st' -> step ~max_thin st' e
+          | Some st' -> step ~max_thin ~cjm st' e
           | None -> err Ownership_violation "wait by a thread not owning the monitor")
       | Fat _ -> err Ownership_violation "wait by a non-owner"
       | Inflating _ -> err Ownership_violation "wait on an object mid-inflation"
@@ -214,12 +248,14 @@ let rec step ~max_thin st (e : Event.t) =
           Ok { st with signals }
       | Fat (0, _) -> (
           match resume st t with
-          | Some st' -> step ~max_thin st' e
+          | Some st' -> step ~max_thin ~cjm st' e
           | None -> err Ownership_violation "notify by a thread not owning the monitor")
       | Fat _ -> err Ownership_violation "notify by a non-owner"
       | Inflating _ -> err Ownership_violation "notify on an object mid-inflation"
       | Flat | Thin _ -> err Ownership_violation "notify without holding the lock")
   | Event.Deflate_quiescent | Event.Deflate_concurrent -> (
+      if cjm then err Stream_malformed "thin-lock deflation event in a cjm stream"
+      else
       match st.st with
       | Fat (0, _) when IntMap.is_empty st.waiters ->
           Ok { st with st = Flat; signals = 0 }
@@ -231,10 +267,49 @@ let rec step ~max_thin st (e : Event.t) =
       | Flat | Thin _ ->
           err Deflation_without_handshake "deflation of an object with no live monitor")
   | Event.Deflate_aborted -> (
+      if cjm then err Stream_malformed "thin-lock deflation event in a cjm stream"
+      else
       match st.st with
       | Fat _ | Inflating _ -> Ok st
       | Flat | Thin _ ->
           err Stale_handle "aborted deflation handshake with no live monitor")
+  | Event.Cjm_monitor_create -> (
+      if not cjm then err Stream_malformed "cjm lifecycle event in a thin-lock stream"
+      else
+      match st.st with
+      (* Covers both creation paths: a contender materialising a
+         monitor on behalf of the inline owner [o] (t <> o), and the
+         owner itself inflating for a wait (t = o).  Either way the
+         inline depth transfers into the monitor.  A creating
+         contender still owes its entry (it is pinned until then). *)
+      | Thin (o, d) ->
+          Ok
+            {
+              st with
+              st = Fat (o, d);
+              pending_entry = (if t = o then None else Some t);
+            }
+      | Flat -> err Stale_handle "monitor created for an unheld object"
+      | Inflating _ | Fat _ ->
+          err Reinflation_of_retired "monitor created while one is already live")
+  | Event.Cjm_monitor_evaporate -> (
+      if not cjm then err Stream_malformed "cjm lifecycle event in a thin-lock stream"
+      else
+      match st.st with
+      | Fat (0, _) when st.pending_entry <> None ->
+          err Deflation_without_handshake
+            "evaporation before the creating contender entered (it still \
+             holds its pin)"
+      | Fat (0, _) when IntMap.is_empty st.waiters ->
+          Ok { st with st = Flat; signals = 0 }
+      | Fat (0, _) ->
+          err Deflation_without_handshake
+            "evaporation of a monitor with parked waiters"
+      | Fat _ -> err Deflation_without_handshake "evaporation of an owned monitor"
+      | Inflating _ ->
+          err Deflation_without_handshake "evaporation of a monitor mid-inflation"
+      | Flat | Thin _ ->
+          err Stale_handle "evaporation of an object with no live monitor")
   | Event.Contended_begin ->
       let d = Option.value ~default:0 (IntMap.find_opt t st.cb) in
       Ok { st with cb = IntMap.add t (d + 1) st.cb }
@@ -265,7 +340,11 @@ let is_thread_path = function
   | Event.Acquire_fat_queued | Event.Release_fast | Event.Release_nested
   | Event.Release_fat | Event.Inflate_contention | Event.Inflate_wait
   | Event.Inflate_overflow | Event.Contended_begin | Event.Contended_end
-  | Event.Wait_op | Event.Notify_op | Event.Notify_all_op ->
+  | Event.Wait_op | Event.Notify_op | Event.Notify_all_op
+  (* CJM has no system-stream deflater: both lifecycle steps are taken
+     by a mutator (the contender that materialises the monitor, the
+     unpinner that evaporates it). *)
+  | Event.Cjm_monitor_create | Event.Cjm_monitor_evaporate ->
       true
   | Event.Deflate_quiescent | Event.Deflate_concurrent | Event.Deflate_aborted
   | Event.Reaper_scan | Event.Quiescence | Event.Tid_overflow ->
@@ -422,7 +501,7 @@ let finish_object ~require_unlocked_end push id (st : ostate) =
 
 type entry = { mutable st : ostate; mutable dead : bool }
 
-let run_strict ~max_thin ~require_unlocked_end (d : Sink.drained) push =
+let run_strict ~max_thin ~cjm ~require_unlocked_end (d : Sink.drained) push =
   let tbl : (int, entry) Hashtbl.t = Hashtbl.create 64 in
   Array.iter
     (fun (e : Event.t) ->
@@ -436,7 +515,7 @@ let run_strict ~max_thin ~require_unlocked_end (d : Sink.drained) push =
               en
         in
         if not entry.dead then
-          match step ~max_thin entry.st e with
+          match step ~max_thin ~cjm entry.st e with
           | Ok st' -> entry.st <- st'
           | Error (cls, detail) ->
               entry.dead <- true;
@@ -456,7 +535,12 @@ let run_strict ~max_thin ~require_unlocked_end (d : Sink.drained) push =
 (* by smallest enabled seq, with bounded backtracking.                *)
 (* ------------------------------------------------------------------ *)
 
-type frame = { f_idx : int array; f_state : ostate; mutable f_alts : int list }
+type frame = {
+  f_idx : int array;
+  f_state : ostate;
+  f_lc : int;
+  mutable f_alts : int list;
+}
 
 (* Greedy fast path.  The backtracking search below recomputes and
    sorts the whole head set at every step — fine for replay streams
@@ -481,7 +565,11 @@ type frame = { f_idx : int array; f_state : ostate; mutable f_alts : int list }
    inflation, [Contended_end]) is a precondition only the head's own
    earlier events could have established, so no other queue's step can
    enable it: those heads park in [limbo] and are only reconsidered by
-   the rescue scan.  After each successful step, a transition into
+   the rescue scan.  The CJM protocol adds one more gate: a
+   [Cjm_monitor_create] head waits on the object becoming {e thin-held}
+   (another thread's fast acquire), so those heads get their own bucket
+   woken by transitions into [Thin]; [Cjm_monitor_evaporate] waits on
+   the fat-unowned gate like a deflation.  After each successful step, a transition into
    [Flat] wakes one head of the flat bucket and a change of the
    unowned/signals/waiters gate wakes one of the fat bucket (one
    suffices: consuming a woken head re-fires the wake, walking any
@@ -493,9 +581,92 @@ type frame = { f_idx : int array; f_state : ostate; mutable f_alts : int list }
    decides.  Success exhibits a feasible interleaving of the
    per-thread subsequences — exactly the relaxed-mode obligation — in
    O(events · log queues) for well-formed streams of any width. *)
-let greedy_linearise ~max_thin (queues : Event.t array array) =
+(* A CJM monitor creation popping while the object is thin-held and the
+   inline owner's {e own} next event still takes the thin path cannot be
+   linearised here: once the object goes fat, a pending
+   [Release_fast]/[Acquire_nested] of the owner can never apply again
+   (only the owner's own [Acquire_fast] re-establishes [Thin (o, _)],
+   and that sits behind the blocked head).  Conversely the owner's next
+   event being fat-path ([Release_fat], a nested [Acquire_fat], a
+   [Wait_op]) witnesses that the creation belongs to {e this} hold.
+   Epoch-stamped streams need the gate because a contender's creation
+   routinely carries a stamp from a different hold of the same owner.
+   Gating on it prunes only provably dead branches, so both relaxed
+   engines stay complete. *)
+let cjm_create_blocked (queues : Event.t array array) queue_of_tid
+    (idx : int array) (st : ostate) (e : Event.t) =
+  e.Event.kind = Event.Cjm_monitor_create
+  &&
+  match st.st with
+  | Thin (o, _) when o <> e.tid -> (
+      match Hashtbl.find_opt queue_of_tid o with
+      | None -> true
+      | Some oq -> (
+          idx.(oq) >= Array.length queues.(oq)
+          ||
+          match queues.(oq).(idx.(oq)).Event.kind with
+          | Event.Release_fat | Event.Acquire_fat | Event.Acquire_fat_queued
+          | Event.Wait_op | Event.Notify_op | Event.Notify_all_op ->
+              false
+          | _ -> true))
+  | _ -> false
+
+let queue_index_by_tid (queues : Event.t array array) =
+  let h = Hashtbl.create 8 in
+  Array.iteri
+    (fun qi q -> if Array.length q > 0 then Hashtbl.replace h q.(0).Event.tid qi)
+    queues;
+  h
+
+(* CJM lifecycle events take ticket stamps under the object's stripe
+   (see [Sink.emit_ordered]), so per object they are totally ordered by
+   seq: creations and evaporations alternate and never reorder across
+   threads.  Both relaxed engines enforce that order outright — a
+   lifecycle head is steppable only when every smaller-seq lifecycle
+   event of the object has been consumed.  Without the gate, the
+   deferral machinery can pop a later-ticket creation past a pending
+   earlier-ticket evaporation and pair monitor generations wrong; the
+   resulting prefix looks locally legal and dead-ends thousands of
+   events later, far beyond any search budget.  Epoch-stamped mutator
+   events still float freely around the lifecycle spine — that is the
+   skew the relaxed engines exist to absorb. *)
+let is_lifecycle (e : Event.t) =
+  match e.Event.kind with
+  | Event.Cjm_monitor_create | Event.Cjm_monitor_evaporate -> true
+  | _ -> false
+
+let lifecycle_seqs (queues : Event.t array array) =
+  let acc = ref [] in
+  Array.iter
+    (fun q ->
+      Array.iter
+        (fun (e : Event.t) -> if is_lifecycle e then acc := e.Event.seq :: !acc)
+        q)
+    queues;
+  let a = Array.of_list !acc in
+  Array.sort compare a;
+  a
+
+let greedy_linearise ~max_thin ~cjm (queues : Event.t array array) =
   let nq = Array.length queues in
   let idx = Array.make nq 0 in
+  let queue_of_tid = queue_index_by_tid queues in
+  let life = lifecycle_seqs queues in
+  let lc = ref 0 in
+  (* Every step in this engine goes through both gates: waking a
+     gate-blocked head with the raw [step] would bounce it between a
+     rescue and a re-park forever. *)
+  let step ~max_thin ~cjm st e =
+    if
+      is_lifecycle e && (!lc >= Array.length life || e.Event.seq <> life.(!lc))
+    then Error (Ownership_violation, "cjm lifecycle event ahead of ticket order")
+    else if cjm_create_blocked queues queue_of_tid idx st e then
+      Error
+        ( Ownership_violation,
+          "monitor created during a thin hold whose owner still takes the \
+           thin path" )
+    else step ~max_thin ~cjm st e
+  in
   let heap = Array.make (max nq 1) 0 in
   let heap_n = ref 0 in
   let seq_of qi = queues.(qi).(idx.(qi)).Event.seq in
@@ -523,16 +694,31 @@ let greedy_linearise ~max_thin (queues : Event.t array array) =
       down !m
     end
   in
+  (* Destructive heads (deflations, CJM evaporations) get held back
+     while a non-destructive head is active — see the main loop.
+     [heap_destr] counts destructive heads currently in the heap (a
+     head's kind is fixed while it sits there), so the loop can tell
+     "other work pending" from "only destructions left". *)
+  let destructive qi =
+    match queues.(qi).(idx.(qi)).Event.kind with
+    | Event.Deflate_quiescent | Event.Deflate_concurrent
+    | Event.Cjm_monitor_evaporate ->
+        true
+    | _ -> false
+  in
+  let heap_destr = ref 0 in
   let push qi =
     heap.(!heap_n) <- qi;
     incr heap_n;
-    up (!heap_n - 1)
+    up (!heap_n - 1);
+    if destructive qi then incr heap_destr
   in
   let pop () =
     let q = heap.(0) in
     decr heap_n;
     heap.(0) <- heap.(!heap_n);
     if !heap_n > 0 then down 0;
+    if destructive q then decr heap_destr;
     q
   in
   for qi = 0 to nq - 1 do
@@ -540,7 +726,11 @@ let greedy_linearise ~max_thin (queues : Event.t array array) =
   done;
   let state = ref initial in
   let parked_flat = Queue.create () in
+  let parked_thin = Queue.create () in
   let parked_fat = Queue.create () in
+  (* Destructive heads (deflations, CJM evaporations) held back while
+     any other head is still active — see the main loop. *)
+  let deferred = Queue.create () in
   let limbo = ref [] in
   let parked_n = ref 0 in
   let park qi =
@@ -548,10 +738,11 @@ let greedy_linearise ~max_thin (queues : Event.t array array) =
     match queues.(qi).(idx.(qi)).Event.kind with
     | Event.Acquire_fast | Event.Inflate_contention ->
         Queue.push qi parked_flat
+    | Event.Cjm_monitor_create -> Queue.push qi parked_thin
     | Event.Acquire_fat | Event.Acquire_fat_queued | Event.Release_fat
     | Event.Wait_op | Event.Notify_op | Event.Notify_all_op
     | Event.Deflate_quiescent | Event.Deflate_concurrent
-    | Event.Deflate_aborted ->
+    | Event.Deflate_aborted | Event.Cjm_monitor_evaporate ->
         Queue.push qi parked_fat
     | _ -> limbo := qi :: !limbo
   in
@@ -567,7 +758,7 @@ let greedy_linearise ~max_thin (queues : Event.t array array) =
     while (not !found) && !i < n do
       incr i;
       let qi = Queue.pop bucket in
-      match step ~max_thin !state queues.(qi).(idx.(qi)) with
+      match step ~max_thin ~cjm !state queues.(qi).(idx.(qi)) with
       | Ok _ ->
           decr parked_n;
           push qi;
@@ -576,24 +767,29 @@ let greedy_linearise ~max_thin (queues : Event.t array array) =
     done
   in
   let is_flat (st : ostate) = match st.st with Flat -> true | _ -> false in
-  let fat_unowned (st : ostate) =
-    match st.st with Fat (0, _) -> true | _ -> false
+  let is_thin (st : ostate) = match st.st with Thin _ -> true | _ -> false in
+  let fat_sig (st : ostate) =
+    match st.st with
+    | Fat (o, d) -> Some (o, d, st.signals, IntMap.cardinal st.waiters)
+    | _ -> None
   in
   let after_step old_st =
     let st' = !state in
     if is_flat st' && not (is_flat old_st) then wake_one parked_flat;
-    if
-      fat_unowned st'
-      && ((not (fat_unowned old_st))
-         || st'.signals <> old_st.signals
-         || IntMap.cardinal st'.waiters <> IntMap.cardinal old_st.waiters)
-    then wake_one parked_fat
+    if is_thin st' && not (is_thin old_st) then wake_one parked_thin;
+    (* Any change of the fat signature can unblock a fat-gated head:
+       becoming unowned or a signals/waiters change enables fat
+       acquires and resumes, and becoming {e owned} matters too — a
+       CJM contender's [Cjm_monitor_create] hands the monitor to the
+       inline owner, whose parked [Release_fat] only then applies. *)
+    if fat_sig st' <> None && fat_sig st' <> fat_sig old_st then
+      wake_one parked_fat
   in
   let rescue_bucket rescued bucket =
     let n = Queue.length bucket in
     for _ = 1 to n do
       let qi = Queue.pop bucket in
-      match step ~max_thin !state queues.(qi).(idx.(qi)) with
+      match step ~max_thin ~cjm !state queues.(qi).(idx.(qi)) with
       | Ok _ ->
           decr parked_n;
           incr rescued;
@@ -601,47 +797,117 @@ let greedy_linearise ~max_thin (queues : Event.t array array) =
       | Error _ -> Queue.push qi bucket
     done
   in
+  (* A deflation or evaporation destroys the very state other queues'
+     heads may still need: event stamps are per-domain epoch stamps,
+     so a fat acquire that really entered the monitor {e before} it
+     evaporated can carry a later stamp and still sit in the heap (or
+     a park bucket) when the evaporation pops.  Taking the evaporation
+     first is then a wrong turn the greedy pass cannot undo.  Deferring
+     is safe while a {e non-destructive} head is active — destruction
+     enables nothing except through the [Flat] it produces, and the
+     deferred head is retried the moment the heap drains.  But once
+     only destructive heads remain, they must run in seq order:
+     deferring the smaller-stamped of two pending evaporations would
+     let the later one claim the current [Fat (0, _)] and orphan the
+     earlier thread's whole queue behind a destruction whose window
+     has passed. *)
+  let rescue_deferred rescued =
+    let n = Queue.length deferred in
+    for _ = 1 to n do
+      let qi = Queue.pop deferred in
+      decr parked_n;
+      match step ~max_thin ~cjm !state queues.(qi).(idx.(qi)) with
+      | Ok _ ->
+          incr rescued;
+          push qi
+      | Error _ -> park qi
+    done
+  in
   let result = ref None in
   let give_up = ref false in
   while (not !give_up) && !result = None do
     if !heap_n > 0 then begin
       let qi = pop () in
-      match step ~max_thin !state queues.(qi).(idx.(qi)) with
-      | Ok st' ->
-          let old_st = !state in
-          state := st';
-          idx.(qi) <- idx.(qi) + 1;
-          if idx.(qi) < Array.length queues.(qi) then push qi;
-          after_step old_st
-      | Error _ -> park qi
+      if destructive qi && !heap_n - !heap_destr > 0 then begin
+        incr parked_n;
+        Queue.push qi deferred
+      end
+      else begin
+        (* Destruction only as a last resort: a fat-gated head parked
+           earlier (the rotation wake recovers one head per transition,
+           not all) may be enabled at this very pre-destruction state —
+           e.g. a queued fat acquire that really entered the monitor
+           before it evaporated.  Rescue those first; the destructive
+           head rejoins the heap and re-defers while they run. *)
+        let rescued = ref 0 in
+        if destructive qi then begin
+          rescue_bucket rescued parked_fat;
+          if !rescued > 0 then push qi
+        end;
+        if !rescued = 0 then
+          match step ~max_thin ~cjm !state queues.(qi).(idx.(qi)) with
+          | Ok st' ->
+              let old_st = !state in
+              state := st';
+              if is_lifecycle queues.(qi).(idx.(qi)) then incr lc;
+              idx.(qi) <- idx.(qi) + 1;
+              if idx.(qi) < Array.length queues.(qi) then push qi;
+              after_step old_st
+          | Error _ -> park qi
+      end
     end
     else if !parked_n = 0 then result := Some !state
     else begin
-      (* Heap drained with heads still parked: rescue scan.  Every
-         currently-enabled parked head rejoins the heap; if none is,
-         this path is a genuine dead end. *)
+      (* Heap drained with heads still parked: first release any
+         deferred destructive heads (nothing else is active, so they
+         are now safe to take); only if none applies, run the full
+         rescue scan.  Every currently-enabled parked head rejoins the
+         heap; if none is, this path is a genuine dead end. *)
       let rescued = ref 0 in
-      rescue_bucket rescued parked_flat;
-      rescue_bucket rescued parked_fat;
-      let keep = ref [] in
-      List.iter
-        (fun qi ->
-          match step ~max_thin !state queues.(qi).(idx.(qi)) with
-          | Ok _ ->
-              decr parked_n;
-              incr rescued;
-              push qi
-          | Error _ -> keep := qi :: !keep)
-        !limbo;
-      limbo := !keep;
-      if !rescued = 0 then give_up := true
+      rescue_deferred rescued;
+      if !rescued = 0 then begin
+        rescue_bucket rescued parked_flat;
+        rescue_bucket rescued parked_thin;
+        rescue_bucket rescued parked_fat;
+        let keep = ref [] in
+        List.iter
+          (fun qi ->
+            match step ~max_thin ~cjm !state queues.(qi).(idx.(qi)) with
+            | Ok _ ->
+                decr parked_n;
+                incr rescued;
+                push qi
+            | Error _ -> keep := qi :: !keep)
+          !limbo;
+        limbo := !keep;
+        if !rescued = 0 then give_up := true
+      end
     end
   done;
   !result
 
-let verify_object_search ~max_thin (queues : Event.t array array) =
+let verify_object_search ~max_thin ~cjm (queues : Event.t array array) =
   let nq = Array.length queues in
   let idx = Array.make nq 0 in
+  let queue_of_tid = queue_index_by_tid queues in
+  let life = lifecycle_seqs queues in
+  let lc = ref 0 in
+  (* Same gates as the greedy engine ([lifecycle_seqs],
+     [cjm_create_blocked]): they prune only branches that violate the
+     ticket order or have a provably stuck owner queue, and keep the
+     first descent from wiring a creation to the wrong thin hold and
+     burning the budget backtracking out. *)
+  let step ~max_thin ~cjm st e =
+    if
+      is_lifecycle e && (!lc >= Array.length life || e.Event.seq <> life.(!lc))
+    then Error (Ownership_violation, "cjm lifecycle event ahead of ticket order")
+    else if cjm_create_blocked queues queue_of_tid idx st e then
+      Error
+        ( Ownership_violation,
+          "monitor created during a thin hold whose owner still takes the \
+           thin path" )
+    else step ~max_thin ~cjm st e
+  in
   let total = Array.fold_left (fun a q -> a + Array.length q) 0 queues in
   let fuel = ref ((total * 64) + 1024) in
   let stack = ref [] in
@@ -660,6 +926,20 @@ let verify_object_search ~max_thin (queues : Event.t array array) =
   let budget_exceeded (e : Event.t) =
     Error (e, Stream_malformed, "relaxed verification budget exceeded")
   in
+  (* Destruction (deflation / evaporation) tried last: epoch-stamped
+     streams routinely stamp a fat acquire {e after} the evaporation it
+     really preceded, so the seq-ordered first descent would commit the
+     wrong turn and burn the whole budget backtracking out of it.
+     Trying every non-destructive head first makes the first descent
+     mirror the greedy pass's deferral, with completeness kept by the
+     alternatives list. *)
+  let is_destructive (e : Event.t) =
+    match e.Event.kind with
+    | Event.Deflate_quiescent | Event.Deflate_concurrent
+    | Event.Cjm_monitor_evaporate ->
+        true
+    | _ -> false
+  in
   let rec loop () =
     let hs = heads () in
     match hs with
@@ -668,10 +948,18 @@ let verify_object_search ~max_thin (queues : Event.t array array) =
         let enabled =
           List.filter_map
             (fun i ->
-              match step ~max_thin !state queues.(i).(idx.(i)) with
+              match step ~max_thin ~cjm !state queues.(i).(idx.(i)) with
               | Ok st' -> Some (i, st')
               | Error _ -> None)
             hs
+        in
+        let enabled =
+          let keep, destr =
+            List.partition
+              (fun (i, _) -> not (is_destructive queues.(i).(idx.(i))))
+              enabled
+          in
+          keep @ destr
         in
         match enabled with
         | [] -> backtrack hs
@@ -684,10 +972,12 @@ let verify_object_search ~max_thin (queues : Event.t array array) =
                   {
                     f_idx = Array.copy idx;
                     f_state = !state;
+                    f_lc = !lc;
                     f_alts = List.map fst alts;
                   }
                   :: !stack;
               state := st';
+              if is_lifecycle queues.(i).(idx.(i)) then incr lc;
               idx.(i) <- idx.(i) + 1;
               loop ()
             end)
@@ -707,11 +997,13 @@ let verify_object_search ~max_thin (queues : Event.t array array) =
               decr fuel;
               Array.blit frame.f_idx 0 idx 0 nq;
               state := frame.f_state;
+              lc := frame.f_lc;
               frame.f_alts <- rest;
               if rest = [] then stack := frames;
-              match step ~max_thin !state queues.(a).(idx.(a)) with
+              match step ~max_thin ~cjm !state queues.(a).(idx.(a)) with
               | Ok st' ->
                   state := st';
+                  if is_lifecycle queues.(a).(idx.(a)) then incr lc;
                   idx.(a) <- idx.(a) + 1;
                   loop ()
               | Error _ ->
@@ -725,18 +1017,18 @@ let verify_object_search ~max_thin (queues : Event.t array array) =
        first. *)
     let i = List.hd hs in
     let e = queues.(i).(idx.(i)) in
-    match step ~max_thin !state e with
+    match step ~max_thin ~cjm !state e with
     | Error (cls, detail) -> Error (e, cls, detail)
     | Ok _ -> assert false
   in
   loop ()
 
-let verify_object_relaxed ~max_thin (queues : Event.t array array) =
-  match greedy_linearise ~max_thin queues with
+let verify_object_relaxed ~max_thin ~cjm (queues : Event.t array array) =
+  match greedy_linearise ~max_thin ~cjm queues with
   | Some st -> Ok st
-  | None -> verify_object_search ~max_thin queues
+  | None -> verify_object_search ~max_thin ~cjm queues
 
-let run_relaxed ~max_thin ~require_unlocked_end (d : Sink.drained) push =
+let run_relaxed ~max_thin ~cjm ~require_unlocked_end (d : Sink.drained) push =
   (* Group per object, preserving per-thread order (the input is seq
      sorted, so consing then reversing keeps each thread's
      subsequence). *)
@@ -770,7 +1062,7 @@ let run_relaxed ~max_thin ~require_unlocked_end (d : Sink.drained) push =
                Array.of_list (List.rev !(Hashtbl.find per_tid tid)))
         |> Array.of_list
       in
-      match verify_object_relaxed ~max_thin queues with
+      match verify_object_relaxed ~max_thin ~cjm queues with
       | Ok st -> finish_object ~require_unlocked_end push id st
       | Error (e, cls, detail) ->
           push { cls; seq = e.Event.seq; tid = e.Event.tid; obj_id = id; detail })
@@ -781,8 +1073,8 @@ let run_relaxed ~max_thin ~require_unlocked_end (d : Sink.drained) push =
 (* Entry points.                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let check ?(mode = Strict) ?count_width ?(require_unlocked_end = true)
-    (d : Sink.drained) =
+let check ?(mode = Strict) ?(protocol = Thin_lock) ?count_width
+    ?(require_unlocked_end = true) (d : Sink.drained) =
   let max_thin =
     match count_width with
     | None -> max_int
@@ -790,13 +1082,14 @@ let check ?(mode = Strict) ?count_width ?(require_unlocked_end = true)
         if w < 1 || w > 8 then invalid_arg "Oracle.check: count_width"
         else 1 lsl w
   in
+  let cjm = protocol = Cjm in
   let violations = ref [] in
   let push v = violations := v :: !violations in
   structural d push;
   let objects =
     match mode with
-    | Strict -> run_strict ~max_thin ~require_unlocked_end d push
-    | Relaxed -> run_relaxed ~max_thin ~require_unlocked_end d push
+    | Strict -> run_strict ~max_thin ~cjm ~require_unlocked_end d push
+    | Relaxed -> run_relaxed ~max_thin ~cjm ~require_unlocked_end d push
   in
   let key v = if v.seq < 0 then max_int else v.seq in
   let violations =

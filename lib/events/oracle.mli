@@ -59,6 +59,18 @@ type violation = {
 
 type mode = Strict | Relaxed
 
+type protocol = Thin_lock | Cjm
+(** The locking protocol the stream claims to follow.  [Thin_lock]
+    (default) is the paper's automaton: [Inflate_*] transitions and
+    Tasuki [Deflate_*] handshake steps.  [Cjm] is the
+    Compact-Java-Monitors variant: a monitor materialises with
+    [Cjm_monitor_create] on a thin-held object (the contender — or the
+    waiting owner — carries the inline depth into the monitor) and
+    vanishes with [Cjm_monitor_evaporate], legal only while the monitor
+    is unowned with no parked waiters; there is no handshake.  Each
+    protocol treats the other's lifecycle kinds as
+    [Stream_malformed]. *)
+
 type report = {
   mode : mode;
   events : int;
@@ -68,11 +80,14 @@ type report = {
 
 val check :
   ?mode:mode ->
+  ?protocol:protocol ->
   ?count_width:int ->
   ?require_unlocked_end:bool ->
   Sink.drained ->
   report
-(** Verify one drained stream.  [count_width] (the replay's nest-count
+(** Verify one drained stream.  [protocol] (default [Thin_lock])
+    selects the reference automaton variant — pass [Cjm] for streams
+    produced by the [cjm] scheme.  [count_width] (the replay's nest-count
     field width, 1–8) arms the thin-depth ceiling check: depth may not
     exceed [2^count_width] without an overflow inflation; omitted, the
     ceiling check is off.  [require_unlocked_end] (default [true])

@@ -76,14 +76,20 @@ let feed t (e : Event.t) =
   t.last_seq <- e.seq;
   t.events <- t.events + 1;
   match e.kind with
-  | Event.Inflate_contention | Event.Inflate_wait | Event.Inflate_overflow ->
+  (* [Cjm_monitor_create] is the cjm scheme's inflation and
+     [Cjm_monitor_evaporate] its deflation: the residency integral
+     (live monitors over seq ticks) is protocol-agnostic, so both feed
+     the same counters. *)
+  | Event.Inflate_contention | Event.Inflate_wait | Event.Inflate_overflow
+  | Event.Cjm_monitor_create ->
       t.inflations <- t.inflations + 1;
       t.live <- t.live + 1;
       if t.live > t.live_peak then t.live_peak <- t.live;
       if Hashtbl.mem t.deflated_once e.arg then
         t.reinflations <- t.reinflations + 1;
       Hashtbl.replace t.open_since e.arg e.seq
-  | Event.Deflate_quiescent | Event.Deflate_concurrent ->
+  | Event.Deflate_quiescent | Event.Deflate_concurrent
+  | Event.Cjm_monitor_evaporate ->
       t.deflations <- t.deflations + 1;
       t.live <- t.live - 1;
       Hashtbl.replace t.deflated_once e.arg ();

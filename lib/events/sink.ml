@@ -17,14 +17,21 @@
      skew inside the merged order is bounded by one emit window
      (<= quiescence interval) — exactly the tolerance the relaxed
      oracle grants multi-domain streams;
-   - system events (tid 0: deflater, reaper) take a *ticket* stamp,
-     [1 + fetch_and_add epoch 1], under a mutex.  That stamp is
-     strictly greater than every stamp already placed by any mutator,
-     so a deflation sorts after the releases that made it legal even
-     in single-domain strict replays; the ring-id tie-break (system
-     ring first) then puts it before mutator events stamped with the
-     post-bump epoch.  System emits are rare (deflations, reaper
-     scans), so their fetch-and-add is off the hot path.
+   - system events (tid 0: deflater, reaper) and CJM lifecycle events
+     ([emit_ordered]) take a *ticket* stamp.  Stamps are split by
+     parity so a ticket sorts strictly between its two epoch windows:
+     a plain emit reading epoch [e] stamps [2e]; a ticket emit
+     (fetch-and-add returning [e]) stamps [2e + 1] and bumps the epoch,
+     so later plain emits stamp [2e + 2].  A ticket is therefore
+     strictly greater than every stamp already placed and strictly
+     smaller than every stamp placed after it — by ANY thread,
+     independent of the ring-id tie-break (which only orders
+     same-window plain events and would otherwise let a lower-tid
+     thread's post-ticket events sort before the ticket).  A deflation
+     thus sorts after the releases that made it legal even in
+     single-domain strict replays.  Ticket emits are rare (deflations,
+     reaper scans, monitor creation/evaporation), so their
+     fetch-and-add is off the hot path.
 
    Rings are keyed by thread id (Tid index); valid mutator tids are
    [1, max_tids) — Tid never issues index 0, which is reserved for the
@@ -146,18 +153,36 @@ let[@inline] emit t ~tid ~kind ~arg =
         let i = ring.Ring.head in
         if i < ring.Ring.capacity then begin
           Array.unsafe_set ring.Ring.meta i
-            ((Atomic.get t.epoch lsl Event.kind_bits) lor k);
+            (((2 * Atomic.get t.epoch) lsl Event.kind_bits) lor k);
           Array.unsafe_set ring.Ring.args i arg
         end;
         ring.Ring.head <- i + 1
       end
+
+(* Causally-ordered mutator emission: takes a ticket stamp like
+   [emit_system] but appends to the calling thread's own ring, so tid
+   attribution and per-thread order are kept.  The ticket is strictly
+   greater than every stamp already placed by any thread, so an event
+   that a lock or monitor-table critical section serialises {e after}
+   other threads' emissions also {e sorts} after them — the guarantee
+   the plain epoch stamp forfeits.  One fetch-and-add per call: reserve
+   it for rare lifecycle transitions (CJM monitor creation and
+   evaporation), never the acquire/release fast path. *)
+let emit_ordered t ~tid ~kind ~arg =
+  if t.enabled then
+    if tid < 1 || tid >= max_tids then Atomic.incr t.tid_clamped
+    else
+      let k = Event.kind_to_int kind in
+      if keep t k arg then
+        let stamp = (2 * Atomic.fetch_and_add t.epoch 1) + 1 in
+        Ring.emit (ring_for t tid) ~stamp ~kind ~arg
 
 let emit_system t ~kind ~arg =
   if t.enabled then
     let k = Event.kind_to_int kind in
     if keep t k arg then begin
       Mutex.lock t.system_lock;
-      let stamp = 1 + Atomic.fetch_and_add t.epoch 1 in
+      let stamp = (2 * Atomic.fetch_and_add t.epoch 1) + 1 in
       Ring.emit (ring_for t 0) ~stamp ~kind ~arg;
       Mutex.unlock t.system_lock
     end

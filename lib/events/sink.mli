@@ -22,11 +22,13 @@
       it; within one epoch, threads may interleave arbitrarily.  The
       skew is bounded by the emit window between epoch advances, which
       is exactly what the relaxed oracle tolerates;
-    - {e system events (tid 0) are totally ordered against everything}
-      — {!emit_system} takes a fetch-and-add ticket stamp under a
-      mutex, so a deflation sorts after every event already emitted
-      and before post-bump mutator events.  Single-domain replays
-      therefore still satisfy the strict oracle.
+    - {e ticket events are totally ordered against everything} —
+      {!emit_system} and {!emit_ordered} take a fetch-and-add ticket
+      stamp that sorts strictly after every event already emitted and
+      strictly before every event emitted later (stamps are
+      parity-split: plain emits stamp [2·epoch], tickets [2·epoch+1]).
+      A deflation therefore sorts after the releases that enabled it,
+      and single-domain replays still satisfy the strict oracle.
 
     Drops (ring overflow) lose a suffix of one thread's events, never a
     middle slice, and are reported per thread id; drained [seq]s stay
@@ -79,6 +81,16 @@ val emit : t -> tid:int -> kind:Event.kind -> arg:int -> unit
     {!tid_clamped} and dropped — never folded onto the system stream,
     where they would masquerade as deflater/reaper actions.  At most
     one thread may emit per tid at a time (guaranteed by Tid leasing). *)
+
+val emit_ordered : t -> tid:int -> kind:Event.kind -> arg:int -> unit
+(** Record one event on the calling thread's own stream with a fresh
+    ticket stamp: it sorts strictly after every event any thread has
+    already emitted.  For rare transitions that a critical section
+    serialises against other threads' emissions (CJM monitor creation
+    and evaporation) — a plain {!emit} would stamp them with the
+    caller's current epoch and let them sort thousands of places away
+    from the takeover or drain they are causally tied to.  Costs a
+    fetch-and-add; never use it on the acquire/release fast path. *)
 
 val emit_system : t -> kind:Event.kind -> arg:int -> unit
 (** Record one event on the system stream (tid 0): deflations, reaper

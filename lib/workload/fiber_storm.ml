@@ -42,6 +42,7 @@ type config = {
   in_flight : int;  (** admission window: max live worker fibers *)
   count_width : int;  (** thin nest-count width, for lock + oracle *)
   quiescence_every : int;  (** announce every N admissions; 0 = auto *)
+  scheme : string;  (** locking scheme under the storm: "thin" or "cjm" *)
   seed : int;
 }
 
@@ -59,6 +60,7 @@ let default_config =
     in_flight = 4096;
     count_width = 8;
     quiescence_every = 0;
+    scheme = "thin";
     seed = 0x57084;
   }
 
@@ -76,6 +78,7 @@ type result = {
   distinct_tids : int;
   events : int;
   dropped : int;
+  leaked_entries : int;
   oracle : Oracle.report option;
 }
 
@@ -85,7 +88,9 @@ let validate c =
   if c.objects < 1 then invalid_arg "Fiber_storm: objects";
   if c.ops_per_fiber < 1 then invalid_arg "Fiber_storm: ops_per_fiber";
   if c.in_flight < 1 then invalid_arg "Fiber_storm: in_flight";
-  if c.zipf < 0.0 then invalid_arg "Fiber_storm: zipf"
+  if c.zipf < 0.0 then invalid_arg "Fiber_storm: zipf";
+  if c.scheme <> "thin" && c.scheme <> "cjm" then
+    invalid_arg "Fiber_storm: scheme (expected \"thin\" or \"cjm\")"
 
 (* Zipf sampling over [n] ranks via the precomputed CDF and a binary
    search per draw — [Prng.categorical] is a linear scan, far too slow
@@ -150,9 +155,25 @@ let run ?(trace = true) ?(oracle = true) config =
   let lat_n = Atomic.make 0 in
   let completed = Atomic.make 0 in
   let cdf = zipf_cdf ~theta:config.zipf config.objects in
-  let elapsed, overflow_waits =
+  let elapsed, overflow_waits, leaked_entries =
     Scheduler.run ~domains:config.domains runtime (fun genv ->
-        let ctx = Thin.create_with ~config:thin_config ~events:sink runtime in
+        (* The lock under the storm: thin locks by default, or the CJM
+           transient table — same acquire/release shape, so the worker
+           body is scheme-blind.  [leaked] is the post-drain census: a
+           CJM table must be empty once every fiber has released. *)
+        let acquire, release, leaked =
+          match config.scheme with
+          | "cjm" ->
+              let ctx = Tl_cjm.Cjm.create_with ~events:sink runtime in
+              ( Tl_cjm.Cjm.acquire ctx,
+                Tl_cjm.Cjm.release ctx,
+                fun () -> Tl_cjm.Cjm.live_entries ctx )
+          | _ ->
+              let ctx =
+                Thin.create_with ~config:thin_config ~events:sink runtime
+              in
+              (Thin.acquire ctx, Thin.release ctx, fun () -> 0)
+        in
         let objs = Tl_heap.Heap.alloc_many heap config.objects in
         let slots = Atomic.make config.in_flight in
         let gen_parker = genv.Runtime.parker in
@@ -162,13 +183,13 @@ let run ?(trace = true) ?(oracle = true) config =
             let o = objs.(sample_cdf cdf (Tl_util.Prng.float prng 1.0)) in
             if config.think_work > 0 then Replay.spin_work config.think_work;
             let t0 = Tl_util.Timer.now () in
-            Thin.acquire ctx env o;
+            acquire env o;
             let dt = Tl_util.Timer.now () -. t0 in
             latencies.(Atomic.fetch_and_add lat_n 1) <- dt;
             if config.critical_work > 0 then
               Replay.spin_work config.critical_work;
             if config.yield_in_cs then Scheduler.yield ();
-            Thin.release ctx env o
+            release env o
           done;
           Atomic.incr completed;
           (* return the admission slot and wake the generator *)
@@ -206,7 +227,7 @@ let run ?(trace = true) ?(oracle = true) config =
         done;
         let elapsed = Tl_util.Timer.now () -. t0 in
         Runtime.quiescence_point ~env:genv runtime;
-        (elapsed, Scheduler.overflow_waits ()))
+        (elapsed, Scheduler.overflow_waits (), leaked ()))
   in
   let ops = Atomic.get lat_n in
   let lat = if ops = Array.length latencies then latencies else Array.sub latencies 0 ops in
@@ -218,8 +239,11 @@ let run ?(trace = true) ?(oracle = true) config =
   let report =
     if trace && oracle then
       Some
-        (Oracle.check ~mode:Oracle.Relaxed ~count_width:config.count_width
-           drained)
+        (match config.scheme with
+        | "cjm" -> Oracle.check ~mode:Oracle.Relaxed ~protocol:Oracle.Cjm drained
+        | _ ->
+            Oracle.check ~mode:Oracle.Relaxed ~count_width:config.count_width
+              drained)
     else None
   in
   {
@@ -237,20 +261,25 @@ let run ?(trace = true) ?(oracle = true) config =
     events = Array.length drained.Sink.events;
     dropped =
       List.fold_left (fun a (_, n) -> a + n) 0 drained.Sink.dropped;
+    leaked_entries;
     oracle = report;
   }
 
 let pp ppf (r : result) =
   Format.fprintf ppf
-    "fiber-storm: %d fibers x %d op(s) on %d domain(s), %d object(s) (zipf \
-     %.2f)@\n\
+    "fiber-storm [%s]: %d fibers x %d op(s) on %d domain(s), %d object(s) \
+     (zipf %.2f)@\n\
     \  completed    %d fiber(s) in %.3fs@\n\
     \  throughput   %.0f ops/sec@\n\
     \  acquire lat  p50 %.1fus  p99 %.1fus  p999 %.1fus  max %.1fus@\n\
     \  tid leases   %d distinct indices, %d overflow wait(s)"
-    r.config.fibers r.config.ops_per_fiber r.config.domains r.config.objects
-    r.config.zipf r.completed r.elapsed r.ops_per_sec r.p50_us r.p99_us
-    r.p999_us r.max_us r.distinct_tids r.overflow_waits;
+    r.config.scheme r.config.fibers r.config.ops_per_fiber r.config.domains
+    r.config.objects r.config.zipf r.completed r.elapsed r.ops_per_sec
+    r.p50_us r.p99_us r.p999_us r.max_us r.distinct_tids r.overflow_waits;
+  if r.config.scheme = "cjm" then
+    Format.fprintf ppf "@\n  cjm table    %d leaked entr%s after drain"
+      r.leaked_entries
+      (if r.leaked_entries = 1 then "y" else "ies");
   if r.events > 0 || r.dropped > 0 then
     Format.fprintf ppf "@\n  trace        %d event(s), %d dropped" r.events
       r.dropped;

@@ -29,12 +29,16 @@ type config = {
   in_flight : int;  (** admission window: max live worker fibers *)
   count_width : int;  (** thin nest-count width, for lock + oracle *)
   quiescence_every : int;  (** announce every N admissions; 0 = auto *)
+  scheme : string;
+      (** locking scheme under the storm: ["thin"] (default) or
+          ["cjm"], which swaps the header lock word for the transient
+          monitor table and verifies against the CJM oracle protocol *)
   seed : int;
 }
 
 val default_config : config
 (** 100k fibers, 1 domain, 1024 objects at Zipf 0.99, one episode per
-    fiber with yield-in-critical-section, window 4096. *)
+    fiber with yield-in-critical-section, window 4096, thin locks. *)
 
 type result = {
   config : config;
@@ -54,6 +58,9 @@ type result = {
   distinct_tids : int;  (** indices that ever emitted (trace only) *)
   events : int;
   dropped : int;
+  leaked_entries : int;
+      (** CJM runs: table entries still live after every fiber drained
+          (must be 0 — the conservation invariant); always 0 for thin *)
   oracle : Tl_events.Oracle.report option;
 }
 

@@ -65,6 +65,57 @@ let replay_traced ?(count_width = 1) ?(quiescence_every = 64) ?sampling ~policy
   done;
   (ctx, Sink.drain sink)
 
+(* CJM traced replays: same sink sizing and settle structure as the
+   thin ones, but packing the headerless scheme — no count width (the
+   inline depth is a full int), no reaper (evaporation needs no
+   policy), so the only knobs left are the scheduler's. *)
+
+let replay_traced_cjm ?(quiescence_every = 64) ?sampling (trace : Tracegen.t) =
+  let ops = trace.Tracegen.ops in
+  let sink =
+    Sink.create ~ring_capacity:((4 * Array.length ops) + 4096) ?sampling ()
+  in
+  let runtime = Runtime.create () in
+  Runtime.set_event_sink runtime sink;
+  let ctx = Tl_cjm.Cjm.create_with ~events:sink runtime in
+  let env = Runtime.main_env runtime in
+  let heap = Tl_heap.Heap.create () in
+  let pool = Tl_heap.Heap.alloc_many heap trace.Tracegen.pool_size in
+  Array.iteri
+    (fun i op ->
+      if op > 0 then Tl_cjm.Cjm.acquire ctx env pool.(op - 1)
+      else Tl_cjm.Cjm.release ctx env pool.(-op - 1);
+      if (i + 1) mod quiescence_every = 0 then Runtime.quiescence_point ~env runtime)
+    ops;
+  (ctx, Sink.drain sink)
+
+let replay_traced_par_cjm ?(quiescence_every = 64) ?(interleave = false)
+    ?(backend = Parallel_replay.Os_domains) ~domains ~mode (trace : Tracegen.t) =
+  let ops = trace.Tracegen.ops in
+  let sink = Sink.create ~ring_capacity:((4 * Array.length ops) + 4096) () in
+  let runtime = Runtime.create () in
+  Runtime.set_event_sink runtime sink;
+  let ctx = Tl_cjm.Cjm.create_with ~events:sink runtime in
+  let scheme = Scheme_intf.pack (module Tl_cjm.Cjm) ctx in
+  let tick env =
+    Runtime.quiescence_point ~env runtime;
+    if interleave then
+      match backend with
+      | Parallel_replay.Os_domains -> Unix.sleepf 5e-5
+      | Parallel_replay.Fibers -> Tl_fiber.Scheduler.sleep 5e-5
+  in
+  let pconfig =
+    {
+      Parallel_replay.default_config with
+      Parallel_replay.domains;
+      mode;
+      tick_every = quiescence_every;
+      backend;
+    }
+  in
+  let result = Parallel_replay.run ~config:pconfig ~tick ~scheme ~runtime trace in
+  (result, ctx, Sink.drain sink)
+
 type score = {
   policy : string;
   acquires : int;
@@ -103,11 +154,13 @@ let score_stream ~policy (d : Sink.drained) =
           incr acquires;
           incr fast
       | Event.Acquire_fat | Event.Acquire_fat_queued -> incr acquires
-      | Event.Inflate_contention | Event.Inflate_wait | Event.Inflate_overflow ->
+      | Event.Inflate_contention | Event.Inflate_wait | Event.Inflate_overflow
+      | Event.Cjm_monitor_create ->
           incr inflations;
           incr live;
           if Hashtbl.mem deflated_once e.Event.arg then incr reinflations
-      | Event.Deflate_quiescent | Event.Deflate_concurrent ->
+      | Event.Deflate_quiescent | Event.Deflate_concurrent
+      | Event.Cjm_monitor_evaporate ->
           incr deflations;
           decr live;
           Hashtbl.replace deflated_once e.Event.arg ()
@@ -144,19 +197,41 @@ let run_one ?count_width ?quiescence_every ~policy trace =
   let _ctx, drained = replay_traced ?count_width ?quiescence_every ~policy trace in
   score_stream ~policy drained
 
+(* Labels the CJM rows in the tables: the scheme has no deflation
+   policy to select — evaporate-on-idle is the lifecycle — so the
+   [decide] function is never consulted (no reaper is attached). *)
+let cjm_row_label = Policy.v ~name:"cjm (evaporate)" (fun _ -> false)
+
+let run_one_cjm ?quiescence_every trace =
+  let _ctx, drained = replay_traced_cjm ?quiescence_every trace in
+  score_stream ~policy:cjm_row_label drained
+
 (* Chosen for spread of inflation pressure: javalex is light (3 % of
    ops at depth >= 3), mocha moderate, javacup heavy (15 %). *)
 let default_benchmarks = [ "javalex"; "javacup"; "mocha" ]
 
-let table ?(max_syncs = 20_000) ?(seed = 1998) ?(benchmarks = default_benchmarks) () =
+let table ?(max_syncs = 20_000) ?(seed = 1998) ?(benchmarks = default_benchmarks)
+    ?(scheme = "thin") () =
+  (match scheme with
+  | "thin" | "cjm" -> ()
+  | s -> invalid_arg (Printf.sprintf "Policy_lab.table: scheme %S (thin or cjm)" s));
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
-    (Printf.sprintf
-       "Policy lab: macro traces replayed under each deflation policy\n\
-        (1-bit nest count so depth-3 episodes overflow-inflate; quiescence\n\
-        announced every 64 ops drives the reaper; %d ops per trace, seed %d).\n\
-        lab score = slow-path %% + re-inflations per 1000 acquires (lower is better).\n\n"
-       max_syncs seed);
+    (if scheme = "cjm" then
+       Printf.sprintf
+         "Policy lab: macro traces replayed on the CJM transient monitor table\n\
+          (no header word, no deflation policy — monitors evaporate the moment a\n\
+          releaser finds them idle; infl/defl are monitor create/evaporate;\n\
+          quiescence announced every 64 ops; %d ops per trace, seed %d).\n\
+          lab score = slow-path %% + re-inflations per 1000 acquires (lower is better).\n\n"
+         max_syncs seed
+     else
+       Printf.sprintf
+         "Policy lab: macro traces replayed under each deflation policy\n\
+          (1-bit nest count so depth-3 episodes overflow-inflate; quiescence\n\
+          announced every 64 ops drives the reaper; %d ops per trace, seed %d).\n\
+          lab score = slow-path %% + re-inflations per 1000 acquires (lower is better).\n\n"
+         max_syncs seed);
   List.iter
     (fun bench ->
       let profile =
@@ -165,7 +240,10 @@ let table ?(max_syncs = 20_000) ?(seed = 1998) ?(benchmarks = default_benchmarks
         | None -> invalid_arg (Printf.sprintf "Policy_lab.table: unknown benchmark %S" bench)
       in
       let trace = Tracegen.generate ~seed ~max_syncs profile in
-      let scores = List.map (fun policy -> run_one ~policy trace) shipped_policies in
+      let scores =
+        if scheme = "cjm" then [ run_one_cjm trace ]
+        else List.map (fun policy -> run_one ~policy trace) shipped_policies
+      in
       let rows =
         List.map
           (fun s ->
@@ -192,16 +270,23 @@ let table ?(max_syncs = 20_000) ?(seed = 1998) ?(benchmarks = default_benchmarks
              ]
            ~align:T.[ Left; Right; Right; Right; Right; Right; Right; Right; Right ]
            rows);
-      let ranked =
-        List.sort (fun a b -> compare (lab_score a) (lab_score b)) scores
-      in
-      Buffer.add_string buf
-        (Printf.sprintf "ranking: %s\n\n"
-           (String.concat " < " (List.map (fun s -> s.policy) ranked))))
+      if scheme <> "cjm" then begin
+        let ranked =
+          List.sort (fun a b -> compare (lab_score a) (lab_score b)) scores
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "ranking: %s\n\n"
+             (String.concat " < " (List.map (fun s -> s.policy) ranked)))
+      end
+      else Buffer.add_string buf "\n")
     benchmarks;
   Buffer.add_string buf
-    "(zero-contended-episodes tracks always-idle here: single-threaded replays never\n\
-     queue, so every monitor has zero contended episodes.)\n";
+    (if scheme = "cjm" then
+       "(one row per trace: CJM's lifecycle has no policy dimension to rank — the\n\
+        table exists for head-to-head comparison against the thin-scheme lab.)\n"
+     else
+       "(zero-contended-episodes tracks always-idle here: single-threaded replays never\n\
+        queue, so every monitor has zero contended episodes.)\n");
   Buffer.contents buf
 
 (* Multi-domain lab: the same trace, policy set and stream scoring, but
@@ -261,22 +346,45 @@ let run_one_par ?count_width ?quiescence_every ?interleave ?backend ~domains ~mo
   in
   (result, score_stream ~policy drained)
 
+let run_one_par_cjm ?quiescence_every ?interleave ?backend ~domains ~mode trace =
+  let result, _ctx, drained =
+    replay_traced_par_cjm ?quiescence_every ?interleave ?backend ~domains ~mode trace
+  in
+  (result, score_stream ~policy:cjm_row_label drained)
+
 let table_par ?(max_syncs = 20_000) ?(seed = 1998) ?(benchmarks = default_benchmarks)
-    ?(interleave = true) ?(backend = Parallel_replay.Os_domains) ~domains ~mode () =
+    ?(interleave = true) ?(backend = Parallel_replay.Os_domains) ?(scheme = "thin")
+    ~domains ~mode () =
+  (match scheme with
+  | "thin" | "cjm" -> ()
+  | s -> invalid_arg (Printf.sprintf "Policy_lab.table_par: scheme %S (thin or cjm)" s));
+  let backend_name =
+    match backend with
+    | Parallel_replay.Os_domains -> "domains"
+    | Parallel_replay.Fibers -> "fiber-carrier domains"
+  in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
-    (Printf.sprintf
-       "Policy lab, parallel: macro traces replayed across %d %s (%s mode)\n\
-        under each deflation policy (1-bit nest count; quiescence announced\n\
-        every 64 ops per domain drives the reaper%s; %d ops per trace, seed %d).\n\
-        lab score = slow-path %% + re-inflations per 1000 acquires (lower is better).\n\n"
-       domains
-       (match backend with
-       | Parallel_replay.Os_domains -> "domains"
-       | Parallel_replay.Fibers -> "fiber-carrier domains")
-       (Parallel_replay.mode_name mode)
-       (if interleave then ", with interleave ticks" else "")
-       max_syncs seed);
+    (if scheme = "cjm" then
+       Printf.sprintf
+         "Policy lab, parallel: macro traces replayed across %d %s (%s mode)\n\
+          on the CJM transient monitor table (no header word, no deflation policy;\n\
+          infl/defl are monitor create/evaporate%s; %d ops per trace, seed %d).\n\
+          lab score = slow-path %% + re-inflations per 1000 acquires (lower is better).\n\n"
+         domains backend_name
+         (Parallel_replay.mode_name mode)
+         (if interleave then "; interleave ticks on" else "")
+         max_syncs seed
+     else
+       Printf.sprintf
+         "Policy lab, parallel: macro traces replayed across %d %s (%s mode)\n\
+          under each deflation policy (1-bit nest count; quiescence announced\n\
+          every 64 ops per domain drives the reaper%s; %d ops per trace, seed %d).\n\
+          lab score = slow-path %% + re-inflations per 1000 acquires (lower is better).\n\n"
+         domains backend_name
+         (Parallel_replay.mode_name mode)
+         (if interleave then ", with interleave ticks" else "")
+         max_syncs seed);
   List.iter
     (fun bench ->
       let profile =
@@ -287,13 +395,16 @@ let table_par ?(max_syncs = 20_000) ?(seed = 1998) ?(benchmarks = default_benchm
       in
       let trace = Tracegen.generate ~seed ~max_syncs profile in
       let scores =
-        List.map
-          (fun policy ->
-            let _result, s =
-              run_one_par ~interleave ~backend ~domains ~mode ~policy trace
-            in
-            s)
-          shipped_policies
+        if scheme = "cjm" then
+          [ snd (run_one_par_cjm ~interleave ~backend ~domains ~mode trace) ]
+        else
+          List.map
+            (fun policy ->
+              let _result, s =
+                run_one_par ~interleave ~backend ~domains ~mode ~policy trace
+              in
+              s)
+            shipped_policies
       in
       let rows =
         List.map
@@ -323,13 +434,22 @@ let table_par ?(max_syncs = 20_000) ?(seed = 1998) ?(benchmarks = default_benchm
            ~align:
              T.[ Left; Right; Right; Right; Right; Right; Right; Right; Right; Right ]
            rows);
-      let ranked = List.sort (fun a b -> compare (lab_score a) (lab_score b)) scores in
-      Buffer.add_string buf
-        (Printf.sprintf "ranking: %s\n\n"
-           (String.concat " < " (List.map (fun s -> s.policy) ranked))))
+      if scheme <> "cjm" then begin
+        let ranked =
+          List.sort (fun a b -> compare (lab_score a) (lab_score b)) scores
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "ranking: %s\n\n"
+             (String.concat " < " (List.map (fun s -> s.policy) ranked)))
+      end
+      else Buffer.add_string buf "\n")
     benchmarks;
   Buffer.add_string buf
-    "(contended episodes give zero-contended-episodes something to protect: monitors\n\
-     that queued threads stay fat under it, while always-idle deflates them and\n\
-     pays the re-inflation.)\n";
+    (if scheme = "cjm" then
+       "(one row per trace: CJM's lifecycle has no policy dimension to rank — compare\n\
+        the create/evaporate churn and residency against the thin-scheme lab.)\n"
+     else
+       "(contended episodes give zero-contended-episodes something to protect: monitors\n\
+        that queued threads stay fat under it, while always-idle deflates them and\n\
+        pays the re-inflation.)\n");
   Buffer.contents buf

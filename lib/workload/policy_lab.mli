@@ -40,6 +40,29 @@ val replay_traced :
     (default every event) spot-checks production-style sampled streams.
     Returns the ctx (for counter inspection) and the drained stream. *)
 
+val replay_traced_cjm :
+  ?quiescence_every:int ->
+  ?sampling:Tl_events.Sink.sampling ->
+  Tracegen.t ->
+  Tl_cjm.Cjm.ctx * Tl_events.Sink.drained
+(** {!replay_traced} for the headerless CJM scheme: same no-drop sink
+    and quiescence cadence, but no count width (inline depth is a full
+    int) and no deflation policy (monitors evaporate on their own).
+    Check the stream with [Oracle.check ~protocol:Cjm]. *)
+
+val replay_traced_par_cjm :
+  ?quiescence_every:int ->
+  ?interleave:bool ->
+  ?backend:Parallel_replay.backend ->
+  domains:int ->
+  mode:Parallel_replay.mode ->
+  Tracegen.t ->
+  Parallel_replay.result * Tl_cjm.Cjm.ctx * Tl_events.Sink.drained
+(** {!replay_traced_par} for CJM — same scheduler, ticks and
+    [interleave] deschedule, packing the transient-table scheme with
+    no reaper attached.  Also returns the ctx so callers can assert
+    the table census drained ([Cjm.live_entries] = 0). *)
+
 type score = {
   policy : string;
   acquires : int;
@@ -68,12 +91,27 @@ val run_one :
   score
 (** {!replay_traced} then {!score_stream}. *)
 
+val run_one_cjm : ?quiescence_every:int -> Tracegen.t -> score
+(** {!replay_traced_cjm} then {!score_stream}: CJM's intrinsic
+    evaporate-on-idle lifecycle scored by the same metrics (inflations
+    count monitor creations, deflations evaporations), labelled
+    ["cjm (evaporate)"] for head-to-head rows against the policies. *)
+
 val default_benchmarks : string list
 
-val table : ?max_syncs:int -> ?seed:int -> ?benchmarks:string list -> unit -> string
+val table :
+  ?max_syncs:int ->
+  ?seed:int ->
+  ?benchmarks:string list ->
+  ?scheme:string ->
+  unit ->
+  string
 (** Render the comparison: one table per benchmark trace (default
     {!default_benchmarks}, 20k ops each) with every shipped policy's
-    metrics, followed by a lab-score ranking line. *)
+    metrics, followed by a lab-score ranking line.  [scheme] (default
+    ["thin"]) selects the lock under the lab: ["cjm"] replays each
+    trace on the transient monitor table instead — one row per trace,
+    no policy dimension — for comparison against the thin tables. *)
 
 (** {1 Multi-domain lab}
 
@@ -117,12 +155,24 @@ val run_one_par :
   Parallel_replay.result * score
 (** {!replay_traced_par} then {!score_stream}. *)
 
+val run_one_par_cjm :
+  ?quiescence_every:int ->
+  ?interleave:bool ->
+  ?backend:Parallel_replay.backend ->
+  domains:int ->
+  mode:Parallel_replay.mode ->
+  Tracegen.t ->
+  Parallel_replay.result * score
+(** {!replay_traced_par_cjm} then {!score_stream} — the multi-domain
+    counterpart of {!run_one_cjm}. *)
+
 val table_par :
   ?max_syncs:int ->
   ?seed:int ->
   ?benchmarks:string list ->
   ?interleave:bool ->
   ?backend:Parallel_replay.backend ->
+  ?scheme:string ->
   domains:int ->
   mode:Parallel_replay.mode ->
   unit ->

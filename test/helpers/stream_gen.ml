@@ -433,7 +433,10 @@ let mutate ~seed g =
           add "drop-unrenumbered" Oracle.Stream_malformed (fun () -> drop arr i)
     | Event.Acquire_fat | Event.Acquire_fat_queued | Event.Release_fat
     | Event.Contended_begin | Event.Contended_end | Event.Wait_op
-    | Event.Notify_op | Event.Notify_all_op ->
+    | Event.Notify_op | Event.Notify_all_op
+    (* the generator emits thin-protocol schedules only; cjm lifecycle
+       kinds never appear here *)
+    | Event.Cjm_monitor_create | Event.Cjm_monitor_evaporate ->
         ());
     (* any event duplicated in place (same seq) breaks the stream's
        structural contract *)

@@ -137,6 +137,93 @@ let test_hot_promotion_during_multithreaded_use () =
   check_int "exclusion across promotion" 8000 !counter;
   check_int "promoted" 1 (Ibm112.hot_slots_used ctx)
 
+(* --- registry --- *)
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub haystack i m = needle || go (i + 1)) in
+  go 0
+
+let test_registry_unknown_scheme_message () =
+  (* the failure message must name the stranger and list every known
+     scheme, so a CLI typo is self-diagnosing *)
+  match Registry.find_exn "nosuch" (Runtime.create ()) with
+  | _ -> Alcotest.fail "find_exn accepted an unknown scheme"
+  | exception Invalid_argument msg ->
+      check "names the unknown scheme" true (contains msg "nosuch");
+      List.iter
+        (fun known ->
+          check ("lists " ^ known) true (contains msg known))
+        (Registry.names ())
+
+(* --- cjm table churn (qcheck) --- *)
+
+(* Two domains cycle a working set 10x the single-shard table capacity
+   through acquire/(wait)/release, forcing entries to be created,
+   collide, probe, evaporate and have their slots reused.  Afterwards
+   the conservation invariants must hold: empty table, balanced
+   monitor census, and exact mutual exclusion throughout (no
+   misattributed owner). *)
+let prop_cjm_churn_conserves_entries =
+  let gen = QCheck.Gen.(pair (int_range 0 10_000) (int_range 80 160)) in
+  let arb = QCheck.make gen ~print:QCheck.Print.(pair int int) in
+  QCheck.Test.make ~name:"cjm: 2-domain churn leaks no entries" ~count:5 arb
+    (fun (seed, nobjs) ->
+      let runtime = Runtime.create () in
+      let config =
+        { Tl_cjm.Cjm.shards = 1; initial_capacity = 8; record_stats = true }
+      in
+      let ctx = Tl_cjm.Cjm.create_with ~config runtime in
+      let heap = H.create () in
+      let objs = H.alloc_many heap nobjs in
+      let reps = 5 in
+      let counter = ref 0 in
+      let owned = ref true in
+      Runtime.run_parallel runtime 2 (fun d env ->
+          Array.iteri
+            (fun i obj ->
+              for r = 1 to reps do
+                Tl_cjm.Cjm.acquire ctx env obj;
+                if not (Tl_cjm.Cjm.holds ctx env obj) then owned := false;
+                counter := !counter + 1;
+                if (seed + i + r + d) mod 7 = 0 then
+                  Tl_cjm.Cjm.wait ~timeout:1e-4 ctx env obj;
+                Tl_cjm.Cjm.release ctx env obj;
+                if Tl_cjm.Cjm.holds ctx env obj then owned := false
+              done)
+            objs);
+      !owned
+      && !counter = 2 * nobjs * reps
+      && Tl_cjm.Cjm.live_entries ctx = 0
+      && Tl_cjm.Cjm.monitors_created ctx = Tl_cjm.Cjm.monitors_evaporated ctx)
+
+(* The Index_table discipline, applied to the transient table: 2^23
+   acquire/release cycles (with periodic wait-driven inflate/evaporate)
+   on a deliberately tiny table must end exactly where they started —
+   empty, with a balanced monitor census.  Any per-cycle leak of an
+   entry, a free-list record or a fat monitor shows up as a non-zero
+   residue at this magnitude. *)
+let test_cjm_survives_deep_churn () =
+  let runtime = Runtime.create () in
+  let config =
+    { Tl_cjm.Cjm.shards = 1; initial_capacity = 8; record_stats = true }
+  in
+  let ctx = Tl_cjm.Cjm.create_with ~config runtime in
+  let env = Runtime.main_env runtime in
+  let heap = H.create () in
+  let objs = H.alloc_many heap 16 in
+  let cycles = 1 lsl 23 in
+  for i = 0 to cycles - 1 do
+    let obj = objs.(i land 15) in
+    Tl_cjm.Cjm.acquire ctx env obj;
+    if i land 0xFFFFF = 0 then Tl_cjm.Cjm.wait ~timeout:1e-6 ctx env obj;
+    Tl_cjm.Cjm.release ctx env obj
+  done;
+  check_int "table empty after 2^23 cycles" 0 (Tl_cjm.Cjm.live_entries ctx);
+  check_int "monitor census balanced" (Tl_cjm.Cjm.monitors_created ctx)
+    (Tl_cjm.Cjm.monitors_evaporated ctx);
+  check "monitors did churn" true (Tl_cjm.Cjm.monitors_created ctx >= 8)
+
 let specific_cases =
   [
     Alcotest.test_case "jdk111: cache recycles under pressure" `Quick
@@ -150,6 +237,11 @@ let specific_cases =
       test_hot_slot_exhaustion;
     Alcotest.test_case "ibm112: promotion under contention is safe" `Slow
       test_hot_promotion_during_multithreaded_use;
+    Alcotest.test_case "registry: unknown scheme lists the known ones" `Quick
+      test_registry_unknown_scheme_message;
+    QCheck_alcotest.to_alcotest prop_cjm_churn_conserves_entries;
+    Alcotest.test_case "cjm: 2^23-cycle churn leaves no residue" `Slow
+      test_cjm_survives_deep_churn;
   ]
 
 let () =
@@ -163,5 +255,6 @@ let () =
       laws "thin-unlkcas";
       laws "thin-mpsync";
       laws "thin-count2";
+      laws "cjm";
       ("specific", specific_cases);
     ]

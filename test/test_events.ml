@@ -375,11 +375,16 @@ let golden_stream () =
   (* boundary values: negative arg, max tid, max-int arg *)
   Sink.emit sink ~tid:3 ~kind:Event.Notify_op ~arg:(-42);
   Sink.emit sink ~tid:(Sink.max_tids - 1) ~kind:Event.Wait_op ~arg:max_int;
+  (* cjm lifecycle kinds go through the ticket-stamped mutator path:
+     they must sort after everything already emitted, on their own
+     tid's stream — both facts pinned by the golden text *)
+  Sink.emit_ordered sink ~tid:2 ~kind:Event.Cjm_monitor_create ~arg:9;
+  Sink.emit_ordered sink ~tid:2 ~kind:Event.Cjm_monitor_evaporate ~arg:9;
   Sink.drain sink
 
 let golden_text =
   "# thinlocks-events v1\n\
-   events 8\n\
+   events 10\n\
    0 1 acquire-fast 7\n\
    1 1 inflate-overflow 7\n\
    2 2 acquire-fat-queued 7\n\
@@ -387,7 +392,9 @@ let golden_text =
    4 0 deflate-quiescent 7\n\
    5 0 reaper-scan 1\n\
    6 3 notify -42\n\
-   7 32767 wait 4611686018427387903\n"
+   7 32767 wait 4611686018427387903\n\
+   8 2 cjm-monitor-create 9\n\
+   9 2 cjm-monitor-evaporate 9\n"
 
 let test_codec_golden () =
   check_str "golden encoding" golden_text (Codec.to_string (golden_stream ()))
@@ -604,6 +611,54 @@ let test_thin_emits_wait_and_notify () =
   check_int "notify op" 1 (Sink.count_kind d Event.Notify_op);
   check_int "notify-all op" 1 (Sink.count_kind d Event.Notify_all_op)
 
+let test_cjm_emits_protocol_events () =
+  let runtime = Runtime.create () in
+  let sink = Sink.create ~ring_capacity:256 () in
+  let ctx = Tl_cjm.Cjm.create_with ~events:sink runtime in
+  let env = Runtime.main_env runtime in
+  let heap = H.create () in
+  let obj = H.alloc heap in
+  (* acquire takes the headerless fast path (no monitor yet); wait
+     forces a transient entry into existence; release with the wait
+     set empty lets it evaporate — one full table lifecycle *)
+  Tl_cjm.Cjm.acquire ctx env obj;
+  Tl_cjm.Cjm.wait ~timeout:0.001 ctx env obj;
+  Tl_cjm.Cjm.release ctx env obj;
+  let d = Sink.drain sink in
+  check_int "one fast acquire" 1 (Sink.count_kind d Event.Acquire_fast);
+  check_int "wait creates the monitor" 1
+    (Sink.count_kind d Event.Cjm_monitor_create);
+  check_int "wait op" 1 (Sink.count_kind d Event.Wait_op);
+  check_int "release goes through the fat path" 1
+    (Sink.count_kind d Event.Release_fat);
+  check_int "release evaporates the monitor" 1
+    (Sink.count_kind d Event.Cjm_monitor_evaporate);
+  (* lifecycle events are ticket-stamped, so they bracket the fat
+     window in the drained order *)
+  let seq_of kind =
+    Array.fold_left
+      (fun acc (e : Event.t) -> if e.Event.kind = kind then e.Event.seq else acc)
+      (-1) d.Sink.events
+  in
+  check "create sorts before the wait" true
+    (seq_of Event.Cjm_monitor_create < seq_of Event.Wait_op);
+  check "evaporation sorts after the fat release" true
+    (seq_of Event.Cjm_monitor_evaporate > seq_of Event.Release_fat);
+  Array.iter
+    (fun (e : Event.t) ->
+      match e.Event.kind with
+      | Event.Cjm_monitor_create | Event.Cjm_monitor_evaporate ->
+          check_int "lifecycle arg = object id" (Tl_heap.Obj_model.id obj)
+            e.Event.arg
+      | _ -> ())
+    d.Sink.events;
+  check "strict cjm oracle accepts the stream" true
+    (Oracle.ok (Oracle.check ~mode:Oracle.Strict ~protocol:Oracle.Cjm d));
+  (* conservation: the table is empty again and the census balances *)
+  check_int "no live entries" 0 (Tl_cjm.Cjm.live_entries ctx);
+  check_int "one monitor created" 1 (Tl_cjm.Cjm.monitors_created ctx);
+  check_int "one monitor evaporated" 1 (Tl_cjm.Cjm.monitors_evaporated ctx)
+
 let test_runtime_and_reaper_events () =
   let runtime = Runtime.create () in
   let sink = Sink.create ~ring_capacity:256 () in
@@ -796,6 +851,8 @@ let () =
         [
           Alcotest.test_case "thin protocol events" `Quick test_thin_emits_protocol_events;
           Alcotest.test_case "wait and notify events" `Quick test_thin_emits_wait_and_notify;
+          Alcotest.test_case "cjm protocol events" `Quick
+            test_cjm_emits_protocol_events;
           Alcotest.test_case "runtime and reaper events" `Quick test_runtime_and_reaper_events;
           Alcotest.test_case "untraced ctx stays silent" `Quick test_untraced_ctx_stays_silent;
         ] );

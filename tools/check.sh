@@ -64,6 +64,19 @@ for r in fs:
     assert r["oracle_clean"], "fiber storm stream failed the relaxed oracle"
     if r["traced"]:
         assert r["dropped"] == 0, "storm trace dropped events"
+assert {r["scheme"] for r in rows} >= {"thin", "fat", "cjm"}, \
+    "replay_par must race thin, fat and cjm"
+assert any(r["scheme"] == "cjm" for r in fs), "fiber_storm has no cjm rows"
+for r in fs:
+    if r["scheme"] == "cjm":
+        assert r["leaked_entries"] == 0, "cjm storm leaked table entries"
+cm = d["scenarios"]["cjm_micro"]
+assert cm, "cjm_micro section is empty"
+assert {r["scheme"] for r in cm} == {"thin", "fat", "cjm"}, \
+    "cjm_micro must cover thin, fat and cjm"
+assert {r["kernel"] for r in cm} >= {"sync", "nestedsync", "mixedsync"}
+for r in cm:
+    assert r["ns_per_op"] > 0.0, "cjm_micro row with no cost: %r" % r
 tc = d["scenarios"]["tid_churn"]
 assert tc, "tid_churn section is empty"
 base = tc[0]["ns_per_cycle"]
@@ -84,8 +97,9 @@ assert 0.0 < ev["bin_bytes_per_event"] < ev["text_bytes_per_event"], \
     "binary codec is not smaller than text"
 for key in ("sampled_ratio_1_in_8", "contended_only_ratio"):
     assert 0.0 < ev[key] < 1.0, "%s=%r not a proper sampling ratio" % (key, ev.get(key))
-print("BENCH.json: %d replay-par rows, %d fiber-storm rows, oracle over %d events, cores=%d"
-      % (len(rows), len(fs), oh["events"], d["cores"]))
+print("BENCH.json: %d replay-par rows, %d fiber-storm rows, %d cjm-micro rows, "
+      "oracle over %d events, cores=%d"
+      % (len(rows), len(fs), len(cm), oh["events"], d["cores"]))
 print("  fiber storm peak: %d fibers at %.0f ops/sec (p99 %.0f us)"
       % (max(r["fibers"] for r in fs),
          max(r["ops_per_sec"] for r in fs if r["fibers"] == max(x["fibers"] for x in fs)),
@@ -97,6 +111,8 @@ else
   grep -q '"thinlocks-bench-v1"' BENCH.json
   grep -q '"replay_par"' BENCH.json
   grep -q '"fiber_storm"' BENCH.json
+  grep -q '"cjm_micro"' BENCH.json
+  grep -q '"scheme": "cjm"' BENCH.json
   grep -q '"tid_churn"' BENCH.json
   grep -q '"oracle_overhead"' BENCH.json
   grep -q '"ops_per_sec"' BENCH.json
@@ -105,6 +121,9 @@ fi
 
 echo "== fiber storm smoke (100k fibers, 1 domain, relaxed oracle must be clean)"
 dune exec bin/thinlocks.exe -- fiber-storm --fibers 100000 --domains 1
+
+echo "== fiber storm on the cjm table (100k fibers, oracle + conservation)"
+dune exec bin/thinlocks.exe -- fiber-storm --fibers 100000 --domains 1 --scheme cjm
 
 echo "== parallel replay smoke (2 domains, shuffle, must contend)"
 dune exec bin/thinlocks.exe -- replay-par -b javacup --domains 2 --shuffle \
@@ -154,6 +173,15 @@ for domains in 1 2 4; do
   dune exec bin/thinlocks.exe -- replay-par -b javacup --domains "$domains" \
     --shuffle --interleave --max-syncs 6000 --oracle >/dev/null
   echo "  oracle clean at $domains domain(s), both decompositions"
+done
+
+echo "== cjm protocol oracle over replay-par streams (affinity + shuffle, 1/2/4 domains)"
+for domains in 1 2 4; do
+  dune exec bin/thinlocks.exe -- replay-par -b javacup --scheme cjm \
+    --domains "$domains" --max-syncs 6000 --oracle >/dev/null
+  dune exec bin/thinlocks.exe -- replay-par -b javacup --scheme cjm \
+    --domains "$domains" --shuffle --interleave --max-syncs 6000 --oracle >/dev/null
+  echo "  cjm oracle clean at $domains domain(s), both decompositions"
 done
 
 echo "== fiber backend: replay-par and policy-lab run the same workers as fibers"
