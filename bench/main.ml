@@ -788,6 +788,213 @@ let bench_fiber_storm () =
     \   inflated monitor pays the wait until its holder resumes and releases;\n\
     \   distinct tids stay near the admission window because leases recycle)\n\n%!"
 
+(* Contended-path backend head-to-head: parker (Mesa-style entry
+   queue, barging) against hapax (constant-time FIFO ticket admission)
+   and delegate (hapax admission + flat-combining delegation), on the
+   two contended workloads.  Replay-par runs shuffle mode with the
+   interleave deschedule and spin work so episodes genuinely overlap
+   on a small host; each cell is the median of three runs.  The
+   fairness harness hammers one fat lock from two workers, stamping
+   every arrival with a global fetch-and-add and every grant with its
+   in-lock sequence number: adjacent grant pairs out of arrival order
+   (inversions) quantify barging, which FIFO admission eliminates. *)
+let bench_fat_backend () =
+  section "Fat-lock contended path: parker vs hapax vs delegate";
+  let module PR = Tl_workload.Parallel_replay in
+  let module FS = Tl_workload.Fiber_storm in
+  let backends =
+    [ ("parker", "thin"); ("hapax", "thin-hapax"); ("delegate", "thin-delegate") ]
+  in
+  (* --- shuffle-mode replay-par --- *)
+  let max_syncs = if quick then 40_000 else 100_000 in
+  let profile =
+    match Tl_workload.Profiles.find "javacup" with
+    | Some p -> p
+    | None -> failwith "bench_fat_backend: javacup profile missing"
+  in
+  let trace = Tl_workload.Tracegen.generate ~seed:1998 ~max_syncs profile in
+  let replay_rows = ref [] in
+  Printf.printf "  replay-par, javacup shuffle + interleave (median of 3):\n";
+  Printf.printf "  %-10s %8s %12s %7s %10s\n" "backend" "domains" "ops/sec" "fast%"
+    "contended";
+  List.iter
+    (fun (backend, scheme_name) ->
+      List.iter
+        (fun domains ->
+          let one () =
+            let runtime = Runtime.create () in
+            let scheme = Registry.find_exn scheme_name runtime in
+            let tick env =
+              Runtime.quiescence_point ~env runtime;
+              Unix.sleepf 5e-5
+            in
+            let config =
+              {
+                PR.default_config with
+                PR.domains;
+                mode = PR.Shuffle;
+                work_per_op = 200;
+                tick_every = 64;
+              }
+            in
+            PR.run ~config ~tick ~scheme ~runtime trace
+          in
+          let samples = List.init 3 (fun _ -> one ()) in
+          let ops_per_sec =
+            Tl_util.Stats.median
+              (Array.of_list (List.map (fun r -> r.PR.ops_per_sec) samples))
+          in
+          let r = List.nth samples 2 in
+          let contended = r.PR.stats.Tl_core.Lock_stats.contended_episodes in
+          Printf.printf "  %-10s %8d %12.0f %6.1f %10d\n%!" backend domains
+            ops_per_sec
+            (100.0 *. PR.fast_ratio r.PR.stats)
+            contended;
+          replay_rows :=
+            J.Obj
+              [
+                ("backend", J.Str backend);
+                ("mode", J.Str "shuffle");
+                ("domains", J.Int domains);
+                ("ops_per_sec", J.Float ops_per_sec);
+                ("fast_ratio", J.Float (PR.fast_ratio r.PR.stats));
+                ("contended_episodes", J.Int contended);
+                ( "inflations_contention",
+                  J.Int r.PR.stats.Tl_core.Lock_stats.inflations_contention );
+              ]
+            :: !replay_rows)
+        [ 1; 2 ])
+    backends;
+  print_newline ();
+  (* --- fiber storm --- *)
+  let storm_rows = ref [] in
+  let fibers = if quick then 5_000 else 10_000 in
+  Printf.printf "  fiber-storm, %d fibers, 2 domains, window 512:\n" fibers;
+  Printf.printf "  %-10s %12s %9s %9s %9s %7s\n" "backend" "ops/sec" "p50us" "p99us"
+    "p999us" "oracle";
+  List.iter
+    (fun (backend, _) ->
+      let config =
+        {
+          FS.default_config with
+          FS.fibers;
+          domains = 2;
+          in_flight = 512;
+          fat_backend = backend;
+        }
+      in
+      let r = FS.run ~trace:true ~oracle:true config in
+      let clean =
+        match r.FS.oracle with Some rep -> Tl_events.Oracle.ok rep | None -> false
+      in
+      Printf.printf "  %-10s %12.0f %9.1f %9.1f %9.1f %7s\n%!" backend r.FS.ops_per_sec
+        r.FS.p50_us r.FS.p99_us r.FS.p999_us
+        (if clean then "clean" else "VIOLATION");
+      storm_rows :=
+        J.Obj
+          [
+            ("backend", J.Str backend);
+            ("fibers", J.Int fibers);
+            ("domains", J.Int 2);
+            ("in_flight", J.Int 512);
+            ("ops_per_sec", J.Float r.FS.ops_per_sec);
+            ("p50_us", J.Float r.FS.p50_us);
+            ("p99_us", J.Float r.FS.p99_us);
+            ("p999_us", J.Float r.FS.p999_us);
+            ("dropped", J.Int r.FS.dropped);
+            ("oracle_clean", J.Bool clean);
+          ]
+        :: !storm_rows)
+    backends;
+  print_newline ();
+  (* --- fairness: FIFO admission order under a hot lock --- *)
+  let fairness_rows = ref [] in
+  let workers = 2 and ops = if quick then 3_000 else 8_000 in
+  let spin n =
+    let s = ref 0 in
+    for i = 1 to n do
+      s := !s + i
+    done;
+    ignore (Sys.opaque_identity !s)
+  in
+  Printf.printf "  fairness, %d workers x %d ops on one fat lock:\n" workers ops;
+  Printf.printf "  %-10s %8s %10s %10s %10s\n" "backend" "grants" "inversions"
+    "wait-p99us" "wait-maxus";
+  List.iter
+    (fun (backend_name, _) ->
+      let backend = Option.get (Tl_monitor.Fatlock.backend_of_string backend_name) in
+      let runtime = Runtime.create () in
+      let fat = Tl_monitor.Fatlock.create ~backend () in
+      let total = workers * ops in
+      let arrivals = Atomic.make 0 in
+      let gseq = ref 0 (* in-lock grant sequence: protected by [fat] *) in
+      let stamp_of = Array.make total 0 in
+      let wait_ns = Array.make total 0 in
+      let ready = Atomic.make 0 in
+      Runtime.run_parallel runtime workers (fun _ env ->
+          (* Start barrier: without it the first worker's whole loop
+             fits inside one timeslice and finishes before the second
+             worker's thread is even scheduled — zero overlap, nothing
+             measured. *)
+          Atomic.incr ready;
+          while Atomic.get ready < workers do
+            Thread.yield ()
+          done;
+          for _ = 1 to ops do
+            let stamp = Atomic.fetch_and_add arrivals 1 in
+            let t0 = Tl_util.Timer.now_ns () in
+            Tl_monitor.Fatlock.acquire env fat;
+            let w = Tl_util.Timer.elapsed_ns ~since:t0 in
+            let g = !gseq in
+            incr gseq;
+            stamp_of.(g) <- stamp;
+            wait_ns.(g) <- Int64.to_int w;
+            spin 64;
+            (* Deschedule while holding: on a host with fewer cores
+               than workers this is what makes the other worker arrive
+               and block mid-hold, so release actually has someone to
+               barge past (parker) or admit in order (hapax). *)
+            Thread.yield ();
+            Tl_monitor.Fatlock.release env fat;
+            spin 16
+          done);
+      let inversions = ref 0 in
+      for g = 0 to total - 2 do
+        if stamp_of.(g + 1) < stamp_of.(g) then incr inversions
+      done;
+      let waits_us =
+        Array.map (fun ns -> float_of_int ns /. 1e3) wait_ns
+      in
+      let p99 = Tl_util.Stats.percentile waits_us 99.0 in
+      let wmax = Array.fold_left Float.max 0.0 waits_us in
+      Printf.printf "  %-10s %8d %10d %10.1f %10.1f\n%!" backend_name total
+        !inversions p99 wmax;
+      fairness_rows :=
+        J.Obj
+          [
+            ("backend", J.Str backend_name);
+            ("workers", J.Int workers);
+            ("grants", J.Int total);
+            ("adjacent_inversions", J.Int !inversions);
+            ( "inversion_rate",
+              J.Float (float_of_int !inversions /. float_of_int total) );
+            ("wait_p99_us", J.Float p99);
+            ("wait_max_us", J.Float wmax);
+            ("contended_episodes", J.Int (Tl_monitor.Fatlock.contended_episodes fat));
+          ]
+        :: !fairness_rows)
+    backends;
+  add_json "fat_backend"
+    (J.Obj
+       [
+         ("replay_par", J.List (List.rev !replay_rows));
+         ("fiber_storm", J.List (List.rev !storm_rows));
+         ("fairness", J.List (List.rev !fairness_rows));
+       ]);
+  Printf.printf
+    "\n  (inversions: adjacent grant pairs out of global arrival order — barging;\n\
+    \   FIFO admission drives them to ~0 at the cost of handoff latency)\n\n%!"
+
 (* CJM head-to-head: the headline table for the headerless scheme.
    Fig. 5/6-style micro kernels timed wall-clock across thin, fat and
    cjm — thin pays a header CAS per pair, fat an OS-monitor call, cjm
@@ -977,6 +1184,7 @@ let run_smoke () =
   bench_cjm_micro ();
   bench_tid_churn ();
   bench_fiber_storm ();
+  bench_fat_backend ();
   write_bench_json ();
   Printf.printf "\ndone (smoke).\n"
 
@@ -1006,6 +1214,7 @@ let () =
   bench_cjm_micro ();
   bench_tid_churn ();
   bench_fiber_storm ();
+  bench_fat_backend ();
   bench_vm_macros ();
 
   section "Table 1: macro-benchmark characterization";

@@ -405,6 +405,41 @@ let backend_arg =
         Tl_workload.Parallel_replay.Os_domains
     & info [ "backend" ] ~docv:"BACKEND" ~doc)
 
+let fat_backend_arg =
+  let doc =
+    "Contended-path engine for inflated fat monitors: $(b,parker) (entry \
+     queue with spin-before-park, the default), $(b,hapax) (constant-time \
+     FIFO ticket admission) or $(b,delegate) (hapax admission plus \
+     flat-combining delegation)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("parker", Tl_monitor.Fatlock.Parker);
+             ("hapax", Tl_monitor.Fatlock.Hapax);
+             ("delegate", Tl_monitor.Fatlock.Delegate);
+           ])
+        Tl_monitor.Fatlock.Parker
+    & info [ "fat-backend" ] ~docv:"ENGINE" ~doc)
+
+(* Schemes with a pluggable fat backend resolve to their registry
+   variant; anything else must stay on the default parker engine. *)
+let apply_fat_backend scheme_name fat_backend =
+  match fat_backend with
+  | Tl_monitor.Fatlock.Parker -> scheme_name
+  | b -> (
+      let suffix = Tl_monitor.Fatlock.backend_name b in
+      match scheme_name with
+      | "thin" -> "thin-" ^ suffix
+      | "fat" -> "fat-" ^ suffix
+      | s ->
+          Printf.eprintf
+            "scheme %S has no pluggable fat backend (--fat-backend needs thin or fat)\n"
+            s;
+          exit 2)
+
 let policy_lab_cmd =
   let benchmarks_arg =
     let doc = "Traces to replay (comma-separated benchmark names)." in
@@ -433,9 +468,15 @@ let policy_lab_cmd =
                policy dimension, one head-to-head row per trace)." in
     Arg.(value & opt string "thin" & info [ "scheme" ] ~docv:"SCHEME" ~doc)
   in
-  let run max_syncs seed benchmarks domains affinity backend scheme =
+  let run max_syncs seed benchmarks domains affinity backend scheme fat_backend =
+    if scheme = "cjm" && fat_backend <> Tl_monitor.Fatlock.Parker then begin
+      Printf.eprintf "the cjm scheme has no pluggable fat backend\n";
+      exit 2
+    end;
     if domains <= 1 then
-      print (Tl_workload.Policy_lab.table ~max_syncs ~seed ~benchmarks ~scheme ())
+      print
+        (Tl_workload.Policy_lab.table ~max_syncs ~seed ~benchmarks ~scheme
+           ~fat_backend ())
     else
       let mode =
         if affinity then Tl_workload.Parallel_replay.Affinity
@@ -443,14 +484,14 @@ let policy_lab_cmd =
       in
       print
         (Tl_workload.Policy_lab.table_par ~max_syncs ~seed ~benchmarks ~backend
-           ~scheme ~domains ~mode ())
+           ~scheme ~fat_backend ~domains ~mode ())
   in
   Cmd.v
     (Cmd.info "policy-lab"
        ~doc:"Score every deflation policy against macro traces via the event stream")
     Term.(
       const run $ lab_max_syncs_arg $ seed_arg $ benchmarks_arg $ domains_arg
-      $ affinity_arg $ backend_arg $ lab_scheme_arg)
+      $ affinity_arg $ backend_arg $ lab_scheme_arg $ fat_backend_arg)
 
 let replay_par_cmd =
   let module PR = Tl_workload.Parallel_replay in
@@ -502,7 +543,8 @@ let replay_par_cmd =
     Arg.(value & flag & info [ "oracle" ] ~doc)
   in
   let run benchmark domains shuffle scheme_name work tick_every interleave expect oracle
-      backend max_syncs seed =
+      backend max_syncs seed fat_backend =
+    let scheme_name = apply_fat_backend scheme_name fat_backend in
     match Tl_workload.Profiles.find benchmark with
     | None ->
         Printf.eprintf "unknown benchmark %S\n" benchmark;
@@ -597,8 +639,8 @@ let replay_par_cmd =
                 Option.get (Tl_workload.Policy_lab.policy_of_string "never")
               in
               let _r, drained =
-                Tl_workload.Policy_lab.replay_traced_par ~interleave ~backend ~domains
-                  ~mode ~policy trace
+                Tl_workload.Policy_lab.replay_traced_par ~interleave ~backend
+                  ~fat_backend ~domains ~mode ~policy trace
               in
               Tl_events.Oracle.check ~mode:omode ~count_width:1 drained
             end
@@ -613,7 +655,7 @@ let replay_par_cmd =
     Term.(
       const run $ benchmark_arg $ domains_arg $ shuffle_arg $ scheme_arg $ work_arg
       $ tick_every_arg $ interleave_arg $ expect_contention_arg $ oracle_arg
-      $ backend_arg $ max_syncs_arg $ seed_arg)
+      $ backend_arg $ max_syncs_arg $ seed_arg $ fat_backend_arg)
 
 let fiber_storm_cmd =
   let module FS = Tl_workload.Fiber_storm in
@@ -667,7 +709,7 @@ let fiber_storm_cmd =
     Arg.(value & opt string "thin" & info [ "scheme" ] ~docv:"SCHEME" ~doc)
   in
   let run fibers domains objects zipf ops in_flight rate no_yield no_trace no_oracle
-      scheme seed =
+      scheme fat_backend seed =
     let config =
       {
         FS.default_config with
@@ -680,6 +722,7 @@ let fiber_storm_cmd =
         arrival_rate = rate;
         yield_in_cs = not no_yield;
         scheme;
+        fat_backend = Tl_monitor.Fatlock.backend_name fat_backend;
         seed;
       }
     in
@@ -705,7 +748,7 @@ let fiber_storm_cmd =
     Term.(
       const run $ fibers_arg $ domains_arg $ objects_arg $ zipf_arg $ ops_arg
       $ in_flight_arg $ rate_arg $ no_yield_arg $ no_trace_arg $ no_oracle_arg
-      $ storm_scheme_arg $ seed_arg)
+      $ storm_scheme_arg $ fat_backend_arg $ seed_arg)
 
 (* Auto-detect on the format tag: text and binary dumps both start
    with a distinctive magic line. *)

@@ -8,11 +8,15 @@ type ctx = {
   runtime : Tl_runtime.Runtime.t;
   montable : Montable.t;
   stats : Lock_stats.t;
+  backend : Fatlock.backend;
 }
 
 let name = "fat"
 
-let create runtime = { runtime; montable = Montable.create (); stats = Lock_stats.create () }
+let create_with ?(backend = Fatlock.Parker) runtime =
+  { runtime; montable = Montable.create (); stats = Lock_stats.create (); backend }
+
+let create runtime = create_with runtime
 let stats ctx = ctx.stats
 
 (* Find the object's monitor, installing one on first use.  Losing the
@@ -22,7 +26,7 @@ let rec monitor_of ctx obj =
   let word = Atomic.get lw in
   if Header.is_inflated word then Montable.get ctx.montable (Header.monitor_index word)
   else begin
-    let fat = Fatlock.create () in
+    let fat = Fatlock.create ~backend:ctx.backend () in
     let monitor_index = Montable.allocate ctx.montable ~lockword:lw fat in
     let inflated = Header.inflated_word ~hdr:(Header.hdr_bits word) ~monitor_index in
     if Atomic.compare_and_set lw word inflated then fat

@@ -7,3 +7,7 @@
     save on the uncontended paths. *)
 
 include Tl_core.Scheme_intf.S
+
+val create_with : ?backend:Tl_monitor.Fatlock.backend -> Tl_runtime.Runtime.t -> ctx
+(** [create] with an explicit contended-path backend for the monitors
+    (default [Parker]; see [Fatlock.backend]). *)

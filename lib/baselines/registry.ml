@@ -34,6 +34,14 @@ let table : (string * string * (Tl_runtime.Runtime.t -> Scheme_intf.packed)) lis
     ( "thin-nostats",
       "thin locks without statistics recording (pure-time runs)",
       thin_variant "thin-nostats" { Thin.default_config with record_stats = false } );
+    ( "thin-hapax",
+      "thin locks inflating to FIFO ticket-admission monitors (Hapax contended path)",
+      thin_variant "thin-hapax"
+        { Thin.default_config with fat_backend = Tl_monitor.Fatlock.Hapax } );
+    ( "thin-delegate",
+      "thin locks inflating to flat-combining monitors (delegated critical sections)",
+      thin_variant "thin-delegate"
+        { Thin.default_config with fat_backend = Tl_monitor.Fatlock.Delegate } );
     ( "jdk111",
       "Sun JDK 1.1.1 port: global monitor cache with recycling",
       fun runtime -> Scheme_intf.pack (module Jdk111) (Jdk111.create runtime) );
@@ -46,6 +54,18 @@ let table : (string * string * (Tl_runtime.Runtime.t -> Scheme_intf.packed)) lis
     ( "fat",
       "always-inflated control: a dedicated fat monitor per object",
       fun runtime -> Scheme_intf.pack (module Fat_only) (Fat_only.create runtime) );
+    ( "fat-hapax",
+      "always-inflated control over FIFO ticket-admission monitors",
+      fun runtime ->
+        rename "fat-hapax"
+          (Scheme_intf.pack (module Fat_only)
+             (Fat_only.create_with ~backend:Tl_monitor.Fatlock.Hapax runtime)) );
+    ( "fat-delegate",
+      "always-inflated control over flat-combining monitors",
+      fun runtime ->
+        rename "fat-delegate"
+          (Scheme_intf.pack (module Fat_only)
+             (Fat_only.create_with ~backend:Tl_monitor.Fatlock.Delegate runtime)) );
     ( "mcs",
       "MCS queue locks with monitor semantics layered on top (§4.1)",
       fun runtime -> Scheme_intf.pack (module Mcs) (Mcs.create runtime) );

@@ -2,6 +2,22 @@ open Tl_runtime
 
 exception Illegal_monitor_state of string
 
+type backend = Parker | Hapax | Delegate
+
+let backend_name = function Parker -> "parker" | Hapax -> "hapax" | Delegate -> "delegate"
+
+let backend_of_string = function
+  | "parker" -> Some Parker
+  | "hapax" -> Some Hapax
+  | "delegate" -> Some Delegate
+  | _ -> None
+
+let all_backends = [ Parker; Hapax; Delegate ]
+
+type entry = Entry_immediate | Entry_spun | Entry_parked
+
+let entry_queued = function Entry_immediate -> false | Entry_spun | Entry_parked -> true
+
 (* A waiter record travels from the wait set (or entry queue) to its
    thread.  [notified] tells a timed waiter whether it lost the race
    between timing out and being notified.  [in_queue] tracks entry-
@@ -16,7 +32,7 @@ type t = {
   latch : Spinlock.t; (* protects every mutable field below *)
   mutable owner : int; (* thread index, 0 = unowned *)
   mutable count : int; (* number of locks held by [owner] *)
-  entry_queue : waiter Queue.t;
+  entry_queue : waiter Queue.t; (* Parker backend only *)
   wait_set : waiter Queue.t;
   mutable retired : bool;
       (* set (under the latch, while idle) by a deflater that won the
@@ -34,9 +50,14 @@ type t = {
          carried so deflaters and event traces can name the object a
          monitor served without holding the object itself *)
   events : Tl_events.Sink.t; (* trace sink; Sink.disabled when untraced *)
+  backend : backend;
+  admission : Hapax.t option;
+      (* Some for the Hapax/Delegate backends: the FIFO ticket engine
+         (and, for Delegate, the combining slots) the contended path
+         runs through instead of the entry queue *)
 }
 
-let create () =
+let create ?(backend = Parker) () =
   {
     latch = Spinlock.create ();
     owner = 0;
@@ -49,14 +70,18 @@ let create () =
     idle_scans = 0;
     tag = 0;
     events = Tl_events.Sink.disabled;
+    backend;
+    admission = (match backend with Parker -> None | Hapax | Delegate -> Some (Hapax.create ()));
   }
 
-let create_locked ?(tag = 0) ?(events = Tl_events.Sink.disabled) ~owner ~count () =
+let create_locked ?(backend = Parker) ?(tag = 0) ?(events = Tl_events.Sink.disabled) ~owner
+    ~count () =
   if owner <= 0 || count < 1 then invalid_arg "Fatlock.create_locked";
-  let t = create () in
+  let t = create ~backend () in
   { t with owner; count; tag; events }
 
 let tag t = t.tag
+let backend_of t = t.backend
 
 let my_index (env : Runtime.env) = env.descriptor.Tid.index
 
@@ -72,9 +97,123 @@ let remove_from_queue q w =
   Queue.clear q;
   Queue.transfer keep q
 
-(* Entry protocol, Mesa-style with barging: a released monitor may be
-   grabbed by any arriving thread; a woken entrant that loses the race
-   re-queues (at the back).  A retired monitor turns entrants away with
+(* Can a fresh (ticketless) entrant claim the monitor?  Unowned is not
+   enough under an admission backend: while the ticket pipeline is
+   non-empty the next granted waiter has an exclusive right to the
+   claim, and a barger here would steal it (and strand the FIFO). *)
+let fast_claimable t =
+  t.owner = 0
+  && (match t.admission with None -> true | Some h -> Hapax.pipeline_empty h)
+
+let claim_locked t me =
+  t.owner <- me;
+  t.count <- 1;
+  t.idle_scans <- 0
+
+let[@inline] emit_contended t me kind =
+  if Tl_events.Sink.enabled t.events then
+    Tl_events.Sink.emit t.events ~tid:me ~kind ~arg:t.tag
+
+(* Backoff step budget a queued parker-backend entrant burns before its
+   first park — the spin phase that turns a short-hold handoff into no
+   park/unpark round trip at all.  Yield-flavored, so on this one-core
+   testbed (and under the fiber scheduler) the spin lets the holder
+   run. *)
+let spin_before_park_budget = 12
+
+(* Parker-backend contended entry.  Mesa-style with barging: a released
+   monitor may be grabbed by any arriving thread; a woken entrant that
+   loses the race re-queues (at the back).  Called with the latch held;
+   releases it. *)
+let parker_enter env t =
+  let me = my_index env in
+  let w = { env; notified = false; in_queue = true } in
+  Queue.push w t.entry_queue;
+  t.contended_episodes <- t.contended_episodes + 1;
+  Spinlock.release t.latch;
+  emit_contended t me Tl_events.Event.Contended_begin;
+  (* Spin phase: watch the owner field (racy read — the latch-guarded
+     claim below re-checks) for a bounded budget before parking. *)
+  let backoff =
+    Backoff.create ~policy:Backoff.Yield ~yield:(fun () -> Parker.yield env.parker) ()
+  in
+  let try_claim () =
+    Spinlock.acquire t.latch;
+    if t.retired then begin
+      (* Retirement requires an empty entry queue, so our record was
+         already popped (by the final release) before the deflater
+         could retire — nothing to clean up, and no wakeup is lost:
+         the monitor is defunct and the caller retries on the object,
+         whose lock word the deflater resets. *)
+      Spinlock.release t.latch;
+      `Retired
+    end
+    else if t.owner = 0 then begin
+      claim_locked t me;
+      if w.in_queue then begin
+        (* claimed while still queued (spin win or stale permit) *)
+        remove_from_queue t.entry_queue w;
+        w.in_queue <- false
+      end;
+      Spinlock.release t.latch;
+      emit_contended t me Tl_events.Event.Contended_end;
+      `Claimed
+    end
+    else begin
+      if not w.in_queue then begin
+        Queue.push w t.entry_queue;
+        w.in_queue <- true
+      end;
+      Spinlock.release t.latch;
+      `Busy
+    end
+  in
+  let rec spin () =
+    if Backoff.bounded backoff ~budget:spin_before_park_budget (fun () ->
+           t.owner = 0 || t.retired)
+    then
+      match try_claim () with
+      | `Retired -> `Retired
+      | `Claimed -> `Acquired Entry_spun
+      | `Busy -> spin ()
+    else `Give_up
+  in
+  match spin () with
+  | (`Retired | `Acquired _) as r -> r
+  | `Give_up ->
+      let rec wait_turn () =
+        Parker.park env.parker;
+        match try_claim () with
+        | `Retired -> `Retired
+        | `Claimed -> `Acquired Entry_parked
+        | `Busy -> wait_turn ()
+      in
+      wait_turn ()
+
+(* Admission-backend contended entry: take a ticket (constant time,
+   under the latch — so a release that finds the pipeline non-empty is
+   already obliged to grant it), then wait on the packed word outside
+   the latch.  Called with the latch held; releases it. *)
+let hapax_enter env t h =
+  let me = my_index env in
+  let ticket = Hapax.arrive h in
+  t.contended_episodes <- t.contended_episodes + 1;
+  Spinlock.release t.latch;
+  emit_contended t me Tl_events.Event.Contended_begin;
+  let how = Hapax.await env h ticket in
+  Spinlock.acquire t.latch;
+  (* A granted ticket's claim is uncontested: fast path and
+     try_acquire refuse while the pipeline is non-empty, at most one
+     grant is outstanding, and retirement needs an empty pipeline —
+     which our unclaimed ticket forbids. *)
+  assert (t.owner = 0 && not t.retired);
+  claim_locked t me;
+  Hapax.claim h;
+  Spinlock.release t.latch;
+  emit_contended t me Tl_events.Event.Contended_end;
+  `Acquired (match how with `Spun -> Entry_spun | `Parked -> Entry_parked)
+
+(* Entry protocol.  A retired monitor turns entrants away with
    [`Retired] — the caller re-reads the object's lock word, which the
    deflater rewrites to thin-unlocked right after retiring. *)
 let acquire_live env t =
@@ -84,62 +223,20 @@ let acquire_live env t =
     Spinlock.release t.latch;
     `Retired
   end
-  else if t.owner = 0 then begin
-    t.owner <- me;
-    t.count <- 1;
-    t.idle_scans <- 0;
+  else if fast_claimable t then begin
+    claim_locked t me;
     Spinlock.release t.latch;
-    `Acquired false
+    `Acquired Entry_immediate
   end
   else if t.owner = me then begin
     t.count <- t.count + 1;
     Spinlock.release t.latch;
-    `Acquired false
+    `Acquired Entry_immediate
   end
-  else begin
-    let w = { env; notified = false; in_queue = true } in
-    Queue.push w t.entry_queue;
-    t.contended_episodes <- t.contended_episodes + 1;
-    Spinlock.release t.latch;
-    if Tl_events.Sink.enabled t.events then
-      Tl_events.Sink.emit t.events ~tid:me ~kind:Tl_events.Event.Contended_begin ~arg:t.tag;
-    let rec wait_turn () =
-      Parker.park env.parker;
-      Spinlock.acquire t.latch;
-      if t.retired then begin
-        (* Retirement requires an empty entry queue, so our record was
-           already popped (by the final release) before the deflater
-           could retire — nothing to clean up, and no wakeup is lost:
-           the monitor is defunct and the caller retries on the object,
-           whose lock word the deflater resets. *)
-        Spinlock.release t.latch;
-        `Retired
-      end
-      else if t.owner = 0 then begin
-        t.owner <- me;
-        t.count <- 1;
-        t.idle_scans <- 0;
-        if w.in_queue then begin
-          (* woken by a stale permit while still queued *)
-          remove_from_queue t.entry_queue w;
-          w.in_queue <- false
-        end;
-        Spinlock.release t.latch;
-        if Tl_events.Sink.enabled t.events then
-          Tl_events.Sink.emit t.events ~tid:me ~kind:Tl_events.Event.Contended_end ~arg:t.tag;
-        `Acquired true
-      end
-      else begin
-        if not w.in_queue then begin
-          Queue.push w t.entry_queue;
-          w.in_queue <- true
-        end;
-        Spinlock.release t.latch;
-        wait_turn ()
-      end
-    in
-    wait_turn ()
-  end
+  else
+    match t.admission with
+    | Some h -> hapax_enter env t h
+    | None -> parker_enter env t
 
 let acquire env t =
   match acquire_live env t with
@@ -154,10 +251,8 @@ let try_acquire_live env t =
   Spinlock.acquire t.latch;
   let outcome =
     if t.retired then `Retired
-    else if t.owner = 0 then begin
-      t.owner <- me;
-      t.count <- 1;
-      t.idle_scans <- 0;
+    else if fast_claimable t then begin
+      claim_locked t me;
       `Acquired
     end
     else if t.owner = me then begin
@@ -174,14 +269,40 @@ let try_acquire env t =
 
 (* Fully release an owned monitor (count already saved by the caller)
    and wake the next entrant, if any.  Must be called with the latch
-   held; releases it. *)
+   held; releases it.  Admission backends grant the oldest pending
+   ticket instead of popping the entry queue — exactly one waiter is
+   handed the (exclusive) right to claim, so no re-race, no re-queue. *)
 let release_ownership_locked t =
   t.owner <- 0;
   t.count <- 0;
-  let next = if Queue.is_empty t.entry_queue then None else Some (Queue.pop t.entry_queue) in
-  (match next with Some w -> w.in_queue <- false | None -> ());
-  Spinlock.release t.latch;
-  match next with None -> () | Some w -> Parker.unpark w.env.parker
+  match t.admission with
+  | Some h -> (
+      match Hapax.admit h with
+      | Some ticket ->
+          Spinlock.release t.latch;
+          Hapax.wake h ticket
+      | None -> Spinlock.release t.latch)
+  | None -> (
+      let next =
+        if Queue.is_empty t.entry_queue then None else Some (Queue.pop t.entry_queue)
+      in
+      (match next with Some w -> w.in_queue <- false | None -> ());
+      Spinlock.release t.latch;
+      match next with None -> () | Some w -> Parker.unpark w.env.parker)
+
+(* How many combining sweeps a releasing owner runs before handing the
+   monitor on even if submitters keep arriving — bounds the combiner's
+   extra work; stragglers run via the submitter's takeover path. *)
+let drain_rounds = 4
+
+let drain_delegations t =
+  match t.admission with
+  | Some h when t.backend = Delegate && Hapax.pending_delegations h > 0 ->
+      let rec rounds k =
+        if k > 0 && Hapax.pending_delegations h > 0 && Hapax.drain h > 0 then rounds (k - 1)
+      in
+      rounds drain_rounds
+  | _ -> ()
 
 let release env t =
   let me = my_index env in
@@ -194,7 +315,103 @@ let release env t =
     t.count <- t.count - 1;
     Spinlock.release t.latch
   end
+  else if t.backend = Delegate then begin
+    (* Combine before handing off: execute critical sections published
+       while we held the monitor.  Still owner, latch dropped — the
+       closures are user code. *)
+    Spinlock.release t.latch;
+    drain_delegations t;
+    Spinlock.acquire t.latch;
+    (* Ownership cannot have moved: owner = me excludes every claim. *)
+    release_ownership_locked t
+  end
   else release_ownership_locked t
+
+(* Backoff step budget a submitter waits for a combiner before taking
+   the monitor through the admission path and running its own request
+   (the combiner of last resort — this is what closes the race where
+   the owner's final drain misses a just-published request). *)
+let delegation_wait_budget = 24
+
+let delegate_or_acquire env t f =
+  let me = my_index env in
+  Spinlock.acquire t.latch;
+  if t.retired then begin
+    Spinlock.release t.latch;
+    `Retired
+  end
+  else if fast_claimable t then begin
+    claim_locked t me;
+    Spinlock.release t.latch;
+    `Acquired Entry_immediate
+  end
+  else if t.owner = me then begin
+    t.count <- t.count + 1;
+    Spinlock.release t.latch;
+    `Acquired Entry_immediate
+  end
+  else
+    match t.admission with
+    | Some h when t.backend = Delegate -> begin
+        (* Busy monitor: publish the critical section instead of
+           waiting for it.  The pending announcement happens under the
+           latch so the deflation idle-check can never miss an
+           in-flight delegated episode. *)
+        let r = Hapax.make_request ~submitter:env.Runtime.parker f in
+        Hapax.submit_begin h;
+        t.contended_episodes <- t.contended_episodes + 1;
+        Spinlock.release t.latch;
+        if not (Hapax.try_publish h r) then begin
+          (* slot pressure: withdraw and enter the lock ourselves *)
+          Hapax.submit_cancel h;
+          match acquire_live env t with
+          | `Acquired e -> `Acquired e
+          | `Retired -> `Retired
+        end
+        else begin
+          emit_contended t me Tl_events.Event.Contended_begin;
+          let backoff =
+            Backoff.create ~policy:Backoff.Yield
+              ~yield:(fun () -> Parker.yield env.parker)
+              ()
+          in
+          let rec await_combiner () =
+            if
+              Backoff.bounded backoff ~budget:delegation_wait_budget (fun () ->
+                  Hapax.finished r)
+            then ()
+            else begin
+              (* Spin budget gone without a combiner reaching us.  If
+                 the monitor is genuinely free (and no ticket pending)
+                 we are the combiner of last resort — this closes the
+                 race where the owner's final drain missed our
+                 just-published request.  If it is merely busy, every
+                 future release drains, so progress is someone else's
+                 obligation: sleep instead of joining the admission
+                 queue with a ticket we don't want. *)
+              match try_acquire_live env t with
+              | `Acquired ->
+                  if not (Hapax.finished r) then ignore (Hapax.drain h : int);
+                  release env t
+              | `Busy ->
+                  if not (Hapax.finished r) then begin
+                    ignore (Parker.park_timeout env.parker ~seconds:2e-4 : bool);
+                    Backoff.reset backoff;
+                    await_combiner ()
+                  end
+              | `Retired ->
+                  (* impossible: pending_delegations > 0 blocks retire *)
+                  assert false
+            end
+          in
+          await_combiner ();
+          emit_contended t me Tl_events.Event.Contended_end;
+          Hapax.reraise r;
+          `Delegated
+        end
+      end
+    | Some h -> hapax_enter env t h
+    | None -> parker_enter env t
 
 let wait ?timeout env t =
   let me = my_index env in
@@ -278,18 +495,31 @@ let owner t = Spinlock.with_lock t.latch (fun () -> t.owner)
 let count t = Spinlock.with_lock t.latch (fun () -> t.count)
 
 let entry_queue_length t =
-  Spinlock.with_lock t.latch (fun () -> Queue.length t.entry_queue)
+  Spinlock.with_lock t.latch (fun () ->
+      match t.admission with
+      | Some h -> Hapax.pending_tickets h
+      | None -> Queue.length t.entry_queue)
 
 let wait_set_length t = Spinlock.with_lock t.latch (fun () -> Queue.length t.wait_set)
 let holds env t = Spinlock.with_lock t.latch (fun () -> t.owner = my_index env)
 
-(* Idleness for deflation: unowned, no queued entrant, no waiter, and
-   no notified/timed-out waiter in flight back to re-acquisition. *)
+let pending_delegations t =
+  match t.admission with Some h -> Hapax.pending_delegations h | None -> 0
+
+(* Idleness for deflation: unowned, no queued entrant, no waiter, no
+   notified/timed-out waiter in flight back to re-acquisition — and,
+   under an admission backend, an empty ticket pipeline and no
+   announced delegation.  A delegated episode counts from its (latched)
+   announcement until its closure has run, so the reaper can never
+   retire a monitor out from under a published critical section. *)
 let idle_locked t =
   t.owner = 0
   && Queue.is_empty t.entry_queue
   && Queue.is_empty t.wait_set
   && t.in_flight = 0
+  && (match t.admission with
+     | None -> true
+     | Some h -> Hapax.pipeline_empty h && Hapax.pending_delegations h = 0)
 
 let is_idle t = Spinlock.with_lock t.latch (fun () -> (not t.retired) && idle_locked t)
 

@@ -10,17 +10,52 @@
     Semantics are Mesa-style, as in Java (the paper notes Java derives
     its monitor semantics from Mesa): a notified thread re-competes for
     the monitor, and callers of {!wait} must re-check their condition
-    in a loop. *)
+    in a loop.
+
+    The {e contended path} — what happens to an entrant that finds the
+    monitor held — is pluggable (see {!backend}):
+
+    - [Parker] (default): the classic entry queue.  Mesa barging: a
+      released monitor may be grabbed by any arriving thread; a woken
+      entrant that loses the race re-queues.  Entrants spin briefly
+      before the first park.
+    - [Hapax]: value-based FIFO admission through a {!Hapax} engine —
+      constant-time ticketed arrival, constant-time grant on unlock,
+      strict arrival-order admission with no barging among waiters.
+    - [Delegate]: [Hapax] admission plus flat-combining delegation:
+      {!delegate_or_acquire} lets a contender publish its critical
+      section for the current owner to execute at release instead of
+      waiting for the monitor itself. *)
 
 type t
 
 exception Illegal_monitor_state of string
 (** Raised on release/wait/notify by a non-owner. *)
 
-val create : unit -> t
+type backend = Parker | Hapax | Delegate
+
+val backend_name : backend -> string
+val backend_of_string : string -> backend option
+val all_backends : backend list
+
+type entry = Entry_immediate | Entry_spun | Entry_parked
+(** How an acquisition went: straight in, queued but resolved within
+    the spin phase (a park/unpark round trip avoided), or parked. *)
+
+val entry_queued : entry -> bool
+(** Did the entrant contend ([Entry_spun] or [Entry_parked])?  Drives
+    the queued-acquisition statistics and events. *)
+
+val create : ?backend:backend -> unit -> t
 
 val create_locked :
-  ?tag:int -> ?events:Tl_events.Sink.t -> owner:int -> count:int -> unit -> t
+  ?backend:backend ->
+  ?tag:int ->
+  ?events:Tl_events.Sink.t ->
+  owner:int ->
+  count:int ->
+  unit ->
+  t
 (** A monitor born already owned — used when inflating a held thin
     lock, which transfers the thin count (§2.3.4).  [count] is the
     number of locks (≥ 1).  [tag] (default 0) is a caller-chosen
@@ -28,33 +63,58 @@ val create_locked :
     traces can name the object without holding it.  [events] (default
     [Sink.disabled]) receives [Contended_begin]/[Contended_end] events,
     [arg] = the tag, when entrants queue: begin when the entrant joins
-    the queue, end when it finally holds the monitor (an entrant turned
-    away by retirement leaves its episode open — it re-enters through a
-    fresh monitor). *)
+    the queue (or takes a ticket, or publishes a delegation), end when
+    it finally holds the monitor (or its delegated section has run).
+    An entrant turned away by retirement leaves its episode open — it
+    re-enters through a fresh monitor. *)
 
 val tag : t -> int
+val backend_of : t -> backend
 
 val acquire : Tl_runtime.Runtime.env -> t -> unit
-(** Lock the monitor, blocking in the entry queue if necessary.
-    Re-entrant: the owner's count is incremented.
+(** Lock the monitor, blocking if necessary.  Re-entrant: the owner's
+    count is incremented.
     @raise Illegal_monitor_state if the monitor was retired — only
     possible for schemes that deflate; use {!acquire_live} there. *)
 
 val try_acquire : Tl_runtime.Runtime.env -> t -> bool
 (** Non-blocking acquire; never queues.  [false] on a busy {e or}
-    retired monitor; use {!try_acquire_live} to tell them apart. *)
+    retired monitor; use {!try_acquire_live} to tell them apart.
+    Under an admission backend this also refuses while ticketed
+    waiters are pending — barging over a granted ticket would steal
+    its claim. *)
 
-val acquire_live : Tl_runtime.Runtime.env -> t -> [ `Acquired of bool | `Retired ]
-(** Like {!acquire}, but retirement-aware: [`Acquired queued] on
-    success ([queued] = the thread had to block in the entry queue);
+val acquire_live : Tl_runtime.Runtime.env -> t -> [ `Acquired of entry | `Retired ]
+(** Like {!acquire}, but retirement-aware: [`Acquired how] on success;
     [`Retired] if a deflater retired the monitor before or while we
     waited — the caller must re-read the object's lock word and start
-    over (the deflater rewrites it right after retiring). *)
+    over (the deflater rewrites it right after retiring).  Under the
+    [Hapax]/[Delegate] backends a ticketed waiter can never see
+    [`Retired]: its unclaimed ticket pins the monitor. *)
 
 val try_acquire_live : Tl_runtime.Runtime.env -> t -> [ `Acquired | `Busy | `Retired ]
 
+val delegate_or_acquire :
+  Tl_runtime.Runtime.env ->
+  t ->
+  (unit -> unit) ->
+  [ `Delegated | `Acquired of entry | `Retired ]
+(** The [Delegate] backend's entry point: if the monitor is free (or
+    already ours) acquire it normally ([`Acquired] — the caller runs
+    the critical section itself and must release); if it is busy,
+    publish [f] as a delegation request and wait for a combiner to run
+    it ([`Delegated] — [f] has been executed exactly once, the monitor
+    was {e never} owned by the caller, and any exception [f] raised is
+    re-raised here).  A submitter that waits too long takes the
+    monitor through the admission path and combines as a last resort,
+    so [`Delegated] is bounded-wait.  On non-[Delegate] backends this
+    is exactly {!acquire_live}. *)
+
 val release : Tl_runtime.Runtime.env -> t -> unit
-(** Unlock once; on the last release wakes one queued entrant.
+(** Unlock once; on the last release wakes one queued entrant (Parker)
+    or grants the oldest pending ticket (Hapax/Delegate).  Under
+    [Delegate], first executes pending delegation requests (bounded
+    rounds) while still owner.
     @raise Illegal_monitor_state if the caller is not the owner. *)
 
 val wait : ?timeout:float -> Tl_runtime.Runtime.env -> t -> unit
@@ -77,16 +137,24 @@ val count : t -> int
 (** Current lock count, read under the latch. *)
 
 val entry_queue_length : t -> int
+(** Queued entrants: entry-queue length (Parker) or pending tickets
+    (Hapax/Delegate). *)
+
 val wait_set_length : t -> int
+
+val pending_delegations : t -> int
+(** Announced-but-unfinished delegation requests (0 for non-[Delegate]
+    backends). *)
 
 val holds : Tl_runtime.Runtime.env -> t -> bool
 (** Does the calling thread own the monitor? *)
 
 val is_idle : t -> bool
 (** Atomically (under the latch): not retired, unowned, empty entry
-    queue, empty wait set, and no notified waiter in flight back to
-    re-acquisition — the deflation precondition, checked as one
-    consistent snapshot rather than five racy reads. *)
+    queue, empty wait set, no notified waiter in flight back to
+    re-acquisition — and, under an admission backend, an empty ticket
+    pipeline and no announced delegation.  The deflation precondition,
+    checked as one consistent snapshot rather than seven racy reads. *)
 
 (** {1 Lifecycle handshake (non-quiescent deflation)}
 
@@ -100,8 +168,8 @@ val is_idle : t -> bool
 
 val retire_if_idle : t -> bool
 (** Atomically retire the monitor if it {!is_idle}; [false] if it is
-    owned, queued on, waited on, has a waiter in flight, or is already
-    retired. *)
+    owned, queued on, waited on, has a waiter in flight, a pending
+    ticket or delegation, or is already retired. *)
 
 val is_retired : t -> bool
 

@@ -1,0 +1,137 @@
+(** Hapax-style contended-path engine: value-based FIFO admission plus
+    flat-combining delegation.
+
+    Modeled on Hapax Locks (Dice & Kogan; see PAPERS.md): mutual
+    exclusion coordinated through {e values} packed in a single word
+    rather than through queue nodes.  Arrival is one fetch-and-add on
+    the packed word (constant time, no allocation); unlock hands the
+    monitor to the next admitted arrival by bumping the grant field
+    (constant time); admission order is exactly ticket order — FIFO,
+    no barging among waiters.
+
+    This module is an {e engine}, not a complete lock: [Fatlock] embeds
+    one per monitor (backends [Hapax] and [Delegate]) and drives the
+    protocol from under its latch.  The division of labor:
+
+    - {b Packed admission word} [(arrivals | admitted)], 31 bits each.
+      [arrive] (fetch-and-add, latch-held) issues tickets; [admit]
+      (latch-held, by the releasing owner) grants the oldest
+      un-admitted ticket; [claim] (latch-held, by the granted waiter)
+      retires the ticket into ownership.  The invariant
+      [claimed <= admitted <= arrivals] holds throughout, with at most
+      one granted-but-unclaimed ticket — so a granted waiter's claim
+      is uncontested provided the embedding lock refuses fresh
+      (ticketless) entries while the pipeline is non-empty.
+    - {b Waiting} is value-based: the waiter spins on the word until
+      its ticket is granted ([Tl_runtime.Backoff], bounded), then
+      publishes its parker in a slot indexed [ticket mod slots] and
+      parks.  No per-waiter allocation: the parker already exists in
+      the waiter's env, and slots are reused ring-style.  All slot
+      races (publish vs. wake, slot collision between tickets [t] and
+      [t + slots]) resolve through permit semantics — a spurious
+      unpark just re-checks the word.
+    - {b Delegation} (flat combining): instead of waiting for the
+      monitor, a contender publishes its critical section as a closure
+      in a combining slot; the current owner executes pending closures
+      when it releases ([drain]).  A submitter that waits too long
+      becomes the combiner of last resort by taking the lock through
+      the admission path.  Each submitted request runs {e exactly
+      once}: only an owner drains, a drained slot is emptied before
+      execution, and [finished] is the submitter's only release
+      condition.
+
+    Capacity: 31-bit fields give ~2 × 10⁹ contended arrivals per
+    engine.  A fresh [Fatlock] (hence a fresh engine) is allocated on
+    every inflation, so the bound is per-inflation, not per-object. *)
+
+type t
+
+val create : ?slots:int -> ?combine_slots:int -> ?spin:int -> unit -> t
+(** [slots] (default 1024, rounded up to a power of two) bounds the
+    parker-publication ring; a waiter deeper than [slots] positions in
+    the queue has nowhere to publish and degrades to yield-polling, so
+    the ring is sized past realistic queue depths (8 KB per transient
+    engine).  [combine_slots] (default 64) bounds
+    concurrently-published delegation requests; publication failure
+    falls back to the admission path.  [spin] (default 96) is the
+    [Backoff] step budget a granted-pending waiter burns before
+    parking — long relative to the parker backend's spin-before-park
+    because each step is one uncontended load of the packed word, so
+    most grants land mid-spin and skip the park/unpark pair. *)
+
+(** {1 Admission (FIFO tickets)} *)
+
+val arrive : t -> int
+(** Take the next ticket (one fetch-and-add).  Call with the embedding
+    lock's latch held, and only after deciding the fast path is closed
+    — issuing a ticket obliges a future [admit] to grant it. *)
+
+val granted : t -> int -> bool
+(** Has [admit] reached this ticket?  Value-based: one atomic load. *)
+
+val await : Tl_runtime.Runtime.env -> t -> int -> [ `Spun | `Parked ]
+(** Wait (outside the latch) until the ticket is granted: bounded spin
+    with yields, then publish the env's parker and park.  Returns how
+    the wait ended — [`Spun] means no park was needed. *)
+
+val admit : t -> int option
+(** Grant the oldest pending ticket, if any ([Some ticket]); the
+    caller must then [wake] it after releasing the latch.  Call with
+    the latch held, as the owner, after clearing ownership — at most
+    one grant may be outstanding. *)
+
+val wake : t -> int -> unit
+(** Unpark whoever published in the granted ticket's slot (no-op if
+    the waiter is still spinning — it will observe the word). *)
+
+val claim : t -> unit
+(** Retire my granted ticket into ownership.  Latch held. *)
+
+val pipeline_empty : t -> bool
+(** No ticket is waiting, granted, or unclaimed ([arrivals = claimed]).
+    While false, the embedding lock must refuse ticketless entry or a
+    barger could steal a granted waiter's claim.  Latch held. *)
+
+val pending_tickets : t -> int
+(** [arrivals - claimed]: queued + granted-unclaimed tickets. *)
+
+(** {1 Delegation (flat combining)} *)
+
+type request
+(** One submitted critical section: the closure, a finished flag, and
+    the exception it raised, if any. *)
+
+val make_request : submitter:Tl_runtime.Parker.t -> (unit -> unit) -> request
+(** [submitter] is unparked when a combiner finishes the request, so a
+    submitter sleeping out the wait learns of completion promptly. *)
+
+val submit_begin : t -> unit
+(** Announce a pending delegation ({e latch held} — this is what lets
+    the deflation idle-check see in-flight delegated episodes before
+    their slot publication is visible). *)
+
+val submit_cancel : t -> unit
+(** Withdraw an announced delegation whose publication failed (slot
+    pressure); the submitter falls back to the admission path. *)
+
+val try_publish : t -> request -> bool
+(** Publish into a free combining slot; [false] if all slots are
+    taken ([submit_cancel] and fall back). *)
+
+val finished : request -> bool
+(** Has a combiner executed the request?  The submitter's only release
+    condition. *)
+
+val reraise : request -> unit
+(** Re-raise the exception the delegated closure raised on the
+    combiner, if any (the combiner itself is shielded). *)
+
+val drain : t -> int
+(** Execute every published request, in slot order; returns how many
+    ran.  {b Owner only} — exclusive ownership is what makes the
+    pop-then-run sequence exactly-once.  Runs user closures: call
+    without the latch. *)
+
+val pending_delegations : t -> int
+(** Announced-but-unfinished requests.  Non-zero pins the monitor
+    against deflation. *)

@@ -33,3 +33,14 @@ let once t =
 
 let reset t = t.step <- 0
 let steps t = t.step
+
+let bounded t ~budget ready =
+  let rec go () =
+    if ready () then true
+    else if t.step >= budget then false
+    else begin
+      once t;
+      go ()
+    end
+  in
+  go ()

@@ -31,3 +31,10 @@ val reset : t -> unit
 val steps : t -> int
 (** Number of [once] calls since creation/reset — exported so tests and
     statistics can observe how hard a waiter had to try. *)
+
+val bounded : t -> budget:int -> (unit -> bool) -> bool
+(** [bounded t ~budget ready] spins ([once] per step, so the policy's
+    escalation applies) until [ready ()] holds or [budget] steps have
+    been taken since the last reset; returns [ready]'s final verdict.
+    The spin-then-park entry paths use this for their spin phase: a
+    [true] return is a park/unpark round trip avoided. *)

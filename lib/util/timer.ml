@@ -1,5 +1,13 @@
 let now () = Unix.gettimeofday ()
 
+(* CLOCK_MONOTONIC via bechamel's C stub.  [Unix.gettimeofday] has
+   microsecond granularity, so sub-µs latencies quantize to 0 and the
+   storm percentiles floor out; integer nanoseconds don't. *)
+let now_ns () = Monotonic_clock.now ()
+
+let elapsed_ns ~since = Int64.sub (Monotonic_clock.now ()) since
+let ns_to_us ns = Int64.to_float ns /. 1e3
+
 let time f =
   let t0 = now () in
   let result = f () in

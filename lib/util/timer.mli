@@ -7,6 +7,17 @@
 val now : unit -> float
 (** Seconds since an arbitrary epoch (wall clock). *)
 
+val now_ns : unit -> int64
+(** Nanoseconds on CLOCK_MONOTONIC.  For latency sampling: [now] has
+    only µs granularity, so sub-µs waits quantize to 0 and percentile
+    floors lie. *)
+
+val elapsed_ns : since:int64 -> int64
+(** Nanoseconds elapsed since a [now_ns] sample. *)
+
+val ns_to_us : int64 -> float
+(** Nanoseconds to fractional microseconds. *)
+
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f] and returns its result with the elapsed seconds. *)
 

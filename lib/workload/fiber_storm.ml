@@ -43,6 +43,12 @@ type config = {
   count_width : int;  (** thin nest-count width, for lock + oracle *)
   quiescence_every : int;  (** announce every N admissions; 0 = auto *)
   scheme : string;  (** locking scheme under the storm: "thin" or "cjm" *)
+  fat_backend : string;
+      (** contended-path engine for inflated monitors ("parker",
+          "hapax" or "delegate"; thin scheme only).  Under "delegate"
+          the critical section runs through [Thin.sync], so a busy
+          monitor executes it on the current owner instead of parking
+          the fiber. *)
   seed : int;
 }
 
@@ -61,6 +67,7 @@ let default_config =
     count_width = 8;
     quiescence_every = 0;
     scheme = "thin";
+    fat_backend = "parker";
     seed = 0x57084;
   }
 
@@ -90,7 +97,13 @@ let validate c =
   if c.in_flight < 1 then invalid_arg "Fiber_storm: in_flight";
   if c.zipf < 0.0 then invalid_arg "Fiber_storm: zipf";
   if c.scheme <> "thin" && c.scheme <> "cjm" then
-    invalid_arg "Fiber_storm: scheme (expected \"thin\" or \"cjm\")"
+    invalid_arg "Fiber_storm: scheme (expected \"thin\" or \"cjm\")";
+  (match Tl_monitor.Fatlock.backend_of_string c.fat_backend with
+  | Some _ -> ()
+  | None ->
+      invalid_arg "Fiber_storm: fat_backend (expected parker, hapax or delegate)");
+  if c.scheme = "cjm" && c.fat_backend <> "parker" then
+    invalid_arg "Fiber_storm: the cjm scheme has no pluggable fat backend"
 
 (* Zipf sampling over [n] ranks via the precomputed CDF and a binary
    search per draw — [Prng.categorical] is a linear scan, far too slow
@@ -141,18 +154,31 @@ let run ?(trace = true) ?(oracle = true) config =
   in
   (* the runtime-level sink is where overflow marks land *)
   Runtime.set_event_sink runtime sink;
+  let fat_backend =
+    match Tl_monitor.Fatlock.backend_of_string config.fat_backend with
+    | Some b -> b
+    | None -> assert false (* validated above *)
+  in
   let thin_config =
     {
       Thin.default_config with
       count_width = config.count_width;
       (* never put a carrier domain to sleep while fibers are runnable *)
       backoff_policy = Backoff.Yield;
+      fat_backend;
     }
   in
   let heap = Tl_heap.Heap.create () in
   let total_ops = config.fibers * config.ops_per_fiber in
+  (* microseconds, sampled on the ns clock: gettimeofday's µs
+     granularity would floor sub-µs acquires to exactly 0 and make the
+     p50 a lie *)
   let latencies = Array.make total_ops 0.0 in
   let lat_n = Atomic.make 0 in
+  let record_latency t0 =
+    latencies.(Atomic.fetch_and_add lat_n 1) <-
+      Tl_util.Timer.ns_to_us (Tl_util.Timer.elapsed_ns ~since:t0)
+  in
   let completed = Atomic.make 0 in
   let cdf = zipf_cdf ~theta:config.zipf config.objects in
   let elapsed, overflow_waits, leaked_entries =
@@ -161,18 +187,39 @@ let run ?(trace = true) ?(oracle = true) config =
            transient table — same acquire/release shape, so the worker
            body is scheme-blind.  [leaked] is the post-drain census: a
            CJM table must be empty once every fiber has released. *)
-        let acquire, release, leaked =
+        (* [episode env o body] is one timed lock episode: the latency
+           sample covers entry — until the fiber holds the monitor, or
+           (delegate backend) until its critical section starts running
+           on whichever fiber combines it. *)
+        let episode, leaked =
           match config.scheme with
           | "cjm" ->
               let ctx = Tl_cjm.Cjm.create_with ~events:sink runtime in
-              ( Tl_cjm.Cjm.acquire ctx,
-                Tl_cjm.Cjm.release ctx,
+              ( (fun env o body ->
+                  let t0 = Tl_util.Timer.now_ns () in
+                  Tl_cjm.Cjm.acquire ctx env o;
+                  record_latency t0;
+                  body ();
+                  Tl_cjm.Cjm.release ctx env o),
                 fun () -> Tl_cjm.Cjm.live_entries ctx )
           | _ ->
               let ctx =
                 Thin.create_with ~config:thin_config ~events:sink runtime
               in
-              (Thin.acquire ctx, Thin.release ctx, fun () -> 0)
+              let run =
+                if fat_backend = Tl_monitor.Fatlock.Delegate then fun env o body ->
+                  let t0 = Tl_util.Timer.now_ns () in
+                  Thin.sync ctx env o (fun () ->
+                      record_latency t0;
+                      body ())
+                else fun env o body ->
+                  let t0 = Tl_util.Timer.now_ns () in
+                  Thin.acquire ctx env o;
+                  record_latency t0;
+                  body ();
+                  Thin.release ctx env o
+              in
+              (run, fun () -> 0)
         in
         let objs = Tl_heap.Heap.alloc_many heap config.objects in
         let slots = Atomic.make config.in_flight in
@@ -182,14 +229,10 @@ let run ?(trace = true) ?(oracle = true) config =
           for _ = 1 to config.ops_per_fiber do
             let o = objs.(sample_cdf cdf (Tl_util.Prng.float prng 1.0)) in
             if config.think_work > 0 then Replay.spin_work config.think_work;
-            let t0 = Tl_util.Timer.now () in
-            acquire env o;
-            let dt = Tl_util.Timer.now () -. t0 in
-            latencies.(Atomic.fetch_and_add lat_n 1) <- dt;
-            if config.critical_work > 0 then
-              Replay.spin_work config.critical_work;
-            if config.yield_in_cs then Scheduler.yield ();
-            release env o
+            episode env o (fun () ->
+                if config.critical_work > 0 then
+                  Replay.spin_work config.critical_work;
+                if config.yield_in_cs then Scheduler.yield ())
           done;
           Atomic.incr completed;
           (* return the admission slot and wake the generator *)
@@ -232,9 +275,7 @@ let run ?(trace = true) ?(oracle = true) config =
   let ops = Atomic.get lat_n in
   let lat = if ops = Array.length latencies then latencies else Array.sub latencies 0 ops in
   Array.sort Float.compare lat;
-  let pct p =
-    if ops = 0 then 0.0 else 1e6 *. Tl_util.Stats.percentile lat p
-  in
+  let pct p = if ops = 0 then 0.0 else Tl_util.Stats.percentile lat p in
   let drained = if trace then Sink.drain sink else Sink.empty in
   let report =
     if trace && oracle then
@@ -254,7 +295,7 @@ let run ?(trace = true) ?(oracle = true) config =
     p50_us = pct 50.0;
     p99_us = pct 99.0;
     p999_us = pct 99.9;
-    max_us = (if ops = 0 then 0.0 else 1e6 *. lat.(ops - 1));
+    max_us = (if ops = 0 then 0.0 else lat.(ops - 1));
     completed = Atomic.get completed;
     overflow_waits;
     distinct_tids = List.length (Sink.active_tids sink);
@@ -273,7 +314,9 @@ let pp ppf (r : result) =
     \  throughput   %.0f ops/sec@\n\
     \  acquire lat  p50 %.1fus  p99 %.1fus  p999 %.1fus  max %.1fus@\n\
     \  tid leases   %d distinct indices, %d overflow wait(s)"
-    r.config.scheme r.config.fibers r.config.ops_per_fiber r.config.domains
+    (if r.config.fat_backend = "parker" then r.config.scheme
+     else r.config.scheme ^ "/" ^ r.config.fat_backend)
+    r.config.fibers r.config.ops_per_fiber r.config.domains
     r.config.objects r.config.zipf r.completed r.elapsed r.ops_per_sec
     r.p50_us r.p99_us r.p999_us r.max_us r.distinct_tids r.overflow_waits;
   if r.config.scheme = "cjm" then

@@ -33,6 +33,12 @@ type config = {
       (** locking scheme under the storm: ["thin"] (default) or
           ["cjm"], which swaps the header lock word for the transient
           monitor table and verifies against the CJM oracle protocol *)
+  fat_backend : string;
+      (** contended-path engine for inflated monitors: ["parker"]
+          (default), ["hapax"] (FIFO ticket admission) or ["delegate"]
+          (flat combining — critical sections run through [Thin.sync],
+          so a fiber that finds the monitor busy hands its section to
+          the owner instead of parking).  Thin scheme only. *)
   seed : int;
 }
 
@@ -46,10 +52,12 @@ type result = {
   ops : int;
   ops_per_sec : float;
   p50_us : float;
-      (** acquire latency percentiles, microseconds.  Timestamps come
-          from the wall clock (µs resolution), so an uncontended
-          fast-path acquire reads as 0 — the percentiles resolve the
-          parked tail, not the fast path. *)
+      (** acquire latency percentiles, microseconds, sampled on the
+          monotonic ns clock — sub-µs fast-path acquires resolve
+          instead of flooring to 0, so p50 orders strictly below the
+          parked tail.  Delegated episodes time until the critical
+          section {e starts executing} (on whichever fiber combines
+          it), the delegation analogue of acquisition. *)
   p99_us : float;
   p999_us : float;
   max_us : float;

@@ -35,8 +35,8 @@ let shipped_policies =
 let policy_of_string name =
   List.find_opt (fun p -> p.Policy.name = name) shipped_policies
 
-let replay_traced ?(count_width = 1) ?(quiescence_every = 64) ?sampling ~policy
-    (trace : Tracegen.t) =
+let replay_traced ?(count_width = 1) ?(quiescence_every = 64) ?sampling
+    ?(fat_backend = Tl_monitor.Fatlock.Parker) ~policy (trace : Tracegen.t) =
   let ops = trace.Tracegen.ops in
   (* Room for one acquire + one release event per op, plus inflations,
      deflations, scans and quiescence marks: no drops, so the scores
@@ -46,7 +46,7 @@ let replay_traced ?(count_width = 1) ?(quiescence_every = 64) ?sampling ~policy
   in
   let runtime = Runtime.create () in
   Runtime.set_event_sink runtime sink;
-  let config = { Thin.default_config with count_width } in
+  let config = { Thin.default_config with count_width; fat_backend } in
   let ctx = Thin.create_with ~config ~events:sink runtime in
   Reaper.on_quiescence ~policy runtime ctx;
   let env = Runtime.main_env runtime in
@@ -193,8 +193,10 @@ let score_stream ~policy (d : Sink.drained) =
     dropped = List.fold_left (fun acc (_, n) -> acc + n) 0 d.Sink.dropped;
   }
 
-let run_one ?count_width ?quiescence_every ~policy trace =
-  let _ctx, drained = replay_traced ?count_width ?quiescence_every ~policy trace in
+let run_one ?count_width ?quiescence_every ?fat_backend ~policy trace =
+  let _ctx, drained =
+    replay_traced ?count_width ?quiescence_every ?fat_backend ~policy trace
+  in
   score_stream ~policy drained
 
 (* Labels the CJM rows in the tables: the scheme has no deflation
@@ -211,7 +213,7 @@ let run_one_cjm ?quiescence_every trace =
 let default_benchmarks = [ "javalex"; "javacup"; "mocha" ]
 
 let table ?(max_syncs = 20_000) ?(seed = 1998) ?(benchmarks = default_benchmarks)
-    ?(scheme = "thin") () =
+    ?(scheme = "thin") ?(fat_backend = Tl_monitor.Fatlock.Parker) () =
   (match scheme with
   | "thin" | "cjm" -> ()
   | s -> invalid_arg (Printf.sprintf "Policy_lab.table: scheme %S (thin or cjm)" s));
@@ -242,7 +244,7 @@ let table ?(max_syncs = 20_000) ?(seed = 1998) ?(benchmarks = default_benchmarks
       let trace = Tracegen.generate ~seed ~max_syncs profile in
       let scores =
         if scheme = "cjm" then [ run_one_cjm trace ]
-        else List.map (fun policy -> run_one ~policy trace) shipped_policies
+        else List.map (fun policy -> run_one ~fat_backend ~policy trace) shipped_policies
       in
       let rows =
         List.map
@@ -296,13 +298,14 @@ let table ?(max_syncs = 20_000) ?(seed = 1998) ?(benchmarks = default_benchmarks
    the reaper ride the scheduler's per-domain tick. *)
 
 let replay_traced_par ?(count_width = 1) ?(quiescence_every = 64) ?(interleave = false)
-    ?(backend = Parallel_replay.Os_domains) ~domains ~mode ~policy
+    ?(backend = Parallel_replay.Os_domains)
+    ?(fat_backend = Tl_monitor.Fatlock.Parker) ~domains ~mode ~policy
     (trace : Tracegen.t) =
   let ops = trace.Tracegen.ops in
   let sink = Sink.create ~ring_capacity:((4 * Array.length ops) + 4096) () in
   let runtime = Runtime.create () in
   Runtime.set_event_sink runtime sink;
-  let config = { Thin.default_config with count_width } in
+  let config = { Thin.default_config with count_width; fat_backend } in
   let ctx = Thin.create_with ~config ~events:sink runtime in
   Reaper.on_quiescence ~policy runtime ctx;
   let scheme = Scheme_intf.pack (module Thin) ctx in
@@ -338,11 +341,11 @@ let replay_traced_par ?(count_width = 1) ?(quiescence_every = 64) ?(interleave =
   done;
   (result, Sink.drain sink)
 
-let run_one_par ?count_width ?quiescence_every ?interleave ?backend ~domains ~mode
-    ~policy trace =
+let run_one_par ?count_width ?quiescence_every ?interleave ?backend ?fat_backend
+    ~domains ~mode ~policy trace =
   let result, drained =
-    replay_traced_par ?count_width ?quiescence_every ?interleave ?backend ~domains
-      ~mode ~policy trace
+    replay_traced_par ?count_width ?quiescence_every ?interleave ?backend
+      ?fat_backend ~domains ~mode ~policy trace
   in
   (result, score_stream ~policy drained)
 
@@ -354,7 +357,7 @@ let run_one_par_cjm ?quiescence_every ?interleave ?backend ~domains ~mode trace 
 
 let table_par ?(max_syncs = 20_000) ?(seed = 1998) ?(benchmarks = default_benchmarks)
     ?(interleave = true) ?(backend = Parallel_replay.Os_domains) ?(scheme = "thin")
-    ~domains ~mode () =
+    ?(fat_backend = Tl_monitor.Fatlock.Parker) ~domains ~mode () =
   (match scheme with
   | "thin" | "cjm" -> ()
   | s -> invalid_arg (Printf.sprintf "Policy_lab.table_par: scheme %S (thin or cjm)" s));
@@ -401,7 +404,8 @@ let table_par ?(max_syncs = 20_000) ?(seed = 1998) ?(benchmarks = default_benchm
           List.map
             (fun policy ->
               let _result, s =
-                run_one_par ~interleave ~backend ~domains ~mode ~policy trace
+                run_one_par ~interleave ~backend ~fat_backend ~domains ~mode ~policy
+                  trace
               in
               s)
             shipped_policies

@@ -31,6 +31,7 @@ val replay_traced :
   ?count_width:int ->
   ?quiescence_every:int ->
   ?sampling:Tl_events.Sink.sampling ->
+  ?fat_backend:Tl_monitor.Fatlock.backend ->
   policy:Tl_lifecycle.Policy.t ->
   Tracegen.t ->
   Tl_core.Thin.ctx * Tl_events.Sink.drained
@@ -38,6 +39,8 @@ val replay_traced :
     ([count_width] default 1, [quiescence_every] default 64), tracing
     every lock event into a sink sized so nothing drops; [sampling]
     (default every event) spot-checks production-style sampled streams.
+    [fat_backend] (default [Parker]) selects the monitors' contended
+    path — see [Tl_monitor.Fatlock.backend].
     Returns the ctx (for counter inspection) and the drained stream. *)
 
 val replay_traced_cjm :
@@ -86,6 +89,7 @@ val lab_score : score -> float
 val run_one :
   ?count_width:int ->
   ?quiescence_every:int ->
+  ?fat_backend:Tl_monitor.Fatlock.backend ->
   policy:Tl_lifecycle.Policy.t ->
   Tracegen.t ->
   score
@@ -104,6 +108,7 @@ val table :
   ?seed:int ->
   ?benchmarks:string list ->
   ?scheme:string ->
+  ?fat_backend:Tl_monitor.Fatlock.backend ->
   unit ->
   string
 (** Render the comparison: one table per benchmark trace (default
@@ -128,6 +133,7 @@ val replay_traced_par :
   ?quiescence_every:int ->
   ?interleave:bool ->
   ?backend:Parallel_replay.backend ->
+  ?fat_backend:Tl_monitor.Fatlock.backend ->
   domains:int ->
   mode:Parallel_replay.mode ->
   policy:Tl_lifecycle.Policy.t ->
@@ -141,13 +147,15 @@ val replay_traced_par :
     overlap even when the host has fewer cores than domains (a fiber
     sleep under the [Fibers] backend, so carriers stay busy).
     [backend] (default [Os_domains]) selects what carries a worker —
-    see {!Parallel_replay.backend}. *)
+    see {!Parallel_replay.backend}; [fat_backend] (default [Parker])
+    the monitors' contended path — see [Tl_monitor.Fatlock.backend]. *)
 
 val run_one_par :
   ?count_width:int ->
   ?quiescence_every:int ->
   ?interleave:bool ->
   ?backend:Parallel_replay.backend ->
+  ?fat_backend:Tl_monitor.Fatlock.backend ->
   domains:int ->
   mode:Parallel_replay.mode ->
   policy:Tl_lifecycle.Policy.t ->
@@ -173,6 +181,7 @@ val table_par :
   ?interleave:bool ->
   ?backend:Parallel_replay.backend ->
   ?scheme:string ->
+  ?fat_backend:Tl_monitor.Fatlock.backend ->
   domains:int ->
   mode:Parallel_replay.mode ->
   unit ->

@@ -148,6 +148,120 @@ let test_wait_restores_nested_count () =
       done;
       check_int "balanced" 0 (Fatlock.owner fat))
 
+(* --- hapax admission + delegation --- *)
+
+module Hapax = Tl_monitor.Hapax
+
+(* Standalone ticket-lock harness over the bare admission engine,
+   mirroring Fatlock's discipline: arrive under a latch, await outside
+   it, claim/admit back under it.  Records the ticket of every grant in
+   claim order; FIFO admission means that sequence is exactly
+   0, 1, 2, ... — constant-time ticketing admits in arrival order with
+   no barging. *)
+let prop_hapax_fifo_admission =
+  let gen = QCheck.Gen.int_range 100 400 in
+  let arb = QCheck.make gen ~print:string_of_int in
+  QCheck.Test.make ~name:"hapax: 2-domain grants are FIFO in ticket order"
+    ~count:5 arb (fun ops ->
+      let runtime = Runtime.create () in
+      let h = Hapax.create ~slots:8 ~spin:4 () in
+      let latch = Mutex.create () in
+      let owner = ref 0 in
+      let order = ref [] in
+      let acquisitions = Atomic.make 0 in
+      Runtime.run_parallel runtime 2 (fun _ env ->
+          let me = env.Runtime.descriptor.Tl_runtime.Tid.index in
+          for _ = 1 to ops do
+            (* fast path only when free AND the pipeline is drained —
+               tickets ahead of us must not be barged (Fatlock's
+               [fast_claimable]).  A ticket taken while the lock is
+               owned or the pipeline live always has a future admitter:
+               the chain releaser-admits -> grantee-claims -> releases
+               cannot strand it. *)
+            Mutex.lock latch;
+            if !owner = 0 && Hapax.pipeline_empty h then begin
+              owner := me;
+              Mutex.unlock latch
+            end
+            else begin
+              let ticket = Hapax.arrive h in
+              Mutex.unlock latch;
+              ignore (Hapax.await env h ticket : [ `Spun | `Parked ]);
+              Mutex.lock latch;
+              if !owner <> 0 then Alcotest.fail "granted while owned";
+              Hapax.claim h;
+              owner := me;
+              order := ticket :: !order;
+              Mutex.unlock latch
+            end;
+            Atomic.incr acquisitions;
+            Thread.yield ();
+            (* release: grant the next arrival, if any *)
+            Mutex.lock latch;
+            owner := 0;
+            (match Hapax.admit h with
+            | Some g ->
+                Mutex.unlock latch;
+                Hapax.wake h g
+            | None -> Mutex.unlock latch)
+          done);
+      let grants = List.rev !order in
+      let n = List.length grants in
+      Atomic.get acquisitions = 2 * ops
+      && Hapax.pipeline_empty h
+      && List.for_all2 ( = ) grants (List.init n Fun.id))
+
+let test_delegation_conservation () =
+  (* Every submitted critical section runs exactly once, whether the
+     submitter combined it into a holder's drain or fell back to
+     acquiring and running it itself.  The counter is a plain ref:
+     mutual exclusion (combiner or owner, never both) is what keeps the
+     final count exact. *)
+  with_env (fun runtime _env ->
+      let fat = Fatlock.create ~backend:Fatlock.Delegate () in
+      let counter = ref 0 in
+      let workers = 4 and ops = 200 in
+      let handles =
+        List.init workers (fun i ->
+            Runtime.spawn ~name:(Printf.sprintf "d%d" i) runtime (fun env' ->
+                for _ = 1 to ops do
+                  let f () = incr counter in
+                  match Fatlock.delegate_or_acquire env' fat f with
+                  | `Delegated -> ()
+                  | `Acquired _ ->
+                      f ();
+                      Fatlock.release env' fat
+                  | `Retired -> Alcotest.fail "retired without a deflater"
+                done))
+      in
+      List.iter Runtime.join handles;
+      check_int "each submission ran exactly once" (workers * ops) !counter;
+      check_int "no pending delegations" 0 (Fatlock.pending_delegations fat);
+      check "engine drained idle" true (Fatlock.is_idle fat))
+
+let test_delegation_propagates_exception () =
+  with_env (fun _ env ->
+      let fat = Fatlock.create ~backend:Fatlock.Delegate () in
+      match Fatlock.delegate_or_acquire env fat (fun () -> failwith "boom") with
+      | `Delegated -> Alcotest.fail "uncontended submit must acquire"
+      | `Acquired _ ->
+          (* uncontended: the caller runs f itself — exceptions surface
+             at the call site and the lock still releases *)
+          (match (fun () -> failwith "boom") () with
+          | () -> Alcotest.fail "must raise"
+          | exception Failure _ -> ());
+          Fatlock.release env fat;
+          check_int "released" 0 (Fatlock.owner fat)
+      | `Retired -> Alcotest.fail "retired without a deflater")
+
+let test_backend_names_round_trip () =
+  List.iter
+    (fun b ->
+      match Fatlock.backend_of_string (Fatlock.backend_name b) with
+      | Some b' -> check "round trip" true (b = b')
+      | None -> Alcotest.fail "backend name must parse back")
+    Fatlock.all_backends
+
 (* --- index table --- *)
 
 let test_index_table_basics () =
@@ -321,6 +435,16 @@ let () =
           Alcotest.test_case "notify without waiters" `Quick test_notify_no_waiters_is_noop;
           Alcotest.test_case "wait restores nested count" `Slow
             test_wait_restores_nested_count;
+        ] );
+      ( "hapax admission",
+        [
+          QCheck_alcotest.to_alcotest prop_hapax_fifo_admission;
+          Alcotest.test_case "delegation conserves critical sections" `Slow
+            test_delegation_conservation;
+          Alcotest.test_case "uncontended delegate acquires" `Quick
+            test_delegation_propagates_exception;
+          Alcotest.test_case "backend names round trip" `Quick
+            test_backend_names_round_trip;
         ] );
       ( "index table",
         [

@@ -433,6 +433,35 @@ let test_replay_par_stream_accepted name domains mode () =
     Alcotest.failf "%s par replay (%d domains) rejected: %s" name domains
       (report_str r)
 
+(* Same acceptance checks with a non-default contended-path backend:
+   hapax admission (and delegation) must emit streams the protocol
+   oracle verifies under the same strict/relaxed rules as the parker
+   entry queue. *)
+let test_replay_backend_stream_accepted name backend () =
+  let _ctx, d =
+    Policy_lab.replay_traced ~fat_backend:backend ~policy:(policy "always-idle")
+      (trace_of name)
+  in
+  check "no drops" true (d.Sink.dropped = []);
+  let r = Oracle.check ~mode:Oracle.Strict ~count_width:1 d in
+  if not (Oracle.ok r) then
+    Alcotest.failf "%s %s replay rejected: %s" name
+      (Tl_monitor.Fatlock.backend_name backend)
+      (report_str r)
+
+let test_replay_par_backend_stream_accepted name domains mode backend () =
+  let _res, d =
+    Policy_lab.replay_traced_par ~domains ~mode ~fat_backend:backend
+      ~policy:(policy "always-idle") (trace_of name)
+  in
+  check "no drops" true (d.Sink.dropped = []);
+  let omode = if domains > 1 then Oracle.Relaxed else Oracle.Strict in
+  let r = Oracle.check ~mode:omode ~count_width:1 d in
+  if not (Oracle.ok r) then
+    Alcotest.failf "%s %s par replay (%d domains) rejected: %s" name
+      (Tl_monitor.Fatlock.backend_name backend)
+      domains (report_str r)
+
 let test_residency_matches_policy_lab name pname () =
   let p = policy pname in
   let _ctx, d = Policy_lab.replay_traced ~policy:p (trace_of name) in
@@ -624,6 +653,14 @@ let () =
                Parallel_replay.Shuffle);
           Alcotest.test_case "mocha par 4 domains (affinity)" `Quick
             (test_replay_par_stream_accepted "mocha" 4 Parallel_replay.Affinity);
+          Alcotest.test_case "javacup hapax strict" `Quick
+            (test_replay_backend_stream_accepted "javacup" Tl_monitor.Fatlock.Hapax);
+          Alcotest.test_case "javacup par 2 domains (shuffle, hapax)" `Quick
+            (test_replay_par_backend_stream_accepted "javacup" 2
+               Parallel_replay.Shuffle Tl_monitor.Fatlock.Hapax);
+          Alcotest.test_case "javacup par 2 domains (shuffle, delegate)" `Quick
+            (test_replay_par_backend_stream_accepted "javacup" 2
+               Parallel_replay.Shuffle Tl_monitor.Fatlock.Delegate);
         ] );
       ( "residency",
         [
