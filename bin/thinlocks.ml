@@ -424,6 +424,68 @@ let fat_backend_arg =
         Tl_monitor.Fatlock.Parker
     & info [ "fat-backend" ] ~docv:"ENGINE" ~doc)
 
+(* Controller knobs, shared by every subcommand that can mount the
+   self-tuning reaper (--reap controlled). *)
+let controller_config_term =
+  let module Ctl = Tl_lifecycle.Controller in
+  let d = Ctl.default_config in
+  let epoch_scans_arg =
+    let doc = "Controller decision-epoch length, in census scans." in
+    Arg.(value & opt int d.Ctl.epoch_scans & info [ "ctl-epoch-scans" ] ~docv:"N" ~doc)
+  in
+  let patience_arg =
+    let doc = "Consecutive epochs a challenger policy must stay better before the \
+               controller switches a shard (the hysteresis bound)." in
+    Arg.(value & opt int d.Ctl.patience & info [ "ctl-patience" ] ~docv:"N" ~doc)
+  in
+  let margin_arg =
+    let doc = "Relative cost margin a challenger must win by (0.25 = 25%)." in
+    Arg.(value & opt float d.Ctl.margin & info [ "ctl-margin" ] ~docv:"F" ~doc)
+  in
+  let thrash_arg =
+    let doc = "Cost units charged per re-inflation a deflation provokes." in
+    Arg.(value & opt float d.Ctl.thrash_weight & info [ "ctl-thrash-weight" ] ~docv:"F" ~doc)
+  in
+  let budget_arg =
+    let doc = "Exploration token budget per shard (0 disables excursions)." in
+    Arg.(value & opt int d.Ctl.explore_budget & info [ "ctl-explore-budget" ] ~docv:"N" ~doc)
+  in
+  let refill_arg =
+    let doc = "Epochs between exploration-token refills (0 = never refill)." in
+    Arg.(value & opt int d.Ctl.explore_refill & info [ "ctl-explore-refill" ] ~docv:"N" ~doc)
+  in
+  let initial_arg =
+    let doc = "Policy every shard starts on (never, zero-contended-episodes, \
+               idle-for-4, always-idle)." in
+    Arg.(
+      value
+      & opt string (Ctl.policy_name d.Ctl.initial_policy)
+      & info [ "ctl-initial" ] ~docv:"POLICY" ~doc)
+  in
+  let build epoch_scans patience margin thrash_weight explore_budget explore_refill
+      initial =
+    match Ctl.policy_index initial with
+    | None ->
+        Printf.eprintf "unknown --ctl-initial policy %S\n" initial;
+        exit 2
+    | Some initial_policy ->
+        {
+          d with
+          Ctl.epoch_scans;
+          patience;
+          margin;
+          thrash_weight;
+          explore_budget;
+          explore_refill;
+          initial_policy;
+        }
+  in
+  Term.(
+    const build $ epoch_scans_arg $ patience_arg $ margin_arg $ thrash_arg
+    $ budget_arg $ refill_arg $ initial_arg)
+
+let reap_arg ~default ~doc = Arg.(value & opt string default & info [ "reap" ] ~docv:"MODE" ~doc)
+
 (* Schemes with a pluggable fat backend resolve to their registry
    variant; anything else must stay on the default parker engine. *)
 let apply_fat_backend scheme_name fat_backend =
@@ -468,15 +530,34 @@ let policy_lab_cmd =
                policy dimension, one head-to-head row per trace)." in
     Arg.(value & opt string "thin" & info [ "scheme" ] ~docv:"SCHEME" ~doc)
   in
-  let run max_syncs seed benchmarks domains affinity backend scheme fat_backend =
+  let lab_reap_arg =
+    reap_arg ~default:"none"
+      ~doc:
+        "Extra table row: $(b,controlled) appends the self-tuning feedback \
+         controller to each thin-scheme table so it ranks against the fixed \
+         policies ($(b,none) = fixed policies only)."
+  in
+  let run max_syncs seed benchmarks domains affinity backend scheme fat_backend reap
+      ctl =
     if scheme = "cjm" && fat_backend <> Tl_monitor.Fatlock.Parker then begin
       Printf.eprintf "the cjm scheme has no pluggable fat backend\n";
       exit 2
     end;
+    let controlled =
+      match reap with
+      | "none" -> None
+      | "controlled" -> Some ctl
+      | r ->
+          Printf.eprintf
+            "policy-lab --reap takes none or controlled (fixed policies are \
+             already rows), got %S\n"
+            r;
+          exit 2
+    in
     if domains <= 1 then
       print
         (Tl_workload.Policy_lab.table ~max_syncs ~seed ~benchmarks ~scheme
-           ~fat_backend ())
+           ~fat_backend ?controlled ())
     else
       let mode =
         if affinity then Tl_workload.Parallel_replay.Affinity
@@ -484,14 +565,15 @@ let policy_lab_cmd =
       in
       print
         (Tl_workload.Policy_lab.table_par ~max_syncs ~seed ~benchmarks ~backend
-           ~scheme ~fat_backend ~domains ~mode ())
+           ~scheme ~fat_backend ?controlled ~domains ~mode ())
   in
   Cmd.v
     (Cmd.info "policy-lab"
        ~doc:"Score every deflation policy against macro traces via the event stream")
     Term.(
       const run $ lab_max_syncs_arg $ seed_arg $ benchmarks_arg $ domains_arg
-      $ affinity_arg $ backend_arg $ lab_scheme_arg $ fat_backend_arg)
+      $ affinity_arg $ backend_arg $ lab_scheme_arg $ fat_backend_arg $ lab_reap_arg
+      $ controller_config_term)
 
 let replay_par_cmd =
   let module PR = Tl_workload.Parallel_replay in
@@ -542,8 +624,16 @@ let replay_par_cmd =
                monitor table drained." in
     Arg.(value & flag & info [ "oracle" ] ~doc)
   in
+  let par_reap_arg =
+    reap_arg ~default:"never"
+      ~doc:
+        "Deflation mode for the traced --oracle re-replay: a fixed policy name \
+         (never, always-idle, idle-for-4, zero-contended-episodes) or \
+         $(b,controlled) for the self-tuning per-shard feedback controller — \
+         its Policy_switch decisions land in the verified stream."
+  in
   let run benchmark domains shuffle scheme_name work tick_every interleave expect oracle
-      backend max_syncs seed fat_backend =
+      backend max_syncs seed fat_backend reap ctl =
     let scheme_name = apply_fat_backend scheme_name fat_backend in
     match Tl_workload.Profiles.find benchmark with
     | None ->
@@ -635,13 +725,26 @@ let replay_par_cmd =
               Tl_events.Oracle.check ~mode:omode ~protocol:Tl_events.Oracle.Cjm drained
             end
             else begin
-              let policy =
-                Option.get (Tl_workload.Policy_lab.policy_of_string "never")
+              let reap_mode =
+                match Tl_workload.Policy_lab.reap_of_string ~controller:ctl reap with
+                | Some r -> r
+                | None ->
+                    Printf.eprintf
+                      "unknown --reap mode %S (policy name or controlled)\n" reap;
+                    exit 2
               in
-              let _r, drained =
-                Tl_workload.Policy_lab.replay_traced_par ~interleave ~backend
-                  ~fat_backend ~domains ~mode ~policy trace
+              let _r, controller, drained =
+                Tl_workload.Policy_lab.replay_traced_par_reap ~interleave ~backend
+                  ~fat_backend ~domains ~mode ~reap:reap_mode trace
               in
+              (match controller with
+              | Some c ->
+                  Printf.printf
+                    "controller: %d policy switch(es) across %d shard(s) in the \
+                     verified stream\n"
+                    (Tl_lifecycle.Controller.switches_total c)
+                    (Tl_lifecycle.Controller.nshards c)
+              | None -> ());
               Tl_events.Oracle.check ~mode:omode ~count_width:1 drained
             end
           in
@@ -655,7 +758,8 @@ let replay_par_cmd =
     Term.(
       const run $ benchmark_arg $ domains_arg $ shuffle_arg $ scheme_arg $ work_arg
       $ tick_every_arg $ interleave_arg $ expect_contention_arg $ oracle_arg
-      $ backend_arg $ max_syncs_arg $ seed_arg $ fat_backend_arg)
+      $ backend_arg $ max_syncs_arg $ seed_arg $ fat_backend_arg $ par_reap_arg
+      $ controller_config_term)
 
 let fiber_storm_cmd =
   let module FS = Tl_workload.Fiber_storm in
@@ -708,8 +812,16 @@ let fiber_storm_cmd =
     in
     Arg.(value & opt string "thin" & info [ "scheme" ] ~docv:"SCHEME" ~doc)
   in
+  let storm_reap_arg =
+    reap_arg ~default:"none"
+      ~doc:
+        "Deflation under the storm: $(b,none) (monitors stay fat), a fixed \
+         policy name (never, always-idle, idle-for-4, zero-contended-episodes) \
+         or $(b,controlled) — the self-tuning per-shard feedback controller.  \
+         Thin scheme only; scans ride the quiescence announcements."
+  in
   let run fibers domains objects zipf ops in_flight rate no_yield no_trace no_oracle
-      scheme fat_backend seed =
+      scheme fat_backend reap ctl seed =
     let config =
       {
         FS.default_config with
@@ -723,6 +835,8 @@ let fiber_storm_cmd =
         yield_in_cs = not no_yield;
         scheme;
         fat_backend = Tl_monitor.Fatlock.backend_name fat_backend;
+        reap;
+        controller = ctl;
         seed;
       }
     in
@@ -748,7 +862,8 @@ let fiber_storm_cmd =
     Term.(
       const run $ fibers_arg $ domains_arg $ objects_arg $ zipf_arg $ ops_arg
       $ in_flight_arg $ rate_arg $ no_yield_arg $ no_trace_arg $ no_oracle_arg
-      $ storm_scheme_arg $ fat_backend_arg $ seed_arg)
+      $ storm_scheme_arg $ fat_backend_arg $ storm_reap_arg
+      $ controller_config_term $ seed_arg)
 
 (* Auto-detect on the format tag: text and binary dumps both start
    with a distinctive magic line. *)

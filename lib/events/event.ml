@@ -26,6 +26,7 @@ type kind =
   | Tid_overflow
   | Cjm_monitor_create
   | Cjm_monitor_evaporate
+  | Policy_switch
 
 type t = { seq : int; tid : int; kind : kind; arg : int }
 
@@ -35,7 +36,7 @@ let all_kinds =
     Release_nested; Release_fat; Inflate_contention; Inflate_wait; Inflate_overflow;
     Deflate_quiescent; Deflate_concurrent; Deflate_aborted; Contended_begin; Contended_end;
     Wait_op; Notify_op; Notify_all_op; Reaper_scan; Quiescence; Tid_overflow;
-    Cjm_monitor_create; Cjm_monitor_evaporate;
+    Cjm_monitor_create; Cjm_monitor_evaporate; Policy_switch;
   ]
 
 let kind_to_int = function
@@ -62,6 +63,7 @@ let kind_to_int = function
   | Tid_overflow -> 20
   | Cjm_monitor_create -> 21
   | Cjm_monitor_evaporate -> 22
+  | Policy_switch -> 23
 
 let n_kinds = List.length all_kinds
 
@@ -70,7 +72,7 @@ let n_kinds = List.length all_kinds
 let kind_bits = 5
 
 let carries_object = function
-  | Reaper_scan | Quiescence | Tid_overflow -> false
+  | Reaper_scan | Quiescence | Tid_overflow | Policy_switch -> false
   | _ -> true
 
 let fast_path = function
@@ -114,6 +116,7 @@ let kind_name = function
   | Tid_overflow -> "tid-overflow"
   | Cjm_monitor_create -> "cjm-monitor-create"
   | Cjm_monitor_evaporate -> "cjm-monitor-evaporate"
+  | Policy_switch -> "policy-switch"
 
 let kind_of_name =
   let table = Hashtbl.create 32 in

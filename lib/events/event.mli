@@ -48,6 +48,10 @@ type kind =
       (** CJM scheme: the table entry drained to zero owner/waiters and
           its monitor evaporated — no handshake, the unpinning mutator
           removes it directly; [arg] = object id *)
+  | Policy_switch
+      (** the deflation controller re-selected a shard's policy;
+          system stream, [arg] packs shard/old/new/score (see
+          [Tl_lifecycle.Controller.pack_switch]) *)
 
 type t = { seq : int; tid : int; kind : kind; arg : int }
 (** [seq] is assigned by the sink's drain-time merge: dense, starting
@@ -67,9 +71,9 @@ val kind_to_int : kind -> int
 val kind_of_int : int -> kind option
 
 val carries_object : kind -> bool
-(** [arg] is an object id for this kind ([Reaper_scan], [Quiescence]
-    and [Tid_overflow] are the only kinds whose arg is a count
-    instead).  The oracle's
+(** [arg] is an object id for this kind ([Reaper_scan], [Quiescence],
+    [Tid_overflow] and [Policy_switch] are the only kinds whose arg is
+    a count or packed record instead).  The oracle's
     per-object partitioning and the sink's 1-in-N object sampling both
     key off this predicate. *)
 

@@ -322,7 +322,9 @@ let rec step ~max_thin ~cjm st (e : Event.t) =
           Ok { st with cb }
       | _ ->
           err Stream_malformed "contended-end without a matching contended-begin")
-  | Event.Reaper_scan | Event.Quiescence | Event.Tid_overflow -> Ok st
+  | Event.Reaper_scan | Event.Quiescence | Event.Tid_overflow
+  | Event.Policy_switch ->
+      Ok st
 
 (* ------------------------------------------------------------------ *)
 (* Routing and structural checks.                                     *)
@@ -347,7 +349,8 @@ let is_thread_path = function
   | Event.Cjm_monitor_create | Event.Cjm_monitor_evaporate ->
       true
   | Event.Deflate_quiescent | Event.Deflate_concurrent | Event.Deflate_aborted
-  | Event.Reaper_scan | Event.Quiescence | Event.Tid_overflow ->
+  | Event.Reaper_scan | Event.Quiescence | Event.Tid_overflow
+  | Event.Policy_switch ->
       false
 
 (* A thread-path event on tid 0 is excluded from the automaton (owner 0

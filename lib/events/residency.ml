@@ -108,7 +108,7 @@ let feed t (e : Event.t) =
   | Event.Acquire_fat_queued | Event.Release_fast | Event.Release_nested
   | Event.Release_fat | Event.Contended_end | Event.Wait_op | Event.Notify_op
   | Event.Notify_all_op | Event.Reaper_scan | Event.Quiescence
-  | Event.Tid_overflow ->
+  | Event.Tid_overflow | Event.Policy_switch ->
       ()
 
 let summary t =

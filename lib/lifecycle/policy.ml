@@ -26,3 +26,16 @@ let zero_contended_episodes =
 
 let both a b =
   { name = Printf.sprintf "%s&%s" a.name b.name; decide = (fun c -> a.decide c && b.decide c) }
+
+type engine =
+  | Fixed of t
+  | Controlled of { name : string; decide : shard:int -> candidate -> bool }
+
+let fixed p = Fixed p
+let controlled ?(name = "controlled") decide = Controlled { name; decide }
+let engine_name = function Fixed p -> p.name | Controlled c -> c.name
+
+let engine_decide engine ~shard c =
+  match engine with
+  | Fixed p -> p.decide c
+  | Controlled e -> e.decide ~shard c

@@ -49,3 +49,23 @@ val zero_contended_episodes : t
 
 val both : t -> t -> t
 (** Conjunction. *)
+
+(** {1 Engines}
+
+    An engine generalises a fixed policy to {e per-shard} decisions:
+    the reaper consults it with the monitor-table shard that owns each
+    census candidate.  [Fixed] ignores the shard; [Controlled] is the
+    feedback controller's view of itself ([Controller.engine]), which
+    re-selects each shard's policy at runtime. *)
+
+type engine =
+  | Fixed of t
+  | Controlled of { name : string; decide : shard:int -> candidate -> bool }
+
+val fixed : t -> engine
+
+val controlled : ?name:string -> (shard:int -> candidate -> bool) -> engine
+(** Default name ["controlled"]. *)
+
+val engine_name : engine -> string
+val engine_decide : engine -> shard:int -> candidate -> bool

@@ -30,32 +30,57 @@ let pp_scan ppf s =
   Format.fprintf ppf "scanned %d, candidates %d, deflated %d, aborted %d, lost races %d, %.0f us"
     s.scanned s.candidates s.deflated s.aborted s.lost_races (s.elapsed *. 1e6)
 
-let scan_once ?(policy = Policy.always_idle) ctx =
+let scan_once ?(policy = Policy.always_idle) ?controller ctx =
   let t0 = Timer.now () in
+  let table = Thin.montable ctx in
+  let engine =
+    match controller with
+    | Some c -> Controller.engine c
+    | None -> Policy.fixed policy
+  in
   let scanned = ref 0
   and candidates = ref 0
   and deflated = ref 0
   and aborted = ref 0
   and lost_races = ref 0 in
-  Montable.iter_live (Thin.montable ctx) (fun ~handle:_ (entry : Montable.entry) ->
+  Montable.iter_live table (fun ~handle (entry : Montable.entry) ->
       incr scanned;
       (* A retired monitor in the census is just the tiny window before
          the winning deflater frees its slot; skip it. *)
       if not (Fatlock.is_retired entry.fat) then begin
+        let shard = Montable.shard_of_handle table handle in
         let candidate =
           {
             Policy.idle_scans = Fatlock.observe_idle entry.fat;
             contended_episodes = Fatlock.contended_episodes entry.fat;
           }
         in
-        if policy.Policy.decide candidate then begin
+        (* The controller sees every live entry — deflation decisions
+           and the statistics they feed back on ride the same walk. *)
+        (match controller with
+        | Some c ->
+            Controller.observe c
+              {
+                Controller.shard;
+                tag = Fatlock.tag entry.fat;
+                idle_scans = candidate.Policy.idle_scans;
+                contended_episodes = candidate.Policy.contended_episodes;
+                pipeline_quiet = Fatlock.pipeline_quiet entry.fat;
+              }
+        | None -> ());
+        if Policy.engine_decide engine ~shard candidate then begin
           incr candidates;
+          let tag = Fatlock.tag entry.fat in
           (* The handshake re-validates everything; the census entry
              may be stale by now (freed, even reallocated), in which
              case the lock word no longer names it and the attempt
              resolves as a lost race or a no-op. *)
           match Thin.deflate_lockword ctx ~cause:`Concurrent entry.lockword with
-          | `Deflated -> incr deflated
+          | `Deflated ->
+              incr deflated;
+              (match controller with
+              | Some c -> Controller.note_deflated c ~shard ~tag
+              | None -> ())
           | `Busy -> incr aborted
           | `Lost_race | `Not_inflated -> incr lost_races
         end
@@ -67,6 +92,20 @@ let scan_once ?(policy = Policy.always_idle) ctx =
   let events = Thin.events ctx in
   if Tl_events.Sink.enabled events then
     Tl_events.Sink.emit_system events ~kind:Tl_events.Event.Reaper_scan ~arg:!deflated;
+  (* Epoch boundaries land here: the controller's decision step runs on
+     the scanning thread, and every switch is traced on the system
+     stream before the next census walk can act on the new policy. *)
+  (match controller with
+  | Some c ->
+      let switches = Controller.scan_complete c in
+      List.iter
+        (fun sw ->
+          Lock_stats.add_extra stats "controller.switches" 1;
+          if Tl_events.Sink.enabled events then
+            Tl_events.Sink.emit_system events ~kind:Tl_events.Event.Policy_switch
+              ~arg:(Controller.pack_switch sw))
+        switches
+  | None -> ());
   {
     scanned = !scanned;
     candidates = !candidates;
@@ -104,7 +143,7 @@ let scans t =
   Mutex.unlock t.totals_mutex;
   n
 
-let start ?policy ?(interval = 0.0005) ctx =
+let start ?policy ?controller ?(interval = 0.0005) ctx =
   let t =
     {
       stop_flag = Atomic.make false;
@@ -116,7 +155,7 @@ let start ?policy ?(interval = 0.0005) ctx =
   in
   let body () =
     while not (Atomic.get t.stop_flag) do
-      accumulate t (scan_once ?policy ctx);
+      accumulate t (scan_once ?policy ?controller ctx);
       (* Yield even with a zero interval so single-core schedulers let
          the mutators run between scans. *)
       if interval > 0.0 then Thread.delay interval else Thread.yield ()
@@ -131,7 +170,7 @@ let stop t =
   t.thread <- None;
   totals t
 
-let on_quiescence ?policy ?(every = 1) runtime ctx =
+let on_quiescence ?policy ?controller ?(every = 1) runtime ctx =
   if every < 1 then invalid_arg "Reaper.on_quiescence: every";
   let announcements = Atomic.make 0 in
   (* Single-flight: multi-domain replays announce quiescence from every
@@ -146,5 +185,5 @@ let on_quiescence ?policy ?(every = 1) runtime ctx =
         if Atomic.compare_and_set in_flight false true then
           Fun.protect
             ~finally:(fun () -> Atomic.set in_flight false)
-            (fun () -> ignore (scan_once ?policy ctx))
+            (fun () -> ignore (scan_once ?policy ?controller ctx))
         else Lock_stats.add_extra (Thin.stats ctx) "reaper.collapsed_scans" 1)

@@ -27,16 +27,25 @@ val empty_scan : scan
 val add_scans : scan -> scan -> scan
 val pp_scan : Format.formatter -> scan -> unit
 
-val scan_once : ?policy:Policy.t -> Tl_core.Thin.ctx -> scan
+val scan_once : ?policy:Policy.t -> ?controller:Controller.t -> Tl_core.Thin.ctx -> scan
 (** One sweep over the census (default policy: {!Policy.always_idle}).
     The walk is racy by design; every candidate is re-validated by the
-    handshake, so concurrent allocation/free/locking is fine. *)
+    handshake, so concurrent allocation/free/locking is fine.
+
+    With [controller], the fixed policy is replaced by the feedback
+    controller's per-shard {!Policy.controlled} engine: every live
+    entry is fed to [Controller.observe], successful deflations to
+    [Controller.note_deflated], and the walk ends with
+    [Controller.scan_complete] — each switch it decides is emitted as
+    a [Policy_switch] event on the system stream and counted under the
+    ["controller.switches"] stat extra. *)
 
 (** {1 Background reaper} *)
 
 type t
 
-val start : ?policy:Policy.t -> ?interval:float -> Tl_core.Thin.ctx -> t
+val start :
+  ?policy:Policy.t -> ?controller:Controller.t -> ?interval:float -> Tl_core.Thin.ctx -> t
 (** Spawn a thread sweeping every [interval] seconds (default 0.5 ms;
     0 means back-to-back sweeps with a yield in between). *)
 
@@ -49,7 +58,12 @@ val scans : t -> int
 (** {1 Quiescence-driven reaping} *)
 
 val on_quiescence :
-  ?policy:Policy.t -> ?every:int -> Tl_runtime.Runtime.t -> Tl_core.Thin.ctx -> unit
+  ?policy:Policy.t ->
+  ?controller:Controller.t ->
+  ?every:int ->
+  Tl_runtime.Runtime.t ->
+  Tl_core.Thin.ctx ->
+  unit
 (** Register a quiescence hook running {!scan_once} at every [every]-th
     announcement (default 1) — the stop-the-world-adjacent mode: scans
     happen on a mutator thread at a point it declared safe.  Scans are

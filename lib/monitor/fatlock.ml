@@ -506,6 +506,16 @@ let holds env t = Spinlock.with_lock t.latch (fun () -> t.owner = my_index env)
 let pending_delegations t =
   match t.admission with Some h -> Hapax.pending_delegations h | None -> 0
 
+(* Advisory (unlatched) view of the admission pipeline, for the
+   deflation controller: a shard must not be steered toward an eager
+   policy while any of its monitors still has ticketed arrivals or
+   announced delegations in flight — deflating under a live pipeline
+   composes badly with FIFO admission (see [fast_claimable]). *)
+let pipeline_quiet t =
+  match t.admission with
+  | None -> true
+  | Some h -> Hapax.pipeline_empty h && Hapax.pending_delegations h = 0
+
 (* Idleness for deflation: unowned, no queued entrant, no waiter, no
    notified/timed-out waiter in flight back to re-acquisition — and,
    under an admission backend, an empty ticket pipeline and no

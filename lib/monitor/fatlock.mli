@@ -146,6 +146,14 @@ val pending_delegations : t -> int
 (** Announced-but-unfinished delegation requests (0 for non-[Delegate]
     backends). *)
 
+val pipeline_quiet : t -> bool
+(** Advisory: true when the admission pipeline is empty and no
+    delegation is announced (trivially true under [Parker]).  Racy by
+    design — the deflation controller reads it during the census walk
+    to keep a shard away from eager policies while tickets are in
+    flight; correctness never depends on it ({!retire_if_idle}
+    re-checks under the latch). *)
+
 val holds : Tl_runtime.Runtime.env -> t -> bool
 (** Does the calling thread own the monitor? *)
 

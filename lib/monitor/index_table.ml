@@ -71,6 +71,11 @@ let create ?(max_index = default_max_slot) ?(generation_width = default_generati
 let shard_count t = Array.length t.shards
 let slot_width t = t.slot_width
 let slot_of_handle t handle = handle land ((1 lsl t.slot_width) - 1)
+
+(* Slots are striped: shard [k] owns the slots congruent to [k] modulo
+   the shard count, so ownership is recoverable from the handle alone. *)
+let shard_of_handle t handle =
+  slot_of_handle t handle land (Array.length t.shards - 1)
 let generation_of_handle t handle = (handle lsr t.slot_width) land t.generation_mask
 let handle t ~slot ~generation = (generation lsl t.slot_width) lor slot
 

@@ -75,3 +75,9 @@ val slot_width : 'a t -> int
 
 val slot_of_handle : 'a t -> int -> int
 val generation_of_handle : 'a t -> int -> int
+
+val shard_of_handle : 'a t -> int -> int
+(** The allocation shard that owns the handle's slot (slots are striped
+    by shard, so this is stable for the handle's lifetime) — the
+    aggregation key the deflation controller groups its per-monitor
+    observations under. *)

@@ -28,3 +28,4 @@ let live t = Index_table.live t
 let reuses t = Index_table.reuses t
 let frees t = Index_table.frees t
 let shard_count t = Index_table.shard_count t
+let shard_of_handle t handle = Index_table.shard_of_handle t handle

@@ -78,3 +78,7 @@ val reuses : t -> int
 
 val frees : t -> int
 val shard_count : t -> int
+
+val shard_of_handle : t -> int -> int
+(** The allocation shard owning the handle's slot — the key the
+    deflation controller aggregates per-monitor observations under. *)

@@ -28,6 +28,7 @@ module Sink = Tl_events.Sink
 module Event = Tl_events.Event
 module Oracle = Tl_events.Oracle
 module Thin = Tl_core.Thin
+module Controller = Tl_lifecycle.Controller
 
 type config = {
   fibers : int;  (** total fibers over the whole run *)
@@ -49,6 +50,12 @@ type config = {
           the critical section runs through [Thin.sync], so a busy
           monitor executes it on the current owner instead of parking
           the fiber. *)
+  reap : string;
+      (** deflation under the storm ("none" = leave monitors fat): a
+          shipped policy name or "controlled" for the feedback
+          controller; thin scheme only.  Scans ride the quiescence
+          announcements. *)
+  controller : Controller.config;  (** knobs for [reap = "controlled"] *)
   seed : int;
 }
 
@@ -68,6 +75,8 @@ let default_config =
     quiescence_every = 0;
     scheme = "thin";
     fat_backend = "parker";
+    reap = "none";
+    controller = Controller.default_config;
     seed = 0x57084;
   }
 
@@ -86,6 +95,11 @@ type result = {
   events : int;
   dropped : int;
   leaked_entries : int;
+  reaper_scans : int;  (** census walks run by the reaper (0 when [reap = "none"]) *)
+  deflations : int;  (** successful concurrent deflations under the storm *)
+  controller : Controller.shard_snapshot array option;
+      (** per-shard controller state at storm end ([reap = "controlled"]) *)
+  policy_switches : int;  (** controller switches over the whole storm *)
   oracle : Oracle.report option;
 }
 
@@ -103,7 +117,16 @@ let validate c =
   | None ->
       invalid_arg "Fiber_storm: fat_backend (expected parker, hapax or delegate)");
   if c.scheme = "cjm" && c.fat_backend <> "parker" then
-    invalid_arg "Fiber_storm: the cjm scheme has no pluggable fat backend"
+    invalid_arg "Fiber_storm: the cjm scheme has no pluggable fat backend";
+  if c.reap <> "none" then begin
+    (match Policy_lab.reap_of_string ~controller:c.controller c.reap with
+    | Some _ -> ()
+    | None ->
+        invalid_arg
+          "Fiber_storm: reap (expected none, controlled or a shipped policy name)");
+    if c.scheme <> "thin" then
+      invalid_arg "Fiber_storm: reap needs the thin scheme (cjm evaporates on its own)"
+  end
 
 (* Zipf sampling over [n] ranks via the precomputed CDF and a binary
    search per draw — [Prng.categorical] is a linear scan, far too slow
@@ -139,7 +162,15 @@ let ring_capacity_for c =
   let per_segment = (c.ops_per_fiber * 8) + 4 in
   next_pow2 (max 256 (2 * segments * per_segment))
 
-let system_capacity_for c = next_pow2 (max 65536 (c.fibers / 8))
+(* With a reaper mounted, the system stream also carries every
+   concurrent deflation, the per-scan marks and the controller's
+   switch decisions — size it to the op count so an eager policy's
+   churn cannot drop events out from under the oracle. *)
+let system_capacity_for c =
+  let base = max 65536 (c.fibers / 8) in
+  next_pow2
+    (if c.reap = "none" then base
+     else max base (2 * c.fibers * c.ops_per_fiber))
 
 let run ?(trace = true) ?(oracle = true) config =
   validate config;
@@ -181,6 +212,14 @@ let run ?(trace = true) ?(oracle = true) config =
   in
   let completed = Atomic.make 0 in
   let cdf = zipf_cdf ~theta:config.zipf config.objects in
+  let reap_mode =
+    if config.reap = "none" then None
+    else Policy_lab.reap_of_string ~controller:config.controller config.reap
+  in
+  (* The thin ctx lives inside the scheduler closure; these smuggle the
+     reaper-facing state out for the result. *)
+  let controller_ref = ref None in
+  let stats_ref = ref None in
   let elapsed, overflow_waits, leaked_entries =
     Scheduler.run ~domains:config.domains runtime (fun genv ->
         (* The lock under the storm: thin locks by default, or the CJM
@@ -206,6 +245,20 @@ let run ?(trace = true) ?(oracle = true) config =
               let ctx =
                 Thin.create_with ~config:thin_config ~events:sink runtime
               in
+              stats_ref := Some (Thin.stats ctx);
+              (match reap_mode with
+              | None -> ()
+              | Some (Policy_lab.Reap_fixed policy) ->
+                  Tl_lifecycle.Reaper.on_quiescence ~policy runtime ctx
+              | Some (Policy_lab.Reap_controlled cc) ->
+                  let c =
+                    Controller.create ~config:cc
+                      ~nshards:
+                        (Tl_monitor.Montable.shard_count (Thin.montable ctx))
+                      ()
+                  in
+                  controller_ref := Some c;
+                  Tl_lifecycle.Reaper.on_quiescence ~controller:c runtime ctx);
               let run =
                 if fat_backend = Tl_monitor.Fatlock.Delegate then fun env o body ->
                   let t0 = Tl_util.Timer.now_ns () in
@@ -303,6 +356,22 @@ let run ?(trace = true) ?(oracle = true) config =
     dropped =
       List.fold_left (fun a (_, n) -> a + n) 0 drained.Sink.dropped;
     leaked_entries;
+    reaper_scans =
+      (match !stats_ref with
+      | Some stats when config.reap <> "none" ->
+          let snap = Tl_core.Lock_stats.snapshot stats in
+          (try List.assoc "reaper.scans" snap.Tl_core.Lock_stats.extra
+           with Not_found -> 0)
+      | _ -> 0);
+    deflations =
+      (match !stats_ref with
+      | Some stats -> Tl_core.Lock_stats.deflation_count stats
+      | None -> 0);
+    controller = Option.map Controller.snapshot !controller_ref;
+    policy_switches =
+      (match !controller_ref with
+      | Some c -> Controller.switches_total c
+      | None -> 0);
     oracle = report;
   }
 
@@ -323,6 +392,21 @@ let pp ppf (r : result) =
     Format.fprintf ppf "@\n  cjm table    %d leaked entr%s after drain"
       r.leaked_entries
       (if r.leaked_entries = 1 then "y" else "ies");
+  if r.config.reap <> "none" then
+    Format.fprintf ppf "@\n  reaper       %s: %d scan(s), %d deflation(s)"
+      r.config.reap r.reaper_scans r.deflations;
+  (match r.controller with
+  | Some shards ->
+      Format.fprintf ppf
+        "@\n  controller   %d switch(es); shard policies [%s]"
+        r.policy_switches
+        (String.concat " "
+           (Array.to_list
+              (Array.map
+                 (fun (s : Controller.shard_snapshot) ->
+                   Controller.policy_name s.Controller.policy)
+                 shards)))
+  | None -> ());
   if r.events > 0 || r.dropped > 0 then
     Format.fprintf ppf "@\n  trace        %d event(s), %d dropped" r.events
       r.dropped;

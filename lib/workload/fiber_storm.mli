@@ -39,6 +39,15 @@ type config = {
           (flat combining — critical sections run through [Thin.sync],
           so a fiber that finds the monitor busy hands its section to
           the owner instead of parking).  Thin scheme only. *)
+  reap : string;
+      (** deflation under the storm: ["none"] (default — monitors stay
+          fat once inflated), a shipped policy name
+          ([Policy_lab.shipped_policies]) or ["controlled"] for the
+          self-tuning feedback controller.  The reaper rides the
+          quiescence announcements ([quiescence_every]).  Thin scheme
+          only. *)
+  controller : Tl_lifecycle.Controller.config;
+      (** knobs for [reap = "controlled"]; ignored otherwise *)
   seed : int;
 }
 
@@ -69,6 +78,16 @@ type result = {
   leaked_entries : int;
       (** CJM runs: table entries still live after every fiber drained
           (must be 0 — the conservation invariant); always 0 for thin *)
+  reaper_scans : int;
+      (** census walks the quiescence-mounted reaper ran (0 when
+          [reap = "none"]) *)
+  deflations : int;  (** successful concurrent deflations under the storm *)
+  controller : Tl_lifecycle.Controller.shard_snapshot array option;
+      (** per-shard controller state at storm end, [reap = "controlled"]
+          runs only — switch counts, estimated rates, dwell histograms *)
+  policy_switches : int;
+      (** controller policy switches over the whole storm (exploration
+          legs included); 0 unless [reap = "controlled"] *)
   oracle : Tl_events.Oracle.report option;
 }
 

@@ -20,6 +20,7 @@ module Thin = Tl_core.Thin
 module Scheme_intf = Tl_core.Scheme_intf
 module Policy = Tl_lifecycle.Policy
 module Reaper = Tl_lifecycle.Reaper
+module Controller = Tl_lifecycle.Controller
 module Sink = Tl_events.Sink
 module Event = Tl_events.Event
 module T = Tl_util.Tablefmt
@@ -35,8 +36,38 @@ let shipped_policies =
 let policy_of_string name =
   List.find_opt (fun p -> p.Policy.name = name) shipped_policies
 
-let replay_traced ?(count_width = 1) ?(quiescence_every = 64) ?sampling
-    ?(fat_backend = Tl_monitor.Fatlock.Parker) ~policy (trace : Tracegen.t) =
+(* How the reaper is driven: a fixed policy, or the self-tuning
+   feedback controller re-selecting per-shard policies at runtime. *)
+type reap = Reap_fixed of Policy.t | Reap_controlled of Controller.config
+
+let reap_name = function
+  | Reap_fixed p -> p.Policy.name
+  | Reap_controlled _ -> "controlled"
+
+let reap_of_string ?(controller = Controller.default_config) name =
+  if String.equal name "controlled" then Some (Reap_controlled controller)
+  else Option.map (fun p -> Reap_fixed p) (policy_of_string name)
+
+(* Labels the controlled rows in scores: decisions live in the
+   controller, not in a fixed predicate. *)
+let controlled_label = Policy.v ~name:"controlled" (fun _ -> false)
+
+let attach_reaper ~reap runtime ctx =
+  match reap with
+  | Reap_fixed policy ->
+      Reaper.on_quiescence ~policy runtime ctx;
+      None
+  | Reap_controlled config ->
+      let controller =
+        Controller.create ~config
+          ~nshards:(Tl_monitor.Montable.shard_count (Thin.montable ctx))
+          ()
+      in
+      Reaper.on_quiescence ~controller runtime ctx;
+      Some controller
+
+let replay_traced_reap ?(count_width = 1) ?(quiescence_every = 64) ?sampling
+    ?(fat_backend = Tl_monitor.Fatlock.Parker) ~reap (trace : Tracegen.t) =
   let ops = trace.Tracegen.ops in
   (* Room for one acquire + one release event per op, plus inflations,
      deflations, scans and quiescence marks: no drops, so the scores
@@ -48,7 +79,7 @@ let replay_traced ?(count_width = 1) ?(quiescence_every = 64) ?sampling
   Runtime.set_event_sink runtime sink;
   let config = { Thin.default_config with count_width; fat_backend } in
   let ctx = Thin.create_with ~config ~events:sink runtime in
-  Reaper.on_quiescence ~policy runtime ctx;
+  let controller = attach_reaper ~reap runtime ctx in
   let env = Runtime.main_env runtime in
   let heap = Tl_heap.Heap.create () in
   let pool = Tl_heap.Heap.alloc_many heap trace.Tracegen.pool_size in
@@ -63,7 +94,15 @@ let replay_traced ?(count_width = 1) ?(quiescence_every = 64) ?sampling
   for _ = 1 to 16 do
     Runtime.quiescence_point ~env runtime
   done;
-  (ctx, Sink.drain sink)
+  (ctx, controller, Sink.drain sink)
+
+let replay_traced ?count_width ?quiescence_every ?sampling ?fat_backend ~policy
+    trace =
+  let ctx, _, drained =
+    replay_traced_reap ?count_width ?quiescence_every ?sampling ?fat_backend
+      ~reap:(Reap_fixed policy) trace
+  in
+  (ctx, drained)
 
 (* CJM traced replays: same sink sizing and settle structure as the
    thin ones, but packing the headerless scheme — no count width (the
@@ -169,7 +208,7 @@ let score_stream ~policy (d : Sink.drained) =
       | Event.Release_fast | Event.Release_nested | Event.Release_fat
       | Event.Contended_end | Event.Wait_op | Event.Notify_op
       | Event.Notify_all_op | Event.Reaper_scan | Event.Quiescence
-      | Event.Tid_overflow ->
+      | Event.Tid_overflow | Event.Policy_switch ->
           ())
     d.Sink.events;
   let span =
@@ -199,6 +238,15 @@ let run_one ?count_width ?quiescence_every ?fat_backend ~policy trace =
   in
   score_stream ~policy drained
 
+let run_one_reap ?count_width ?quiescence_every ?fat_backend ~reap trace =
+  let _ctx, controller, drained =
+    replay_traced_reap ?count_width ?quiescence_every ?fat_backend ~reap trace
+  in
+  let label =
+    match reap with Reap_fixed p -> p | Reap_controlled _ -> controlled_label
+  in
+  (controller, score_stream ~policy:label drained)
+
 (* Labels the CJM rows in the tables: the scheme has no deflation
    policy to select — evaporate-on-idle is the lifecycle — so the
    [decide] function is never consulted (no reaper is attached). *)
@@ -213,7 +261,7 @@ let run_one_cjm ?quiescence_every trace =
 let default_benchmarks = [ "javalex"; "javacup"; "mocha" ]
 
 let table ?(max_syncs = 20_000) ?(seed = 1998) ?(benchmarks = default_benchmarks)
-    ?(scheme = "thin") ?(fat_backend = Tl_monitor.Fatlock.Parker) () =
+    ?(scheme = "thin") ?(fat_backend = Tl_monitor.Fatlock.Parker) ?controlled () =
   (match scheme with
   | "thin" | "cjm" -> ()
   | s -> invalid_arg (Printf.sprintf "Policy_lab.table: scheme %S (thin or cjm)" s));
@@ -244,7 +292,13 @@ let table ?(max_syncs = 20_000) ?(seed = 1998) ?(benchmarks = default_benchmarks
       let trace = Tracegen.generate ~seed ~max_syncs profile in
       let scores =
         if scheme = "cjm" then [ run_one_cjm trace ]
-        else List.map (fun policy -> run_one ~fat_backend ~policy trace) shipped_policies
+        else
+          List.map (fun policy -> run_one ~fat_backend ~policy trace) shipped_policies
+          @
+          match controlled with
+          | None -> []
+          | Some config ->
+              [ snd (run_one_reap ~fat_backend ~reap:(Reap_controlled config) trace) ]
       in
       let rows =
         List.map
@@ -297,9 +351,9 @@ let table ?(max_syncs = 20_000) ?(seed = 1998) ?(benchmarks = default_benchmarks
    diverge from [always_idle].  The quiescence announcements that drive
    the reaper ride the scheduler's per-domain tick. *)
 
-let replay_traced_par ?(count_width = 1) ?(quiescence_every = 64) ?(interleave = false)
-    ?(backend = Parallel_replay.Os_domains)
-    ?(fat_backend = Tl_monitor.Fatlock.Parker) ~domains ~mode ~policy
+let replay_traced_par_reap ?(count_width = 1) ?(quiescence_every = 64)
+    ?(interleave = false) ?(backend = Parallel_replay.Os_domains)
+    ?(fat_backend = Tl_monitor.Fatlock.Parker) ~domains ~mode ~reap
     (trace : Tracegen.t) =
   let ops = trace.Tracegen.ops in
   let sink = Sink.create ~ring_capacity:((4 * Array.length ops) + 4096) () in
@@ -307,7 +361,7 @@ let replay_traced_par ?(count_width = 1) ?(quiescence_every = 64) ?(interleave =
   Runtime.set_event_sink runtime sink;
   let config = { Thin.default_config with count_width; fat_backend } in
   let ctx = Thin.create_with ~config ~events:sink runtime in
-  Reaper.on_quiescence ~policy runtime ctx;
+  let controller = attach_reaper ~reap runtime ctx in
   let scheme = Scheme_intf.pack (module Thin) ctx in
   let tick env =
     Runtime.quiescence_point ~env runtime;
@@ -339,7 +393,15 @@ let replay_traced_par ?(count_width = 1) ?(quiescence_every = 64) ?(interleave =
   for _ = 1 to 16 do
     Runtime.quiescence_point ~env runtime
   done;
-  (result, Sink.drain sink)
+  (result, controller, Sink.drain sink)
+
+let replay_traced_par ?count_width ?quiescence_every ?interleave ?backend
+    ?fat_backend ~domains ~mode ~policy trace =
+  let result, _, drained =
+    replay_traced_par_reap ?count_width ?quiescence_every ?interleave ?backend
+      ?fat_backend ~domains ~mode ~reap:(Reap_fixed policy) trace
+  in
+  (result, drained)
 
 let run_one_par ?count_width ?quiescence_every ?interleave ?backend ?fat_backend
     ~domains ~mode ~policy trace =
@@ -349,6 +411,17 @@ let run_one_par ?count_width ?quiescence_every ?interleave ?backend ?fat_backend
   in
   (result, score_stream ~policy drained)
 
+let run_one_par_reap ?count_width ?quiescence_every ?interleave ?backend
+    ?fat_backend ~domains ~mode ~reap trace =
+  let result, controller, drained =
+    replay_traced_par_reap ?count_width ?quiescence_every ?interleave ?backend
+      ?fat_backend ~domains ~mode ~reap trace
+  in
+  let label =
+    match reap with Reap_fixed p -> p | Reap_controlled _ -> controlled_label
+  in
+  (result, controller, score_stream ~policy:label drained)
+
 let run_one_par_cjm ?quiescence_every ?interleave ?backend ~domains ~mode trace =
   let result, _ctx, drained =
     replay_traced_par_cjm ?quiescence_every ?interleave ?backend ~domains ~mode trace
@@ -357,7 +430,7 @@ let run_one_par_cjm ?quiescence_every ?interleave ?backend ~domains ~mode trace 
 
 let table_par ?(max_syncs = 20_000) ?(seed = 1998) ?(benchmarks = default_benchmarks)
     ?(interleave = true) ?(backend = Parallel_replay.Os_domains) ?(scheme = "thin")
-    ?(fat_backend = Tl_monitor.Fatlock.Parker) ~domains ~mode () =
+    ?(fat_backend = Tl_monitor.Fatlock.Parker) ?controlled ~domains ~mode () =
   (match scheme with
   | "thin" | "cjm" -> ()
   | s -> invalid_arg (Printf.sprintf "Policy_lab.table_par: scheme %S (thin or cjm)" s));
@@ -409,6 +482,15 @@ let table_par ?(max_syncs = 20_000) ?(seed = 1998) ?(benchmarks = default_benchm
               in
               s)
             shipped_policies
+          @
+          match controlled with
+          | None -> []
+          | Some config ->
+              let _result, _controller, s =
+                run_one_par_reap ~interleave ~backend ~fat_backend ~domains ~mode
+                  ~reap:(Reap_controlled config) trace
+              in
+              [ s ]
       in
       let rows =
         List.map

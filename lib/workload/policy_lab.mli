@@ -27,6 +27,30 @@ val shipped_policies : Tl_lifecycle.Policy.t list
 val policy_of_string : string -> Tl_lifecycle.Policy.t option
 (** Look a shipped policy up by its name. *)
 
+(** {1 Reap modes}
+
+    How the reaper attached to a replay is driven: a fixed shipped
+    policy, or the self-tuning feedback controller
+    ([Tl_lifecycle.Controller]) re-selecting each monitor-table
+    shard's policy at runtime from the statistics the census walk
+    feeds it. *)
+
+type reap =
+  | Reap_fixed of Tl_lifecycle.Policy.t
+  | Reap_controlled of Tl_lifecycle.Controller.config
+
+val reap_name : reap -> string
+(** The policy's name, or ["controlled"]. *)
+
+val reap_of_string :
+  ?controller:Tl_lifecycle.Controller.config -> string -> reap option
+(** Shipped-policy names resolve to [Reap_fixed]; ["controlled"] to
+    [Reap_controlled controller] (default {!Tl_lifecycle.Controller.default_config}). *)
+
+val controlled_label : Tl_lifecycle.Policy.t
+(** Labels controlled-mode score rows ["controlled"]; its [decide] is
+    never consulted (decisions live in the controller). *)
+
 val replay_traced :
   ?count_width:int ->
   ?quiescence_every:int ->
@@ -42,6 +66,19 @@ val replay_traced :
     [fat_backend] (default [Parker]) selects the monitors' contended
     path — see [Tl_monitor.Fatlock.backend].
     Returns the ctx (for counter inspection) and the drained stream. *)
+
+val replay_traced_reap :
+  ?count_width:int ->
+  ?quiescence_every:int ->
+  ?sampling:Tl_events.Sink.sampling ->
+  ?fat_backend:Tl_monitor.Fatlock.backend ->
+  reap:reap ->
+  Tracegen.t ->
+  Tl_core.Thin.ctx * Tl_lifecycle.Controller.t option * Tl_events.Sink.drained
+(** {!replay_traced} generalised over the {!reap} mode.  In
+    [Reap_controlled] mode the controller (created with the ctx's
+    monitor-table shard count) is returned for snapshot inspection;
+    its [Policy_switch] decisions are in the drained stream. *)
 
 val replay_traced_cjm :
   ?quiescence_every:int ->
@@ -95,6 +132,16 @@ val run_one :
   score
 (** {!replay_traced} then {!score_stream}. *)
 
+val run_one_reap :
+  ?count_width:int ->
+  ?quiescence_every:int ->
+  ?fat_backend:Tl_monitor.Fatlock.backend ->
+  reap:reap ->
+  Tracegen.t ->
+  Tl_lifecycle.Controller.t option * score
+(** {!replay_traced_reap} then {!score_stream} (controlled rows are
+    labelled ["controlled"]). *)
+
 val run_one_cjm : ?quiescence_every:int -> Tracegen.t -> score
 (** {!replay_traced_cjm} then {!score_stream}: CJM's intrinsic
     evaporate-on-idle lifecycle scored by the same metrics (inflations
@@ -109,6 +156,7 @@ val table :
   ?benchmarks:string list ->
   ?scheme:string ->
   ?fat_backend:Tl_monitor.Fatlock.backend ->
+  ?controlled:Tl_lifecycle.Controller.config ->
   unit ->
   string
 (** Render the comparison: one table per benchmark trace (default
@@ -116,7 +164,9 @@ val table :
     metrics, followed by a lab-score ranking line.  [scheme] (default
     ["thin"]) selects the lock under the lab: ["cjm"] replays each
     trace on the transient monitor table instead — one row per trace,
-    no policy dimension — for comparison against the thin tables. *)
+    no policy dimension — for comparison against the thin tables.
+    [controlled] appends a feedback-controller row to each thin table
+    so the self-tuning mode ranks against the fixed policies. *)
 
 (** {1 Multi-domain lab}
 
@@ -163,6 +213,35 @@ val run_one_par :
   Parallel_replay.result * score
 (** {!replay_traced_par} then {!score_stream}. *)
 
+val replay_traced_par_reap :
+  ?count_width:int ->
+  ?quiescence_every:int ->
+  ?interleave:bool ->
+  ?backend:Parallel_replay.backend ->
+  ?fat_backend:Tl_monitor.Fatlock.backend ->
+  domains:int ->
+  mode:Parallel_replay.mode ->
+  reap:reap ->
+  Tracegen.t ->
+  Parallel_replay.result * Tl_lifecycle.Controller.t option * Tl_events.Sink.drained
+(** {!replay_traced_par} generalised over the {!reap} mode; the
+    controller is returned in [Reap_controlled] mode.  Decision epochs
+    ride the single-flight quiescence scans, so switches land between
+    census walks no matter how many domains announce. *)
+
+val run_one_par_reap :
+  ?count_width:int ->
+  ?quiescence_every:int ->
+  ?interleave:bool ->
+  ?backend:Parallel_replay.backend ->
+  ?fat_backend:Tl_monitor.Fatlock.backend ->
+  domains:int ->
+  mode:Parallel_replay.mode ->
+  reap:reap ->
+  Tracegen.t ->
+  Parallel_replay.result * Tl_lifecycle.Controller.t option * score
+(** {!replay_traced_par_reap} then {!score_stream}. *)
+
 val run_one_par_cjm :
   ?quiescence_every:int ->
   ?interleave:bool ->
@@ -182,6 +261,7 @@ val table_par :
   ?backend:Parallel_replay.backend ->
   ?scheme:string ->
   ?fat_backend:Tl_monitor.Fatlock.backend ->
+  ?controlled:Tl_lifecycle.Controller.config ->
   domains:int ->
   mode:Parallel_replay.mode ->
   unit ->
@@ -189,4 +269,5 @@ val table_par :
 (** The parallel counterpart of {!table}: one table per benchmark with
     a contended-episode column, [interleave] on by default.  Shuffle
     mode is the interesting one — it is where the contended column goes
-    non-zero and the ranking can reorder. *)
+    non-zero and the ranking can reorder.  [controlled] appends the
+    feedback-controller row, as in {!table}. *)

@@ -428,7 +428,8 @@ let mutate ~seed g =
     | Event.Deflate_aborted ->
         add "retag-aborted-as-deflated" Oracle.Deflation_without_handshake
           (fun () -> renumber (retag arr i Event.Deflate_quiescent))
-    | Event.Reaper_scan | Event.Quiescence | Event.Tid_overflow ->
+    | Event.Reaper_scan | Event.Quiescence | Event.Tid_overflow
+    | Event.Policy_switch ->
         if i < n - 1 then
           add "drop-unrenumbered" Oracle.Stream_malformed (fun () -> drop arr i)
     | Event.Acquire_fat | Event.Acquire_fat_queued | Event.Release_fat

@@ -8,6 +8,7 @@
 open Tl_events
 module Runtime = Tl_runtime.Runtime
 module Thin = Tl_core.Thin
+module Ctl = Tl_lifecycle.Controller
 module H = Tl_heap.Heap
 
 let check = Alcotest.(check bool)
@@ -372,6 +373,17 @@ let golden_stream () =
   Sink.emit sink ~tid:1 ~kind:Event.Release_fat ~arg:7;
   Sink.emit_system sink ~kind:Event.Deflate_quiescent ~arg:7;
   Sink.emit_system sink ~kind:Event.Reaper_scan ~arg:1;
+  (* controller decisions ride the system stream with a packed arg —
+     one hysteresis move, one exploration leg (bit 40 set): the golden
+     text pins the packing *)
+  Sink.emit_system sink ~kind:Event.Policy_switch
+    ~arg:
+      (Ctl.pack_switch
+         { Ctl.shard = 5; from_policy = 2; to_policy = 3; score = 1250; explore = false });
+  Sink.emit_system sink ~kind:Event.Policy_switch
+    ~arg:
+      (Ctl.pack_switch
+         { Ctl.shard = 0; from_policy = 0; to_policy = 3; score = 0; explore = true });
   (* boundary values: negative arg, max tid, max-int arg *)
   Sink.emit sink ~tid:3 ~kind:Event.Notify_op ~arg:(-42);
   Sink.emit sink ~tid:(Sink.max_tids - 1) ~kind:Event.Wait_op ~arg:max_int;
@@ -384,17 +396,19 @@ let golden_stream () =
 
 let golden_text =
   "# thinlocks-events v1\n\
-   events 10\n\
+   events 12\n\
    0 1 acquire-fast 7\n\
    1 1 inflate-overflow 7\n\
    2 2 acquire-fat-queued 7\n\
    3 1 release-fat 7\n\
    4 0 deflate-quiescent 7\n\
    5 0 reaper-scan 1\n\
-   6 3 notify -42\n\
-   7 32767 wait 4611686018427387903\n\
-   8 2 cjm-monitor-create 9\n\
-   9 2 cjm-monitor-evaporate 9\n"
+   6 0 policy-switch 1310924805\n\
+   7 0 policy-switch 1099511824384\n\
+   8 3 notify -42\n\
+   9 32767 wait 4611686018427387903\n\
+   10 2 cjm-monitor-create 9\n\
+   11 2 cjm-monitor-evaporate 9\n"
 
 let test_codec_golden () =
   check_str "golden encoding" golden_text (Codec.to_string (golden_stream ()))

@@ -1,12 +1,17 @@
-(* Lifecycle subsystem tests: policy decisions, reaper scans, and the
+(* Lifecycle subsystem tests: policy decisions, reaper scans, the
    headline stress — deflation running concurrently with live lockers,
-   with no lost wakeups and no stale-monitor acquires. *)
+   with no lost wakeups and no stale-monitor acquires — and the
+   feedback controller's property battery: regime convergence,
+   hysteresis bounds, the exploration budget, and the hapax
+   pipeline guard. *)
 
 open Tl_core
 open Tl_lifecycle
 module Header = Tl_heap.Header
 module Runtime = Tl_runtime.Runtime
 module Montable = Tl_monitor.Montable
+module Fatlock = Tl_monitor.Fatlock
+module Ctl = Controller
 module H = Tl_heap.Heap
 
 let check = Alcotest.(check bool)
@@ -133,6 +138,344 @@ let test_zero_contended_policy_keeps_contended_locks_fat () =
   check "hot lock stays fat" true (Header.is_inflated (Thin.lock_word hot));
   check "quiet lock thin again" false (Header.is_inflated (Thin.lock_word quiet))
 
+(* --- the feedback controller: synthetic stat streams --- *)
+
+let ctl_config ?(epoch_scans = 4) ?(explore_budget = 0) ?(explore_refill = 0)
+    ?(initial_policy = Ctl.default_policy) () =
+  {
+    Ctl.epoch_scans;
+    patience = 2;
+    margin = 0.25;
+    (* The property battery pins regime convergence at the heavy
+       thrash weight (see Controller.default_config for why the
+       shipped default is lighter). *)
+    thrash_weight = 4.0;
+    ewma_alpha = 0.3;
+    explore_budget;
+    explore_refill;
+    initial_policy;
+  }
+
+(* Closed-loop synthetic census over one shard: [hot] monitors pinned
+   busy-and-contended, [objects - hot] cold monitors going idle, with
+   deflation decided by the controller's own incumbent policy and a
+   Bresenham accumulator re-inflating deflated monitors at exactly
+   rate [reinflate] — no randomness, so every sampled regime is a
+   deterministic stream.  Returns the controller and the switches it
+   emitted, each stamped with the census scan it fired on. *)
+let run_regime ~config ~epochs ~objects:k ~hot ~reinflate:r () =
+  let t = Ctl.create ~config ~nshards:1 () in
+  let cold = k - hot in
+  let live = ref (List.init cold (fun i -> (i, 1))) in
+  let next_tag = ref k and acc = ref 0.0 in
+  let switches = ref [] in
+  for scan = 1 to epochs * config.Ctl.epoch_scans do
+    let policy = Ctl.policy_for t 0 in
+    for h = 0 to hot - 1 do
+      Ctl.observe t
+        {
+          Ctl.shard = 0;
+          tag = 1_000_000 + h;
+          idle_scans = 0;
+          contended_episodes = 1;
+          pipeline_quiet = true;
+        }
+    done;
+    let survivors = ref [] and fresh = ref 0 in
+    List.iter
+      (fun (tag, idle) ->
+        Ctl.observe t
+          {
+            Ctl.shard = 0;
+            tag;
+            idle_scans = idle;
+            contended_episodes = 0;
+            pipeline_quiet = true;
+          };
+        if
+          policy.Policy.decide
+            { Policy.idle_scans = idle; contended_episodes = 0 }
+        then begin
+          Ctl.note_deflated t ~shard:0 ~tag;
+          acc := !acc +. r;
+          if !acc >= 1.0 then begin
+            (* prompt re-inflation: the same tag is back in the census
+               next scan, where [observe] books the thrash *)
+            acc := !acc -. 1.0;
+            survivors := (tag, 1) :: !survivors
+          end
+          else incr fresh
+        end
+        else survivors := (tag, idle + 1) :: !survivors)
+      !live;
+    (* the cold population stays constant: evaporated monitors are
+       replaced by fresh objects inflating for the first time *)
+    for _ = 1 to !fresh do
+      survivors := (!next_tag, 1) :: !survivors;
+      incr next_tag
+    done;
+    live := !survivors;
+    List.iter
+      (fun sw -> switches := (scan, sw) :: !switches)
+      (Ctl.scan_complete t)
+  done;
+  (t, List.rev !switches)
+
+let stable_convergence ~config ~epochs ~want (t, switches) =
+  let snap = (Ctl.snapshot t).(0) in
+  let half_scan = epochs * config.Ctl.epoch_scans / 2 in
+  if snap.Ctl.policy <> want then
+    QCheck.Test.fail_reportf "converged to %s, wanted %s"
+      (Ctl.policy_name snap.Ctl.policy) (Ctl.policy_name want);
+  if List.length switches > 3 then
+    QCheck.Test.fail_reportf "%d switches — oscillation"
+      (List.length switches);
+  (* the hysteresis structural bound: a switch needs [patience]
+     consecutive winning epochs, so they cannot come faster *)
+  if List.length switches > epochs / config.Ctl.patience then
+    QCheck.Test.fail_reportf "switches outran the hysteresis bound";
+  if not (List.for_all (fun (scan, _) -> scan <= half_scan) switches) then
+    QCheck.Test.fail_reportf "switch after the convergence horizon";
+  if snap.Ctl.explorations <> 0 then
+    QCheck.Test.fail_reportf "unexpected exploration with a zero budget";
+  true
+
+let prop_idle_heavy_converges =
+  let gen =
+    QCheck.Gen.(triple (int_range 24 48) (int_range 1 3) (int_range 0 10))
+  in
+  let arb =
+    QCheck.make gen ~print:(fun (k, hot, nr) ->
+        Printf.sprintf "{objects=%d; hot=%d; reinflate=%d%%}" k hot nr)
+  in
+  QCheck.Test.make ~count:60
+    ~name:"controller: idle-heavy regimes converge to always-idle" arb
+    (fun (k, hot, nr) ->
+      let config = ctl_config () in
+      let epochs = 16 in
+      stable_convergence ~config ~epochs ~want:(Ctl.n_policies - 1)
+        (run_regime ~config ~epochs ~objects:k ~hot
+           ~reinflate:(float_of_int nr /. 100.0)
+           ()))
+
+let prop_contention_heavy_converges =
+  let gen =
+    QCheck.Gen.(triple (int_range 32 48) (int_range 50 75) (int_range 60 100))
+  in
+  let arb =
+    QCheck.make gen ~print:(fun (k, pc, nr) ->
+        Printf.sprintf "{objects=%d; contended=%d%%; reinflate=%d%%}" k pc nr)
+  in
+  QCheck.Test.make ~count:60
+    ~name:"controller: contention-heavy regimes converge to never" arb
+    (fun (k, pc, nr) ->
+      let config = ctl_config () in
+      let epochs = 16 in
+      stable_convergence ~config ~epochs ~want:0
+        (run_regime ~config ~epochs ~objects:k ~hot:(k * pc / 100)
+           ~reinflate:(float_of_int nr /. 100.0)
+           ()))
+
+(* Exploration accounting, end to end: from an eager start the
+   controller learns the thrash (every deflation re-inflates), retreats
+   to [never], then spends its whole token budget on periodic one-epoch
+   excursions — each costing exactly two traced switches — and goes
+   quiet once the bucket is dry (refill disabled). *)
+let prop_exploration_budget_bounds_excursions =
+  let gen = QCheck.Gen.(pair (int_range 1 4) (int_range 4 12)) in
+  let arb =
+    QCheck.make gen ~print:(fun (b, k) ->
+        Printf.sprintf "{budget=%d; objects=%d}" b k)
+  in
+  QCheck.Test.make ~count:30
+    ~name:"controller: exploration spends exactly its token budget" arb
+    (fun (b, k) ->
+      let config =
+        ctl_config ~epoch_scans:2 ~explore_budget:b
+          ~initial_policy:(Ctl.n_policies - 1) ()
+      in
+      let epochs = (3 * b) + 9 in
+      let t, switches =
+        run_regime ~config ~epochs ~objects:k ~hot:0 ~reinflate:1.0 ()
+      in
+      let snap = (Ctl.snapshot t).(0) in
+      let explore_legs =
+        List.length (List.filter (fun (_, sw) -> sw.Ctl.explore) switches)
+      in
+      snap.Ctl.policy = 0 (* the thrash keeps it at never *)
+      && snap.Ctl.explorations = b
+      && explore_legs = 2 * b (* out + back per excursion, never more *)
+      && snap.Ctl.switches = 1 (* the single hysteresis retreat *)
+      && Ctl.switches_total t = (2 * b) + 1
+      (* dry bucket: nothing fires after the last excursion returns *)
+      && List.for_all
+           (fun (scan, _) ->
+             scan <= ((3 * b) + 2) * config.Ctl.epoch_scans)
+           switches)
+
+(* --- the hapax pipeline guard (controller side) --- *)
+
+(* A shard whose admission pipeline was seen non-quiet must hold an
+   eager-ward switch pending — and fire it once the pipeline drains. *)
+let test_pipeline_guard_holds_eager_switch () =
+  let config = ctl_config ~epoch_scans:2 ~initial_policy:0 () in
+  let t = Ctl.create ~config ~nshards:1 () in
+  let feed ~quiet =
+    for tag = 0 to 7 do
+      Ctl.observe t
+        {
+          Ctl.shard = 0;
+          tag;
+          idle_scans = 1 + tag;
+          contended_episodes = 0;
+          (* one monitor with ticketed arrivals poisons the epoch *)
+          pipeline_quiet = quiet || tag > 0;
+        }
+    done
+  in
+  let fired = ref [] in
+  for _ = 1 to 8 do
+    feed ~quiet:false;
+    fired := !fired @ Ctl.scan_complete t
+  done;
+  check_int "no switch under a busy pipeline" 0 (List.length !fired);
+  check_int "still at never" 0 (Ctl.snapshot t).(0).Ctl.policy;
+  for _ = 1 to 2 do
+    feed ~quiet:true;
+    fired := !fired @ Ctl.scan_complete t
+  done;
+  match !fired with
+  | [ sw ] ->
+      check "eager-ward once drained" true (sw.Ctl.to_policy > sw.Ctl.from_policy);
+      check "a hysteresis move, not an exploration" false sw.Ctl.explore;
+      check "incumbent updated" true ((Ctl.snapshot t).(0).Ctl.policy > 0)
+  | l -> Alcotest.failf "expected exactly one switch after drain, got %d" (List.length l)
+
+(* The guard is direction-specific: retreating to a more conservative
+   policy under a live pipeline is exactly what thrash calls for. *)
+let test_pipeline_guard_allows_conservative_switch () =
+  let config =
+    ctl_config ~epoch_scans:2 ~initial_policy:(Ctl.n_policies - 1) ()
+  in
+  let t = Ctl.create ~config ~nshards:1 () in
+  let fired = ref [] in
+  for _ = 1 to 8 do
+    for tag = 0 to 7 do
+      Ctl.observe t
+        {
+          Ctl.shard = 0;
+          tag;
+          idle_scans = 1;
+          contended_episodes = 0;
+          pipeline_quiet = false;
+        };
+      Ctl.note_deflated t ~shard:0 ~tag
+    done;
+    fired := !fired @ Ctl.scan_complete t
+  done;
+  (match !fired with
+  | [ sw ] ->
+      check "conservative-ward" true (sw.Ctl.to_policy < sw.Ctl.from_policy);
+      check_int "retreats all the way to never" 0 sw.Ctl.to_policy
+  | l ->
+      Alcotest.failf "expected exactly one conservative switch, got %d"
+        (List.length l));
+  check_int "incumbent is never" 0 (Ctl.snapshot t).(0).Ctl.policy
+
+(* Integration: a real hapax monitor with a ticket in flight.  Domain 1
+   drives tickets into the fat path while domain 0 runs controlled
+   census scans: the controller's eager-ward switch must stay pending
+   until the pipeline drains, then fire, then deflate. *)
+let test_pipeline_guard_hapax_two_domains () =
+  let runtime = Runtime.create () in
+  let ctx =
+    Thin.create_with
+      ~config:{ Thin.default_config with Thin.fat_backend = Fatlock.Hapax }
+      runtime
+  in
+  let heap = H.create () in
+  let idle = H.alloc heap and hot = H.alloc heap in
+  let controller =
+    Ctl.create
+      ~config:
+        (ctl_config ~epoch_scans:1 ~initial_policy:0 ()
+         |> fun c -> { c with Ctl.patience = 1 })
+      ~nshards:1 ()
+  in
+  let fat_of obj = Montable.get (Thin.montable ctx) (Header.monitor_index (Thin.lock_word obj)) in
+  let switches_during_traffic = ref (-1) in
+  let pipeline_seen_busy = ref false in
+  let held = Atomic.make false in
+  Runtime.run_parallel ~backend:Runtime.Domain_backend runtime 2 (fun i env ->
+      if i = 0 then begin
+        inflate_idle ctx env idle;
+        inflate_idle ctx env hot;
+        Thin.acquire ctx env hot;
+        Atomic.set held true;
+        (* wait for domain 1's acquire to become a parked ticket *)
+        let deadline = Unix.gettimeofday () +. 5.0 in
+        while Fatlock.pipeline_quiet (fat_of hot) && Unix.gettimeofday () < deadline do
+          Thread.yield ()
+        done;
+        pipeline_seen_busy := not (Fatlock.pipeline_quiet (fat_of hot));
+        (* several epochs with the ticket in flight: the idle monitor
+           makes eager attractive, the hot one vetoes the move *)
+        for _ = 1 to 3 do
+          ignore (Reaper.scan_once ~controller ctx)
+        done;
+        switches_during_traffic := Ctl.switches_total controller;
+        Thin.release ctx env hot
+      end
+      else begin
+        (* domain 1: ride the admission pipeline through the window *)
+        let deadline = Unix.gettimeofday () +. 5.0 in
+        while (not (Atomic.get held)) && Unix.gettimeofday () < deadline do
+          Thread.yield ()
+        done;
+        Thin.acquire ctx env hot;
+        Thin.release ctx env hot
+      end);
+  check "ticket was in flight during the scans" true !pipeline_seen_busy;
+  check_int "no eager-ward switch while the pipeline was live" 0
+    !switches_during_traffic;
+  check_int "incumbent still never under traffic" 0
+    (Ctl.snapshot controller).(0).Ctl.policy;
+  (* world quiet, pipeline drained: the held streak fires, and the next
+     scan deflates under the new eager incumbent *)
+  ignore (Reaper.scan_once ~controller ctx);
+  check "switch fires once drained" true (Ctl.switches_total controller >= 1);
+  check "eager incumbent after drain" true ((Ctl.snapshot controller).(0).Ctl.policy > 0);
+  let deflated = ref 0 in
+  for _ = 1 to 6 do
+    deflated := !deflated + (Reaper.scan_once ~controller ctx).Reaper.deflated
+  done;
+  check "census drains under the switched policy" true (!deflated >= 2);
+  check_int "no live monitors left" 0 (Montable.live (Thin.montable ctx));
+  (* and the deflated locks still work *)
+  let env = Runtime.main_env runtime in
+  Thin.acquire ctx env hot;
+  Thin.release ctx env hot
+
+(* --- switch packing --- *)
+
+let prop_switch_packing_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun (shard, fp, tp, (score, explore)) ->
+          { Ctl.shard; from_policy = fp; to_policy = tp; score; explore })
+        (quad (int_bound 4095)
+           (int_bound (Ctl.n_policies - 1))
+           (int_bound (Ctl.n_policies - 1))
+           (pair (int_bound 0xFFFFF) bool)))
+  in
+  let arb =
+    QCheck.make gen ~print:(fun sw -> Format.asprintf "%a" Ctl.pp_switch sw)
+  in
+  QCheck.Test.make ~count:200
+    ~name:"controller: switch arg packing round-trips" arb (fun sw ->
+      Ctl.unpack_switch (Ctl.pack_switch sw) = sw)
+
 (* --- quiescence-driven reaping --- *)
 
 let test_quiescence_hook_reaps () =
@@ -243,5 +586,21 @@ let () =
           Alcotest.test_case "deflation with live lockers" `Slow test_reaper_under_traffic;
           Alcotest.test_case "no lost wakeups under eager reaping" `Slow
             test_reaper_no_lost_wakeups;
+        ] );
+      ( "controller",
+        [
+          QCheck_alcotest.to_alcotest prop_idle_heavy_converges;
+          QCheck_alcotest.to_alcotest prop_contention_heavy_converges;
+          QCheck_alcotest.to_alcotest prop_exploration_budget_bounds_excursions;
+          QCheck_alcotest.to_alcotest prop_switch_packing_roundtrip;
+        ] );
+      ( "pipeline guard",
+        [
+          Alcotest.test_case "eager-ward switch held while busy" `Quick
+            test_pipeline_guard_holds_eager_switch;
+          Alcotest.test_case "conservative retreat not vetoed" `Quick
+            test_pipeline_guard_allows_conservative_switch;
+          Alcotest.test_case "hapax tickets through a switch (2 domains)" `Slow
+            test_pipeline_guard_hapax_two_domains;
         ] );
     ]

@@ -8,6 +8,7 @@
 
 open Tl_events
 open Tl_workload
+module Ctl = Tl_lifecycle.Controller
 module Machine = Tl_sim.Machine
 module Thinmodel = Tl_sim.Thinmodel
 module Stream_gen = Tl_test_helpers.Stream_gen
@@ -462,6 +463,82 @@ let test_replay_par_backend_stream_accepted name domains mode backend () =
       (Tl_monitor.Fatlock.backend_name backend)
       domains (report_str r)
 
+(* --- Policy_switch events in verified streams --- *)
+
+let switch_arg ?(explore = false) ~shard ~from_policy ~to_policy ~score () =
+  Ctl.pack_switch { Ctl.shard; from_policy; to_policy; score; explore }
+
+let test_policy_switch_mid_stream_accepted () =
+  (* controller decisions landing mid-run — one of them between an
+     acquire and its release on a fat monitor: a non-routable system
+     event, accepted by both modes, invisible to the object automata *)
+  let d =
+    stream
+      [
+        (1, Event.Acquire_fast, 1);
+        ( 0,
+          Event.Policy_switch,
+          switch_arg ~shard:3 ~from_policy:2 ~to_policy:3 ~score:410 () );
+        (1, Event.Inflate_wait, 1);
+        (1, Event.Wait_op, 1);
+        ( 0,
+          Event.Policy_switch,
+          switch_arg ~explore:true ~shard:0 ~from_policy:0 ~to_policy:3
+            ~score:0 () );
+        (1, Event.Release_fat, 1);
+        (0, Event.Deflate_quiescent, 1);
+        (1, Event.Quiescence, 1);
+      ]
+  in
+  assert_clean ~mode:Oracle.Strict d;
+  assert_clean ~mode:Oracle.Relaxed d
+
+(* A controlled replay: the stream carries the controller's actual
+   mid-run decisions, and must verify clean at every domain count —
+   strict where the schedule permits it (1 domain), relaxed always. *)
+let controlled_reap =
+  Policy_lab.Reap_controlled
+    { Ctl.default_config with Ctl.epoch_scans = 1; patience = 1 }
+
+let test_replay_par_controlled_accepted name domains mode () =
+  let _res, controller, d =
+    Policy_lab.replay_traced_par_reap ~domains ~mode ~reap:controlled_reap
+      (trace_of name)
+  in
+  check "no drops" true (d.Sink.dropped = []);
+  let controller =
+    match controller with
+    | Some c -> c
+    | None -> Alcotest.fail "controlled replay returned no controller"
+  in
+  let n = Array.length d.Sink.events in
+  let switch_positions =
+    Array.fold_right
+      (fun (e : Event.t) acc ->
+        if e.Event.kind = Event.Policy_switch then e.Event.seq :: acc else acc)
+      d.Sink.events []
+  in
+  check "stream carries policy switches" true (switch_positions <> []);
+  check "switches land mid-run, not at the edges" true
+    (List.exists (fun s -> s > 0 && s < n - 1) switch_positions);
+  check_int "trace agrees with the controller's own count"
+    (List.length switch_positions)
+    (Ctl.switches_total controller);
+  (* every traced arg unpacks to a well-formed ladder move *)
+  Array.iter
+    (fun (e : Event.t) ->
+      if e.Event.kind = Event.Policy_switch then begin
+        let sw = Ctl.unpack_switch e.Event.arg in
+        check "from-policy on the ladder" true
+          (sw.Ctl.from_policy >= 0 && sw.Ctl.from_policy < Ctl.n_policies);
+        check "to-policy on the ladder" true
+          (sw.Ctl.to_policy >= 0 && sw.Ctl.to_policy < Ctl.n_policies);
+        check "a switch moves" true (sw.Ctl.from_policy <> sw.Ctl.to_policy)
+      end)
+    d.Sink.events;
+  assert_clean ~mode:Oracle.Relaxed ~count_width:1 d;
+  if domains = 1 then assert_clean ~mode:Oracle.Strict ~count_width:1 d
+
 let test_residency_matches_policy_lab name pname () =
   let p = policy pname in
   let _ctx, d = Policy_lab.replay_traced ~policy:p (trace_of name) in
@@ -546,6 +623,86 @@ let test_residency_peak_reinflation_hottest () =
   check_int "contended episodes" 3 s.Residency.contended_episodes;
   check "hottest is object 2" true (s.Residency.hottest = Some (2, 2));
   check_int "open monitors" 2 (List.length s.Residency.open_monitors)
+
+(* --- residency edge cases, pinned against hand-computed integrals --- *)
+
+(* A monitor born and evaporated within one drain window: neither the
+   summary before the window nor the one after ever shows it live, yet
+   the window's integral, dwell histogram and counters must all book
+   its one-tick lifetime.  Area accumulates [live * Δseq] BEFORE each
+   event applies, so the inflate..deflate gap of 1 tick at live=1
+   contributes exactly 1.0. *)
+let test_residency_evaporates_within_one_drain_window () =
+  let t = Residency.create () in
+  Residency.feed t (ev 0 1 Event.Acquire_fast 7);
+  let before = Residency.summary t in
+  check_int "not live before the window" 0 before.Residency.live_now;
+  check_int "no inflations yet" 0 before.Residency.inflations;
+  (* the whole fat lifetime lands inside one window *)
+  Residency.feed t (ev 1 1 Event.Inflate_overflow 7);
+  Residency.feed t (ev 2 0 Event.Deflate_quiescent 7);
+  let after = Residency.summary t in
+  check_int "not live after either" 0 after.Residency.live_now;
+  check_int "inflation booked" 1 after.Residency.inflations;
+  check_int "deflation booked" 1 after.Residency.deflations;
+  check_int "peak caught the transient" 1 after.Residency.live_peak;
+  (* area: seq 0->1 at live 0 contributes 0, seq 1->2 at live 1
+     contributes 1; span 2 *)
+  check "area is exactly 1.0" true (after.Residency.fat_area = 1.0);
+  check "residency 1/2" true (after.Residency.fat_residency = 0.5);
+  (* dwell 2-1=1 tick: bucket 0 also catches d <= 1 *)
+  check_int "one-tick dwell in bucket 0" 1 after.Residency.dwell.(0);
+  check "no open monitors" true (after.Residency.open_monitors = []);
+  (* the object's next inflation is a re-inflation even though no
+     snapshot ever saw the first monitor *)
+  Residency.feed t (ev 3 1 Event.Inflate_wait 7);
+  let again = Residency.summary t in
+  check_int "re-inflation detected" 1 again.Residency.reinflations;
+  check "still-fat monitor reported" true
+    (again.Residency.open_monitors = [ (7, 3) ])
+
+(* Dwell bucket boundaries: a dwell of exactly 2^k seq ticks belongs
+   to bucket k = [2^k, 2^(k+1)), and 2^k - 1 to bucket k-1 — pinned
+   with dwells 8 and 7 against a hand-computed stream. *)
+let test_residency_dwell_bucket_boundary () =
+  let s =
+    Residency.of_drained
+      (stream
+         [
+           (1, Event.Acquire_fast, 1);
+           (* seq 0: live 0 *)
+           (1, Event.Inflate_wait, 1);
+           (* seq 1: monitor 1 opens, live 1 *)
+           (2, Event.Contended_begin, 2);
+           (* seq 2: area += 1 -> 1 *)
+           (2, Event.Inflate_contention, 2);
+           (* seq 3: area += 1 -> 2; monitor 2 opens, live 2 *)
+           (2, Event.Acquire_fat, 2);
+           (* seq 4: area += 2 -> 4 *)
+           (2, Event.Contended_end, 2);
+           (* seq 5: area += 2 -> 6 *)
+           (2, Event.Release_fat, 2);
+           (* seq 6: area += 2 -> 8 *)
+           (1, Event.Wait_op, 1);
+           (* seq 7: area += 2 -> 10 *)
+           (1, Event.Release_fat, 1);
+           (* seq 8: area += 2 -> 12 *)
+           (0, Event.Deflate_quiescent, 1);
+           (* seq 9: area += 2 -> 14; dwell 9-1 = 8, bucket 3 *)
+           (0, Event.Deflate_concurrent, 2);
+           (* seq 10: area += 1 -> 15; dwell 10-3 = 7, bucket 2 *)
+         ])
+  in
+  check_int "span" 10 s.Residency.span;
+  check "area" true (s.Residency.fat_area = 15.0);
+  check "residency" true (s.Residency.fat_residency = 1.5);
+  check_int "inflations" 2 s.Residency.inflations;
+  check_int "deflations" 2 s.Residency.deflations;
+  check_int "live peak" 2 s.Residency.live_peak;
+  check_int "dwell 8 = 2^3 lands in bucket 3" 1 s.Residency.dwell.(3);
+  check_int "dwell 7 lands in bucket 2" 1 s.Residency.dwell.(2);
+  check_int "no other buckets" 2 (Array.fold_left ( + ) 0 s.Residency.dwell);
+  check_int "one contended episode" 1 s.Residency.contended_episodes
 
 (* --- stream-level validation entry points --- *)
 
@@ -662,6 +819,20 @@ let () =
             (test_replay_par_backend_stream_accepted "javacup" 2
                Parallel_replay.Shuffle Tl_monitor.Fatlock.Delegate);
         ] );
+      ( "policy switches",
+        [
+          Alcotest.test_case "mid-stream switches accepted both modes" `Quick
+            test_policy_switch_mid_stream_accepted;
+          Alcotest.test_case "controlled javacup par 1 domain" `Quick
+            (test_replay_par_controlled_accepted "javacup" 1
+               Parallel_replay.Affinity);
+          Alcotest.test_case "controlled javacup par 2 domains" `Quick
+            (test_replay_par_controlled_accepted "javacup" 2
+               Parallel_replay.Shuffle);
+          Alcotest.test_case "controlled javacup par 4 domains" `Quick
+            (test_replay_par_controlled_accepted "javacup" 4
+               Parallel_replay.Shuffle);
+        ] );
       ( "residency",
         [
           Alcotest.test_case "empty" `Quick test_residency_empty;
@@ -677,6 +848,10 @@ let () =
             (test_residency_matches_policy_lab "mocha" "always-idle");
           Alcotest.test_case "javacup online = offline (never deflate)" `Quick
             (test_residency_matches_policy_lab "javacup" "never");
+          Alcotest.test_case "evaporation within one drain window" `Quick
+            test_residency_evaporates_within_one_drain_window;
+          Alcotest.test_case "dwell bucket boundary at a power of two" `Quick
+            test_residency_dwell_bucket_boundary;
         ] );
       ( "validate",
         [

@@ -111,6 +111,40 @@ for r in fairness:
 inv = {r["backend"]: r["inversion_rate"] for r in fairness}
 assert inv["hapax"] <= inv["parker"], \
     "FIFO admission must not barge more than the parker entry queue"
+ctl = d["scenarios"]["controller"]
+reps = ctl["replays"]
+assert {r["bench"] for r in reps} >= {"javalex", "javacup", "mocha"}, \
+    "controller replays must cover the lab benchmarks"
+for r in reps:
+    assert r["best_score"] > 0.0 and r["controlled_score"] > 0.0
+    # The acceptance bar: one shared controller configuration tracks the
+    # per-workload best fixed policy within 25% on the lab score...
+    assert r["score_ratio"] <= 1.25, \
+        "%s: controlled score %.2f not within 1.25x best fixed %s (%.2f)" \
+        % (r["bench"], r["controlled_score"], r["best_fixed"], r["best_score"])
+    # ...and on the fat-residency integral (small absolute slack: the
+    # best rows sit near zero monitors resident).
+    assert r["controlled_fat_residency"] <= 1.25 * r["best_fat_residency"] + 0.25, \
+        "%s: controlled residency %.2f vs best fixed %.2f" \
+        % (r["bench"], r["controlled_fat_residency"], r["best_fat_residency"])
+    assert r["policy_switches"] >= 0 and r["shards"], "controller shards missing"
+    for s in r["shards"]:
+        assert s["policy"] in ("never", "zero-contended-episodes", "idle-for-4",
+                               "always-idle"), s
+        assert s["epochs"] >= 0 and s["switches"] >= 0
+    assert r["chosen_policies"], "chosen-policy census missing"
+st = ctl["storm"]
+assert st["fixed"] and {f["reap"] for f in st["fixed"]} >= \
+    {"never", "always-idle", "idle-for-4"}, "storm fixed-policy rows incomplete"
+for f in st["fixed"]:
+    assert f["oracle_clean"], "%s-reap storm stream failed the oracle" % f["reap"]
+assert st["controlled"]["oracle_clean"], "controlled storm stream failed the oracle"
+assert 0.0 < st["best_fixed_p99_us"]
+assert st["tail_ratio_p99"] <= 1.25, \
+    "controlled storm p99 %.1f us is %.3fx the best fixed policy (%.1f us)" \
+    % (st["controlled"]["p99_us"], st["tail_ratio_p99"], st["best_fixed_p99_us"])
+assert st["controlled"]["reaper_scans"] > 0, "controlled storm never scanned"
+assert st["shards"], "controlled storm shard snapshots missing"
 ev = d["scenarios"]["events_overhead"]
 assert ev["enabled_ns"] < 25.0, \
     "tracing overhead %.1f ns/event blows the always-on budget" % ev["enabled_ns"]
@@ -130,6 +164,9 @@ print("  fiber storm peak: %d fibers at %.0f ops/sec (p99 %.0f us)"
          fs[-1]["p99_us"]))
 print("  tracing: %.1f ns/event enabled overhead; %.1f text vs %.1f bin bytes/event"
       % (ev["enabled_ns"], ev["text_bytes_per_event"], ev["bin_bytes_per_event"]))
+print("  controller: score ratios %s; storm tail %.3fx best fixed, %d switch(es)"
+      % ({r["bench"]: round(r["score_ratio"], 3) for r in reps},
+         st["tail_ratio_p99"], st["policy_switches"]))
 EOF
 else
   grep -q '"thinlocks-bench-v1"' BENCH.json
@@ -142,6 +179,9 @@ else
   grep -q '"adjacent_inversions"' BENCH.json
   grep -q '"oracle_overhead"' BENCH.json
   grep -q '"ops_per_sec"' BENCH.json
+  grep -q '"controller"' BENCH.json
+  grep -q '"tail_ratio_p99"' BENCH.json
+  grep -q '"chosen_policies"' BENCH.json
   echo "BENCH.json: key smoke (python3 unavailable)"
 fi
 
@@ -212,6 +252,16 @@ done
 dune exec bin/thinlocks.exe -- replay-par -b javacup --domains 2 --fat-backend delegate \
   --shuffle --interleave --max-syncs 6000 --oracle >/dev/null
 echo "  delegate oracle clean at 2 domains (shuffle)"
+
+echo "== controlled reaper: protocol oracle over replay-par streams (1/2/4 domains)"
+for domains in 1 2 4; do
+  dune exec bin/thinlocks.exe -- replay-par -b javacup --domains "$domains" \
+    --shuffle --interleave --max-syncs 6000 --oracle --reap controlled >/dev/null
+  echo "  controlled oracle clean at $domains domain(s), Policy_switch in stream"
+done
+
+echo "== fiber storm under the feedback controller (100k fibers, oracle must be clean)"
+dune exec bin/thinlocks.exe -- fiber-storm --fibers 100000 --domains 1 --reap controlled
 
 echo "== fiber storm on the hapax backend (100k fibers, relaxed oracle must be clean)"
 # Window 512: FIFO admission hands off to one exact fiber per release,
